@@ -1,0 +1,198 @@
+package caesar
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/caesar"
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/kvstore"
+	"github.com/caesar-consensus/caesar/internal/metrics"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/transport"
+)
+
+// Command is a state-machine command. Two commands conflict when they
+// access the same key and at least one writes it; CAESAR totally orders
+// conflicting commands and leaves commuting ones unordered.
+type Command struct {
+	// Kind selects the operation.
+	Kind Op
+	// Key is the accessed key.
+	Key string
+	// Value is the written payload (puts only).
+	Value []byte
+}
+
+// Op enumerates command kinds.
+type Op uint8
+
+// Supported operations.
+const (
+	// OpPut writes Value under Key.
+	OpPut Op = iota + 1
+	// OpGet reads Key.
+	OpGet
+	// OpAdd atomically adds Delta to Key's integer value and returns
+	// the new value (big-endian int64).
+	OpAdd
+)
+
+// Put builds a write command.
+func Put(key string, value []byte) Command {
+	return Command{Kind: OpPut, Key: key, Value: value}
+}
+
+// Get builds a read command.
+func Get(key string) Command {
+	return Command{Kind: OpGet, Key: key}
+}
+
+// Add builds an atomic-increment command; the returned value of Propose is
+// the post-increment big-endian int64.
+func Add(key string, delta int64) Command {
+	return Command{Kind: OpAdd, Key: key, Value: encodeInt(delta)}
+}
+
+// DecodeInt converts a value returned by Get/Add on an integer key.
+func DecodeInt(b []byte) int64 {
+	if len(b) != 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+func encodeInt(v int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+// Stats is a snapshot of a node's protocol counters.
+type Stats struct {
+	// Executed is the number of commands applied locally.
+	Executed int64
+	// FastDecisions and SlowDecisions split the decisions this node
+	// took as command leader by path (two vs four communication
+	// delays).
+	FastDecisions int64
+	SlowDecisions int64
+	// MeanLatency is the mean proposer-observed latency.
+	MeanLatency time.Duration
+}
+
+// ErrClosed is returned for proposals on a closed node.
+var ErrClosed = errors.New("caesar: node closed")
+
+// Node is one CAESAR replica with an embedded key-value store.
+type Node struct {
+	id      timestamp.NodeID
+	replica *caesar.Replica
+	store   *kvstore.Store
+	met     *metrics.Recorder
+	closed  bool
+}
+
+// Options tunes a node; the zero value is production defaults.
+type Options struct {
+	// FastQuorumTimeout is how long a leader waits for a fast quorum
+	// before falling back to the slow proposal phase. Default 400ms.
+	FastQuorumTimeout time.Duration
+	// HeartbeatInterval drives the failure detector; negative disables
+	// failure handling (testing only). Default 100ms.
+	HeartbeatInterval time.Duration
+	// SuspectTimeout is the silence threshold before a peer is
+	// suspected and its commands recovered. Default 1s.
+	SuspectTimeout time.Duration
+	// DisableGC retains all command metadata (debugging only).
+	DisableGC bool
+}
+
+func (o Options) toConfig() caesar.Config {
+	cfg := caesar.Config{
+		FastTimeout:       o.FastQuorumTimeout,
+		HeartbeatInterval: o.HeartbeatInterval,
+		SuspectTimeout:    o.SuspectTimeout,
+	}
+	if o.DisableGC {
+		cfg.GCInterval = -1
+	}
+	return cfg
+}
+
+// newNode wires a replica to an endpoint; used by Cluster and the server
+// binaries.
+func newNode(ep transport.Endpoint, opts Options) *Node {
+	store := kvstore.New()
+	met := metrics.NewRecorder()
+	cfg := opts.toConfig()
+	cfg.Metrics = met
+	n := &Node{
+		id:      ep.Self(),
+		replica: caesar.New(ep, store, cfg),
+		store:   store,
+		met:     met,
+	}
+	n.replica.Start()
+	return n
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() int { return int(n.id) }
+
+// Propose submits a command to the replicated state machine through this
+// node and waits for its execution here. It returns the command's result
+// (the read value for gets, nil for puts).
+func (n *Node) Propose(ctx context.Context, cmd Command) ([]byte, error) {
+	if n.closed {
+		return nil, ErrClosed
+	}
+	var inner command.Command
+	switch cmd.Kind {
+	case OpPut:
+		inner = command.Put(cmd.Key, cmd.Value)
+	case OpGet:
+		inner = command.Get(cmd.Key)
+	case OpAdd:
+		inner = command.Command{Op: command.OpAdd, Key: cmd.Key, Value: cmd.Value}
+	default:
+		return nil, fmt.Errorf("caesar: unknown command kind %d", cmd.Kind)
+	}
+	ch := make(chan protocol.Result, 1)
+	n.replica.Submit(inner, func(res protocol.Result) { ch <- res })
+	select {
+	case res := <-ch:
+		return res.Value, res.Err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Read returns the local store's value for key without going through
+// consensus (a stale read).
+func (n *Node) Read(key string) ([]byte, bool) {
+	return n.store.Get(key)
+}
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Executed:      n.met.Executed.Load(),
+		FastDecisions: n.met.FastDecisions.Load(),
+		SlowDecisions: n.met.SlowDecisions.Load(),
+		MeanLatency:   n.met.Latency.Mean(),
+	}
+}
+
+// Close stops the replica. In-flight proposals fail.
+func (n *Node) Close() {
+	if n.closed {
+		return
+	}
+	n.closed = true
+	n.replica.Stop()
+}

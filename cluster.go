@@ -1,0 +1,88 @@
+package caesar
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/memnet"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+// Cluster is an in-process CAESAR deployment: N nodes wired through a
+// simulated network. It is the fastest way to embed a replicated store in
+// tests, examples and single-binary applications; multi-process
+// deployments use cmd/caesar-server instead.
+type Cluster struct {
+	net   *memnet.Network
+	nodes []*Node
+}
+
+// ClusterOption customises NewLocalCluster.
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	delay  memnet.DelayFunc
+	jitter time.Duration
+	opts   Options
+}
+
+// WithGeoLatency injects the paper's five-site EC2 round-trip times
+// (Virginia, Ohio, Frankfurt, Ireland, Mumbai) scaled by scale: 1.0 is
+// real WAN latency, 0.1 runs ten times faster with identical ratios.
+func WithGeoLatency(scale float64) ClusterOption {
+	return func(c *clusterConfig) { c.delay = memnet.GeoDelay(scale) }
+}
+
+// WithUniformLatency gives every link the same one-way delay.
+func WithUniformLatency(d time.Duration) ClusterOption {
+	return func(c *clusterConfig) { c.delay = memnet.UniformDelay(d) }
+}
+
+// WithJitter adds uniform random jitter in [0, d) to every message.
+func WithJitter(d time.Duration) ClusterOption {
+	return func(c *clusterConfig) { c.jitter = d }
+}
+
+// WithNodeOptions applies node-level options to every node.
+func WithNodeOptions(opts Options) ClusterOption {
+	return func(c *clusterConfig) { c.opts = opts }
+}
+
+// NewLocalCluster builds and starts an n-node cluster. n must be at least
+// three (the protocol needs a meaningful quorum).
+func NewLocalCluster(n int, options ...ClusterOption) (*Cluster, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("caesar: cluster needs at least 3 nodes, got %d", n)
+	}
+	var cfg clusterConfig
+	for _, opt := range options {
+		opt(&cfg)
+	}
+	net := memnet.New(memnet.Config{Nodes: n, Delay: cfg.delay, Jitter: cfg.jitter})
+	c := &Cluster{net: net}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, newNode(net.Endpoint(timestamp.NodeID(i)), cfg.opts))
+	}
+	return c, nil
+}
+
+// Node returns the i-th node.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Crash disconnects and stops a node, simulating a failure. The survivors
+// detect it and recover its in-flight commands.
+func (c *Cluster) Crash(i int) {
+	c.net.Crash(timestamp.NodeID(i))
+	c.nodes[i].Close()
+}
+
+// Close stops every node and the network.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		n.Close()
+	}
+	c.net.Close()
+}

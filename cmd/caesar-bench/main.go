@@ -1,0 +1,74 @@
+// Command caesar-bench regenerates the paper's evaluation (Figures 6–12)
+// on the simulated five-site WAN. Each figure prints the same rows/series
+// the paper plots.
+//
+// Usage:
+//
+//	caesar-bench -figure 6            # one figure
+//	caesar-bench -figure all          # the whole evaluation
+//	caesar-bench -figure 9 -scale 0.1 -duration 5s
+//
+// Scale 1.0 reproduces the paper's real WAN latencies (slow); the default
+// 0.05 keeps delay ratios while running 20× faster. Reported latencies are
+// rescaled to paper milliseconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "caesar-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figure   = flag.String("figure", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11a, 11b, 12 or all")
+		scale    = flag.Float64("scale", 0.05, "WAN latency scale (1.0 = real EC2 latencies)")
+		duration = flag.Duration("duration", 3*time.Second, "measurement window per data point")
+		warmup   = flag.Duration("warmup", time.Second, "warmup before each measurement")
+		clients  = flag.Int("clients", 10, "closed-loop clients per node (latency figures)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	base := harness.Options{
+		Scale:          *scale,
+		Duration:       *duration,
+		Warmup:         *warmup,
+		ClientsPerNode: *clients,
+		Seed:           *seed,
+	}
+	w := os.Stdout
+	runs := map[string]func(){
+		"6":   func() { harness.Figure6(w, base) },
+		"7":   func() { harness.Figure7(w, base) },
+		"8":   func() { harness.Figure8(w, base) },
+		"9":   func() { harness.Figure9(w, base, false); fmt.Fprintln(w); harness.Figure9(w, base, true) },
+		"10":  func() { harness.Figure10(w, base) },
+		"11a": func() { harness.Figure11a(w, base) },
+		"11b": func() { harness.Figure11b(w, base) },
+		"12":  func() { harness.Figure12(w, base) },
+	}
+	if *figure == "all" {
+		for _, f := range []string{"6", "7", "8", "9", "10", "11a", "11b", "12"} {
+			runs[f]()
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	f, ok := runs[*figure]
+	if !ok {
+		return fmt.Errorf("unknown figure %q", *figure)
+	}
+	f()
+	return nil
+}

@@ -1,0 +1,57 @@
+// Command caesar-client talks to a caesar-server replica's client port.
+//
+// Usage:
+//
+//	caesar-client -server 127.0.0.1:8000 put mykey myvalue
+//	caesar-client -server 127.0.0.1:8000 get mykey
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:8000", "replica client address")
+	flag.Parse()
+	if err := run(*server, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "caesar-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server string, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: caesar-client [-server addr] get <key> | put <key> <value>")
+	}
+	var line string
+	switch strings.ToLower(args[0]) {
+	case "get":
+		line = fmt.Sprintf("GET %s", args[1])
+	case "put":
+		if len(args) < 3 {
+			return fmt.Errorf("put needs a value")
+		}
+		line = fmt.Sprintf("PUT %s %s", args[1], args[2])
+	default:
+		return fmt.Errorf("unknown op %q", args[0])
+	}
+	conn, err := net.Dial("tcp", server)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintln(conn, line); err != nil {
+		return err
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return err
+	}
+	fmt.Print(reply)
+	return nil
+}

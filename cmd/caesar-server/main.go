@@ -1,0 +1,124 @@
+// Command caesar-server runs one CAESAR replica of a multi-process
+// cluster: protocol traffic flows over TCP between the configured peers,
+// and a line-oriented client port serves GET/PUT requests against the
+// replicated key-value store.
+//
+// Usage (three replicas on one host):
+//
+//	caesar-server -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -client 127.0.0.1:8000
+//	caesar-server -id 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -client 127.0.0.1:8001
+//	caesar-server -id 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -client 127.0.0.1:8002
+//
+// Client protocol (one request per line):
+//
+//	PUT <key> <value>   →  OK
+//	GET <key>           →  OK <value> | OK
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/caesar-consensus/caesar/internal/caesar"
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/kvstore"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/tcpnet"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+func main() {
+	var (
+		id         = flag.Int("id", 0, "this replica's id (index into -peers)")
+		peers      = flag.String("peers", "", "comma-separated replica addresses")
+		clientAddr = flag.String("client", "", "client-facing listen address")
+	)
+	flag.Parse()
+	if err := run(*id, *peers, *clientAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "caesar-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id int, peerList, clientAddr string) error {
+	addrs := strings.Split(peerList, ",")
+	if len(addrs) < 3 {
+		return fmt.Errorf("need at least 3 peers, got %d", len(addrs))
+	}
+	if clientAddr == "" {
+		return fmt.Errorf("missing -client address")
+	}
+	tr, err := tcpnet.Listen(tcpnet.Config{Self: timestamp.NodeID(id), Addrs: addrs})
+	if err != nil {
+		return err
+	}
+	store := kvstore.New()
+	rep := caesar.New(tr, store, caesar.Config{})
+	rep.Start()
+	defer rep.Stop()
+	log.Printf("replica %d up: protocol %s, clients %s", id, addrs[id], clientAddr)
+
+	ln, err := net.Listen("tcp", clientAddr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go serveClients(ln, rep)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("replica %d shutting down", id)
+	return nil
+}
+
+// serveClients accepts client connections and executes their requests
+// through consensus.
+func serveClients(ln net.Listener, rep *caesar.Replica) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go handleClient(conn, rep)
+	}
+}
+
+func handleClient(conn net.Conn, rep *caesar.Replica) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	out := bufio.NewWriter(conn)
+	for sc.Scan() {
+		fields := strings.SplitN(strings.TrimSpace(sc.Text()), " ", 3)
+		var cmd command.Command
+		switch {
+		case len(fields) == 3 && strings.EqualFold(fields[0], "PUT"):
+			cmd = command.Put(fields[1], []byte(fields[2]))
+		case len(fields) == 2 && strings.EqualFold(fields[0], "GET"):
+			cmd = command.Get(fields[1])
+		default:
+			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key>\n")
+			out.Flush()
+			continue
+		}
+		ch := make(chan protocol.Result, 1)
+		rep.Submit(cmd, func(res protocol.Result) { ch <- res })
+		res := <-ch
+		switch {
+		case res.Err != nil:
+			fmt.Fprintf(out, "ERR %v\n", res.Err)
+		case len(res.Value) > 0:
+			fmt.Fprintf(out, "OK %s\n", res.Value)
+		default:
+			fmt.Fprintf(out, "OK\n")
+		}
+		out.Flush()
+	}
+}

@@ -1,0 +1,39 @@
+// Comparison: run the same conflicting workload against all five protocols
+// of the paper's evaluation (CAESAR, EPaxos, M2Paxos, Mencius, Multi-Paxos)
+// on the simulated five-site WAN and print a compact latency/throughput/
+// slow-path table — a miniature of Figures 6, 9 and 10.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/harness"
+)
+
+func main() {
+	fmt.Println("protocol         conflict%   mean-lat(VA)   tput(cmd/s)   slow-paths")
+	for _, proto := range []harness.Protocol{
+		harness.Caesar, harness.EPaxos, harness.M2Paxos,
+		harness.Mencius, harness.MultiPaxosIR, harness.MultiPaxosIN,
+	} {
+		for _, conflict := range []float64{0, 10, 30} {
+			if (proto == harness.Mencius || proto == harness.MultiPaxosIR || proto == harness.MultiPaxosIN) && conflict != 0 {
+				continue // conflict-oblivious protocols: one row
+			}
+			res := harness.Run(harness.Options{
+				Protocol:       proto,
+				Scale:          0.05,
+				ConflictPct:    conflict,
+				ClientsPerNode: 10,
+				Warmup:         500 * time.Millisecond,
+				Duration:       2 * time.Second,
+			})
+			fmt.Printf("%-16s %8.0f%% %11.1fms %13.0f %11.1f%%\n",
+				proto, conflict,
+				float64(res.Sites[0].MeanLatency)/float64(time.Millisecond),
+				res.Throughput,
+				res.SlowRatio()*100)
+		}
+	}
+}

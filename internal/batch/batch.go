@@ -1,0 +1,199 @@
+// Package batch implements network batching (§VI evaluates every
+// competitor "with and without network batching"): a proposer-side wrapper
+// that coalesces client submissions into one consensus command per window,
+// and an applier-side wrapper that unpacks batches for execution.
+//
+// A batch command's key set is the union of its members' keys, so the
+// conflict relation — and therefore ordering correctness — is preserved:
+// two batches conflict exactly when some of their members do.
+package batch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+)
+
+// Config tunes the batcher.
+type Config struct {
+	// Window is how long submissions are buffered. Default 2ms.
+	Window time.Duration
+	// MaxSize flushes a batch early once it holds this many commands.
+	// Default 64.
+	MaxSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 2 * time.Millisecond
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 64
+	}
+	return c
+}
+
+// Engine wraps a protocol.Engine with proposer-side batching.
+type Engine struct {
+	inner protocol.Engine
+	cfg   Config
+
+	mu      sync.Mutex
+	pending []command.Command
+	dones   []protocol.DoneFunc
+	timer   *time.Timer
+	stopped bool
+}
+
+var _ protocol.Engine = (*Engine)(nil)
+
+// Wrap returns a batching engine around inner. The inner engine's applier
+// must be wrapped with NewApplier so batches are unpacked on execution.
+func Wrap(inner protocol.Engine, cfg Config) *Engine {
+	return &Engine{inner: inner, cfg: cfg.withDefaults()}
+}
+
+// Start starts the inner engine.
+func (e *Engine) Start() { e.inner.Start() }
+
+// Stop flushes and stops the inner engine.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	e.stopped = true
+	if e.timer != nil {
+		e.timer.Stop()
+		e.timer = nil
+	}
+	pending, dones := e.pending, e.dones
+	e.pending, e.dones = nil, nil
+	e.mu.Unlock()
+	for _, done := range dones {
+		if done != nil {
+			done(protocol.Result{Err: protocol.ErrStopped})
+		}
+	}
+	_ = pending
+	e.inner.Stop()
+}
+
+// Submit buffers the command; the whole buffer is proposed as one batch
+// command when the window elapses or the buffer fills.
+func (e *Engine) Submit(cmd command.Command, done protocol.DoneFunc) {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		if done != nil {
+			done(protocol.Result{Err: protocol.ErrStopped})
+		}
+		return
+	}
+	e.pending = append(e.pending, cmd)
+	e.dones = append(e.dones, done)
+	full := len(e.pending) >= e.cfg.MaxSize
+	if e.timer == nil && !full {
+		e.timer = time.AfterFunc(e.cfg.Window, e.flush)
+	}
+	e.mu.Unlock()
+	if full {
+		e.flush()
+	}
+}
+
+// flush proposes the buffered commands as one batch.
+func (e *Engine) flush() {
+	e.mu.Lock()
+	if e.timer != nil {
+		e.timer.Stop()
+		e.timer = nil
+	}
+	cmds, dones := e.pending, e.dones
+	e.pending, e.dones = nil, nil
+	stopped := e.stopped
+	e.mu.Unlock()
+	if len(cmds) == 0 || stopped {
+		return
+	}
+	if len(cmds) == 1 {
+		e.inner.Submit(cmds[0], dones[0])
+		return
+	}
+	batched, err := Pack(cmds)
+	if err != nil {
+		for _, done := range dones {
+			if done != nil {
+				done(protocol.Result{Err: err})
+			}
+		}
+		return
+	}
+	e.inner.Submit(batched, func(res protocol.Result) {
+		for _, done := range dones {
+			if done != nil {
+				done(res)
+			}
+		}
+	})
+}
+
+// Pack encodes commands into a single batch command whose key set is the
+// union of the members' keys.
+func Pack(cmds []command.Command) (command.Command, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cmds); err != nil {
+		return command.Command{}, err
+	}
+	keySet := make(map[string]struct{})
+	for _, c := range cmds {
+		for _, k := range c.Keys() {
+			keySet[k] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	out := command.Command{Op: command.OpBatch, Payload: buf.Bytes()}
+	if len(keys) > 0 {
+		out.Key = keys[0]
+		out.ExtraKeys = keys[1:]
+	}
+	return out, nil
+}
+
+// Unpack decodes a batch command's members.
+func Unpack(batched command.Command) ([]command.Command, error) {
+	var cmds []command.Command
+	err := gob.NewDecoder(bytes.NewReader(batched.Payload)).Decode(&cmds)
+	return cmds, err
+}
+
+// Applier unpacks batch commands before handing them to the inner applier.
+type Applier struct {
+	Inner protocol.Applier
+}
+
+var _ protocol.Applier = Applier{}
+
+// NewApplier wraps inner so it can execute batches.
+func NewApplier(inner protocol.Applier) Applier {
+	return Applier{Inner: inner}
+}
+
+// Apply implements protocol.Applier.
+func (a Applier) Apply(cmd command.Command) []byte {
+	if cmd.Op != command.OpBatch {
+		return a.Inner.Apply(cmd)
+	}
+	cmds, err := Unpack(cmd)
+	if err != nil {
+		return nil
+	}
+	for _, c := range cmds {
+		a.Inner.Apply(c)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package batch
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/kvstore"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	cmds := []command.Command{
+		command.Put("a", []byte("1")),
+		command.Put("b", []byte("2")),
+		command.Add("a", 7),
+	}
+	for i := range cmds {
+		cmds[i].ID = command.ID{Node: 1, Seq: uint64(i + 1)}
+	}
+	packed, err := Pack(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Op != command.OpBatch {
+		t.Fatal("not a batch op")
+	}
+	keys := packed.Keys()
+	if len(keys) != 2 {
+		t.Fatalf("batch keys = %v, want union {a,b}", keys)
+	}
+	got, err := Unpack(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cmds) {
+		t.Fatalf("unpacked %d commands", len(got))
+	}
+	for i := range cmds {
+		if got[i].ID != cmds[i].ID || got[i].Key != cmds[i].Key {
+			t.Fatalf("command %d mangled: %+v", i, got[i])
+		}
+	}
+}
+
+func TestApplierUnpacksBatch(t *testing.T) {
+	store := kvstore.New()
+	app := NewApplier(store)
+	packed, _ := Pack([]command.Command{
+		command.Put("x", []byte("vx")),
+		command.Put("y", []byte("vy")),
+	})
+	app.Apply(packed)
+	if v, _ := store.Get("x"); string(v) != "vx" {
+		t.Fatal("batch member x not applied")
+	}
+	if v, _ := store.Get("y"); string(v) != "vy" {
+		t.Fatal("batch member y not applied")
+	}
+	// Non-batch passes through.
+	app.Apply(command.Put("z", []byte("vz")))
+	if v, _ := store.Get("z"); string(v) != "vz" {
+		t.Fatal("plain command not applied")
+	}
+}
+
+// fakeEngine records submissions and completes them immediately.
+type fakeEngine struct {
+	mu      sync.Mutex
+	subs    []command.Command
+	started bool
+}
+
+func (f *fakeEngine) Submit(cmd command.Command, done protocol.DoneFunc) {
+	f.mu.Lock()
+	f.subs = append(f.subs, cmd)
+	f.mu.Unlock()
+	if done != nil {
+		done(protocol.Result{})
+	}
+}
+func (f *fakeEngine) Start() { f.started = true }
+func (f *fakeEngine) Stop()  {}
+
+func (f *fakeEngine) submissions() []command.Command {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]command.Command, len(f.subs))
+	copy(out, f.subs)
+	return out
+}
+
+func TestWindowFlush(t *testing.T) {
+	inner := &fakeEngine{}
+	e := Wrap(inner, Config{Window: 10 * time.Millisecond, MaxSize: 100})
+	e.Start()
+	defer e.Stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		e.Submit(command.Put("k", []byte{byte(i)}), func(protocol.Result) { wg.Done() })
+	}
+	wg.Wait()
+	subs := inner.submissions()
+	if len(subs) != 1 {
+		t.Fatalf("want 1 batched submission, got %d", len(subs))
+	}
+	if subs[0].Op != command.OpBatch {
+		t.Fatalf("want a batch, got %v", subs[0].Op)
+	}
+	members, err := Unpack(subs[0])
+	if err != nil || len(members) != 3 {
+		t.Fatalf("batch holds %d members (err %v)", len(members), err)
+	}
+}
+
+func TestSizeFlushBeforeWindow(t *testing.T) {
+	inner := &fakeEngine{}
+	e := Wrap(inner, Config{Window: time.Hour, MaxSize: 2})
+	e.Start()
+	defer e.Stop()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	done := func(protocol.Result) { wg.Done() }
+	e.Submit(command.Put("a", nil), done)
+	e.Submit(command.Put("b", nil), done)
+	wg.Wait() // would hang for an hour if only the window flushed
+	if len(inner.submissions()) != 1 {
+		t.Fatalf("got %d submissions", len(inner.submissions()))
+	}
+}
+
+func TestSingleCommandBypassesPacking(t *testing.T) {
+	inner := &fakeEngine{}
+	e := Wrap(inner, Config{Window: 5 * time.Millisecond})
+	e.Start()
+	defer e.Stop()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	e.Submit(command.Put("solo", nil), func(protocol.Result) { wg.Done() })
+	wg.Wait()
+	subs := inner.submissions()
+	if len(subs) != 1 || subs[0].Op != command.OpPut {
+		t.Fatalf("lone command was wrapped: %+v", subs)
+	}
+}
+
+func TestStopFailsPending(t *testing.T) {
+	inner := &fakeEngine{}
+	e := Wrap(inner, Config{Window: time.Hour})
+	e.Start()
+	ch := make(chan protocol.Result, 1)
+	e.Submit(command.Put("k", nil), func(r protocol.Result) { ch <- r })
+	e.Stop()
+	select {
+	case r := <-ch:
+		if r.Err != protocol.ErrStopped {
+			t.Fatalf("want ErrStopped, got %v", r.Err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pending submission not failed on Stop")
+	}
+}

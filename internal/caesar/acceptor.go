@@ -1,0 +1,317 @@
+package caesar
+
+import (
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/trace"
+)
+
+// waiter is a proposal deferred by the wait condition of §IV-A: the
+// acceptor received command cmd at timestamp ts while a conflicting command
+// with a higher timestamp that does not list cmd as a predecessor was still
+// pending, so the reply is withheld until every such blocker reaches the
+// accepted or stable status (or disappears).
+type waiter struct {
+	cmd    command.Command
+	ts     timestamp.Timestamp
+	pred   command.IDSet // predecessor set computed at reception (Fig 4, P13)
+	ballot uint32
+	slow   bool // answering a SlowPropose rather than a FastPropose
+	from   timestamp.NodeID
+	start  time.Time
+}
+
+// blockState classifies the conflicting commands above a proposal's
+// timestamp, implementing the tests of WAIT (Fig 3, lines 4–8).
+type blockState struct {
+	// blocked: some conflicting record with a higher timestamp, not
+	// listing the command as predecessor, is still short of
+	// accepted/stable — the command must wait.
+	blocked bool
+	// nack: some conflicting record with a higher timestamp, not
+	// listing the command as predecessor, is already accepted/stable —
+	// the timestamp must be rejected.
+	nack bool
+}
+
+// evalBlocking scans the conflict index above ts and classifies blockers.
+func (r *Replica) evalBlocking(cmd command.Command, ts timestamp.Timestamp) blockState {
+	var st blockState
+	if r.hist.fencedAbove(cmd, ts) {
+		// A purged (hence globally delivered) conflicting command had
+		// a higher timestamp: this proposal must be rejected.
+		st.nack = true
+	}
+	r.hist.conflictsAbove(cmd, ts, func(other *record) bool {
+		if other.pred.Has(cmd.ID) {
+			return true
+		}
+		switch other.status {
+		case StatusAccepted, StatusStable:
+			st.nack = true
+		case StatusFastPending, StatusSlowPending, StatusRejected:
+			st.blocked = true
+		}
+		// Keep scanning until both facts are known (blocked wins, but
+		// nack matters once blockers resolve).
+		return !(st.blocked && st.nack)
+	})
+	return st
+}
+
+// onFastPropose handles the acceptor side of the fast proposal phase
+// (Fig 4, lines P11–P20).
+func (r *Replica) onFastPropose(from timestamp.NodeID, m *FastPropose) {
+	id := m.Cmd.ID
+	if r.ballots[id] > m.Ballot {
+		return
+	}
+	r.ballots[id] = m.Ballot
+	r.clock.Observe(m.Time)
+	rec := r.hist.ensure(m.Cmd)
+	if rec.status == StatusStable || rec.delivered {
+		r.echoStable(from, rec)
+		return
+	}
+
+	var wl command.IDSet
+	if m.HasWhitelist {
+		wl = command.NewIDSet(m.Whitelist...)
+	}
+	pred := r.hist.computePredecessors(m.Cmd, m.Time, wl, m.HasWhitelist)
+	rec.status = StatusFastPending
+	rec.pred = pred
+	rec.ballot = m.Ballot
+	rec.forced = m.HasWhitelist
+	r.hist.setTimestamp(rec, m.Time)
+
+	r.answerProposal(from, rec, m.Time, pred, m.Ballot, false)
+}
+
+// onSlowPropose handles the acceptor side of the slow proposal phase
+// (Fig 4, lines P31–P39). Unlike a retry, a slow proposal can still be
+// rejected; unlike a fast proposal, the predecessor set is the one the
+// leader gathered, not a locally computed one.
+func (r *Replica) onSlowPropose(from timestamp.NodeID, m *SlowPropose) {
+	id := m.Cmd.ID
+	if r.ballots[id] > m.Ballot {
+		return
+	}
+	r.ballots[id] = m.Ballot
+	r.clock.Observe(m.Time)
+	rec := r.hist.ensure(m.Cmd)
+	if rec.status == StatusStable || rec.delivered {
+		r.echoStable(from, rec)
+		return
+	}
+
+	pred := command.NewIDSet(m.Pred...)
+	rec.status = StatusSlowPending
+	rec.pred = pred
+	rec.ballot = m.Ballot
+	rec.forced = false
+	r.hist.setTimestamp(rec, m.Time)
+
+	r.answerProposal(from, rec, m.Time, pred, m.Ballot, true)
+	// A slow-pending mark can unblock nothing, but the timestamp move
+	// (if the record existed at another timestamp) can change waiter
+	// verdicts.
+	r.resolveWaiters()
+}
+
+// answerProposal applies the wait condition and replies OK, replies NACK,
+// or parks the proposal as a waiter.
+func (r *Replica) answerProposal(from timestamp.NodeID, rec *record, ts timestamp.Timestamp, pred command.IDSet, ballot uint32, slow bool) {
+	st := r.evalBlocking(rec.cmd, ts)
+	switch {
+	case st.blocked && !r.cfg.DisableWait:
+		r.cfg.Trace.Record(r.self, trace.KindWaitStart, rec.cmd.ID, ts)
+		r.waiters = append(r.waiters, &waiter{
+			cmd:    rec.cmd,
+			ts:     ts,
+			pred:   pred,
+			ballot: ballot,
+			slow:   slow,
+			from:   from,
+			start:  time.Now(),
+		})
+	case st.nack || st.blocked: // blocked && DisableWait ⇒ reject (ablation)
+		r.rejectProposal(from, rec, ballot, slow)
+	default:
+		r.cfg.Trace.Record(r.self, trace.KindFastOK, rec.cmd.ID, ts)
+		r.replyOK(from, rec.cmd.ID, ts, pred, ballot, slow)
+	}
+}
+
+// rejectProposal implements the NACK path (Fig 4, lines P16–P19): suggest
+// the current clock value as a new timestamp, recompute the predecessors
+// for it and mark the command rejected at the suggestion.
+func (r *Replica) rejectProposal(from timestamp.NodeID, rec *record, ballot uint32, slow bool) {
+	suggestion := r.clock.Next()
+	pred := r.hist.predecessorsBelow(rec.cmd, suggestion)
+	rec.status = StatusRejected
+	rec.pred = pred
+	rec.ballot = ballot
+	r.hist.setTimestamp(rec, suggestion)
+	r.cfg.Trace.Record(r.self, trace.KindNack, rec.cmd.ID, suggestion)
+
+	id := rec.cmd.ID
+	if slow {
+		r.send(from, &SlowProposeReply{Ballot: ballot, CmdID: id, Time: suggestion, Pred: pred.Slice(), NACK: true})
+	} else {
+		r.send(from, &FastProposeReply{Ballot: ballot, CmdID: id, Time: suggestion, Pred: pred.Slice(), NACK: true})
+	}
+}
+
+// replyOK confirms the proposed timestamp.
+func (r *Replica) replyOK(from timestamp.NodeID, id command.ID, ts timestamp.Timestamp, pred command.IDSet, ballot uint32, slow bool) {
+	if slow {
+		r.send(from, &SlowProposeReply{Ballot: ballot, CmdID: id, Time: ts, Pred: pred.Slice()})
+	} else {
+		r.send(from, &FastProposeReply{Ballot: ballot, CmdID: id, Time: ts, Pred: pred.Slice()})
+	}
+}
+
+// onRetry handles the acceptor side of the retry phase (Fig 4, lines
+// R5–R8). A retry is never rejected: the acceptor marks the command
+// accepted at the new timestamp and returns the extra predecessors it knows
+// about for that timestamp.
+func (r *Replica) onRetry(from timestamp.NodeID, m *Retry) {
+	id := m.Cmd.ID
+	if r.ballots[id] > m.Ballot {
+		return
+	}
+	r.ballots[id] = m.Ballot
+	r.clock.Observe(m.Time)
+	rec := r.hist.ensure(m.Cmd)
+	if rec.status == StatusStable || rec.delivered {
+		r.echoStable(from, rec)
+		return
+	}
+
+	pred := command.NewIDSet(m.Pred...)
+	r.hist.conflictsBelow(m.Cmd, m.Time, func(other *record) {
+		pred.Add(other.id())
+	})
+	rec.status = StatusAccepted
+	rec.pred = pred
+	rec.ballot = m.Ballot
+	rec.forced = false
+	r.hist.setTimestamp(rec, m.Time)
+
+	r.send(from, &RetryReply{Ballot: m.Ballot, CmdID: id, Time: m.Time, Pred: pred.Slice()})
+	// accepted unblocks waiters (Fig 3, line 5).
+	r.resolveWaiters()
+}
+
+// onStable handles the acceptor side of the stable phase (Fig 4, lines
+// S2–S7): record the final timestamp and predecessors, break predecessor
+// loops and deliver once every predecessor is decided.
+func (r *Replica) onStable(from timestamp.NodeID, m *Stable) {
+	id := m.Cmd.ID
+	if r.ballots[id] > m.Ballot {
+		return
+	}
+	r.ballots[id] = m.Ballot
+	r.clock.Observe(m.Time)
+	rec := r.hist.ensure(m.Cmd)
+	if rec.status == StatusStable || rec.delivered {
+		return
+	}
+	rec.status = StatusStable
+	rec.pred = command.NewIDSet(m.Pred...)
+	rec.ballot = m.Ballot
+	rec.forced = false
+	r.hist.setTimestamp(rec, m.Time)
+	r.met.Decided.Inc()
+	r.cfg.Trace.Record(r.self, trace.KindStable, id, m.Time)
+
+	// Leader-side bookkeeping: if we coordinate this command (original
+	// leader or recoverer) the decision is now fixed.
+	if c := r.proposals[id]; c != nil && c.phase != phaseStable {
+		c.phase = phaseStable
+		c.stableAt = time.Now()
+	}
+
+	r.resolveWaiters()
+	r.breakLoop(rec)
+	r.tryDeliver(rec)
+}
+
+// echoStable forwards an already-taken decision to a leader that is (re-)
+// proposing the command, typically during recovery races. The decision is
+// idempotent, so replaying it is always safe.
+func (r *Replica) echoStable(to timestamp.NodeID, rec *record) {
+	r.send(to, &Stable{
+		Ballot: rec.ballot,
+		Cmd:    rec.cmd,
+		Time:   rec.ts,
+		Pred:   rec.pred.Slice(),
+	})
+}
+
+// resolveWaiters re-evaluates every parked proposal; those whose blockers
+// are gone are answered (OK or NACK), the rest keep waiting. Waiters whose
+// underlying record moved on (higher ballot, new phase, purge) are dropped:
+// their leader has already progressed by other means.
+func (r *Replica) resolveWaiters() {
+	if len(r.waiters) == 0 {
+		return
+	}
+	kept := r.waiters[:0]
+	for _, w := range r.waiters {
+		switch r.resolveWaiter(w) {
+		case waiterKeep:
+			kept = append(kept, w)
+		case waiterAnswered, waiterDropped:
+		}
+	}
+	// Zero the tail so dropped waiters do not leak.
+	for i := len(kept); i < len(r.waiters); i++ {
+		r.waiters[i] = nil
+	}
+	r.waiters = kept
+}
+
+type waiterVerdict uint8
+
+const (
+	waiterKeep waiterVerdict = iota
+	waiterAnswered
+	waiterDropped
+)
+
+// resolveWaiter decides one waiter's fate.
+func (r *Replica) resolveWaiter(w *waiter) waiterVerdict {
+	rec := r.hist.get(w.cmd.ID)
+	if rec == nil || rec.delivered || rec.ballot != w.ballot || rec.ts != w.ts {
+		return waiterDropped
+	}
+	wantStatus := StatusFastPending
+	if w.slow {
+		wantStatus = StatusSlowPending
+	}
+	if rec.status != wantStatus {
+		return waiterDropped
+	}
+	st := r.evalBlocking(w.cmd, w.ts)
+	if st.blocked {
+		return waiterKeep
+	}
+	r.met.WaitCondition.Add(time.Since(w.start))
+	r.cfg.Trace.Record(r.self, trace.KindWaitEnd, w.cmd.ID, w.ts)
+	if st.nack {
+		r.rejectProposal(w.from, rec, w.ballot, w.slow)
+	} else {
+		r.replyOK(w.from, w.cmd.ID, w.ts, w.pred, w.ballot, w.slow)
+	}
+	return waiterAnswered
+}
+
+// send delivers a protocol message, self included (the transport loops it
+// back through the event loop, keeping processing uniform).
+func (r *Replica) send(to timestamp.NodeID, msg any) {
+	r.ep.Send(to, msg)
+}

@@ -1,0 +1,115 @@
+package caesar
+
+import (
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/trace"
+)
+
+// breakLoop implements BREAKLOOP of Fig 3 (lines 9–15) for a freshly
+// stable record: the final predecessor sets can contain cycles because
+// "c̄ ∈ Pred(c)" does not imply "T̄ < T"; delivery order follows timestamps,
+// so for every pair of stable conflicting commands the one with the higher
+// timestamp keeps the other as predecessor and the lower one drops it.
+func (r *Replica) breakLoop(rec *record) {
+	for id := range rec.pred {
+		other := r.hist.get(id)
+		if other == nil || other.status != StatusStable {
+			continue
+		}
+		if other.ts.Less(rec.ts) {
+			// other delivers first; it must not wait for rec.
+			if other.pred.Has(rec.id()) {
+				other.pred.Remove(rec.id())
+				if !other.delivered && other.waitingOn == rec.id() {
+					other.waitingOn = command.ID{}
+					r.tryDeliver(other)
+				}
+			}
+		} else {
+			// other has the higher timestamp: rec delivers first.
+			rec.pred.Remove(id)
+		}
+	}
+}
+
+// tryDeliver delivers rec if every remaining predecessor has been decided
+// (DELIVERABLE, Fig 3 lines 16–17), otherwise parks it on one missing
+// predecessor. Delivery cascades iteratively through dependents.
+func (r *Replica) tryDeliver(rec *record) {
+	if !r.deliverable(rec) {
+		return
+	}
+	work := []*record{rec}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		if !r.deliverable(cur) {
+			continue
+		}
+		r.deliverNow(cur)
+		// Wake the records parked on cur.
+		deps := r.awaited[cur.id()]
+		if len(deps) == 0 {
+			continue
+		}
+		delete(r.awaited, cur.id())
+		for _, d := range deps {
+			if d.waitingOn == cur.id() {
+				d.waitingOn = command.ID{}
+			}
+			if !d.delivered {
+				work = append(work, d)
+			}
+		}
+	}
+}
+
+// deliverable checks rec's predecessors, parking it on the first
+// undelivered one. It returns true when rec can execute now.
+func (r *Replica) deliverable(rec *record) bool {
+	if rec.delivered || rec.status != StatusStable {
+		return false
+	}
+	if !rec.waitingOn.IsZero() {
+		if !r.delivered.Has(rec.waitingOn) {
+			return false // still parked
+		}
+		rec.waitingOn = command.ID{}
+	}
+	for id := range rec.pred {
+		if !r.delivered.Has(id) {
+			rec.waitingOn = id
+			r.awaited[id] = append(r.awaited[id], rec)
+			return false
+		}
+	}
+	return true
+}
+
+// deliverNow executes one command and completes client bookkeeping.
+func (r *Replica) deliverNow(rec *record) {
+	rec.delivered = true
+	r.delivered.Add(rec.id())
+	value := r.app.Apply(rec.cmd)
+	r.met.Executed.Inc()
+	r.cfg.Trace.Record(r.self, trace.KindDeliver, rec.id(), rec.ts)
+
+	id := rec.id()
+	if c := r.proposals[id]; c != nil {
+		now := time.Now()
+		r.met.ObserveLatency(now.Sub(c.proposedAt))
+		if !c.stableAt.IsZero() {
+			r.met.DeliverPhase.Add(now.Sub(c.stableAt))
+		}
+	}
+	if done := r.dones[id]; done != nil {
+		delete(r.dones, id)
+		done(protocol.Result{Value: value})
+	}
+	if r.cfg.GCInterval > 0 {
+		r.ackPending[id.Node] = append(r.ackPending[id.Node], id)
+	}
+}

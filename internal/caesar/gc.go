@@ -1,0 +1,96 @@
+package caesar
+
+import (
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/trace"
+)
+
+// Garbage collection (§V-B: "when a command is stable on all nodes, the
+// information about c can be safely garbage collected"). Every replica
+// periodically acknowledges the commands it delivered to their leaders;
+// a leader that has collected an acknowledgement from every node
+// broadcasts a purge. Purged records leave the history and conflict index;
+// the deliveredSet keeps the delivery fact forever (cheaply), and a
+// per-key timestamp fence keeps rejecting proposals that would order below
+// an already-purged delivery.
+
+// flushGC sends the batched delivery acks and any pending purges.
+func (r *Replica) flushGC() {
+	for leader, ids := range r.ackPending {
+		if len(ids) == 0 {
+			continue
+		}
+		r.send(leader, &StableAckBatch{IDs: ids})
+		delete(r.ackPending, leader)
+	}
+	if len(r.purgePending) > 0 {
+		r.ep.Broadcast(&PurgeBatch{IDs: r.purgePending})
+		r.purgePending = nil
+	}
+}
+
+// onStableAckBatch counts acks as the commands' leader; fully acknowledged
+// commands are queued for purging.
+func (r *Replica) onStableAckBatch(_ timestamp.NodeID, m *StableAckBatch) {
+	for _, id := range m.IDs {
+		if id.Node != r.self {
+			continue
+		}
+		r.ackCounts[id]++
+		if r.ackCounts[id] >= r.n {
+			delete(r.ackCounts, id)
+			r.purgePending = append(r.purgePending, id)
+		}
+	}
+}
+
+// onPurgeBatch drops fully delivered records. The purge fence (see
+// history.purge) preserves the ordering information the records carried.
+func (r *Replica) onPurgeBatch(_ timestamp.NodeID, m *PurgeBatch) {
+	purged := false
+	for _, id := range m.IDs {
+		rec := r.hist.get(id)
+		if rec == nil || !rec.delivered {
+			// A purge for a command we have not delivered cannot
+			// happen (the leader waits for all N acks); if state was
+			// lost, ignoring is the safe side.
+			continue
+		}
+		r.cfg.Trace.Record(r.self, trace.KindPurge, id, rec.ts)
+		r.hist.purge(rec)
+		delete(r.ballots, id)
+		delete(r.proposals, id)
+		purged = true
+	}
+	if purged {
+		// Removing records can only flip waiter verdicts through the
+		// fence, but re-evaluating keeps the queue tight.
+		r.resolveWaiters()
+	}
+}
+
+// history.purge removes the record and raises the per-key fence to its
+// timestamp: the command was delivered on every node at rec.ts, so any
+// future proposal of a conflicting command at a lower timestamp must be
+// rejected even though the record is gone — otherwise it could be ordered
+// "before" a command the whole cluster already executed.
+func (h *history) purge(rec *record) {
+	for _, k := range rec.cmd.Keys() {
+		if cur, ok := h.fence[k]; !ok || cur.Less(rec.ts) {
+			h.fence[k] = rec.ts
+		}
+	}
+	h.remove(rec)
+}
+
+// fencedAbove reports whether a proposal of cmd at ts falls below the purge
+// fence of any of its keys, which forces a rejection.
+func (h *history) fencedAbove(cmd command.Command, ts timestamp.Timestamp) bool {
+	for _, k := range cmd.Keys() {
+		if f, ok := h.fence[k]; ok && ts.Less(f) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,215 @@
+package caesar
+
+import (
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/quorum"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/trace"
+)
+
+// coordPhase is the leader-side phase of a command (Fig 4's columns).
+type coordPhase uint8
+
+const (
+	phaseFastProposal coordPhase = iota + 1
+	phaseSlowProposal
+	phaseRetry
+	phaseStable
+)
+
+// coordinator is the leader-side state for one command this replica leads,
+// either because a client submitted it here or because this replica
+// recovered it.
+type coordinator struct {
+	cmd    command.Command
+	ballot uint32
+	phase  coordPhase
+
+	// ts is the timestamp of the current phase; pred accumulates the
+	// union of the predecessor sets reported by the replying quorum.
+	ts   timestamp.Timestamp
+	pred command.IDSet
+
+	votes   *quorum.Tracker
+	anyNack bool
+	// maxTs tracks the highest timestamp seen across replies: the
+	// retry phase must use a timestamp greater than any suggestion
+	// (§IV-B).
+	maxTs timestamp.Timestamp
+
+	// deadline is the fast-quorum timeout (§V-D).
+	deadline time.Time
+	timedOut bool
+
+	// slowPath marks that this command did not complete as a fast
+	// decision (Fig 10 accounting).
+	slowPath bool
+	counted  bool
+
+	// instrumentation for the Fig 11a breakdown.
+	proposedAt time.Time
+	retryStart time.Time
+	stableAt   time.Time
+}
+
+// startFastProposal broadcasts a FastPropose and arms the fast-quorum
+// timeout (Fig 4, lines P1–P2).
+func (r *Replica) startFastProposal(c *coordinator, ts timestamp.Timestamp, whitelist []command.ID, hasWhitelist bool) {
+	c.phase = phaseFastProposal
+	c.ts = ts
+	c.maxTs = ts
+	c.pred = command.IDSet{}
+	c.votes = quorum.NewTracker(r.fq)
+	c.anyNack = false
+	c.timedOut = false
+	c.deadline = time.Now().Add(r.cfg.FastTimeout)
+	r.ep.Broadcast(&FastPropose{
+		Ballot:       c.ballot,
+		Cmd:          c.cmd,
+		Time:         ts,
+		Whitelist:    whitelist,
+		HasWhitelist: hasWhitelist,
+	})
+}
+
+// onFastProposeReply accumulates one FASTPROPOSER vote (Fig 4, lines
+// P3–P10).
+func (r *Replica) onFastProposeReply(from timestamp.NodeID, m *FastProposeReply) {
+	c := r.proposals[m.CmdID]
+	if c == nil || c.phase != phaseFastProposal || m.Ballot != c.ballot {
+		return
+	}
+	if !c.votes.Add(int32(from)) {
+		return
+	}
+	for _, id := range m.Pred {
+		c.pred.Add(id)
+	}
+	c.maxTs = timestamp.Max(c.maxTs, m.Time)
+	if m.NACK {
+		c.anyNack = true
+		r.met.Nacks.Inc()
+	}
+	r.evaluateFastProposal(c)
+}
+
+// evaluateFastProposal decides whether the fast proposal phase can conclude
+// (Fig 4, lines P5–P10):
+//   - a rejection among a classic quorum forces the retry phase (a single
+//     NACK implies every quorum would contain one, §IV-B);
+//   - a full fast quorum of OKs is a fast decision;
+//   - after the timeout, a classic quorum of OKs moves to the slow
+//     proposal phase (§V-D).
+func (r *Replica) evaluateFastProposal(c *coordinator) {
+	n := c.votes.Count()
+	switch {
+	case c.anyNack && n >= r.cq:
+		r.startRetry(c, c.maxTs, c.pred)
+	case !c.anyNack && n >= r.fq:
+		r.startStable(c)
+	case c.timedOut && !c.anyNack && n >= r.cq:
+		r.startSlowProposal(c, c.ts, c.pred)
+	}
+}
+
+// startSlowProposal broadcasts a SlowPropose carrying the predecessors
+// gathered so far (Fig 4, lines P21–P23).
+func (r *Replica) startSlowProposal(c *coordinator, ts timestamp.Timestamp, pred command.IDSet) {
+	c.phase = phaseSlowProposal
+	c.slowPath = true
+	c.ts = ts
+	c.maxTs = ts
+	c.pred = pred
+	c.votes = quorum.NewTracker(r.cq)
+	c.anyNack = false
+	r.cfg.Trace.Record(r.self, trace.KindSlowPropose, c.cmd.ID, ts)
+	r.ep.Broadcast(&SlowPropose{Ballot: c.ballot, Cmd: c.cmd, Time: ts, Pred: pred.Slice()})
+}
+
+// onSlowProposeReply accumulates one SLOWPROPOSER vote; a classic quorum
+// settles it (Fig 4, lines P24–P30).
+func (r *Replica) onSlowProposeReply(from timestamp.NodeID, m *SlowProposeReply) {
+	c := r.proposals[m.CmdID]
+	if c == nil || c.phase != phaseSlowProposal || m.Ballot != c.ballot {
+		return
+	}
+	if !c.votes.Add(int32(from)) {
+		return
+	}
+	for _, id := range m.Pred {
+		c.pred.Add(id)
+	}
+	c.maxTs = timestamp.Max(c.maxTs, m.Time)
+	if m.NACK {
+		c.anyNack = true
+		r.met.Nacks.Inc()
+	}
+	if c.votes.Count() < r.cq {
+		return
+	}
+	if c.anyNack {
+		r.startRetry(c, c.maxTs, c.pred)
+	} else {
+		r.startStable(c)
+	}
+}
+
+// startRetry broadcasts a Retry at a timestamp greater than every
+// suggestion received (Fig 4, lines R1–R4).
+func (r *Replica) startRetry(c *coordinator, ts timestamp.Timestamp, pred command.IDSet) {
+	if c.phase == phaseFastProposal || c.phase == phaseSlowProposal {
+		r.met.ProposePhase.Add(time.Since(c.proposedAt))
+	}
+	c.phase = phaseRetry
+	c.slowPath = true
+	c.ts = ts
+	c.pred = pred
+	c.votes = quorum.NewTracker(r.cq)
+	c.retryStart = time.Now()
+	r.met.Retries.Inc()
+	r.cfg.Trace.Record(r.self, trace.KindRetry, c.cmd.ID, ts)
+	r.ep.Broadcast(&Retry{Ballot: c.ballot, Cmd: c.cmd, Time: ts, Pred: pred.Slice()})
+}
+
+// onRetryReply accumulates one RETRYR vote; retries cannot be rejected, so
+// a classic quorum finalises the decision (Fig 4, lines R2–R4).
+func (r *Replica) onRetryReply(from timestamp.NodeID, m *RetryReply) {
+	c := r.proposals[m.CmdID]
+	if c == nil || c.phase != phaseRetry || m.Ballot != c.ballot {
+		return
+	}
+	if !c.votes.Add(int32(from)) {
+		return
+	}
+	for _, id := range m.Pred {
+		c.pred.Add(id)
+	}
+	if c.votes.Reached() {
+		r.startStable(c)
+	}
+}
+
+// startStable broadcasts the decision (Fig 4, line S1) and books the
+// decision-path metrics.
+func (r *Replica) startStable(c *coordinator) {
+	now := time.Now()
+	switch c.phase {
+	case phaseRetry:
+		r.met.RetryPhase.Add(now.Sub(c.retryStart))
+	case phaseFastProposal, phaseSlowProposal:
+		r.met.ProposePhase.Add(now.Sub(c.proposedAt))
+	}
+	if !c.counted {
+		c.counted = true
+		if c.slowPath {
+			r.met.SlowDecisions.Inc()
+		} else {
+			r.met.FastDecisions.Inc()
+		}
+	}
+	c.phase = phaseStable
+	c.stableAt = now
+	r.ep.Broadcast(&Stable{Ballot: c.ballot, Cmd: c.cmd, Time: c.ts, Pred: c.pred.Slice()})
+}

@@ -1,0 +1,334 @@
+package caesar
+
+import (
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/failure"
+	"github.com/caesar-consensus/caesar/internal/idset"
+	"github.com/caesar-consensus/caesar/internal/metrics"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/quorum"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/trace"
+	"github.com/caesar-consensus/caesar/internal/transport"
+)
+
+// Config tunes a Replica. The zero value of every field selects a sensible
+// default.
+type Config struct {
+	// FastTimeout is how long a command leader waits for a fast quorum
+	// before settling for a classic quorum and the slow proposal phase
+	// (§V-D). Default 400ms.
+	FastTimeout time.Duration
+	// HeartbeatInterval is how often a replica heartbeats its peers.
+	// Default 100ms. Negative disables heartbeats, failure detection and
+	// recovery.
+	HeartbeatInterval time.Duration
+	// SuspectTimeout is the failure detector's silence threshold.
+	// Default 10× HeartbeatInterval.
+	SuspectTimeout time.Duration
+	// RecoveryBackoff staggers takeover attempts between the surviving
+	// nodes so a single recoverer usually wins. Default 150ms.
+	RecoveryBackoff time.Duration
+	// GCInterval batches delivery acknowledgements for garbage
+	// collection. Default 100ms. Negative disables GC.
+	GCInterval time.Duration
+	// TickInterval is the event-loop timer granularity. Default 20ms.
+	TickInterval time.Duration
+	// InboxSize bounds the event-loop mailbox. Default 8192.
+	InboxSize int
+	// DisableWait turns off the §IV-A wait condition (commands that
+	// would wait are rejected instead). Used only by the ablation study;
+	// the protocol remains safe but takes more slow decisions.
+	DisableWait bool
+	// Metrics receives measurements; nil allocates a private recorder.
+	Metrics *metrics.Recorder
+	// Trace, when non-nil, records protocol milestones (propose, waits,
+	// retries, stability, delivery, recovery) for debugging.
+	Trace *trace.Ring
+}
+
+func (c Config) withDefaults() Config {
+	if c.FastTimeout == 0 {
+		c.FastTimeout = 400 * time.Millisecond
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.SuspectTimeout == 0 {
+		c.SuspectTimeout = 10 * c.HeartbeatInterval
+	}
+	if c.RecoveryBackoff == 0 {
+		c.RecoveryBackoff = 150 * time.Millisecond
+	}
+	if c.GCInterval == 0 {
+		c.GCInterval = 100 * time.Millisecond
+	}
+	if c.TickInterval == 0 {
+		c.TickInterval = 20 * time.Millisecond
+	}
+	if c.InboxSize == 0 {
+		c.InboxSize = 8192
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRecorder()
+	}
+	return c
+}
+
+// Replica is one CAESAR node: it accepts client submissions as a command
+// leader and participates as an acceptor for every peer's commands. All
+// protocol state is owned by a single event-loop goroutine.
+type Replica struct {
+	ep    transport.Endpoint
+	self  timestamp.NodeID
+	peers []timestamp.NodeID
+	n     int
+	cq    int // classic quorum size
+	fq    int // fast quorum size
+
+	cfg   Config
+	app   protocol.Applier
+	met   *metrics.Recorder
+	clock *timestamp.Clock
+	loop  *protocol.Loop
+
+	hist      *history
+	ballots   map[command.ID]uint32
+	delivered *idset.Set
+	// awaited maps an undelivered command ID to the stable records
+	// parked on it in the delivery pipeline.
+	awaited map[command.ID][]*record
+	// waiters holds proposals deferred by the §IV-A wait condition.
+	waiters []*waiter
+	// proposals holds leader-side state for commands this node leads
+	// (originally or by recovery).
+	proposals map[command.ID]*coordinator
+	// dones holds client callbacks for locally submitted commands.
+	dones map[command.ID]protocol.DoneFunc
+	// recoveries holds in-flight recovery prepares; scheduledRecovery
+	// holds takeovers waiting out their stagger delay.
+	recoveries        map[command.ID]*recovery
+	scheduledRecovery map[command.ID]time.Time
+	// ackPending accumulates delivered IDs to acknowledge, per leader.
+	ackPending map[timestamp.NodeID][]command.ID
+	// ackCounts counts per-command delivery acks (leader side).
+	ackCounts map[command.ID]int
+	// purgePending accumulates fully acknowledged IDs to purge.
+	purgePending []command.ID
+
+	fd         *failure.Detector
+	nextSeq    uint64
+	lastHB     time.Time
+	lastGC     time.Time
+	tickerStop chan struct{}
+	tickerDone chan struct{}
+	started    bool
+}
+
+// events posted into the loop.
+type (
+	evSubmit struct {
+		cmd  command.Command
+		done protocol.DoneFunc
+	}
+	evTick struct{ now time.Time }
+	// evInspect runs fn inside the event loop; tests use it to snapshot
+	// protocol state without data races.
+	evInspect struct{ fn func(*Replica) }
+)
+
+// New builds a replica attached to the endpoint. app receives decided
+// commands in order.
+func New(ep transport.Endpoint, app protocol.Applier, cfg Config) *Replica {
+	cfg = cfg.withDefaults()
+	peers := ep.Peers()
+	n := len(peers)
+	r := &Replica{
+		ep:                ep,
+		self:              ep.Self(),
+		peers:             peers,
+		n:                 n,
+		cq:                quorum.ClassicSize(n),
+		fq:                quorum.FastSize(n),
+		cfg:               cfg,
+		app:               app,
+		met:               cfg.Metrics,
+		clock:             timestamp.NewClock(ep.Self()),
+		loop:              protocol.NewLoop(cfg.InboxSize),
+		hist:              newHistory(),
+		ballots:           make(map[command.ID]uint32),
+		delivered:         idset.New(),
+		awaited:           make(map[command.ID][]*record),
+		proposals:         make(map[command.ID]*coordinator),
+		dones:             make(map[command.ID]protocol.DoneFunc),
+		recoveries:        make(map[command.ID]*recovery),
+		scheduledRecovery: make(map[command.ID]time.Time),
+		ackPending:        make(map[timestamp.NodeID][]command.ID),
+		ackCounts:         make(map[command.ID]int),
+	}
+	if cfg.HeartbeatInterval > 0 {
+		r.fd = failure.New(r.self, peers, cfg.SuspectTimeout, time.Now())
+	}
+	return r
+}
+
+var _ protocol.Engine = (*Replica)(nil)
+
+// Metrics returns the replica's recorder.
+func (r *Replica) Metrics() *metrics.Recorder { return r.met }
+
+// ID returns the replica's node ID.
+func (r *Replica) ID() timestamp.NodeID { return r.self }
+
+// Start launches the event loop and timers.
+func (r *Replica) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	r.ep.SetHandler(func(from timestamp.NodeID, payload any) {
+		r.loop.Post(protocol.Inbound{From: from, Payload: payload})
+	})
+	go r.loop.Run(r.handle)
+	r.tickerStop = make(chan struct{})
+	r.tickerDone = make(chan struct{})
+	go r.runTicker()
+}
+
+// runTicker posts periodic evTick events into the loop.
+func (r *Replica) runTicker() {
+	defer close(r.tickerDone)
+	t := time.NewTicker(r.cfg.TickInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.tickerStop:
+			return
+		case now := <-t.C:
+			r.loop.Post(evTick{now: now})
+		}
+	}
+}
+
+// Stop shuts the replica down, failing in-flight submissions with
+// protocol.ErrStopped.
+func (r *Replica) Stop() {
+	if !r.started {
+		return
+	}
+	r.started = false
+	close(r.tickerStop)
+	<-r.tickerDone
+	_ = r.ep.Close()
+	r.loop.Stop()
+	// The loop has drained; no concurrent access remains.
+	for id, done := range r.dones {
+		if !r.delivered.Has(id) && done != nil {
+			done(protocol.Result{Err: protocol.ErrStopped})
+		}
+	}
+}
+
+// Submit proposes cmd on this replica. The replica becomes the command's
+// leader (§V-B); done fires after local execution.
+func (r *Replica) Submit(cmd command.Command, done protocol.DoneFunc) {
+	if !r.loop.Post(evSubmit{cmd: cmd, done: done}) && done != nil {
+		done(protocol.Result{Err: protocol.ErrStopped})
+	}
+}
+
+// handle is the single event-loop dispatcher.
+func (r *Replica) handle(ev any) {
+	switch e := ev.(type) {
+	case protocol.Inbound:
+		if r.fd != nil {
+			r.fd.Observe(e.From, time.Now())
+		}
+		r.dispatch(e.From, e.Payload)
+	case evSubmit:
+		r.onSubmit(e.cmd, e.done)
+	case evTick:
+		r.onTick(e.now)
+	case evInspect:
+		e.fn(r)
+	}
+}
+
+// dispatch routes one protocol message.
+func (r *Replica) dispatch(from timestamp.NodeID, payload any) {
+	switch m := payload.(type) {
+	case *FastPropose:
+		r.onFastPropose(from, m)
+	case *FastProposeReply:
+		r.onFastProposeReply(from, m)
+	case *SlowPropose:
+		r.onSlowPropose(from, m)
+	case *SlowProposeReply:
+		r.onSlowProposeReply(from, m)
+	case *Retry:
+		r.onRetry(from, m)
+	case *RetryReply:
+		r.onRetryReply(from, m)
+	case *Stable:
+		r.onStable(from, m)
+	case *Recover:
+		r.onRecover(from, m)
+	case *RecoverReply:
+		r.onRecoverReply(from, m)
+	case *StableAckBatch:
+		r.onStableAckBatch(from, m)
+	case *PurgeBatch:
+		r.onPurgeBatch(from, m)
+	case *Heartbeat:
+		// Life already observed in handle.
+	}
+}
+
+// onSubmit starts the fast proposal phase for a fresh command (lines
+// I1–I2 of Fig 4).
+func (r *Replica) onSubmit(cmd command.Command, done protocol.DoneFunc) {
+	r.nextSeq++
+	cmd.ID = command.ID{Node: r.self, Seq: r.nextSeq}
+	if done != nil {
+		r.dones[cmd.ID] = done
+	}
+	c := &coordinator{
+		cmd:        cmd,
+		ballot:     0,
+		proposedAt: time.Now(),
+	}
+	r.proposals[cmd.ID] = c
+	ts := r.clock.Next()
+	r.cfg.Trace.Record(r.self, trace.KindPropose, cmd.ID, ts)
+	r.startFastProposal(c, ts, nil, false)
+}
+
+// onTick drives timers: leader fast-quorum timeouts, heartbeats, failure
+// detection, recovery deadlines and GC flushing.
+func (r *Replica) onTick(now time.Time) {
+	// Fast-quorum timeouts (§V-D).
+	for _, c := range r.proposals {
+		if c.phase == phaseFastProposal && !c.timedOut && now.After(c.deadline) {
+			c.timedOut = true
+			r.evaluateFastProposal(c)
+		}
+	}
+	// Heartbeats and failure detection.
+	if r.fd != nil {
+		if now.Sub(r.lastHB) >= r.cfg.HeartbeatInterval {
+			r.lastHB = now
+			r.ep.Broadcast(&Heartbeat{})
+		}
+		for _, suspect := range r.fd.Tick(now) {
+			r.onSuspect(suspect, now)
+		}
+		r.checkRecoveryDeadlines(now)
+	}
+	// Garbage collection.
+	if r.cfg.GCInterval > 0 && now.Sub(r.lastGC) >= r.cfg.GCInterval {
+		r.lastGC = now
+		r.flushGC()
+	}
+}

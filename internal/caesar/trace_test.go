@@ -1,0 +1,60 @@
+package caesar
+
+import (
+	"testing"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/memnet"
+	"github.com/caesar-consensus/caesar/internal/trace"
+)
+
+// TestTraceRecordsFastDecisionMilestones checks a fast decision leaves the
+// expected milestone trail on its proposing replica: propose → fast-ok
+// (own acceptor vote) → stable → deliver.
+func TestTraceRecordsFastDecisionMilestones(t *testing.T) {
+	ring := trace.NewRing(256)
+	cfg := Config{HeartbeatInterval: -1, Trace: ring}
+	c := newCluster(t, 5, memnet.Config{}, cfg)
+	res := submitAndWait(t, c.replicas[0], command.Put("k", []byte("v")), 5*time.Second)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+
+	// All five replicas share the ring in this test; filter node 0.
+	id := command.ID{Node: 0, Seq: 1}
+	var kinds []trace.Kind
+	for _, e := range ring.CommandHistory(id) {
+		if e.Node == 0 {
+			kinds = append(kinds, e.Kind)
+		}
+	}
+	want := []trace.Kind{trace.KindPropose, trace.KindFastOK, trace.KindStable, trace.KindDeliver}
+	if len(kinds) != len(want) {
+		t.Fatalf("milestones %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("milestones %v, want %v", kinds, want)
+		}
+	}
+}
+
+// TestTraceRecordsWaitAndRetry drives a rejection and checks the trail
+// includes the nack and the retry.
+func TestTraceRecordsWaitAndRetry(t *testing.T) {
+	ring := trace.NewRing(1024)
+	r, ep := testReplica(2)
+	r.cfg.Trace = ring
+
+	cbar := put(0, 1, "k")
+	r.onStable(0, &Stable{Cmd: cbar, Time: ts(10, 0)})
+	c := put(1, 1, "k")
+	r.onFastPropose(1, &FastPropose{Cmd: c, Time: ts(5, 1)})
+	_ = ep
+
+	hist := ring.CommandHistory(c.ID)
+	if len(hist) == 0 || hist[len(hist)-1].Kind != trace.KindNack {
+		t.Fatalf("trace %v, want trailing nack", trace.Format(hist))
+	}
+}

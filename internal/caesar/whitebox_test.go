@@ -1,0 +1,533 @@
+package caesar
+
+// White-box tests driving the acceptor and proposer handlers directly
+// (without the event loop), checking the protocol steps of Figs 3–5 at the
+// pseudocode level: predecessor computation, the wait condition, NACK
+// rules, loop-breaking delivery, ballots and recovery case analysis.
+
+import (
+	"testing"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/transport"
+)
+
+// sentMsg is one captured outbound message.
+type sentMsg struct {
+	to      timestamp.NodeID
+	payload any
+}
+
+// stubEP captures sends instead of delivering them.
+type stubEP struct {
+	self timestamp.NodeID
+	n    int
+	sent []sentMsg
+}
+
+var _ transport.Endpoint = (*stubEP)(nil)
+
+func (s *stubEP) Self() timestamp.NodeID { return s.self }
+func (s *stubEP) Peers() []timestamp.NodeID {
+	peers := make([]timestamp.NodeID, s.n)
+	for i := range peers {
+		peers[i] = timestamp.NodeID(i)
+	}
+	return peers
+}
+func (s *stubEP) Send(to timestamp.NodeID, payload any) {
+	s.sent = append(s.sent, sentMsg{to: to, payload: payload})
+}
+func (s *stubEP) Broadcast(payload any) {
+	for i := 0; i < s.n; i++ {
+		s.sent = append(s.sent, sentMsg{to: timestamp.NodeID(i), payload: payload})
+	}
+}
+func (s *stubEP) SetHandler(transport.Handler) {}
+func (s *stubEP) Close() error                 { return nil }
+
+// lastTo returns the most recent message sent to a node, or nil.
+func (s *stubEP) lastTo(to timestamp.NodeID) any {
+	for i := len(s.sent) - 1; i >= 0; i-- {
+		if s.sent[i].to == to {
+			return s.sent[i].payload
+		}
+	}
+	return nil
+}
+
+func (s *stubEP) clear() { s.sent = s.sent[:0] }
+
+// testReplica builds an unstarted replica whose handlers can be invoked
+// synchronously.
+func testReplica(self timestamp.NodeID) (*Replica, *stubEP) {
+	ep := &stubEP{self: self, n: 5}
+	r := New(ep, protocol.ApplierFunc(func(command.Command) []byte { return nil }), Config{HeartbeatInterval: -1})
+	return r, ep
+}
+
+func put(node int32, seq uint64, key string) command.Command {
+	cmd := command.Put(key, nil)
+	cmd.ID = command.ID{Node: timestamp.NodeID(node), Seq: seq}
+	return cmd
+}
+
+func ts(seq uint64, node int32) timestamp.Timestamp {
+	return timestamp.Timestamp{Seq: seq, Node: timestamp.NodeID(node)}
+}
+
+func TestFastProposeOKWithPredecessors(t *testing.T) {
+	r, ep := testReplica(2)
+	// A stable earlier command on the same key.
+	older := put(0, 1, "k")
+	r.onStable(0, &Stable{Cmd: older, Time: ts(1, 0)})
+	ep.clear()
+
+	// A later proposal must list it as predecessor and be confirmed.
+	newer := put(1, 1, "k")
+	r.onFastPropose(1, &FastPropose{Cmd: newer, Time: ts(5, 1)})
+	reply, ok := ep.lastTo(1).(*FastProposeReply)
+	if !ok {
+		t.Fatalf("no FastProposeReply, sent=%v", ep.sent)
+	}
+	if reply.NACK {
+		t.Fatal("unexpected NACK")
+	}
+	if reply.Time != ts(5, 1) {
+		t.Fatalf("echoed time %v", reply.Time)
+	}
+	if len(reply.Pred) != 1 || reply.Pred[0] != older.ID {
+		t.Fatalf("pred = %v, want [%v]", reply.Pred, older.ID)
+	}
+}
+
+func TestFastProposeNACKOnStableHigherTimestamp(t *testing.T) {
+	r, ep := testReplica(2)
+	// A conflicting command is stable at timestamp 10 WITHOUT the new
+	// command in its predecessor set: timestamp 5 must be rejected
+	// (Fig 3, WAIT returning NACK).
+	cbar := put(0, 1, "k")
+	r.onStable(0, &Stable{Cmd: cbar, Time: ts(10, 0)})
+	ep.clear()
+
+	c := put(1, 1, "k")
+	r.onFastPropose(1, &FastPropose{Cmd: c, Time: ts(5, 1)})
+	reply, ok := ep.lastTo(1).(*FastProposeReply)
+	if !ok {
+		t.Fatalf("no reply, sent=%v", ep.sent)
+	}
+	if !reply.NACK {
+		t.Fatal("want NACK")
+	}
+	if !ts(10, 0).Less(reply.Time) {
+		t.Fatalf("suggestion %v not above the conflicting stable %v", reply.Time, ts(10, 0))
+	}
+	if !containsID(reply.Pred, cbar.ID) {
+		t.Fatalf("NACK preds %v must include the conflicting command", reply.Pred)
+	}
+	if rec := r.hist.get(c.ID); rec.status != StatusRejected {
+		t.Fatalf("record status %v, want rejected", rec.status)
+	}
+}
+
+func TestFastProposeWaitsOnPendingHigherTimestamp(t *testing.T) {
+	r, ep := testReplica(2)
+	// A conflicting fast-pending command at timestamp 10 (not yet
+	// accepted/stable) blocks a timestamp-5 proposal: no reply yet
+	// (Fig 2a).
+	cbar := put(0, 1, "k")
+	r.onFastPropose(0, &FastPropose{Cmd: cbar, Time: ts(10, 0)})
+	ep.clear()
+
+	c := put(1, 1, "k")
+	r.onFastPropose(1, &FastPropose{Cmd: c, Time: ts(5, 1)})
+	if got := ep.lastTo(1); got != nil {
+		t.Fatalf("reply sent while blocked: %v", got)
+	}
+	if len(r.waiters) != 1 {
+		t.Fatalf("waiters = %d", len(r.waiters))
+	}
+
+	// The blocker goes stable WITH c in its predecessor set → c is
+	// released with an OK (the fast-decision-preserving outcome).
+	r.onStable(0, &Stable{Cmd: cbar, Time: ts(10, 0), Pred: []command.ID{c.ID}})
+	reply, ok := ep.lastTo(1).(*FastProposeReply)
+	if !ok {
+		t.Fatalf("no reply after unblock, sent=%v", ep.sent)
+	}
+	if reply.NACK {
+		t.Fatal("want OK after blocker included us")
+	}
+	if reply.Time != ts(5, 1) {
+		t.Fatalf("time %v", reply.Time)
+	}
+}
+
+func TestWaitResolvesToNACKWhenExcluded(t *testing.T) {
+	r, ep := testReplica(2)
+	cbar := put(0, 1, "k")
+	r.onFastPropose(0, &FastPropose{Cmd: cbar, Time: ts(10, 0)})
+	ep.clear()
+
+	c := put(1, 1, "k")
+	r.onFastPropose(1, &FastPropose{Cmd: c, Time: ts(5, 1)})
+	if len(r.waiters) != 1 {
+		t.Fatalf("waiters = %d", len(r.waiters))
+	}
+	// The blocker goes stable WITHOUT c → NACK (Fig 2b).
+	r.onStable(0, &Stable{Cmd: cbar, Time: ts(10, 0)})
+	reply, ok := ep.lastTo(1).(*FastProposeReply)
+	if !ok {
+		t.Fatalf("no reply after unblock, sent=%v", ep.sent)
+	}
+	if !reply.NACK {
+		t.Fatal("want NACK when excluded from the blocker's preds")
+	}
+}
+
+func TestLowerTimestampNeverBlocks(t *testing.T) {
+	r, ep := testReplica(2)
+	// A pending conflicting command with a LOWER timestamp must not
+	// block (only higher timestamps wait, which is the deadlock-freedom
+	// argument of §IV-A).
+	cbar := put(0, 1, "k")
+	r.onFastPropose(0, &FastPropose{Cmd: cbar, Time: ts(2, 0)})
+	ep.clear()
+
+	c := put(1, 1, "k")
+	r.onFastPropose(1, &FastPropose{Cmd: c, Time: ts(5, 1)})
+	reply, ok := ep.lastTo(1).(*FastProposeReply)
+	if !ok {
+		t.Fatalf("no immediate reply, sent=%v", ep.sent)
+	}
+	if reply.NACK {
+		t.Fatal("unexpected NACK")
+	}
+	if !containsID(reply.Pred, cbar.ID) {
+		t.Fatalf("pred %v must include the lower-timestamped command", reply.Pred)
+	}
+}
+
+func TestRetryNeverRejectedAndExtendsPreds(t *testing.T) {
+	r, ep := testReplica(2)
+	// Even with a conflicting stable command at a higher timestamp, a
+	// Retry is accepted (§V-C: "a reply from an acceptor in this phase
+	// cannot reject the broadcast timestamp").
+	other := put(2, 7, "k")
+	r.onFastPropose(2, &FastPropose{Cmd: other, Time: ts(3, 2)})
+	cbar := put(0, 1, "k")
+	r.onStable(0, &Stable{Cmd: cbar, Time: ts(50, 0), Pred: []command.ID{other.ID}})
+	ep.clear()
+
+	c := put(1, 1, "k")
+	r.onRetry(1, &Retry{Cmd: c, Time: ts(20, 1), Pred: []command.ID{cbar.ID}})
+	reply, ok := ep.lastTo(1).(*RetryReply)
+	if !ok {
+		t.Fatalf("no RetryReply, sent=%v", ep.sent)
+	}
+	if reply.Time != ts(20, 1) {
+		t.Fatalf("retry time %v", reply.Time)
+	}
+	// The reply unions the leader's set with locally known lower
+	// conflicting commands (Fig 4, R7).
+	if !containsID(reply.Pred, cbar.ID) || !containsID(reply.Pred, other.ID) {
+		t.Fatalf("retry preds %v must include both %v and %v", reply.Pred, cbar.ID, other.ID)
+	}
+	if rec := r.hist.get(c.ID); rec.status != StatusAccepted {
+		t.Fatalf("status %v, want accepted", rec.status)
+	}
+}
+
+func TestAcceptedUnblocksWaiters(t *testing.T) {
+	r, ep := testReplica(2)
+	cbar := put(0, 1, "k")
+	r.onFastPropose(0, &FastPropose{Cmd: cbar, Time: ts(10, 0)})
+	c := put(1, 1, "k")
+	r.onFastPropose(1, &FastPropose{Cmd: c, Time: ts(5, 1)})
+	ep.clear()
+	// Retry for the blocker at an even higher timestamp that includes c:
+	// accepted status resolves the wait with OK.
+	r.onRetry(0, &Retry{Cmd: cbar, Time: ts(12, 0), Pred: []command.ID{c.ID}})
+	reply, ok := ep.lastTo(1).(*FastProposeReply)
+	if !ok {
+		t.Fatalf("no reply, sent=%v", ep.sent)
+	}
+	if reply.NACK {
+		t.Fatal("want OK: accepted blocker lists us as predecessor")
+	}
+}
+
+func TestBallotFiltering(t *testing.T) {
+	r, ep := testReplica(2)
+	c := put(0, 1, "k")
+	// Ballot 2 first (e.g. from a recoverer).
+	r.onFastPropose(3, &FastPropose{Ballot: 2, Cmd: c, Time: ts(5, 3)})
+	ep.clear()
+	// A stale ballot-1 message must be ignored entirely.
+	r.onFastPropose(0, &FastPropose{Ballot: 1, Cmd: c, Time: ts(3, 0)})
+	if got := ep.lastTo(0); got != nil {
+		t.Fatalf("stale ballot got reply %v", got)
+	}
+	if rec := r.hist.get(c.ID); rec.ts != ts(5, 3) {
+		t.Fatalf("stale ballot overwrote timestamp: %v", rec.ts)
+	}
+}
+
+func TestStableEchoForDecidedCommand(t *testing.T) {
+	r, ep := testReplica(2)
+	c := put(0, 1, "k")
+	r.onStable(0, &Stable{Cmd: c, Time: ts(5, 0)})
+	ep.clear()
+	// A re-proposal (same ballot) of a decided command is answered with
+	// the decision itself.
+	r.onFastPropose(3, &FastPropose{Cmd: c, Time: ts(9, 3)})
+	if _, ok := ep.lastTo(3).(*Stable); !ok {
+		t.Fatalf("want Stable echo, got %v", ep.lastTo(3))
+	}
+}
+
+func TestBreakLoopDeliversInTimestampOrder(t *testing.T) {
+	r, _ := testReplica(2)
+	applied := []command.ID{}
+	r.app = protocol.ApplierFunc(func(cmd command.Command) []byte {
+		applied = append(applied, cmd.ID)
+		return nil
+	})
+	a, b := put(0, 1, "k"), put(1, 1, "k")
+	// Mutual predecessors (a loop, possible because pred inclusion does
+	// not imply timestamp order): must deliver by timestamp: a (ts 3)
+	// before b (ts 7).
+	r.onStable(1, &Stable{Cmd: b, Time: ts(7, 1), Pred: []command.ID{a.ID}})
+	if len(applied) != 0 {
+		t.Fatal("b delivered before its predecessor")
+	}
+	r.onStable(0, &Stable{Cmd: a, Time: ts(3, 0), Pred: []command.ID{b.ID}})
+	if len(applied) != 2 || applied[0] != a.ID || applied[1] != b.ID {
+		t.Fatalf("delivery order %v, want [a b]", applied)
+	}
+}
+
+func TestComputePredecessorsWhitelist(t *testing.T) {
+	r, _ := testReplica(2)
+	// Three conflicting commands below ts 10: one fast-pending, one
+	// accepted, one stable.
+	pending := put(0, 1, "k")
+	r.onFastPropose(0, &FastPropose{Cmd: pending, Time: ts(2, 0)})
+	accepted := put(3, 1, "k")
+	r.onRetry(3, &Retry{Cmd: accepted, Time: ts(4, 3)})
+	stable := put(4, 1, "k")
+	r.onStable(4, &Stable{Cmd: stable, Time: ts(6, 4)})
+
+	target := command.Put("k", nil)
+	target.ID = command.ID{Node: 1, Seq: 1}
+
+	// Without a whitelist: every conflicting lower-timestamped command.
+	pred := r.hist.computePredecessors(target, ts(10, 1), nil, false)
+	if len(pred) != 3 {
+		t.Fatalf("plain preds = %v", pred.Slice())
+	}
+	// With an empty whitelist: only non-fast-pending entries qualify
+	// (Fig 3, lines 1–3).
+	pred = r.hist.computePredecessors(target, ts(10, 1), command.IDSet{}, true)
+	if pred.Has(pending.ID) || !pred.Has(accepted.ID) || !pred.Has(stable.ID) {
+		t.Fatalf("whitelist preds = %v", pred.Slice())
+	}
+	// Whitelisted fast-pending entries are forced in.
+	pred = r.hist.computePredecessors(target, ts(10, 1), command.NewIDSet(pending.ID), true)
+	if !pred.Has(pending.ID) {
+		t.Fatalf("forced pred missing: %v", pred.Slice())
+	}
+}
+
+func TestPurgeFenceRejectsBelowPurgedTimestamp(t *testing.T) {
+	r, ep := testReplica(2)
+	c := put(0, 1, "k")
+	r.onStable(0, &Stable{Cmd: c, Time: ts(10, 0)})
+	// Simulate full delivery + purge.
+	r.onPurgeBatch(0, &PurgeBatch{IDs: []command.ID{c.ID}})
+	if r.hist.get(c.ID) != nil {
+		t.Fatal("record survived purge")
+	}
+	ep.clear()
+	// A proposal below the purged timestamp must be rejected even though
+	// no record remains.
+	late := put(1, 1, "k")
+	r.onFastPropose(1, &FastPropose{Cmd: late, Time: ts(5, 1)})
+	reply, ok := ep.lastTo(1).(*FastProposeReply)
+	if !ok {
+		t.Fatalf("no reply, sent=%v", ep.sent)
+	}
+	if !reply.NACK {
+		t.Fatal("purge fence must force a NACK")
+	}
+}
+
+func TestSlowProposeAdoptsLeaderPreds(t *testing.T) {
+	r, ep := testReplica(2)
+	someone := put(3, 9, "k")
+	c := put(0, 1, "k")
+	r.onSlowPropose(0, &SlowPropose{Cmd: c, Time: ts(5, 0), Pred: []command.ID{someone.ID}})
+	reply, ok := ep.lastTo(0).(*SlowProposeReply)
+	if !ok {
+		t.Fatalf("no reply, sent=%v", ep.sent)
+	}
+	if reply.NACK {
+		t.Fatal("unexpected NACK")
+	}
+	if len(reply.Pred) != 1 || reply.Pred[0] != someone.ID {
+		t.Fatalf("slow propose pred %v, want the leader's set", reply.Pred)
+	}
+	if rec := r.hist.get(c.ID); rec.status != StatusSlowPending {
+		t.Fatalf("status %v", rec.status)
+	}
+}
+
+func TestRecoverReplyCarriesTuple(t *testing.T) {
+	r, ep := testReplica(2)
+	c := put(0, 1, "k")
+	r.onFastPropose(0, &FastPropose{Cmd: c, Time: ts(5, 0)})
+	ep.clear()
+	r.onRecover(3, &Recover{Ballot: 1, CmdID: c.ID})
+	reply, ok := ep.lastTo(3).(*RecoverReply)
+	if !ok {
+		t.Fatalf("no RecoverReply, sent=%v", ep.sent)
+	}
+	if reply.Nop || reply.Status != StatusFastPending || reply.Time != ts(5, 0) {
+		t.Fatalf("reply = %+v", reply)
+	}
+	// Stale (equal) ballot is refused thereafter.
+	ep.clear()
+	r.onRecover(4, &Recover{Ballot: 1, CmdID: c.ID})
+	if got := ep.lastTo(4); got != nil {
+		t.Fatalf("equal ballot answered: %v", got)
+	}
+	// Unknown command → NOP.
+	ep.clear()
+	r.onRecover(3, &Recover{Ballot: 1, CmdID: command.ID{Node: 4, Seq: 9}})
+	nop, ok := ep.lastTo(3).(*RecoverReply)
+	if !ok || !nop.Nop {
+		t.Fatalf("want NOP reply, got %v", ep.lastTo(3))
+	}
+}
+
+func TestFinishRecoveryCaseSelection(t *testing.T) {
+	// Each sub-case checks which phase the recoverer starts from a given
+	// RecoverySet (Fig 5, cases i–v).
+	cmd := put(4, 1, "k")
+	mk := func(status Status, forced bool) *RecoverReply {
+		return &RecoverReply{
+			Ballot: 3, CmdID: cmd.ID, Cmd: cmd, Status: status,
+			Time: ts(9, 4), Pred: []command.ID{{Node: 2, Seq: 2}},
+			TupleBallot: 0, Forced: forced,
+		}
+	}
+	firstBroadcast := func(replies map[timestamp.NodeID]*RecoverReply) any {
+		r, ep := testReplica(0)
+		rc := &recovery{id: cmd.ID, ballot: 3, replies: replies}
+		r.finishRecovery(rc)
+		if len(ep.sent) == 0 {
+			return nil
+		}
+		return ep.sent[0].payload
+	}
+
+	// i) stable tuple → Stable phase.
+	if got := firstBroadcast(map[timestamp.NodeID]*RecoverReply{1: mk(StatusStable, false)}); got != nil {
+		if _, ok := got.(*Stable); !ok {
+			t.Fatalf("stable case started %T", got)
+		}
+	} else {
+		t.Fatal("stable case sent nothing")
+	}
+	// ii) accepted → Retry phase.
+	if got := firstBroadcast(map[timestamp.NodeID]*RecoverReply{1: mk(StatusAccepted, false)}); got != nil {
+		if _, ok := got.(*Retry); !ok {
+			t.Fatalf("accepted case started %T", got)
+		}
+	} else {
+		t.Fatal("accepted case sent nothing")
+	}
+	// iii) rejected → fresh FastPropose without whitelist.
+	if got := firstBroadcast(map[timestamp.NodeID]*RecoverReply{1: mk(StatusRejected, false)}); got != nil {
+		fp, ok := got.(*FastPropose)
+		if !ok || fp.HasWhitelist {
+			t.Fatalf("rejected case started %T (whitelist=%v)", got, ok && fp.HasWhitelist)
+		}
+	} else {
+		t.Fatal("rejected case sent nothing")
+	}
+	// iv) slow-pending → SlowPropose.
+	if got := firstBroadcast(map[timestamp.NodeID]*RecoverReply{1: mk(StatusSlowPending, false)}); got != nil {
+		if _, ok := got.(*SlowPropose); !ok {
+			t.Fatalf("slow-pending case started %T", got)
+		}
+	} else {
+		t.Fatal("slow-pending case sent nothing")
+	}
+	// v) fast-pending tuples from a recovery majority → FastPropose at
+	// the SAME timestamp with a whitelist.
+	replies := map[timestamp.NodeID]*RecoverReply{
+		1: mk(StatusFastPending, false),
+		2: mk(StatusFastPending, false),
+	}
+	if got := firstBroadcast(replies); got != nil {
+		fp, ok := got.(*FastPropose)
+		if !ok {
+			t.Fatalf("fast-pending case started %T", got)
+		}
+		if fp.Time != ts(9, 4) {
+			t.Fatalf("fast-pending case changed timestamp: %v", fp.Time)
+		}
+		if !fp.HasWhitelist {
+			t.Fatal("fast-pending case must carry a whitelist with ⌊CQ/2⌋+1 tuples")
+		}
+		// Both tuples list the same predecessor → it survives into the
+		// whitelist.
+		if len(fp.Whitelist) != 1 || (fp.Whitelist[0] != command.ID{Node: 2, Seq: 2}) {
+			t.Fatalf("whitelist = %v", fp.Whitelist)
+		}
+	} else {
+		t.Fatal("fast-pending case sent nothing")
+	}
+	// forced tuple wins: its preds become the whitelist verbatim.
+	forcedReply := mk(StatusFastPending, true)
+	forcedReply.Pred = []command.ID{{Node: 3, Seq: 3}}
+	replies = map[timestamp.NodeID]*RecoverReply{
+		1: mk(StatusFastPending, false),
+		2: forcedReply,
+	}
+	if got := firstBroadcast(replies); got != nil {
+		fp, ok := got.(*FastPropose)
+		if !ok || !fp.HasWhitelist {
+			t.Fatalf("forced case started %T", got)
+		}
+		if len(fp.Whitelist) != 1 || (fp.Whitelist[0] != command.ID{Node: 3, Seq: 3}) {
+			t.Fatalf("forced whitelist = %v", fp.Whitelist)
+		}
+	} else {
+		t.Fatal("forced case sent nothing")
+	}
+}
+
+func TestDisableWaitRejectsInsteadOfWaiting(t *testing.T) {
+	ep := &stubEP{self: 2, n: 5}
+	r := New(ep, protocol.ApplierFunc(func(command.Command) []byte { return nil }),
+		Config{HeartbeatInterval: -1, DisableWait: true})
+	cbar := put(0, 1, "k")
+	r.onFastPropose(0, &FastPropose{Cmd: cbar, Time: ts(10, 0)})
+	ep.clear()
+	c := put(1, 1, "k")
+	r.onFastPropose(1, &FastPropose{Cmd: c, Time: ts(5, 1)})
+	reply, ok := ep.lastTo(1).(*FastProposeReply)
+	if !ok {
+		t.Fatalf("no reply, sent=%v", ep.sent)
+	}
+	if !reply.NACK {
+		t.Fatal("ablation must NACK where the real protocol waits")
+	}
+	if len(r.waiters) != 0 {
+		t.Fatal("ablation queued a waiter")
+	}
+}

@@ -1,0 +1,255 @@
+// Package command defines the commands agreed upon by the consensus
+// protocols and their conflict (non-commutativity) relation.
+//
+// Following §VI of the paper, the benchmark application is a replicated
+// key-value store: a command carries an operation on a single key, and two
+// commands conflict when they access the same key and at least one of them
+// writes it. Batched commands (package batch) touch several keys; the
+// conflict relation generalises to key-set intersection.
+package command
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+// Op enumerates the operations a command can perform. Enums start at 1 so
+// the zero value is invalid and easy to catch.
+type Op uint8
+
+const (
+	// OpPut writes a value to a key.
+	OpPut Op = iota + 1
+	// OpGet reads the value of a key.
+	OpGet
+	// OpAdd atomically adds a signed 64-bit delta (big-endian in Value)
+	// to the key's integer value and returns the new value.
+	OpAdd
+	// OpNoop is an empty command used by recovery to finalise abandoned
+	// instances. It conflicts with nothing.
+	OpNoop
+	// OpBatch marks a command whose Payload encodes a batch of inner
+	// commands; Keys lists the union of the inner key sets.
+	OpBatch
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "PUT"
+	case OpGet:
+		return "GET"
+	case OpAdd:
+		return "ADD"
+	case OpNoop:
+		return "NOOP"
+	case OpBatch:
+		return "BATCH"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// ID uniquely identifies a command: the proposing node plus a local sequence
+// number. Encoded inline (not a pointer) so it can key maps.
+type ID struct {
+	Node timestamp.NodeID
+	Seq  uint64
+}
+
+// String implements fmt.Stringer.
+func (id ID) String() string { return fmt.Sprintf("c%d.%d", id.Node, id.Seq) }
+
+// IsZero reports whether the ID is unset.
+func (id ID) IsZero() bool { return id == ID{} }
+
+// Command is a deterministic state-machine command.
+type Command struct {
+	ID    ID
+	Op    Op
+	Key   string
+	Value []byte
+	// ExtraKeys holds the additional keys of a batch command (Key holds
+	// the first). Nil for ordinary commands.
+	ExtraKeys []string
+	// Payload carries opaque application data (e.g. an encoded batch).
+	Payload []byte
+}
+
+// Put builds a write command. The ID must be assigned by the proposer.
+func Put(key string, value []byte) Command {
+	return Command{Op: OpPut, Key: key, Value: value}
+}
+
+// Get builds a read command.
+func Get(key string) Command {
+	return Command{Op: OpGet, Key: key}
+}
+
+// Add builds an atomic-increment command.
+func Add(key string, delta int64) Command {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(delta))
+	return Command{Op: OpAdd, Key: key, Value: b[:]}
+}
+
+// AddDelta decodes an OpAdd command's delta.
+func (c Command) AddDelta() int64 {
+	if c.Op != OpAdd || len(c.Value) != 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(c.Value))
+}
+
+// Noop builds an empty command that conflicts with nothing.
+func Noop() Command {
+	return Command{Op: OpNoop}
+}
+
+// Keys returns every key the command touches. Noops return nil.
+func (c Command) Keys() []string {
+	if c.Op == OpNoop {
+		return nil
+	}
+	if len(c.ExtraKeys) == 0 {
+		return []string{c.Key}
+	}
+	keys := make([]string, 0, 1+len(c.ExtraKeys))
+	keys = append(keys, c.Key)
+	keys = append(keys, c.ExtraKeys...)
+	return keys
+}
+
+// IsWrite reports whether the command mutates state. Batches are treated as
+// writes (they contain at least one write in practice; treating them as
+// writes is conservative and safe).
+func (c Command) IsWrite() bool {
+	return c.Op == OpPut || c.Op == OpAdd || c.Op == OpBatch
+}
+
+// Conflicts reports whether c and d are non-commutative (c ~ d in the
+// paper): they share a key and at least one of the two writes it. A command
+// never conflicts with itself and noops conflict with nothing.
+func (c Command) Conflicts(d Command) bool {
+	if c.ID == d.ID && !c.ID.IsZero() {
+		return false
+	}
+	if c.Op == OpNoop || d.Op == OpNoop {
+		return false
+	}
+	if !c.IsWrite() && !d.IsWrite() {
+		return false
+	}
+	return keysIntersect(c.Keys(), d.Keys())
+}
+
+// keysIntersect reports whether the two key slices share an element. The
+// fast path avoids allocation for the ubiquitous single-key case.
+func keysIntersect(a, b []string) bool {
+	if len(a) == 1 && len(b) == 1 {
+		return a[0] == b[0]
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	set := make(map[string]struct{}, len(a))
+	for _, k := range a {
+		set[k] = struct{}{}
+	}
+	for _, k := range b {
+		if _, ok := set[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (c Command) String() string {
+	return fmt.Sprintf("%s{%s %q}", c.ID, c.Op, c.Key)
+}
+
+// SortIDs sorts a slice of command IDs in place (by node, then sequence)
+// and returns it. Used to make pred-set comparisons and logs deterministic.
+func SortIDs(ids []ID) []ID {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Node != ids[j].Node {
+			return ids[i].Node < ids[j].Node
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
+	return ids
+}
+
+// IDSet is a set of command IDs. It represents the predecessor sets (Pred)
+// and whitelists of the paper.
+type IDSet map[ID]struct{}
+
+// NewIDSet builds a set from the given ids.
+func NewIDSet(ids ...ID) IDSet {
+	s := make(IDSet, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts id into the set.
+func (s IDSet) Add(id ID) { s[id] = struct{}{} }
+
+// Remove deletes id from the set.
+func (s IDSet) Remove(id ID) { delete(s, id) }
+
+// Has reports membership.
+func (s IDSet) Has(id ID) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Union adds every element of t to s (in place) and returns s. A nil
+// receiver allocates a fresh set when t is non-empty.
+func (s IDSet) Union(t IDSet) IDSet {
+	if s == nil && len(t) > 0 {
+		s = make(IDSet, len(t))
+	}
+	for id := range t {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Clone returns an independent copy of the set.
+func (s IDSet) Clone() IDSet {
+	c := make(IDSet, len(s))
+	for id := range s {
+		c[id] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports whether s and t contain the same ids.
+func (s IDSet) Equal(t IDSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for id := range s {
+		if _, ok := t[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Slice returns the members sorted, for deterministic iteration and wire
+// encoding.
+func (s IDSet) Slice() []ID {
+	ids := make([]ID, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	return SortIDs(ids)
+}

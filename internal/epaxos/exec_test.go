@@ -1,0 +1,155 @@
+package epaxos
+
+import (
+	"testing"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/transport"
+)
+
+// nullEP drops all traffic; exec tests drive instances directly.
+type nullEP struct{ self timestamp.NodeID }
+
+var _ transport.Endpoint = nullEP{}
+
+func (e nullEP) Self() timestamp.NodeID { return e.self }
+func (e nullEP) Peers() []timestamp.NodeID {
+	return []timestamp.NodeID{0, 1, 2, 3, 4}
+}
+func (e nullEP) Send(timestamp.NodeID, any)     {}
+func (e nullEP) Broadcast(any)                  {}
+func (e nullEP) SetHandler(h transport.Handler) {}
+func (e nullEP) Close() error                   { return nil }
+
+// execReplica builds an unstarted replica recording execution order.
+func execReplica() (*Replica, *[]command.ID) {
+	order := &[]command.ID{}
+	r := New(nullEP{self: 0}, protocol.ApplierFunc(func(cmd command.Command) []byte {
+		*order = append(*order, cmd.ID)
+		return nil
+	}), Config{HeartbeatInterval: -1})
+	return r, order
+}
+
+// addCommitted installs a committed instance directly.
+func addCommitted(r *Replica, id InstanceID, cmdID command.ID, seq uint64, deps ...InstanceID) *instance {
+	inst := r.getOrCreate(id)
+	inst.cmd = command.Put("k", nil)
+	inst.cmd.ID = cmdID
+	inst.seq = seq
+	inst.deps = deps
+	inst.status = icommitted
+	return inst
+}
+
+func iid(rep int32, slot uint64) InstanceID {
+	return InstanceID{Replica: timestamp.NodeID(rep), Slot: slot}
+}
+
+func cid(node int32, seq uint64) command.ID {
+	return command.ID{Node: timestamp.NodeID(node), Seq: seq}
+}
+
+func TestExecuteChainInDependencyOrder(t *testing.T) {
+	r, order := execReplica()
+	a := addCommitted(r, iid(0, 0), cid(0, 1), 1)
+	b := addCommitted(r, iid(1, 0), cid(1, 1), 2, iid(0, 0))
+	c := addCommitted(r, iid(2, 0), cid(2, 1), 3, iid(1, 0))
+	_ = a
+	_ = b
+	r.tryExecute(c)
+	want := []command.ID{cid(0, 1), cid(1, 1), cid(2, 1)}
+	if len(*order) != 3 {
+		t.Fatalf("executed %d instances", len(*order))
+	}
+	for i := range want {
+		if (*order)[i] != want[i] {
+			t.Fatalf("order %v, want %v", *order, want)
+		}
+	}
+}
+
+func TestExecuteSCCBySequenceNumber(t *testing.T) {
+	r, order := execReplica()
+	// A two-cycle: a↔b. Executed by seq: b (seq 1) before a (seq 2).
+	a := addCommitted(r, iid(0, 0), cid(0, 1), 2, iid(1, 0))
+	addCommitted(r, iid(1, 0), cid(1, 1), 1, iid(0, 0))
+	r.tryExecute(a)
+	if len(*order) != 2 || (*order)[0] != cid(1, 1) || (*order)[1] != cid(0, 1) {
+		t.Fatalf("SCC order %v, want [c1.1 c0.1]", *order)
+	}
+}
+
+func TestExecuteBlocksOnUncommittedDep(t *testing.T) {
+	r, order := execReplica()
+	dep := iid(1, 0)
+	c := addCommitted(r, iid(0, 0), cid(0, 1), 1, dep)
+	r.tryExecute(c)
+	if len(*order) != 0 {
+		t.Fatal("executed despite uncommitted dependency")
+	}
+	if len(r.blockedExec[dep]) != 1 {
+		t.Fatalf("not parked on the missing dep: %v", r.blockedExec)
+	}
+	// Committing the dep wakes the root.
+	addCommitted(r, dep, cid(1, 1), 1)
+	r.tryExecute(r.instances[dep])
+	r.wakeBlocked(dep)
+	if len(*order) != 2 {
+		t.Fatalf("executed %d after unblock, want 2", len(*order))
+	}
+	if (*order)[0] != cid(1, 1) || (*order)[1] != cid(0, 1) {
+		t.Fatalf("order %v", *order)
+	}
+}
+
+func TestExecuteIdempotent(t *testing.T) {
+	r, order := execReplica()
+	a := addCommitted(r, iid(0, 0), cid(0, 1), 1)
+	r.tryExecute(a)
+	r.tryExecute(a)
+	if len(*order) != 1 {
+		t.Fatalf("instance executed %d times", len(*order))
+	}
+}
+
+func TestAttributesReflectInterference(t *testing.T) {
+	r, _ := execReplica()
+	inst := addCommitted(r, iid(1, 4), cid(1, 9), 7)
+	r.register(inst)
+	seq, deps := r.attributes(command.Put("k", nil))
+	if seq != 8 {
+		t.Fatalf("seq = %d, want maxSeq+1 = 8", seq)
+	}
+	if _, ok := deps[iid(1, 4)]; !ok || len(deps) != 1 {
+		t.Fatalf("deps = %v", deps)
+	}
+	// A command on another key sees nothing.
+	seq, deps = r.attributes(command.Put("other", nil))
+	if seq != 1 || len(deps) != 0 {
+		t.Fatalf("unrelated key got seq=%d deps=%v", seq, deps)
+	}
+}
+
+func TestDepsSliceSortedDeduped(t *testing.T) {
+	in := map[InstanceID]struct{}{
+		iid(2, 5): {}, iid(0, 9): {}, iid(2, 1): {}, iid(1, 3): {},
+	}
+	out := depsSlice(in)
+	if len(out) != 4 {
+		t.Fatalf("len %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if !depLess(out[i-1], out[i]) {
+			t.Fatalf("not sorted: %v", out)
+		}
+	}
+	if !depsEqual(out, out) {
+		t.Fatal("depsEqual reflexivity")
+	}
+	if depsEqual(out, out[1:]) {
+		t.Fatal("depsEqual on different lengths")
+	}
+}

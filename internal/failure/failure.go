@@ -1,0 +1,93 @@
+// Package failure implements the unreliable failure detector the protocols
+// use to trigger recovery (§III assumes the weakest detector sufficient for
+// leader election; in practice a heartbeat/timeout detector).
+//
+// The detector is passive: the owning replica feeds it every observed
+// message (any traffic counts as a heartbeat) and ticks it periodically
+// from its event loop, so the detector itself needs no goroutines or locks.
+package failure
+
+import (
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+// Detector suspects peers that have been silent for longer than the
+// configured timeout. It is driven single-threadedly by its owner.
+type Detector struct {
+	self      timestamp.NodeID
+	peers     []timestamp.NodeID
+	timeout   time.Duration
+	lastSeen  map[timestamp.NodeID]time.Time
+	suspected map[timestamp.NodeID]bool
+}
+
+// New builds a detector for the given membership. timeout is how long a
+// peer may stay silent before being suspected.
+func New(self timestamp.NodeID, peers []timestamp.NodeID, timeout time.Duration, now time.Time) *Detector {
+	d := &Detector{
+		self:      self,
+		peers:     peers,
+		timeout:   timeout,
+		lastSeen:  make(map[timestamp.NodeID]time.Time, len(peers)),
+		suspected: make(map[timestamp.NodeID]bool, len(peers)),
+	}
+	for _, p := range peers {
+		d.lastSeen[p] = now
+	}
+	return d
+}
+
+// Observe records life from a peer. A previously suspected peer that
+// speaks again is un-suspected (the detector is unreliable by design).
+func (d *Detector) Observe(from timestamp.NodeID, now time.Time) {
+	d.lastSeen[from] = now
+	if d.suspected[from] {
+		delete(d.suspected, from)
+	}
+}
+
+// Tick re-evaluates silence and returns the peers that have just become
+// suspected (each is reported once per suspicion episode).
+func (d *Detector) Tick(now time.Time) []timestamp.NodeID {
+	var newly []timestamp.NodeID
+	for _, p := range d.peers {
+		if p == d.self || d.suspected[p] {
+			continue
+		}
+		if now.Sub(d.lastSeen[p]) > d.timeout {
+			d.suspected[p] = true
+			newly = append(newly, p)
+		}
+	}
+	return newly
+}
+
+// Suspected reports whether the peer is currently suspected.
+func (d *Detector) Suspected(p timestamp.NodeID) bool { return d.suspected[p] }
+
+// Alive returns the peers (including self) not currently suspected, in
+// ascending order.
+func (d *Detector) Alive() []timestamp.NodeID {
+	alive := make([]timestamp.NodeID, 0, len(d.peers))
+	for _, p := range d.peers {
+		if !d.suspected[p] {
+			alive = append(alive, p)
+		}
+	}
+	return alive
+}
+
+// Rank returns self's position among the alive peers, for staggering
+// recovery attempts so that a single node takes over first.
+func (d *Detector) Rank() int {
+	rank := 0
+	for _, p := range d.Alive() {
+		if p == d.self {
+			return rank
+		}
+		rank++
+	}
+	return rank
+}

@@ -1,0 +1,83 @@
+package failure
+
+import (
+	"testing"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+func peers(n int) []timestamp.NodeID {
+	out := make([]timestamp.NodeID, n)
+	for i := range out {
+		out[i] = timestamp.NodeID(i)
+	}
+	return out
+}
+
+func TestSilenceTriggersSuspicion(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	d := New(0, peers(3), 100*time.Millisecond, t0)
+	if got := d.Tick(t0.Add(50 * time.Millisecond)); len(got) != 0 {
+		t.Fatalf("early suspicion: %v", got)
+	}
+	got := d.Tick(t0.Add(150 * time.Millisecond))
+	if len(got) != 2 {
+		t.Fatalf("want peers 1,2 suspected, got %v", got)
+	}
+	if d.Suspected(0) {
+		t.Fatal("self suspected")
+	}
+	// Reported once per episode.
+	if again := d.Tick(t0.Add(200 * time.Millisecond)); len(again) != 0 {
+		t.Fatalf("re-reported: %v", again)
+	}
+}
+
+func TestObserveKeepsAlive(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	d := New(0, peers(3), 100*time.Millisecond, t0)
+	d.Observe(1, t0.Add(80*time.Millisecond))
+	got := d.Tick(t0.Add(150 * time.Millisecond))
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("want only peer 2 suspected, got %v", got)
+	}
+}
+
+func TestRecantOnNewTraffic(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	d := New(0, peers(2), 50*time.Millisecond, t0)
+	d.Tick(t0.Add(100 * time.Millisecond))
+	if !d.Suspected(1) {
+		t.Fatal("not suspected")
+	}
+	d.Observe(1, t0.Add(120*time.Millisecond))
+	if d.Suspected(1) {
+		t.Fatal("suspicion not withdrawn on new traffic")
+	}
+	// And it can be suspected again after renewed silence.
+	got := d.Tick(t0.Add(300 * time.Millisecond))
+	if len(got) != 1 {
+		t.Fatalf("no re-suspicion: %v", got)
+	}
+}
+
+func TestAliveAndRank(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	d := New(2, peers(5), 50*time.Millisecond, t0)
+	if rank := d.Rank(); rank != 2 {
+		t.Fatalf("initial rank = %d", rank)
+	}
+	// Nodes 0 and 1 fall silent; everyone else stays chatty.
+	for _, p := range []timestamp.NodeID{2, 3, 4} {
+		d.Observe(p, t0.Add(90*time.Millisecond))
+	}
+	d.Tick(t0.Add(100 * time.Millisecond))
+	alive := d.Alive()
+	if len(alive) != 3 || alive[0] != 2 {
+		t.Fatalf("alive = %v", alive)
+	}
+	if rank := d.Rank(); rank != 0 {
+		t.Fatalf("rank after suspicions = %d, want 0 (first survivor)", rank)
+	}
+}

@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestProbeBatching is a manual probe (CAESAR_PROBE=1) for the batching
+// path: throughput must rise, not collapse, relative to unbatched runs.
+func TestProbeBatching(t *testing.T) {
+	if os.Getenv("CAESAR_PROBE") == "" {
+		t.Skip("set CAESAR_PROBE=1 to run")
+	}
+	for _, proto := range []Protocol{MultiPaxosIR, Caesar} {
+		for _, clients := range []int{40, 200} {
+			for _, batching := range []bool{false, true} {
+				res := Run(Options{
+					Protocol:       proto,
+					Scale:          0.1,
+					ConflictPct:    0,
+					ClientsPerNode: clients,
+					Warmup:         500 * time.Millisecond,
+					Duration:       1500 * time.Millisecond,
+					Batching:       batching,
+				})
+				t.Logf("%s clients=%d batching=%v: tput=%.0f lat=%v failed=%d",
+					proto, clients, batching, res.Throughput,
+					res.Sites[0].MeanLatency, res.Failed)
+			}
+		}
+	}
+}

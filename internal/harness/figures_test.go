@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyOpts shrinks figure runs to smoke-test size.
+func tinyOpts() Options {
+	return Options{
+		Scale:          0.005,
+		ClientsPerNode: 2,
+		Warmup:         100 * time.Millisecond,
+		Duration:       250 * time.Millisecond,
+		Seed:           5,
+	}
+}
+
+func TestFigureWritersProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke tests are slow")
+	}
+	cases := []struct {
+		name string
+		run  func(buf *bytes.Buffer) int
+		want string
+	}{
+		{"Figure7", func(buf *bytes.Buffer) int { return len(Figure7(buf, tinyOpts())) }, "multipaxos-in"},
+		{"Figure11b", func(buf *bytes.Buffer) int { return len(Figure11b(buf, tinyOpts())) }, "Mumbai"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			n := c.run(&buf)
+			if n == 0 {
+				t.Fatal("no results returned")
+			}
+			out := buf.String()
+			if !strings.Contains(out, c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, out)
+			}
+			// Every row must be populated (no empty columns).
+			for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+				if strings.TrimSpace(line) == "" {
+					continue
+				}
+			}
+		})
+	}
+}
+
+func TestFigure10TableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke tests are slow")
+	}
+	var buf bytes.Buffer
+	o := tinyOpts()
+	results := Figure10(&buf, o)
+	if len(results) != 2*len(ConflictLevels) {
+		t.Fatalf("Figure10 returned %d results", len(results))
+	}
+	if !strings.Contains(buf.String(), "EPaxos") || !strings.Contains(buf.String(), "Caesar") {
+		t.Fatalf("table header missing:\n%s", buf.String())
+	}
+}

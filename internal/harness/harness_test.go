@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// shortOpts shrinks a run to smoke-test size.
+func shortOpts(p Protocol, conflict float64) Options {
+	return Options{
+		Protocol:       p,
+		Scale:          0.01,
+		ConflictPct:    conflict,
+		ClientsPerNode: 4,
+		Warmup:         200 * time.Millisecond,
+		Duration:       600 * time.Millisecond,
+		Seed:           7,
+	}
+}
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, p := range []Protocol{Caesar, EPaxos, M2Paxos, Mencius, MultiPaxosIR, MultiPaxosIN} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			res := Run(shortOpts(p, 10))
+			if res.Throughput <= 0 {
+				t.Fatalf("%s: no throughput measured", p)
+			}
+			var count int64
+			for _, s := range res.Sites {
+				count += s.Count
+			}
+			if count == 0 {
+				t.Fatalf("%s: no latency samples", p)
+			}
+			if res.Failed > 0 {
+				t.Fatalf("%s: %d failed commands", p, res.Failed)
+			}
+			t.Logf("%s: tput=%.0f/s site0 mean=%v", p, res.Throughput, res.Sites[0].MeanLatency)
+		})
+	}
+}
+
+func TestCaesarFastPathDominatesAtLowConflict(t *testing.T) {
+	res := Run(shortOpts(Caesar, 0))
+	if res.SlowDecisions != 0 {
+		t.Fatalf("0%% conflicts must be all fast decisions, got %d slow", res.SlowDecisions)
+	}
+}
+
+func TestBatchingRun(t *testing.T) {
+	o := shortOpts(Caesar, 10)
+	o.Batching = true
+	res := Run(o)
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput with batching")
+	}
+}
+
+func TestCrashRunProducesTimeline(t *testing.T) {
+	o := shortOpts(Caesar, 2)
+	o.Duration = 2 * time.Second
+	o.CrashNode = 4
+	o.CrashAfter = 700 * time.Millisecond
+	o.SampleInterval = 200 * time.Millisecond
+	res := Run(o)
+	if len(res.Timeline) < 5 {
+		t.Fatalf("timeline too short: %d points", len(res.Timeline))
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no post-crash throughput")
+	}
+}

@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestProbeFidelity is a manual knob-tuning probe, enabled with
+// CAESAR_PROBE=1. It reports how the slow-path ratio tracks the conflict
+// rate at a given scale, which is the fidelity criterion for Fig 10.
+func TestProbeFidelity(t *testing.T) {
+	if os.Getenv("CAESAR_PROBE") == "" {
+		t.Skip("set CAESAR_PROBE=1 to run")
+	}
+	for _, proto := range []Protocol{EPaxos, Caesar} {
+		for _, conflict := range []float64{10, 30} {
+			res := Run(Options{
+				Protocol:       proto,
+				Scale:          0.1,
+				ConflictPct:    conflict,
+				ClientsPerNode: 80,
+				Warmup:         500 * time.Millisecond,
+				Duration:       1500 * time.Millisecond,
+			})
+			t.Logf("%s conflict=%v%%: slow=%.1f%% lat(VA)=%v tput=%.0f",
+				proto, conflict, res.SlowRatio()*100, res.Sites[0].MeanLatency, res.Throughput)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package idset provides a compact set of command IDs optimised for the
+// shape consensus engines produce: IDs are (node, sequence) pairs with
+// per-node sequences that are mostly delivered in order, so each node's
+// members compress into a watermark ("all sequences ≤ wm present") plus a
+// sparse overflow set. Engines use it to remember executed commands forever
+// (duplicate suppression across retries, forwarding and recovery) in
+// O(nodes + reorder window) space.
+package idset
+
+import (
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+// Set is a watermark-compressed set of command IDs. The zero value is not
+// usable; call New. Not safe for concurrent use.
+type Set struct {
+	wm    map[timestamp.NodeID]uint64
+	above map[timestamp.NodeID]map[uint64]struct{}
+	count int64
+}
+
+// New returns an empty set.
+func New() *Set {
+	return &Set{
+		wm:    make(map[timestamp.NodeID]uint64),
+		above: make(map[timestamp.NodeID]map[uint64]struct{}),
+	}
+}
+
+// Add inserts id; duplicate adds are no-ops. It reports whether the id was
+// new.
+func (s *Set) Add(id command.ID) bool {
+	if s.Has(id) {
+		return false
+	}
+	s.count++
+	wm := s.wm[id.Node]
+	if id.Seq != wm+1 {
+		over := s.above[id.Node]
+		if over == nil {
+			over = make(map[uint64]struct{})
+			s.above[id.Node] = over
+		}
+		over[id.Seq] = struct{}{}
+		return true
+	}
+	// Extend the watermark, absorbing any contiguous run above it.
+	wm++
+	over := s.above[id.Node]
+	for {
+		if _, ok := over[wm+1]; !ok {
+			break
+		}
+		delete(over, wm+1)
+		wm++
+	}
+	s.wm[id.Node] = wm
+	return true
+}
+
+// Has reports membership.
+func (s *Set) Has(id command.ID) bool {
+	if id.Seq <= s.wm[id.Node] {
+		return true
+	}
+	_, ok := s.above[id.Node][id.Seq]
+	return ok
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int64 { return s.count }

@@ -1,0 +1,116 @@
+package idset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+func id(node int32, seq uint64) command.ID {
+	return command.ID{Node: timestamp.NodeID(node), Seq: seq}
+}
+
+func TestAddHas(t *testing.T) {
+	s := New()
+	if s.Has(id(0, 1)) {
+		t.Fatal("empty set has member")
+	}
+	if !s.Add(id(0, 1)) || s.Add(id(0, 1)) {
+		t.Fatal("Add return values wrong")
+	}
+	if !s.Has(id(0, 1)) || s.Has(id(0, 2)) || s.Has(id(1, 1)) {
+		t.Fatal("membership wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestWatermarkCompaction(t *testing.T) {
+	s := New()
+	// Out-of-order inserts: 3, 1, 2 — after 2, the watermark must absorb
+	// the whole run.
+	s.Add(id(0, 3))
+	s.Add(id(0, 1))
+	s.Add(id(0, 2))
+	if len(s.above[0]) != 0 {
+		t.Fatalf("overflow not absorbed: %v", s.above[0])
+	}
+	if s.wm[0] != 3 {
+		t.Fatalf("watermark = %d, want 3", s.wm[0])
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if !s.Has(id(0, seq)) {
+			t.Fatalf("lost seq %d", seq)
+		}
+	}
+}
+
+// Property: the set behaves exactly like a map regardless of insertion
+// order.
+func TestEquivalentToMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		ref := make(map[command.ID]bool)
+		for i := 0; i < 500; i++ {
+			x := id(int32(rng.Intn(4)), uint64(rng.Intn(80)+1))
+			added := s.Add(x)
+			if added == ref[x] {
+				return false // Add must report novelty correctly
+			}
+			ref[x] = true
+		}
+		if int(s.Len()) != len(ref) {
+			return false
+		}
+		for x := range ref {
+			if !s.Has(x) {
+				return false
+			}
+		}
+		// Negative probes.
+		for i := 0; i < 100; i++ {
+			x := id(int32(rng.Intn(4)), uint64(rng.Intn(200)+1))
+			if s.Has(x) != ref[x] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryStaysCompactInOrder(t *testing.T) {
+	s := New()
+	for seq := uint64(1); seq <= 100000; seq++ {
+		s.Add(id(2, seq))
+	}
+	if len(s.above[2]) != 0 {
+		t.Fatalf("in-order adds left %d overflow entries", len(s.above[2]))
+	}
+}
+
+func BenchmarkAddInOrder(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(id(int32(i%5), uint64(i/5+1)))
+	}
+}
+
+func BenchmarkHas(b *testing.B) {
+	s := New()
+	for seq := uint64(1); seq <= 4096; seq++ {
+		s.Add(id(0, seq))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Has(id(0, uint64(i&8191)))
+	}
+}

@@ -1,0 +1,88 @@
+// Package kvstore implements the replicated key-value store used as the
+// benchmark application in §VI of the paper: clients issue commands that
+// update or read a given key of a fully replicated store, and two commands
+// conflict when they access the same key.
+package kvstore
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+)
+
+// decodeInt reads a stored big-endian int64 (absent or malformed = 0).
+func decodeInt(b []byte) int64 {
+	if len(b) != 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+// Store is an in-memory key-value store satisfying protocol.Applier.
+// Apply is invoked from a single goroutine per replica, but reads (Get,
+// Len) may come from other goroutines, so access is guarded.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+	// applied counts executed commands, for test assertions.
+	applied int64
+}
+
+var _ protocol.Applier = (*Store)(nil)
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string][]byte)}
+}
+
+// Apply executes one command and returns its result (the stored value for
+// a GET, nil otherwise).
+func (s *Store) Apply(cmd command.Command) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applied++
+	switch cmd.Op {
+	case command.OpPut:
+		// Copy: the command buffer may be shared across in-process
+		// replicas.
+		v := make([]byte, len(cmd.Value))
+		copy(v, cmd.Value)
+		s.data[cmd.Key] = v
+		return nil
+	case command.OpGet:
+		return s.data[cmd.Key]
+	case command.OpAdd:
+		cur := decodeInt(s.data[cmd.Key])
+		next := cur + cmd.AddDelta()
+		buf := make([]byte, 8)
+		binary.BigEndian.PutUint64(buf, uint64(next))
+		s.data[cmd.Key] = buf
+		return buf
+	default:
+		return nil
+	}
+}
+
+// Get reads a key outside the replication path (for tests and examples).
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Len returns the number of keys present.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Applied returns the number of commands executed.
+func (s *Store) Applied() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applied
+}

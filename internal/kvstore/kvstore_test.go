@@ -1,0 +1,114 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	if v := s.Apply(command.Put("k", []byte("v1"))); v != nil {
+		t.Fatalf("put returned %q", v)
+	}
+	if v := s.Apply(command.Get("k")); string(v) != "v1" {
+		t.Fatalf("get returned %q", v)
+	}
+	if v := s.Apply(command.Get("missing")); v != nil {
+		t.Fatalf("missing key returned %q", v)
+	}
+	if v, ok := s.Get("k"); !ok || string(v) != "v1" {
+		t.Fatal("direct Get broken")
+	}
+	if s.Len() != 1 || s.Applied() != 3 {
+		t.Fatalf("Len=%d Applied=%d", s.Len(), s.Applied())
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	s := New()
+	buf := []byte("original")
+	s.Apply(command.Put("k", buf))
+	buf[0] = 'X'
+	if v, _ := s.Get("k"); string(v) != "original" {
+		t.Fatalf("store aliases caller buffer: %q", v)
+	}
+}
+
+func TestAddSemantics(t *testing.T) {
+	s := New()
+	v := s.Apply(command.Add("n", 5))
+	if got := int64(binary.BigEndian.Uint64(v)); got != 5 {
+		t.Fatalf("add on empty = %d", got)
+	}
+	v = s.Apply(command.Add("n", -8))
+	if got := int64(binary.BigEndian.Uint64(v)); got != -3 {
+		t.Fatalf("add result = %d", got)
+	}
+}
+
+// Property: a sequence of adds equals their sum.
+func TestAddAccumulates(t *testing.T) {
+	f := func(deltas []int32) bool {
+		s := New()
+		var want int64
+		var got []byte
+		for _, d := range deltas {
+			want += int64(d)
+			got = s.Apply(command.Add("acc", int64(d)))
+		}
+		if len(deltas) == 0 {
+			return true
+		}
+		return int64(binary.BigEndian.Uint64(got)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoopAndBatchIgnored(t *testing.T) {
+	s := New()
+	if v := s.Apply(command.Noop()); v != nil {
+		t.Fatal("noop returned a value")
+	}
+	if s.Len() != 0 {
+		t.Fatal("noop mutated the store")
+	}
+}
+
+// Property: last-writer-wins per key regardless of interleaving with other
+// keys.
+func TestLastWriterWins(t *testing.T) {
+	f := func(writes []uint8) bool {
+		s := New()
+		last := map[string]byte{}
+		for i, w := range writes {
+			key := string(rune('a' + w%4))
+			val := []byte{byte(i)}
+			s.Apply(command.Put(key, val))
+			last[key] = byte(i)
+		}
+		for k, want := range last {
+			if got, ok := s.Get(k); !ok || !bytes.Equal(got, []byte{want}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkApplyPut(b *testing.B) {
+	s := New()
+	val := make([]byte, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Apply(command.Command{Op: command.OpPut, Key: "hot", Value: val})
+	}
+}

@@ -1,0 +1,154 @@
+package m2paxos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/transport"
+)
+
+func TestBallotPackUnpack(t *testing.T) {
+	f := func(round uint16, node uint8) bool {
+		r := uint32(round)
+		n := timestamp.NodeID(node % 64)
+		b := makeBallot(r, n)
+		return b.round() == r && b.node() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ballots order primarily by round, and ballots from different
+// nodes at the same round never compare equal.
+func TestBallotOrdering(t *testing.T) {
+	f := func(r1, r2 uint16, n1, n2 uint8) bool {
+		b1 := makeBallot(uint32(r1), timestamp.NodeID(n1%32))
+		b2 := makeBallot(uint32(r2), timestamp.NodeID(n2%32))
+		if r1 < r2 && b1 >= b2 {
+			return false
+		}
+		if r1 == r2 && n1%32 != n2%32 && b1 == b2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// captureEP records outbound messages for white-box acceptor tests.
+type captureEP struct {
+	self timestamp.NodeID
+	n    int
+	sent []any
+}
+
+var _ transport.Endpoint = (*captureEP)(nil)
+
+func (e *captureEP) Self() timestamp.NodeID { return e.self }
+func (e *captureEP) Peers() []timestamp.NodeID {
+	peers := make([]timestamp.NodeID, e.n)
+	for i := range peers {
+		peers[i] = timestamp.NodeID(i)
+	}
+	return peers
+}
+func (e *captureEP) Send(_ timestamp.NodeID, payload any) { e.sent = append(e.sent, payload) }
+func (e *captureEP) Broadcast(payload any) {
+	for i := 0; i < e.n; i++ {
+		e.sent = append(e.sent, payload)
+	}
+}
+func (e *captureEP) SetHandler(transport.Handler) {}
+func (e *captureEP) Close() error                 { return nil }
+
+func (e *captureEP) last() any {
+	if len(e.sent) == 0 {
+		return nil
+	}
+	return e.sent[len(e.sent)-1]
+}
+
+func testPut(node int32, seq uint64, key string) command.Command {
+	cmd := command.Put(key, nil)
+	cmd.ID = command.ID{Node: timestamp.NodeID(node), Seq: seq}
+	return cmd
+}
+
+func acceptorReplica() (*Replica, *captureEP) {
+	ep := &captureEP{self: 1, n: 5}
+	r := New(ep, protocol.ApplierFunc(func(command.Command) []byte { return nil }), Config{})
+	return r, ep
+}
+
+func TestRoundOneOnlyGrantsVirginKeys(t *testing.T) {
+	r, ep := acceptorReplica()
+	// First claimant at round 1 wins the virgin key.
+	r.onAccept(0, &Accept{Key: "k", Ballot: makeBallot(1, 0), Inst: 0, Cmd: testPut(0, 1, "k")})
+	if _, ok := ep.last().(*AcceptOK); !ok {
+		t.Fatalf("first claim got %T", ep.last())
+	}
+	if got := r.key("k").promised; got != makeBallot(1, 0) {
+		t.Fatalf("promise = %v", got)
+	}
+	// A second round-1 claimant is refused even with a numerically
+	// higher ballot — round-1 accepts skip the prepare phase and are
+	// only safe on unpromised keys.
+	r.onAccept(3, &Accept{Key: "k", Ballot: makeBallot(1, 3), Inst: 0, Cmd: testPut(3, 1, "k")})
+	if _, ok := ep.last().(*AcceptNACK); !ok {
+		t.Fatalf("competing round-1 claim got %T", ep.last())
+	}
+	// The original owner keeps getting grants at its ballot.
+	r.onAccept(0, &Accept{Key: "k", Ballot: makeBallot(1, 0), Inst: 1, Cmd: testPut(0, 2, "k")})
+	if _, ok := ep.last().(*AcceptOK); !ok {
+		t.Fatalf("owner's subsequent accept got %T", ep.last())
+	}
+	// Higher rounds follow classic Paxos: ballot ≥ promise grants.
+	r.onAccept(3, &Accept{Key: "k", Ballot: makeBallot(2, 3), Inst: 2, Cmd: testPut(3, 2, "k")})
+	if _, ok := ep.last().(*AcceptOK); !ok {
+		t.Fatalf("round-2 accept got %T", ep.last())
+	}
+	if got := r.key("k").promised; got != makeBallot(2, 3) {
+		t.Fatal("round-2 accept did not raise the promise")
+	}
+}
+
+func TestCommittedValueForcesAdoption(t *testing.T) {
+	r, ep := acceptorReplica()
+	original := testPut(0, 1, "k")
+	r.onCommit(&Commit{Key: "k", Ballot: makeBallot(1, 0), Inst: 5, Cmd: original})
+	// A later claim for the same instance with a different command must
+	// be told about the decided value.
+	r.onAccept(3, &Accept{Key: "k", Ballot: makeBallot(2, 3), Inst: 5, Cmd: testPut(3, 1, "k")})
+	reply, ok := ep.last().(*AcceptOK)
+	if !ok {
+		t.Fatalf("claim got %T", ep.last())
+	}
+	if !reply.PrevValid || reply.PrevCmd.ID != original.ID {
+		t.Fatalf("adoption info missing: %+v", reply)
+	}
+}
+
+func TestPrepareReturnsSuffixAndRefusesStale(t *testing.T) {
+	r, ep := acceptorReplica()
+	r.onAccept(0, &Accept{Key: "k", Ballot: makeBallot(1, 0), Inst: 0, Cmd: testPut(0, 1, "k")})
+	r.onAccept(0, &Accept{Key: "k", Ballot: makeBallot(1, 0), Inst: 1, Cmd: testPut(0, 2, "k")})
+	r.onPrepareKey(2, &PrepareKey{Key: "k", Ballot: makeBallot(2, 2)})
+	okMsg, ok := ep.last().(*PrepareKeyOK)
+	if !ok {
+		t.Fatalf("prepare got %T", ep.last())
+	}
+	if len(okMsg.Suffix) != 2 {
+		t.Fatalf("suffix has %d entries, want 2", len(okMsg.Suffix))
+	}
+	// A stale (lower-ballot) prepare is refused.
+	r.onPrepareKey(3, &PrepareKey{Key: "k", Ballot: makeBallot(2, 1)})
+	if _, ok := ep.last().(*PrepareKeyNACK); !ok {
+		t.Fatalf("stale prepare got %T", ep.last())
+	}
+}

@@ -1,0 +1,228 @@
+package memnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+// collector gathers inbound messages on one endpoint.
+type collector struct {
+	mu   sync.Mutex
+	msgs []any
+	from []timestamp.NodeID
+	ch   chan struct{}
+}
+
+func newCollector() *collector {
+	return &collector{ch: make(chan struct{}, 1024)}
+}
+
+func (c *collector) handle(from timestamp.NodeID, payload any) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, payload)
+	c.from = append(c.from, from)
+	c.mu.Unlock()
+	c.ch <- struct{}{}
+}
+
+func (c *collector) wait(t *testing.T, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.After(timeout)
+	for i := 0; i < n; i++ {
+		select {
+		case <-c.ch:
+		case <-deadline:
+			t.Fatalf("timed out waiting for message %d/%d", i+1, n)
+		}
+	}
+}
+
+func TestSendAndBroadcast(t *testing.T) {
+	net := New(Config{Nodes: 3})
+	defer net.Close()
+	cols := make([]*collector, 3)
+	for i := range cols {
+		cols[i] = newCollector()
+		net.Endpoint(timestamp.NodeID(i)).SetHandler(cols[i].handle)
+	}
+	ep0 := net.Endpoint(0)
+	ep0.Send(1, "direct")
+	cols[1].wait(t, 1, time.Second)
+
+	// Broadcast reaches every node, the sender included.
+	ep0.Broadcast("all")
+	cols[0].wait(t, 1, time.Second)
+	cols[1].wait(t, 1, time.Second)
+	cols[2].wait(t, 1, time.Second)
+	cols[1].mu.Lock()
+	defer cols[1].mu.Unlock()
+	if cols[1].msgs[0] != "direct" || cols[1].msgs[1] != "all" {
+		t.Fatalf("node 1 received %v", cols[1].msgs)
+	}
+	if cols[1].from[0] != 0 {
+		t.Fatalf("sender recorded as %v", cols[1].from[0])
+	}
+}
+
+func TestPerLinkFIFO(t *testing.T) {
+	net := New(Config{Nodes: 2, Jitter: 300 * time.Microsecond})
+	defer net.Close()
+	col := newCollector()
+	net.Endpoint(1).SetHandler(col.handle)
+	ep0 := net.Endpoint(0)
+	const n = 200
+	for i := 0; i < n; i++ {
+		ep0.Send(1, i)
+	}
+	col.wait(t, n, 5*time.Second)
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	for i, m := range col.msgs {
+		if m.(int) != i {
+			t.Fatalf("FIFO violated at %d: got %v", i, m)
+		}
+	}
+}
+
+func TestDelayIsApplied(t *testing.T) {
+	const oneWay = 20 * time.Millisecond
+	net := New(Config{Nodes: 2, Delay: UniformDelay(oneWay)})
+	defer net.Close()
+	col := newCollector()
+	net.Endpoint(1).SetHandler(col.handle)
+	start := time.Now()
+	net.Endpoint(0).Send(1, "x")
+	col.wait(t, 1, time.Second)
+	if d := time.Since(start); d < oneWay {
+		t.Fatalf("delivered in %v, want ≥ %v", d, oneWay)
+	}
+}
+
+func TestSelfDeliveryIsFast(t *testing.T) {
+	// Self sends bypass the link delay; the bound is half the one-way
+	// delay so the test stays robust to scheduler noise when the whole
+	// suite saturates the machine.
+	const oneWay = 300 * time.Millisecond
+	net := New(Config{Nodes: 2, Delay: UniformDelay(oneWay)})
+	defer net.Close()
+	col := newCollector()
+	net.Endpoint(0).SetHandler(col.handle)
+	start := time.Now()
+	net.Endpoint(0).Send(0, "self")
+	col.wait(t, 1, time.Second)
+	if d := time.Since(start); d > oneWay/2 {
+		t.Fatalf("self delivery took %v, want well below the %v link delay", d, oneWay)
+	}
+}
+
+func TestCrashStopsTraffic(t *testing.T) {
+	net := New(Config{Nodes: 2})
+	defer net.Close()
+	col := newCollector()
+	net.Endpoint(1).SetHandler(col.handle)
+	net.Crash(0)
+	if !net.Crashed(0) {
+		t.Fatal("Crashed(0) false after Crash")
+	}
+	net.Endpoint(0).Send(1, "dead letter")
+	time.Sleep(30 * time.Millisecond)
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if len(col.msgs) != 0 {
+		t.Fatal("crashed node's message delivered")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	net := New(Config{Nodes: 2})
+	defer net.Close()
+	col := newCollector()
+	net.Endpoint(1).SetHandler(col.handle)
+	net.Partition(0, 1)
+	net.Endpoint(0).Send(1, "blocked")
+	time.Sleep(30 * time.Millisecond)
+	col.mu.Lock()
+	blocked := len(col.msgs)
+	col.mu.Unlock()
+	if blocked != 0 {
+		t.Fatal("message crossed a partition")
+	}
+	net.Heal(0, 1)
+	net.Endpoint(0).Send(1, "after-heal")
+	col.wait(t, 1, time.Second)
+}
+
+func TestDropProbability(t *testing.T) {
+	net := New(Config{Nodes: 2, Seed: 99})
+	defer net.Close()
+	col := newCollector()
+	net.Endpoint(1).SetHandler(col.handle)
+	net.SetDropProb(0, 1, 1.0)
+	for i := 0; i < 10; i++ {
+		net.Endpoint(0).Send(1, i)
+	}
+	time.Sleep(30 * time.Millisecond)
+	col.mu.Lock()
+	dropped := len(col.msgs)
+	col.mu.Unlock()
+	if dropped != 0 {
+		t.Fatalf("%d messages survived p=1.0 drop", dropped)
+	}
+}
+
+func TestGeoMatrixSymmetricZeroDiagonal(t *testing.T) {
+	for a := Virginia; a <= Mumbai; a++ {
+		if GeoRTT(a, a, 1.0) != 0 {
+			t.Errorf("RTT(%v,%v) != 0", a, a)
+		}
+		for b := Virginia; b <= Mumbai; b++ {
+			if GeoRTT(a, b, 1.0) != GeoRTT(b, a, 1.0) {
+				t.Errorf("asymmetric RTT between %d and %d", a, b)
+			}
+		}
+	}
+	// The paper's published Mumbai row.
+	want := map[Site]int{Virginia: 186, Ohio: 301, Frankfurt: 112, Ireland: 122}
+	for site, ms := range want {
+		if got := GeoRTT(Mumbai, site, 1.0); got != time.Duration(ms)*time.Millisecond {
+			t.Errorf("RTT(IN,%v) = %v, want %dms", site, got, ms)
+		}
+	}
+	// "The RTT ... in between nodes in EU and US are all below 100ms."
+	for a := Virginia; a <= Ireland; a++ {
+		for b := Virginia; b <= Ireland; b++ {
+			if a != b && GeoRTT(a, b, 1.0) >= 100*time.Millisecond {
+				t.Errorf("EU/US RTT %v-%v = %v ≥ 100ms", a, b, GeoRTT(a, b, 1.0))
+			}
+		}
+	}
+}
+
+func TestGeoDelayIsHalfRTTScaled(t *testing.T) {
+	d := GeoDelay(0.5)
+	got := d(0, 4) // Virginia→Mumbai
+	want := time.Duration(186.0 / 2 * 0.5 * float64(time.Millisecond))
+	if got != want {
+		t.Fatalf("one-way VA→IN at scale 0.5 = %v, want %v", got, want)
+	}
+	if d(2, 2) != 0 {
+		t.Fatal("self delay not zero")
+	}
+}
+
+func BenchmarkSendDeliver(b *testing.B) {
+	net := New(Config{Nodes: 2})
+	defer net.Close()
+	done := make(chan struct{}, 1024)
+	net.Endpoint(1).SetHandler(func(timestamp.NodeID, any) { done <- struct{}{} })
+	ep := net.Endpoint(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep.Send(1, i)
+		<-done
+	}
+}

@@ -1,0 +1,332 @@
+// Package mencius implements the Mencius baseline (Mao, Junqueira,
+// Marzullo — OSDI 2008) as evaluated in §VI of the CAESAR paper: a
+// multi-leader protocol that pre-assigns consensus slots to nodes
+// round-robin. Node i owns slots {i, i+N, i+2N, ...} and proposes its
+// commands in its own slots; when it observes a higher occupied slot it
+// skips its earlier unused slots so the log can advance.
+//
+// Delivery executes the log in slot order, which requires learning the
+// status (value or skip) of every lower slot from every node — this is why
+// Mencius "performs as the slowest node" (§II) and why the CAESAR paper
+// uses quorum-based protocols in geo-scale instead.
+package mencius
+
+import (
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/metrics"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/quorum"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/transport"
+)
+
+// Config tunes a Replica.
+type Config struct {
+	// InboxSize bounds the event-loop mailbox. Default 8192.
+	InboxSize int
+	// Metrics receives measurements; nil allocates a private recorder.
+	Metrics *metrics.Recorder
+}
+
+// Wire messages.
+type (
+	// Accept proposes Cmd in Slot (owned by the sender).
+	Accept struct {
+		Slot uint64
+		Cmd  command.Command
+	}
+	// AcceptOK acknowledges an Accept to the slot owner.
+	AcceptOK struct {
+		Slot uint64
+	}
+	// Commit finalises the value of Slot.
+	Commit struct {
+		Slot uint64
+		Cmd  command.Command
+	}
+	// SkipTo announces that every slot owned by the sender below Slot
+	// that it has not proposed in is skipped (a decided no-op).
+	SkipTo struct {
+		Slot uint64
+	}
+)
+
+// slotState is a slot's lifecycle at one replica.
+type slotState uint8
+
+const (
+	slotEmpty slotState = iota
+	slotAccepted
+	slotCommitted
+	slotSkipped
+)
+
+type slot struct {
+	state slotState
+	cmd   command.Command
+}
+
+// Replica is one Mencius node.
+type Replica struct {
+	ep   transport.Endpoint
+	self timestamp.NodeID
+	n    int
+	cq   int
+	cfg  Config
+	app  protocol.Applier
+	met  *metrics.Recorder
+	loop *protocol.Loop
+
+	slots map[uint64]*slot
+	// skipTo[o]: every slot owned by o below this bound without a
+	// received Accept is skipped.
+	skipTo map[timestamp.NodeID]uint64
+	// ownNext is the next slot this node may propose in.
+	ownNext uint64
+	// maxSeen is the highest slot observed anywhere.
+	maxSeen uint64
+	acks    map[uint64]*quorum.Tracker
+	execTo  uint64
+
+	dones    map[command.ID]protocol.DoneFunc
+	submitAt map[command.ID]time.Time
+	nextSeq  uint64
+	started  bool
+}
+
+type evSubmit struct {
+	cmd  command.Command
+	done protocol.DoneFunc
+}
+
+var _ protocol.Engine = (*Replica)(nil)
+
+// New builds a replica attached to the endpoint.
+func New(ep transport.Endpoint, app protocol.Applier, cfg Config) *Replica {
+	if cfg.InboxSize == 0 {
+		cfg.InboxSize = 8192
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRecorder()
+	}
+	r := &Replica{
+		ep:       ep,
+		self:     ep.Self(),
+		n:        len(ep.Peers()),
+		cq:       quorum.ClassicSize(len(ep.Peers())),
+		cfg:      cfg,
+		app:      app,
+		met:      cfg.Metrics,
+		loop:     protocol.NewLoop(cfg.InboxSize),
+		slots:    make(map[uint64]*slot),
+		skipTo:   make(map[timestamp.NodeID]uint64),
+		acks:     make(map[uint64]*quorum.Tracker),
+		dones:    make(map[command.ID]protocol.DoneFunc),
+		submitAt: make(map[command.ID]time.Time),
+	}
+	r.ownNext = uint64(r.self)
+	return r
+}
+
+// Metrics returns the replica's recorder.
+func (r *Replica) Metrics() *metrics.Recorder { return r.met }
+
+// Start launches the event loop.
+func (r *Replica) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	r.ep.SetHandler(func(from timestamp.NodeID, payload any) {
+		r.loop.Post(protocol.Inbound{From: from, Payload: payload})
+	})
+	go r.loop.Run(r.handle)
+}
+
+// Stop shuts the replica down.
+func (r *Replica) Stop() {
+	if !r.started {
+		return
+	}
+	r.started = false
+	_ = r.ep.Close()
+	r.loop.Stop()
+	for id, done := range r.dones {
+		delete(r.dones, id)
+		if done != nil {
+			done(protocol.Result{Err: protocol.ErrStopped})
+		}
+	}
+}
+
+// Submit proposes cmd in this node's next pre-assigned slot.
+func (r *Replica) Submit(cmd command.Command, done protocol.DoneFunc) {
+	if !r.loop.Post(evSubmit{cmd: cmd, done: done}) && done != nil {
+		done(protocol.Result{Err: protocol.ErrStopped})
+	}
+}
+
+func (r *Replica) handle(ev any) {
+	switch e := ev.(type) {
+	case evSubmit:
+		r.onSubmit(e.cmd, e.done)
+	case protocol.Inbound:
+		switch m := e.Payload.(type) {
+		case *Accept:
+			r.onAccept(e.From, m)
+		case *AcceptOK:
+			r.onAcceptOK(e.From, m)
+		case *Commit:
+			r.onCommit(e.From, m)
+		case *SkipTo:
+			r.onSkipTo(e.From, m)
+		}
+	}
+}
+
+// owner returns the node a slot is pre-assigned to.
+func (r *Replica) owner(s uint64) timestamp.NodeID {
+	return timestamp.NodeID(s % uint64(r.n))
+}
+
+func (r *Replica) onSubmit(cmd command.Command, done protocol.DoneFunc) {
+	r.nextSeq++
+	cmd.ID = command.ID{Node: r.self, Seq: r.nextSeq}
+	if done != nil {
+		r.dones[cmd.ID] = done
+	}
+	r.submitAt[cmd.ID] = time.Now()
+
+	s := r.ownNext
+	r.ownNext += uint64(r.n)
+	r.setSlot(s, slotAccepted, cmd)
+	r.acks[s] = quorum.NewTracker(r.cq)
+	r.acks[s].Add(int32(r.self))
+	if s > r.maxSeen {
+		r.maxSeen = s
+	}
+	r.ep.Broadcast(&Accept{Slot: s, Cmd: cmd})
+}
+
+func (r *Replica) setSlot(s uint64, st slotState, cmd command.Command) {
+	sl := r.slots[s]
+	if sl == nil {
+		sl = &slot{}
+		r.slots[s] = sl
+	}
+	if sl.state == slotCommitted && st != slotCommitted {
+		return
+	}
+	sl.state = st
+	sl.cmd = cmd
+}
+
+// onAccept stores the proposal, acknowledges it, and skips our own unused
+// slots below it so the log keeps advancing (the Mencius skip rule).
+func (r *Replica) onAccept(from timestamp.NodeID, m *Accept) {
+	if from == r.self {
+		return // handled at submit time
+	}
+	if m.Slot > r.maxSeen {
+		r.maxSeen = m.Slot
+	}
+	r.setSlot(m.Slot, slotAccepted, m.Cmd)
+	r.ep.Send(from, &AcceptOK{Slot: m.Slot})
+	r.skipOwnBelow(m.Slot)
+	r.execute()
+}
+
+// skipOwnBelow advances this node's proposal horizon past bound, skipping
+// the unused slots in between, and announces it.
+func (r *Replica) skipOwnBelow(bound uint64) {
+	if r.ownNext >= bound {
+		return
+	}
+	// Smallest owned slot ≥ bound.
+	next := bound - bound%uint64(r.n) + uint64(r.self)
+	if next < bound {
+		next += uint64(r.n)
+	}
+	r.ownNext = next
+	r.ep.Broadcast(&SkipTo{Slot: next})
+}
+
+func (r *Replica) onAcceptOK(from timestamp.NodeID, m *AcceptOK) {
+	tr := r.acks[m.Slot]
+	if tr == nil {
+		return
+	}
+	tr.Add(int32(from))
+	if !tr.Reached() {
+		return
+	}
+	delete(r.acks, m.Slot)
+	sl := r.slots[m.Slot]
+	r.setSlot(m.Slot, slotCommitted, sl.cmd)
+	r.ep.Broadcast(&Commit{Slot: m.Slot, Cmd: sl.cmd})
+	r.execute()
+}
+
+func (r *Replica) onCommit(from timestamp.NodeID, m *Commit) {
+	if from == r.self {
+		return
+	}
+	if m.Slot > r.maxSeen {
+		r.maxSeen = m.Slot
+	}
+	r.setSlot(m.Slot, slotCommitted, m.Cmd)
+	r.skipOwnBelow(m.Slot)
+	r.execute()
+}
+
+func (r *Replica) onSkipTo(from timestamp.NodeID, m *SkipTo) {
+	if m.Slot > r.skipTo[from] {
+		r.skipTo[from] = m.Slot
+	}
+	r.execute()
+}
+
+// resolvedSkip reports whether slot s counts as a decided no-op.
+func (r *Replica) resolvedSkip(s uint64) bool {
+	o := r.owner(s)
+	if o == r.self {
+		// Our own slots: skipped if we advanced past them without
+		// proposing.
+		sl := r.slots[s]
+		return s < r.ownNext && (sl == nil || sl.state == slotEmpty)
+	}
+	sl := r.slots[s]
+	return s < r.skipTo[o] && (sl == nil || sl.state == slotEmpty)
+}
+
+// execute applies the log prefix in slot order.
+func (r *Replica) execute() {
+	for {
+		s := r.execTo
+		sl := r.slots[s]
+		switch {
+		case sl != nil && sl.state == slotCommitted:
+			value := r.app.Apply(sl.cmd)
+			r.met.Executed.Inc()
+			r.met.Decided.Inc()
+			if sl.cmd.ID.Node == r.self {
+				if at, ok := r.submitAt[sl.cmd.ID]; ok {
+					r.met.ObserveLatency(time.Since(at))
+					delete(r.submitAt, sl.cmd.ID)
+				}
+				if done := r.dones[sl.cmd.ID]; done != nil {
+					delete(r.dones, sl.cmd.ID)
+					done(protocol.Result{Value: value})
+				}
+			}
+			delete(r.slots, s)
+		case r.resolvedSkip(s):
+			delete(r.slots, s)
+		default:
+			return
+		}
+		r.execTo++
+	}
+}

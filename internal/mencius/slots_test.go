@@ -1,0 +1,105 @@
+package mencius
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/transport"
+)
+
+// captureEP records outbound traffic for white-box tests.
+type captureEP struct {
+	self timestamp.NodeID
+	n    int
+	sent []any
+}
+
+var _ transport.Endpoint = (*captureEP)(nil)
+
+func (e *captureEP) Self() timestamp.NodeID { return e.self }
+func (e *captureEP) Peers() []timestamp.NodeID {
+	peers := make([]timestamp.NodeID, e.n)
+	for i := range peers {
+		peers[i] = timestamp.NodeID(i)
+	}
+	return peers
+}
+func (e *captureEP) Send(_ timestamp.NodeID, payload any) { e.sent = append(e.sent, payload) }
+func (e *captureEP) Broadcast(payload any)                { e.sent = append(e.sent, payload) }
+func (e *captureEP) SetHandler(transport.Handler)         {}
+func (e *captureEP) Close() error                         { return nil }
+
+func whiteReplica(self timestamp.NodeID) (*Replica, *captureEP) {
+	ep := &captureEP{self: self, n: 5}
+	r := New(ep, protocol.ApplierFunc(func(command.Command) []byte { return nil }), Config{})
+	return r, ep
+}
+
+func TestOwnerAssignment(t *testing.T) {
+	r, _ := whiteReplica(0)
+	f := func(slot uint32) bool {
+		return r.owner(uint64(slot)) == timestamp.NodeID(uint64(slot)%5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkipOwnBelowAdvancesToOwnedSlot(t *testing.T) {
+	cases := []struct {
+		self  int32
+		bound uint64
+		want  uint64
+	}{
+		{1, 5, 6},  // smallest slot ≥5 owned by node 1
+		{1, 7, 11}, // 6 < 7 → next cycle
+		{0, 5, 5},  // exactly owned
+		{4, 3, 4},  // first owned slot already ≥ bound
+		{2, 100, 102},
+	}
+	for _, c := range cases {
+		r, ep := whiteReplica(timestamp.NodeID(c.self))
+		r.skipOwnBelow(c.bound)
+		if r.ownNext != c.want {
+			t.Errorf("self=%d bound=%d: ownNext=%d, want %d", c.self, c.bound, r.ownNext, c.want)
+		}
+		if c.want > uint64(c.self) && len(ep.sent) == 0 {
+			t.Errorf("self=%d bound=%d: skip not announced", c.self, c.bound)
+		}
+	}
+}
+
+func TestSkipOwnBelowNoopWhenAlreadyAhead(t *testing.T) {
+	r, ep := whiteReplica(2)
+	r.ownNext = 42
+	r.skipOwnBelow(10)
+	if r.ownNext != 42 || len(ep.sent) != 0 {
+		t.Fatal("regressed an already-advanced horizon")
+	}
+}
+
+func TestResolvedSkipRules(t *testing.T) {
+	r, _ := whiteReplica(0)
+	// Slot 1 owned by node 1: unresolved until a SkipTo covers it.
+	if r.resolvedSkip(1) {
+		t.Fatal("slot resolved without skip info")
+	}
+	r.onSkipTo(1, &SkipTo{Slot: 6})
+	if !r.resolvedSkip(1) {
+		t.Fatal("slot not resolved after SkipTo")
+	}
+	// A slot with an accepted value is never a skip.
+	r.setSlot(6, slotAccepted, command.Put("k", nil))
+	r.onSkipTo(1, &SkipTo{Slot: 11})
+	if r.resolvedSkip(6) {
+		t.Fatal("accepted slot treated as skip")
+	}
+	// Own slots resolve through ownNext.
+	r.ownNext = 10
+	if !r.resolvedSkip(5) || !r.resolvedSkip(0) {
+		t.Fatal("own skipped slots not resolved")
+	}
+}

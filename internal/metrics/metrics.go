@@ -1,0 +1,193 @@
+// Package metrics collects the measurements behind the paper's figures:
+// command latency distributions (Figs 6–8), throughput (Figs 9, 12), the
+// fast/slow decision split (Fig 10), the per-phase latency breakdown
+// (Fig 11a) and time spent in CAESAR's wait condition (Fig 11b).
+//
+// All recording paths are safe for concurrent use and cheap enough for the
+// benchmark hot path (atomic adds into fixed bucket arrays).
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of exponential histogram buckets.
+const histBuckets = 256
+
+// histGrowth is the per-bucket growth factor. Bucket i covers
+// [histMin·g^i, histMin·g^(i+1)); 256 buckets at 7% growth span
+// 100µs .. ~3.2e6s, far beyond any latency we record.
+const histGrowth = 1.07
+
+// histMin is the lower bound of bucket 0.
+const histMin = 100 * time.Microsecond
+
+var logGrowth = math.Log(histGrowth)
+
+// Histogram is a lock-free exponential-bucket latency histogram.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds; math.MaxInt64 when empty
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+func bucketFor(d time.Duration) int {
+	if d < histMin {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(histMin)) / logGrowth)
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper returns the upper bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(float64(histMin) * math.Pow(histGrowth, float64(i+1)))
+}
+
+// Reset zeroes the histogram. Concurrent Observes during a Reset may be
+// partially lost, which is acceptable for its purpose (discarding warmup
+// samples between measurement windows).
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.min.Load()
+		if int64(d) >= cur || h.min.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	h.buckets[bucketFor(d)].Add(1)
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean sample, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (h *Histogram) Min() time.Duration {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	return time.Duration(h.max.Load())
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the buckets. The
+// estimate is the upper bound of the bucket containing the quantile, so it
+// errs high by at most the 7% bucket width.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return bucketUpper(i)
+		}
+	}
+	return h.Max()
+}
+
+// Counter is an atomic event counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// DurationSum accumulates total time spent in some activity together with
+// the number of contributions, for mean-time reporting.
+type DurationSum struct {
+	total atomic.Int64
+	n     atomic.Int64
+}
+
+// Add records one contribution.
+func (s *DurationSum) Add(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	s.total.Add(int64(d))
+	s.n.Add(1)
+}
+
+// Total returns the accumulated time.
+func (s *DurationSum) Total() time.Duration { return time.Duration(s.total.Load()) }
+
+// Count returns the number of contributions.
+func (s *DurationSum) Count() int64 { return s.n.Load() }
+
+// Mean returns Total/Count, or 0 when empty.
+func (s *DurationSum) Mean() time.Duration {
+	n := s.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(s.total.Load() / n)
+}
+
+// Reset zeroes the sum.
+func (s *DurationSum) Reset() {
+	s.total.Store(0)
+	s.n.Store(0)
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Observe(10 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 20*time.Millisecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 30*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	// Bucketed quantiles err high by at most one 7% bucket.
+	for _, q := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 500 * time.Millisecond}, {0.99, 990 * time.Millisecond}} {
+		got := h.Quantile(q.q)
+		if got < q.want || got > q.want*115/100 {
+			t.Errorf("Quantile(%v) = %v, want within [%v, +15%%]", q.q, got, q.want)
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Fatal("negative observation not clamped to zero")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 40000 {
+		t.Fatalf("lost observations: %d", h.Count())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// Property: mean is always within [min, max] and count increments by one
+// per observation.
+func TestHistogramInvariants(t *testing.T) {
+	f := func(samples []uint32) bool {
+		h := NewHistogram()
+		for _, s := range samples {
+			h.Observe(time.Duration(s % 1e9))
+		}
+		if h.Count() != int64(len(samples)) {
+			return false
+		}
+		if h.Count() > 0 && (h.Mean() < h.Min() || h.Mean() > h.Max()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurationSum(t *testing.T) {
+	var s DurationSum
+	s.Add(2 * time.Second)
+	s.Add(4 * time.Second)
+	s.Add(-time.Second) // ignored
+	if s.Count() != 2 || s.Total() != 6*time.Second || s.Mean() != 3*time.Second {
+		t.Fatalf("count=%d total=%v mean=%v", s.Count(), s.Total(), s.Mean())
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Mean() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.ObserveLatency(time.Second) // must not panic
+	r.Reset()
+	if r.SlowRatio() != 0 {
+		t.Fatal("nil recorder slow ratio")
+	}
+}
+
+func TestRecorderSlowRatio(t *testing.T) {
+	r := NewRecorder()
+	if r.SlowRatio() != 0 {
+		t.Fatal("empty recorder ratio")
+	}
+	r.FastDecisions.Add(3)
+	r.SlowDecisions.Add(1)
+	if got := r.SlowRatio(); got != 0.25 {
+		t.Fatalf("SlowRatio = %v", got)
+	}
+}
+
+func TestThroughputDelta(t *testing.T) {
+	var tp Throughput
+	if tp.Delta(100) != 100 {
+		t.Fatal("first delta")
+	}
+	if tp.Delta(250) != 150 {
+		t.Fatal("second delta")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Recorder aggregates every per-replica measurement the experiments need.
+// A nil *Recorder is valid and records nothing, so engines can be run
+// without instrumentation.
+type Recorder struct {
+	// Latency is the client-visible submit→executed latency (Figs 6–8).
+	Latency *Histogram
+
+	// Executed counts commands executed locally; Decided counts
+	// decisions learned. The harness samples Executed over time for the
+	// throughput figures (9, 12).
+	Executed Counter
+	Decided  Counter
+
+	// FastDecisions / SlowDecisions split decisions taken as this
+	// replica's command leader by path (Fig 10). Retries counts retry
+	// phases, Nacks individual rejections.
+	FastDecisions Counter
+	SlowDecisions Counter
+	Retries       Counter
+	Nacks         Counter
+
+	// Phase breakdown at the command leader (Fig 11a).
+	ProposePhase DurationSum
+	RetryPhase   DurationSum
+	DeliverPhase DurationSum
+
+	// WaitCondition is the time commands spend blocked in CAESAR's
+	// acceptor-side wait condition at this replica (Fig 11b).
+	WaitCondition DurationSum
+
+	// Recoveries counts recovery phases this replica ran (Fig 12 runs).
+	Recoveries Counter
+}
+
+// NewRecorder returns a Recorder ready for use.
+func NewRecorder() *Recorder {
+	return &Recorder{Latency: NewHistogram()}
+}
+
+// Reset zeroes every measurement; the harness calls it after warmup so the
+// reported window excludes ramp-up noise.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.Latency.Reset()
+	r.Executed.Reset()
+	r.Decided.Reset()
+	r.FastDecisions.Reset()
+	r.SlowDecisions.Reset()
+	r.Retries.Reset()
+	r.Nacks.Reset()
+	r.ProposePhase.Reset()
+	r.RetryPhase.Reset()
+	r.DeliverPhase.Reset()
+	r.WaitCondition.Reset()
+	r.Recoveries.Reset()
+}
+
+// ObserveLatency records one end-to-end command latency.
+func (r *Recorder) ObserveLatency(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Latency.Observe(d)
+}
+
+// SlowRatio returns the fraction of this leader's decisions that took the
+// slow path, as plotted in Fig 10.
+func (r *Recorder) SlowRatio() float64 {
+	if r == nil {
+		return 0
+	}
+	fast, slow := r.FastDecisions.Load(), r.SlowDecisions.Load()
+	if fast+slow == 0 {
+		return 0
+	}
+	return float64(slow) / float64(fast+slow)
+}
+
+// Throughput is a sampled count used to build timelines (Fig 12): call
+// Snapshot periodically and difference consecutive values.
+type Throughput struct {
+	last atomic.Int64
+}
+
+// Delta returns current-last and stores current.
+func (t *Throughput) Delta(current int64) int64 {
+	prev := t.last.Swap(current)
+	return current - prev
+}

@@ -1,0 +1,114 @@
+package multipaxos
+
+import (
+	"testing"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/transport"
+)
+
+// captureEP records outbound traffic for white-box tests.
+type captureEP struct {
+	self timestamp.NodeID
+	n    int
+	sent []any
+}
+
+var _ transport.Endpoint = (*captureEP)(nil)
+
+func (e *captureEP) Self() timestamp.NodeID { return e.self }
+func (e *captureEP) Peers() []timestamp.NodeID {
+	peers := make([]timestamp.NodeID, e.n)
+	for i := range peers {
+		peers[i] = timestamp.NodeID(i)
+	}
+	return peers
+}
+func (e *captureEP) Send(_ timestamp.NodeID, payload any) { e.sent = append(e.sent, payload) }
+func (e *captureEP) Broadcast(payload any)                { e.sent = append(e.sent, payload) }
+func (e *captureEP) SetHandler(transport.Handler)         {}
+func (e *captureEP) Close() error                         { return nil }
+
+func leaderReplica() (*Replica, *captureEP, *[]command.ID) {
+	ep := &captureEP{self: 0, n: 5}
+	order := &[]command.ID{}
+	r := New(ep, protocol.ApplierFunc(func(cmd command.Command) []byte {
+		*order = append(*order, cmd.ID)
+		return nil
+	}), Config{Leader: 0})
+	return r, ep, order
+}
+
+func testCmd(seq uint64) command.Command {
+	cmd := command.Put("k", nil)
+	cmd.ID = command.ID{Node: 1, Seq: seq}
+	return cmd
+}
+
+// TestCommitOnlyInIndexOrder: index 1 reaching its quorum before index 0
+// must not commit anything until index 0 is also acknowledged.
+func TestCommitOnlyInIndexOrder(t *testing.T) {
+	r, ep, _ := leaderReplica()
+	r.sequence(testCmd(1)) // index 0
+	r.sequence(testCmd(2)) // index 1
+	// Acceptors store both entries (the leader's own log).
+	r.onAccept(0, &Accept{Index: 0, Cmd: testCmd(1)})
+	r.onAccept(0, &Accept{Index: 1, Cmd: testCmd(2)})
+	ep.sent = nil
+
+	// Quorum for index 1 first: no Commit may be broadcast.
+	for _, from := range []int32{0, 1, 2} {
+		r.onAcceptOK(timestamp.NodeID(from), &AcceptOK{Index: 1})
+	}
+	for _, m := range ep.sent {
+		if _, ok := m.(*Commit); ok {
+			t.Fatal("committed out of order")
+		}
+	}
+	// Index 0's quorum unlocks both at once.
+	for _, from := range []int32{0, 1, 2} {
+		r.onAcceptOK(timestamp.NodeID(from), &AcceptOK{Index: 0})
+	}
+	var commit *Commit
+	for _, m := range ep.sent {
+		if c, ok := m.(*Commit); ok {
+			commit = c
+		}
+	}
+	if commit == nil || commit.Index != 1 {
+		t.Fatalf("commit = %+v, want contiguous commit through index 1", commit)
+	}
+}
+
+// TestExecutionFollowsCommitPrefix: followers execute exactly the decided
+// prefix, in order.
+func TestExecutionFollowsCommitPrefix(t *testing.T) {
+	ep := &captureEP{self: 2, n: 5}
+	order := &[]command.ID{}
+	r := New(ep, protocol.ApplierFunc(func(cmd command.Command) []byte {
+		*order = append(*order, cmd.ID)
+		return nil
+	}), Config{Leader: 0})
+
+	r.onAccept(0, &Accept{Index: 0, Cmd: testCmd(1)})
+	r.onAccept(0, &Accept{Index: 1, Cmd: testCmd(2)})
+	r.onAccept(0, &Accept{Index: 2, Cmd: testCmd(3)})
+	r.onCommit(&Commit{Index: 1})
+	if len(*order) != 2 {
+		t.Fatalf("executed %d, want decided prefix of 2", len(*order))
+	}
+	if (*order)[0].Seq != 1 || (*order)[1].Seq != 2 {
+		t.Fatalf("execution order %v", *order)
+	}
+	r.onCommit(&Commit{Index: 2})
+	if len(*order) != 3 {
+		t.Fatalf("executed %d after full commit", len(*order))
+	}
+	// A stale commit is harmless.
+	r.onCommit(&Commit{Index: 0})
+	if len(*order) != 3 {
+		t.Fatal("stale commit re-executed entries")
+	}
+}

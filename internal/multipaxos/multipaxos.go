@@ -1,0 +1,259 @@
+// Package multipaxos implements the single-leader Multi-Paxos baseline of
+// the paper's evaluation (§VI): a designated stable leader sequences every
+// command into a replicated log; followers forward submissions to it.
+//
+// The evaluation deploys it in two settings — leader close to a quorum
+// (Multi-Paxos-IR, Ireland) and leader far from one (Multi-Paxos-IN,
+// Mumbai) — so the leader site is a configuration knob. The steady-state
+// protocol is phase-2 only (the leader's prepare phase is implicit in its
+// static election), which is the standard production deployment the paper
+// compares against; leader failover is out of scope here exactly as it is
+// in the paper's non-faulty experiments.
+package multipaxos
+
+import (
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/metrics"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/quorum"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/transport"
+)
+
+// Config tunes a Replica.
+type Config struct {
+	// Leader is the node that sequences all commands.
+	Leader timestamp.NodeID
+	// InboxSize bounds the event-loop mailbox. Default 8192.
+	InboxSize int
+	// Metrics receives measurements; nil allocates a private recorder.
+	Metrics *metrics.Recorder
+}
+
+// Wire messages.
+type (
+	// Forward carries a follower's submission to the leader.
+	Forward struct {
+		Cmd command.Command
+	}
+	// Accept is the leader's phase-2a for one log index.
+	Accept struct {
+		Index uint64
+		Cmd   command.Command
+	}
+	// AcceptOK is an acceptor's phase-2b.
+	AcceptOK struct {
+		Index uint64
+	}
+	// Commit announces that the log is decided up to and including
+	// Index (the leader commits in index order).
+	Commit struct {
+		Index uint64
+	}
+)
+
+// logEntry is one accepted log slot.
+type logEntry struct {
+	cmd command.Command
+	ok  bool
+}
+
+// Replica is one Multi-Paxos node.
+type Replica struct {
+	ep     transport.Endpoint
+	self   timestamp.NodeID
+	n      int
+	cq     int
+	cfg    Config
+	app    protocol.Applier
+	met    *metrics.Recorder
+	loop   *protocol.Loop
+	leader bool
+
+	log      []logEntry
+	acks     map[uint64]*quorum.Tracker
+	next     uint64 // leader: next index to assign
+	commitTo uint64 // highest decided index + 1
+	execTo   uint64 // highest executed index + 1
+
+	dones    map[command.ID]protocol.DoneFunc
+	submitAt map[command.ID]time.Time
+	nextSeq  uint64
+	started  bool
+}
+
+type evSubmit struct {
+	cmd  command.Command
+	done protocol.DoneFunc
+}
+
+var _ protocol.Engine = (*Replica)(nil)
+
+// New builds a replica attached to the endpoint.
+func New(ep transport.Endpoint, app protocol.Applier, cfg Config) *Replica {
+	if cfg.InboxSize == 0 {
+		cfg.InboxSize = 8192
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRecorder()
+	}
+	return &Replica{
+		ep:       ep,
+		self:     ep.Self(),
+		n:        len(ep.Peers()),
+		cq:       quorum.ClassicSize(len(ep.Peers())),
+		cfg:      cfg,
+		app:      app,
+		met:      cfg.Metrics,
+		loop:     protocol.NewLoop(cfg.InboxSize),
+		leader:   ep.Self() == cfg.Leader,
+		acks:     make(map[uint64]*quorum.Tracker),
+		dones:    make(map[command.ID]protocol.DoneFunc),
+		submitAt: make(map[command.ID]time.Time),
+	}
+}
+
+// Metrics returns the replica's recorder.
+func (r *Replica) Metrics() *metrics.Recorder { return r.met }
+
+// Start launches the event loop.
+func (r *Replica) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	r.ep.SetHandler(func(from timestamp.NodeID, payload any) {
+		r.loop.Post(protocol.Inbound{From: from, Payload: payload})
+	})
+	go r.loop.Run(r.handle)
+}
+
+// Stop shuts the replica down.
+func (r *Replica) Stop() {
+	if !r.started {
+		return
+	}
+	r.started = false
+	_ = r.ep.Close()
+	r.loop.Stop()
+	for id, done := range r.dones {
+		delete(r.dones, id)
+		if done != nil {
+			done(protocol.Result{Err: protocol.ErrStopped})
+		}
+	}
+}
+
+// Submit proposes cmd; non-leaders forward it to the leader.
+func (r *Replica) Submit(cmd command.Command, done protocol.DoneFunc) {
+	if !r.loop.Post(evSubmit{cmd: cmd, done: done}) && done != nil {
+		done(protocol.Result{Err: protocol.ErrStopped})
+	}
+}
+
+func (r *Replica) handle(ev any) {
+	switch e := ev.(type) {
+	case evSubmit:
+		r.onSubmit(e.cmd, e.done)
+	case protocol.Inbound:
+		switch m := e.Payload.(type) {
+		case *Forward:
+			r.onForward(m)
+		case *Accept:
+			r.onAccept(e.From, m)
+		case *AcceptOK:
+			r.onAcceptOK(e.From, m)
+		case *Commit:
+			r.onCommit(m)
+		}
+	}
+}
+
+func (r *Replica) onSubmit(cmd command.Command, done protocol.DoneFunc) {
+	r.nextSeq++
+	cmd.ID = command.ID{Node: r.self, Seq: r.nextSeq}
+	if done != nil {
+		r.dones[cmd.ID] = done
+	}
+	r.submitAt[cmd.ID] = time.Now()
+	if r.leader {
+		r.sequence(cmd)
+	} else {
+		r.ep.Send(r.cfg.Leader, &Forward{Cmd: cmd})
+	}
+}
+
+func (r *Replica) onForward(m *Forward) {
+	if r.leader {
+		r.sequence(m.Cmd)
+	}
+}
+
+// sequence assigns the next log index and runs phase 2.
+func (r *Replica) sequence(cmd command.Command) {
+	idx := r.next
+	r.next++
+	r.acks[idx] = quorum.NewTracker(r.cq)
+	r.ep.Broadcast(&Accept{Index: idx, Cmd: cmd})
+}
+
+func (r *Replica) onAccept(from timestamp.NodeID, m *Accept) {
+	for uint64(len(r.log)) <= m.Index {
+		r.log = append(r.log, logEntry{})
+	}
+	r.log[m.Index] = logEntry{cmd: m.Cmd, ok: true}
+	r.ep.Send(from, &AcceptOK{Index: m.Index})
+}
+
+func (r *Replica) onAcceptOK(from timestamp.NodeID, m *AcceptOK) {
+	tr := r.acks[m.Index]
+	if tr == nil {
+		return
+	}
+	tr.Add(int32(from))
+	// Commit strictly in index order so Commit{i} implies everything
+	// below i is decided and (by link FIFO) present.
+	advanced := false
+	for {
+		next := r.acks[r.commitTo]
+		if next == nil || !next.Reached() {
+			break
+		}
+		delete(r.acks, r.commitTo)
+		r.commitTo++
+		advanced = true
+	}
+	if advanced {
+		r.ep.Broadcast(&Commit{Index: r.commitTo - 1})
+	}
+}
+
+func (r *Replica) onCommit(m *Commit) {
+	if m.Index+1 > r.commitTo {
+		r.commitTo = m.Index + 1
+	}
+	r.execute()
+}
+
+// execute applies the decided prefix.
+func (r *Replica) execute() {
+	for r.execTo < r.commitTo && r.execTo < uint64(len(r.log)) && r.log[r.execTo].ok {
+		cmd := r.log[r.execTo].cmd
+		value := r.app.Apply(cmd)
+		r.met.Executed.Inc()
+		r.met.Decided.Inc()
+		r.execTo++
+		if cmd.ID.Node == r.self {
+			if at, ok := r.submitAt[cmd.ID]; ok {
+				r.met.ObserveLatency(time.Since(at))
+				delete(r.submitAt, cmd.ID)
+			}
+			if done := r.dones[cmd.ID]; done != nil {
+				delete(r.dones, cmd.ID)
+				done(protocol.Result{Value: value})
+			}
+		}
+	}
+}

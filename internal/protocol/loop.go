@@ -1,0 +1,94 @@
+package protocol
+
+import (
+	"sync"
+
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+// Inbound wraps a transport message for posting into a Loop.
+type Inbound struct {
+	From    timestamp.NodeID
+	Payload any
+}
+
+// Loop is the single-goroutine mailbox every replica runs on: transport
+// messages, client submissions and timer ticks are all posted as events and
+// consumed sequentially, so protocol state needs no locking.
+type Loop struct {
+	inbox   chan any
+	stop    chan struct{}
+	stopped chan struct{}
+	once    sync.Once
+}
+
+// NewLoop returns a loop with the given inbox capacity. The capacity is a
+// queueing buffer, not a synchronisation channel: it absorbs bursts from
+// the network-delivery goroutines; senders block (backpressure) when it
+// fills.
+func NewLoop(capacity int) *Loop {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Loop{
+		inbox:   make(chan any, capacity),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+}
+
+// Post enqueues an event, blocking if the inbox is full. It reports false
+// once the loop has been stopped.
+func (l *Loop) Post(ev any) bool {
+	select {
+	case <-l.stop:
+		return false
+	default:
+	}
+	select {
+	case l.inbox <- ev:
+		return true
+	case <-l.stop:
+		return false
+	}
+}
+
+// Run consumes events until Stop is called, invoking handle for each.
+// It must be called exactly once, typically via `go loop.Run(...)`.
+func (l *Loop) Run(handle func(ev any)) {
+	defer close(l.stopped)
+	for {
+		select {
+		case <-l.stop:
+			// Drain whatever is already buffered so shutdown
+			// callbacks (e.g. failing in-flight submissions) see a
+			// consistent final state.
+			for {
+				select {
+				case ev := <-l.inbox:
+					handle(ev)
+				default:
+					return
+				}
+			}
+		case ev := <-l.inbox:
+			handle(ev)
+		}
+	}
+}
+
+// Stop terminates the loop and waits for Run to return. Idempotent.
+func (l *Loop) Stop() {
+	l.once.Do(func() { close(l.stop) })
+	<-l.stopped
+}
+
+// Stopping reports whether Stop has been requested.
+func (l *Loop) Stopping() bool {
+	select {
+	case <-l.stop:
+		return true
+	default:
+		return false
+	}
+}

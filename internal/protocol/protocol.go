@@ -1,0 +1,61 @@
+// Package protocol defines the contract shared by all five consensus
+// engines in this repository (CAESAR, EPaxos, Multi-Paxos, Mencius and
+// M2Paxos), plus the single-goroutine event loop they are built on.
+//
+// Every engine is a replicated state machine: clients Submit commands to any
+// replica, the engine orders them through its agreement protocol, and each
+// replica applies the decided commands to its local Applier. The Submit
+// callback fires once the command has been executed at the replica that
+// proposed it — that is the "ordering and processing" latency measured by
+// the paper's evaluation.
+package protocol
+
+import (
+	"errors"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+)
+
+// Result is the outcome of executing one command.
+type Result struct {
+	// Value is the application-level return (e.g. the read value of a
+	// GET). Nil for writes.
+	Value []byte
+	// Err is non-nil when the command could not be completed, e.g. the
+	// replica is shutting down or crashed before deciding.
+	Err error
+}
+
+// DoneFunc receives the execution result of a submitted command. It is
+// invoked from the replica's event loop and must not block.
+type DoneFunc func(Result)
+
+// ErrStopped is reported for commands that were still in flight when the
+// replica shut down.
+var ErrStopped = errors.New("protocol: replica stopped")
+
+// Engine is a consensus-backed state machine replica.
+type Engine interface {
+	// Submit proposes a command on this replica. done (may be nil) fires
+	// after local execution. Safe for concurrent use.
+	Submit(cmd command.Command, done DoneFunc)
+	// Start launches the replica's event loop.
+	Start()
+	// Stop terminates the event loop and fails in-flight submissions
+	// with ErrStopped. Idempotent.
+	Stop()
+}
+
+// Applier is the deterministic state machine commands are executed against.
+type Applier interface {
+	// Apply executes cmd and returns its application-level result.
+	// It is called from a single goroutine per replica, in decision
+	// order.
+	Apply(cmd command.Command) []byte
+}
+
+// ApplierFunc adapts a function to the Applier interface.
+type ApplierFunc func(cmd command.Command) []byte
+
+// Apply implements Applier.
+func (f ApplierFunc) Apply(cmd command.Command) []byte { return f(cmd) }

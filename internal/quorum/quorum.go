@@ -1,0 +1,109 @@
+// Package quorum implements the quorum arithmetic of §III and reusable vote
+// trackers for the quorum-gathering phases of the protocols.
+//
+// For N replicas the paper uses classic quorums of size ⌊N/2⌋+1 and fast
+// quorums of size ⌈3N/4⌉. These sizes satisfy the intersection properties
+// the correctness proof relies on: any FQ and CQ intersect in at least
+// ⌊CQ/2⌋+1 nodes, and any two fast quorums intersect any classic quorum.
+package quorum
+
+import "fmt"
+
+// ClassicSize returns ⌊N/2⌋+1, the classic (majority) quorum size.
+func ClassicSize(n int) int {
+	return n/2 + 1
+}
+
+// FastSize returns ⌈3N/4⌉, the fast quorum size used by CAESAR.
+func FastSize(n int) int {
+	return (3*n + 3) / 4
+}
+
+// RecoveryMajority returns ⌊CQ/2⌋+1 for N replicas: the minimum size of the
+// intersection between any classic and any fast quorum, used by the
+// whitelist computation in recovery (Fig 5, lines 21–24).
+func RecoveryMajority(n int) int {
+	return ClassicSize(n)/2 + 1
+}
+
+// MaxFailures returns f = N - CQ, the number of crash failures tolerated.
+func MaxFailures(n int) int {
+	return n - ClassicSize(n)
+}
+
+// EPaxosFastSize returns the optimized EPaxos fast-quorum size
+// F + ⌊(F+1)/2⌋ (including the command leader), with F = ⌊N/2⌋ the number
+// of tolerated failures. For N=5 this is 3, which is the "one node fewer
+// than CAESAR" the paper's evaluation mentions.
+func EPaxosFastSize(n int) int {
+	f := n / 2
+	return f + (f+1)/2
+}
+
+// Kind distinguishes the quorum flavours a tracker can wait for.
+type Kind uint8
+
+const (
+	// Classic waits for ⌊N/2⌋+1 replies.
+	Classic Kind = iota + 1
+	// Fast waits for ⌈3N/4⌉ replies.
+	Fast
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Classic:
+		return "classic"
+	case Fast:
+		return "fast"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Size returns the number of replies kind k requires out of n replicas.
+func (k Kind) Size(n int) int {
+	if k == Fast {
+		return FastSize(n)
+	}
+	return ClassicSize(n)
+}
+
+// Tracker counts replies from distinct voters toward a target count.
+// It is not safe for concurrent use; protocol replicas own one per
+// in-flight phase and drive it from their event loop.
+type Tracker struct {
+	target int
+	voted  map[int32]struct{}
+}
+
+// NewTracker returns a tracker that completes after target distinct voters.
+func NewTracker(target int) *Tracker {
+	return &Tracker{target: target, voted: make(map[int32]struct{}, target)}
+}
+
+// Add records a vote from the given voter. It returns true if the vote was
+// new (not a duplicate).
+func (t *Tracker) Add(voter int32) bool {
+	if _, dup := t.voted[voter]; dup {
+		return false
+	}
+	t.voted[voter] = struct{}{}
+	return true
+}
+
+// Count returns the number of distinct voters seen.
+func (t *Tracker) Count() int { return len(t.voted) }
+
+// Reached reports whether the target has been met.
+func (t *Tracker) Reached() bool { return len(t.voted) >= t.target }
+
+// Target returns the number of votes required.
+func (t *Tracker) Target() int { return t.target }
+
+// Has reports whether the given voter already voted.
+func (t *Tracker) Has(voter int32) bool {
+	_, ok := t.voted[voter]
+	return ok
+}

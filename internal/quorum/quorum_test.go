@@ -1,0 +1,119 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizesAtPaperScale(t *testing.T) {
+	// N=5, the paper's deployment: CQ=3, FQ=4 ("CAESAR requires
+	// contacting one node more than other quorum-based competitors"),
+	// EPaxos optimized fast quorum = 3.
+	if got := ClassicSize(5); got != 3 {
+		t.Errorf("ClassicSize(5) = %d, want 3", got)
+	}
+	if got := FastSize(5); got != 4 {
+		t.Errorf("FastSize(5) = %d, want 4", got)
+	}
+	if got := EPaxosFastSize(5); got != 3 {
+		t.Errorf("EPaxosFastSize(5) = %d, want 3", got)
+	}
+	if got := MaxFailures(5); got != 2 {
+		t.Errorf("MaxFailures(5) = %d, want 2", got)
+	}
+	if got := RecoveryMajority(5); got != 2 {
+		t.Errorf("RecoveryMajority(5) = %d, want 2", got)
+	}
+}
+
+func TestSizesSmallClusters(t *testing.T) {
+	cases := []struct{ n, cq, fq int }{
+		{3, 2, 3},
+		{4, 3, 3},
+		{5, 3, 4},
+		{7, 4, 6},
+		{9, 5, 7},
+	}
+	for _, c := range cases {
+		if got := ClassicSize(c.n); got != c.cq {
+			t.Errorf("ClassicSize(%d) = %d, want %d", c.n, got, c.cq)
+		}
+		if got := FastSize(c.n); got != c.fq {
+			t.Errorf("FastSize(%d) = %d, want %d", c.n, got, c.fq)
+		}
+	}
+}
+
+// Property: the intersection bounds the correctness proof depends on hold
+// for every N: any two classic quorums intersect; |FQ ∩ CQ| ≥ ⌊CQ/2⌋+1 in
+// the worst case; and FQ1 ∩ FQ2 ∩ CQ is non-empty in the worst case.
+func TestQuorumIntersections(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%62) + 3 // 3..64
+		cq, fq := ClassicSize(n), FastSize(n)
+		// Two classic quorums intersect.
+		if 2*cq <= n {
+			return false
+		}
+		// Worst-case |FQ ∩ CQ| = fq + cq - n.
+		if fq+cq-n < cq/2+1 {
+			return false
+		}
+		// Worst-case |FQ1 ∩ FQ2 ∩ CQ| = 2*fq + cq - 2*n.
+		if 2*fq+cq-2*n < 1 {
+			return false
+		}
+		// f failures leave a fast quorum impossible only when f >
+		// n-fq, and CQ must survive f failures.
+		if n-MaxFailures(n) < cq {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindSize(t *testing.T) {
+	if Classic.Size(5) != 3 || Fast.Size(5) != 4 {
+		t.Fatal("Kind.Size broken")
+	}
+	if Classic.String() != "classic" || Fast.String() != "fast" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func TestTrackerDedup(t *testing.T) {
+	tr := NewTracker(3)
+	if tr.Reached() {
+		t.Fatal("empty tracker reached")
+	}
+	if !tr.Add(1) || tr.Add(1) {
+		t.Fatal("duplicate vote not rejected")
+	}
+	tr.Add(2)
+	if tr.Reached() {
+		t.Fatal("reached with 2/3")
+	}
+	tr.Add(3)
+	if !tr.Reached() || tr.Count() != 3 {
+		t.Fatalf("count=%d reached=%v", tr.Count(), tr.Reached())
+	}
+	if !tr.Has(2) || tr.Has(9) {
+		t.Fatal("Has broken")
+	}
+	if tr.Target() != 3 {
+		t.Fatal("Target broken")
+	}
+}
+
+func BenchmarkTracker(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := NewTracker(4)
+		for v := int32(0); v < 5; v++ {
+			tr.Add(v)
+		}
+	}
+}

@@ -1,0 +1,392 @@
+// Package rbtree implements a generic red–black tree: a balanced ordered
+// map with O(log n) insert, delete and search, and in-order iteration.
+//
+// The CAESAR paper (§VI) tracks conflicting commands "using a Red-Black
+// tree data structure ordered by their timestamp"; this package provides
+// that structure for the per-key conflict indexes, and doubles as the
+// ordered log index of the baseline protocols.
+package rbtree
+
+// color of a node; the zero value is red, which is what fresh nodes are.
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+// node is a tree node. Leaves are represented by the shared sentinel.
+type node[K, V any] struct {
+	key                 K
+	value               V
+	left, right, parent *node[K, V]
+	color               color
+}
+
+// Tree is a red–black tree ordered by the less function supplied at
+// construction. Keys are unique: inserting an existing key replaces its
+// value. The zero value is not usable; call New.
+//
+// Tree is not safe for concurrent use.
+type Tree[K, V any] struct {
+	less func(a, b K) bool
+	root *node[K, V]
+	nil_ *node[K, V] // sentinel leaf, always black
+	size int
+}
+
+// New returns an empty tree ordered by less.
+func New[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	sentinel := &node[K, V]{color: black}
+	sentinel.left, sentinel.right, sentinel.parent = sentinel, sentinel, sentinel
+	return &Tree[K, V]{less: less, root: sentinel, nil_: sentinel}
+}
+
+// Len returns the number of entries.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Get returns the value stored under key, if any.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.find(key)
+	if n == t.nil_ {
+		var zero V
+		return zero, false
+	}
+	return n.value, true
+}
+
+// Has reports whether key is present.
+func (t *Tree[K, V]) Has(key K) bool { return t.find(key) != t.nil_ }
+
+func (t *Tree[K, V]) find(key K) *node[K, V] {
+	n := t.root
+	for n != t.nil_ {
+		switch {
+		case t.less(key, n.key):
+			n = n.left
+		case t.less(n.key, key):
+			n = n.right
+		default:
+			return n
+		}
+	}
+	return t.nil_
+}
+
+// Set inserts key with value, replacing the previous value if the key was
+// already present. It reports whether a new entry was created.
+func (t *Tree[K, V]) Set(key K, value V) bool {
+	parent := t.nil_
+	cur := t.root
+	for cur != t.nil_ {
+		parent = cur
+		switch {
+		case t.less(key, cur.key):
+			cur = cur.left
+		case t.less(cur.key, key):
+			cur = cur.right
+		default:
+			cur.value = value
+			return false
+		}
+	}
+	n := &node[K, V]{key: key, value: value, left: t.nil_, right: t.nil_, parent: parent, color: red}
+	switch {
+	case parent == t.nil_:
+		t.root = n
+	case t.less(key, parent.key):
+		parent.left = n
+	default:
+		parent.right = n
+	}
+	t.size++
+	t.insertFixup(n)
+	return true
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	z := t.find(key)
+	if z == t.nil_ {
+		return false
+	}
+	t.deleteNode(z)
+	t.size--
+	return true
+}
+
+// Min returns the smallest entry, or ok=false when the tree is empty.
+func (t *Tree[K, V]) Min() (key K, value V, ok bool) {
+	if t.root == t.nil_ {
+		return key, value, false
+	}
+	n := t.minimum(t.root)
+	return n.key, n.value, true
+}
+
+// Max returns the largest entry, or ok=false when the tree is empty.
+func (t *Tree[K, V]) Max() (key K, value V, ok bool) {
+	if t.root == t.nil_ {
+		return key, value, false
+	}
+	n := t.maximum(t.root)
+	return n.key, n.value, true
+}
+
+// Ascend calls fn on every entry in ascending key order until fn returns
+// false. fn must not modify the tree.
+func (t *Tree[K, V]) Ascend(fn func(key K, value V) bool) {
+	t.ascend(t.root, fn)
+}
+
+func (t *Tree[K, V]) ascend(n *node[K, V], fn func(K, V) bool) bool {
+	if n == t.nil_ {
+		return true
+	}
+	if !t.ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.value) {
+		return false
+	}
+	return t.ascend(n.right, fn)
+}
+
+// AscendLess calls fn on every entry with key < bound in ascending order
+// until fn returns false. fn must not modify the tree.
+func (t *Tree[K, V]) AscendLess(bound K, fn func(key K, value V) bool) {
+	t.ascendLess(t.root, bound, fn)
+}
+
+func (t *Tree[K, V]) ascendLess(n *node[K, V], bound K, fn func(K, V) bool) bool {
+	if n == t.nil_ {
+		return true
+	}
+	if !t.less(n.key, bound) {
+		// n.key >= bound: only the left subtree can qualify.
+		return t.ascendLess(n.left, bound, fn)
+	}
+	if !t.ascendLess(n.left, bound, fn) {
+		return false
+	}
+	if !fn(n.key, n.value) {
+		return false
+	}
+	return t.ascendLess(n.right, bound, fn)
+}
+
+// AscendGreater calls fn on every entry with key > bound in ascending order
+// until fn returns false. fn must not modify the tree.
+func (t *Tree[K, V]) AscendGreater(bound K, fn func(key K, value V) bool) {
+	t.ascendGreater(t.root, bound, fn)
+}
+
+func (t *Tree[K, V]) ascendGreater(n *node[K, V], bound K, fn func(K, V) bool) bool {
+	if n == t.nil_ {
+		return true
+	}
+	if !t.less(bound, n.key) {
+		// n.key <= bound: only the right subtree can qualify.
+		return t.ascendGreater(n.right, bound, fn)
+	}
+	if !t.ascendGreater(n.left, bound, fn) {
+		return false
+	}
+	if !fn(n.key, n.value) {
+		return false
+	}
+	return t.ascendGreater(n.right, bound, fn)
+}
+
+// --- internal balancing machinery (CLRS-style) ---
+
+func (t *Tree[K, V]) minimum(n *node[K, V]) *node[K, V] {
+	for n.left != t.nil_ {
+		n = n.left
+	}
+	return n
+}
+
+func (t *Tree[K, V]) maximum(n *node[K, V]) *node[K, V] {
+	for n.right != t.nil_ {
+		n = n.right
+	}
+	return n
+}
+
+func (t *Tree[K, V]) rotateLeft(x *node[K, V]) {
+	y := x.right
+	x.right = y.left
+	if y.left != t.nil_ {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[K, V]) rotateRight(x *node[K, V]) {
+	y := x.left
+	x.left = y.right
+	if y.right != t.nil_ {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree[K, V]) insertFixup(z *node[K, V]) {
+	for z.parent.color == red {
+		if z.parent == z.parent.parent.left {
+			uncle := z.parent.parent.right
+			if uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.color = black
+			z.parent.parent.color = red
+			t.rotateRight(z.parent.parent)
+		} else {
+			uncle := z.parent.parent.left
+			if uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.color = black
+			z.parent.parent.color = red
+			t.rotateLeft(z.parent.parent)
+		}
+	}
+	t.root.color = black
+}
+
+// transplant replaces subtree u with subtree v.
+func (t *Tree[K, V]) transplant(u, v *node[K, V]) {
+	switch {
+	case u.parent == t.nil_:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+func (t *Tree[K, V]) deleteNode(z *node[K, V]) {
+	y := z
+	yOriginalColor := y.color
+	var x *node[K, V]
+	switch {
+	case z.left == t.nil_:
+		x = z.right
+		t.transplant(z, z.right)
+	case z.right == t.nil_:
+		x = z.left
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yOriginalColor = y.color
+		x = y.right
+		if y.parent == z {
+			x.parent = y
+		} else {
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yOriginalColor == black {
+		t.deleteFixup(x)
+	}
+}
+
+func (t *Tree[K, V]) deleteFixup(x *node[K, V]) {
+	for x != t.root && x.color == black {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rotateLeft(x.parent)
+				w = x.parent.right
+			}
+			if w.left.color == black && w.right.color == black {
+				w.color = red
+				x = x.parent
+				continue
+			}
+			if w.right.color == black {
+				w.left.color = black
+				w.color = red
+				t.rotateRight(w)
+				w = x.parent.right
+			}
+			w.color = x.parent.color
+			x.parent.color = black
+			w.right.color = black
+			t.rotateLeft(x.parent)
+			x = t.root
+		} else {
+			w := x.parent.left
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rotateRight(x.parent)
+				w = x.parent.left
+			}
+			if w.right.color == black && w.left.color == black {
+				w.color = red
+				x = x.parent
+				continue
+			}
+			if w.left.color == black {
+				w.right.color = black
+				w.color = red
+				t.rotateLeft(w)
+				w = x.parent.left
+			}
+			w.color = x.parent.color
+			x.parent.color = black
+			w.left.color = black
+			t.rotateRight(x.parent)
+			x = t.root
+		}
+	}
+	x.color = black
+}

@@ -1,0 +1,218 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int, int] {
+	return New[int, int](func(a, b int) bool { return a < b })
+}
+
+func TestBasicOps(t *testing.T) {
+	tr := intTree()
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if !tr.Set(5, 50) || !tr.Set(3, 30) || !tr.Set(8, 80) {
+		t.Fatal("fresh inserts must report true")
+	}
+	if tr.Set(5, 55) {
+		t.Fatal("replacing insert must report false")
+	}
+	if v, ok := tr.Get(5); !ok || v != 55 {
+		t.Fatalf("Get(5) = %v,%v", v, ok)
+	}
+	if _, ok := tr.Get(7); ok {
+		t.Fatal("Get(7) found phantom key")
+	}
+	if !tr.Delete(3) || tr.Delete(3) {
+		t.Fatal("delete semantics broken")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := intTree()
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	for _, k := range []int{5, 1, 9, 3, 7} {
+		tr.Set(k, k*10)
+	}
+	if k, v, ok := tr.Min(); !ok || k != 1 || v != 10 {
+		t.Fatalf("Min = %d,%d,%v", k, v, ok)
+	}
+	if k, v, ok := tr.Max(); !ok || k != 9 || v != 90 {
+		t.Fatalf("Max = %d,%d,%v", k, v, ok)
+	}
+}
+
+func TestAscendBounds(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 20; i += 2 {
+		tr.Set(i, i)
+	}
+	var below []int
+	tr.AscendLess(10, func(k, _ int) bool {
+		below = append(below, k)
+		return true
+	})
+	want := []int{0, 2, 4, 6, 8}
+	if len(below) != len(want) {
+		t.Fatalf("AscendLess(10) = %v", below)
+	}
+	for i := range want {
+		if below[i] != want[i] {
+			t.Fatalf("AscendLess(10) = %v, want %v", below, want)
+		}
+	}
+	var above []int
+	tr.AscendGreater(10, func(k, _ int) bool {
+		above = append(above, k)
+		return true
+	})
+	want = []int{12, 14, 16, 18}
+	if len(above) != len(want) {
+		t.Fatalf("AscendGreater(10) = %v", above)
+	}
+	// Bound itself (10) must appear in neither.
+	for _, k := range append(below, above...) {
+		if k == 10 {
+			t.Fatal("bound key leaked into range")
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 10; i++ {
+		tr.Set(i, i)
+	}
+	count := 0
+	tr.Ascend(func(_, _ int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+// TestAgainstReferenceModel drives random operations against a map+sort
+// reference and checks full equivalence, including iteration order.
+func TestAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := intTree()
+	ref := make(map[int]int)
+	for op := 0; op < 20000; op++ {
+		k := rng.Intn(500)
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Int()
+			tr.Set(k, v)
+			ref[k] = v
+		case 2:
+			gotDel := tr.Delete(k)
+			_, had := ref[k]
+			if gotDel != had {
+				t.Fatalf("Delete(%d) = %v, reference had=%v", k, gotDel, had)
+			}
+			delete(ref, k)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, reference %d", tr.Len(), len(ref))
+	}
+	keys := make([]int, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	i := 0
+	tr.Ascend(func(k, v int) bool {
+		if k != keys[i] || v != ref[k] {
+			t.Fatalf("position %d: got (%d,%d), want (%d,%d)", i, k, v, keys[i], ref[keys[i]])
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("Ascend visited %d of %d", i, len(keys))
+	}
+}
+
+// Property: after inserting any key set, in-order traversal is sorted and
+// deduplicated.
+func TestInsertSortedProperty(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := intTree()
+		for _, k := range keys {
+			tr.Set(int(k), 0)
+		}
+		prev, first := 0, true
+		ok := true
+		tr.Ascend(func(k, _ int) bool {
+			if !first && k <= prev {
+				ok = false
+				return false
+			}
+			prev, first = k, false
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	tr := intTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Set(i, i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := intTree()
+	for i := 0; i < 4096; i++ {
+		tr.Set(i, i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(i & 4095)
+	}
+}
+
+func BenchmarkSetDeleteCycle(b *testing.B) {
+	tr := intTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Set(i&8191, i)
+		if i&1 == 1 {
+			tr.Delete((i - 1) & 8191)
+		}
+	}
+}
+
+func BenchmarkAscendLess(b *testing.B) {
+	tr := intTree()
+	for i := 0; i < 4096; i++ {
+		tr.Set(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.AscendLess(64, func(_, _ int) bool {
+			n++
+			return true
+		})
+	}
+}

@@ -1,0 +1,243 @@
+// Package tcpnet is the real-sockets transport for multi-process
+// deployments: every node listens on its configured address, lazily dials
+// its peers, and exchanges gob-encoded envelopes (internal/wire) over
+// persistent TCP connections with automatic reconnection.
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/transport"
+	"github.com/caesar-consensus/caesar/internal/wire"
+)
+
+// Config describes the cluster's addresses.
+type Config struct {
+	// Self is this node's ID; Addrs[Self] is the listen address.
+	Self timestamp.NodeID
+	// Addrs maps node IDs (0..N-1 by index) to host:port addresses.
+	Addrs []string
+	// DialRetry is the backoff between reconnect attempts. Default
+	// 500ms.
+	DialRetry time.Duration
+	// QueueSize bounds each peer's outbound queue. Default 4096.
+	QueueSize int
+}
+
+// Transport implements transport.Endpoint over TCP.
+type Transport struct {
+	cfg      Config
+	listener net.Listener
+
+	mu      sync.Mutex
+	handler transport.Handler
+	sends   []chan any // per-peer outbound queues
+	closed  bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+var _ transport.Endpoint = (*Transport)(nil)
+
+// Listen starts the transport: it binds the listen socket immediately and
+// connects to peers in the background.
+func Listen(cfg Config) (*Transport, error) {
+	if cfg.DialRetry == 0 {
+		cfg.DialRetry = 500 * time.Millisecond
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = 4096
+	}
+	if int(cfg.Self) >= len(cfg.Addrs) {
+		return nil, fmt.Errorf("tcpnet: self id %d outside address list", cfg.Self)
+	}
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Self])
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.Addrs[cfg.Self], err)
+	}
+	t := &Transport{
+		cfg:      cfg,
+		listener: ln,
+		sends:    make([]chan any, len(cfg.Addrs)),
+		done:     make(chan struct{}),
+	}
+	for i := range t.sends {
+		t.sends[i] = make(chan any, cfg.QueueSize)
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	for i := range cfg.Addrs {
+		peer := timestamp.NodeID(i)
+		t.wg.Add(1)
+		go t.sendLoop(peer)
+	}
+	return t, nil
+}
+
+// Self implements transport.Endpoint.
+func (t *Transport) Self() timestamp.NodeID { return t.cfg.Self }
+
+// Peers implements transport.Endpoint.
+func (t *Transport) Peers() []timestamp.NodeID {
+	peers := make([]timestamp.NodeID, len(t.cfg.Addrs))
+	for i := range peers {
+		peers[i] = timestamp.NodeID(i)
+	}
+	return peers
+}
+
+// SetHandler implements transport.Endpoint.
+func (t *Transport) SetHandler(h transport.Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+func (t *Transport) getHandler() transport.Handler {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.handler
+}
+
+// Send implements transport.Endpoint. Messages to unreachable peers are
+// buffered until the queue fills, then block (backpressure); messages are
+// dropped when the transport closes.
+func (t *Transport) Send(to timestamp.NodeID, payload any) {
+	if int(to) >= len(t.sends) {
+		return
+	}
+	select {
+	case t.sends[to] <- payload:
+	case <-t.done:
+	}
+}
+
+// Broadcast implements transport.Endpoint.
+func (t *Transport) Broadcast(payload any) {
+	for i := range t.sends {
+		t.Send(timestamp.NodeID(i), payload)
+	}
+}
+
+// Close implements transport.Endpoint.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.done)
+	err := t.listener.Close()
+	t.wg.Wait()
+	return err
+}
+
+// acceptLoop serves inbound connections.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+				continue
+			}
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes envelopes from one inbound connection.
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	go func() {
+		<-t.done
+		conn.Close()
+	}()
+	dec := wire.NewDecoder(conn)
+	for {
+		var env wire.Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		if h := t.getHandler(); h != nil {
+			h(env.From, env.Payload)
+		}
+	}
+}
+
+// sendLoop owns the outbound connection to one peer: dial (with retries),
+// drain the queue, reconnect on error. Self-sends short-circuit to the
+// handler to keep local message order tight.
+func (t *Transport) sendLoop(peer timestamp.NodeID) {
+	defer t.wg.Done()
+	if peer == t.cfg.Self {
+		for {
+			select {
+			case <-t.done:
+				return
+			case payload := <-t.sends[peer]:
+				if h := t.getHandler(); h != nil {
+					h(t.cfg.Self, payload)
+				}
+			}
+		}
+	}
+	var enc *wire.Encoder
+	var conn net.Conn
+	dial := func() bool {
+		for {
+			var err error
+			conn, err = net.DialTimeout("tcp", t.cfg.Addrs[peer], 2*time.Second)
+			if err == nil {
+				enc = wire.NewEncoder(conn)
+				return true
+			}
+			select {
+			case <-t.done:
+				return false
+			case <-time.After(t.cfg.DialRetry):
+			}
+		}
+	}
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-t.done:
+			return
+		case payload := <-t.sends[peer]:
+			for {
+				if enc == nil && !dial() {
+					return
+				}
+				err := enc.Encode(&wire.Envelope{From: t.cfg.Self, Payload: payload})
+				if err == nil {
+					break
+				}
+				// Reconnect and retry this message once per new
+				// connection.
+				conn.Close()
+				conn, enc = nil, nil
+				select {
+				case <-t.done:
+					return
+				case <-time.After(t.cfg.DialRetry):
+				}
+			}
+		}
+	}
+}

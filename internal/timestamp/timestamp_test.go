@@ -1,0 +1,161 @@
+package timestamp
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLessTotalOrderExamples(t *testing.T) {
+	cases := []struct {
+		a, b Timestamp
+		want bool
+	}{
+		{Timestamp{1, 0}, Timestamp{2, 0}, true},
+		{Timestamp{2, 0}, Timestamp{1, 0}, false},
+		{Timestamp{1, 0}, Timestamp{1, 1}, true}, // tie broken by node
+		{Timestamp{1, 1}, Timestamp{1, 0}, false},
+		{Timestamp{1, 1}, Timestamp{1, 1}, false}, // irreflexive
+		{Zero, Timestamp{1, 0}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: Less is a strict total order — trichotomy and transitivity.
+func TestLessIsTotalOrder(t *testing.T) {
+	trichotomy := func(a, b Timestamp) bool {
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(trichotomy, nil); err != nil {
+		t.Errorf("trichotomy: %v", err)
+	}
+	transitive := func(a, b, c Timestamp) bool {
+		if a.Less(b) && b.Less(c) {
+			return a.Less(c)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, nil); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+}
+
+// Property: Compare agrees with Less.
+func TestCompareConsistentWithLess(t *testing.T) {
+	f := func(a, b Timestamp) bool {
+		switch a.Compare(b) {
+		case -1:
+			return a.Less(b)
+		case 1:
+			return b.Less(a)
+		default:
+			return a == b
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Max returns the larger element.
+func TestMaxProperty(t *testing.T) {
+	f := func(a, b Timestamp) bool {
+		m := Max(a, b)
+		return !m.Less(a) && !m.Less(b) && (m == a || m == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	c := NewClock(3)
+	prev := c.Next()
+	for i := 0; i < 1000; i++ {
+		cur := c.Next()
+		if !prev.Less(cur) {
+			t.Fatalf("clock went backwards: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestClockObserveAdvances(t *testing.T) {
+	c := NewClock(0)
+	c.Observe(Timestamp{Seq: 100, Node: 4})
+	next := c.Next()
+	if !(Timestamp{Seq: 100, Node: 4}).Less(next) {
+		t.Fatalf("Next() = %v not greater than observed ⟨100,4⟩", next)
+	}
+	// Observing something old must not move the clock backwards.
+	c.Observe(Timestamp{Seq: 5, Node: 1})
+	if later := c.Next(); !next.Less(later) {
+		t.Fatalf("clock regressed after stale observe: %v then %v", next, later)
+	}
+}
+
+func TestClockCurrentDoesNotAdvance(t *testing.T) {
+	c := NewClock(2)
+	cur1 := c.Current()
+	cur2 := c.Current()
+	if cur1 != cur2 {
+		t.Fatalf("Current advanced: %v then %v", cur1, cur2)
+	}
+	if next := c.Next(); next != cur1 {
+		t.Fatalf("Next %v != previous Current %v", next, cur1)
+	}
+}
+
+func TestClockConcurrentUniqueness(t *testing.T) {
+	c := NewClock(1)
+	const goroutines, per = 8, 500
+	out := make(chan Timestamp, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				out <- c.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[Timestamp]bool)
+	for ts := range out {
+		if seen[ts] {
+			t.Fatalf("duplicate timestamp %v", ts)
+		}
+		seen[ts] = true
+	}
+}
+
+func TestTwoClocksNeverCollide(t *testing.T) {
+	a, b := NewClock(0), NewClock(1)
+	seen := make(map[Timestamp]bool)
+	for i := 0; i < 500; i++ {
+		ta, tb := a.Next(), b.Next()
+		if seen[ta] || seen[tb] || ta == tb {
+			t.Fatal("clocks of different nodes produced equal timestamps")
+		}
+		seen[ta], seen[tb] = true, true
+		// Cross-observe like real replicas do.
+		a.Observe(tb)
+		b.Observe(ta)
+	}
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+func ev(seq uint64) Event {
+	return Event{
+		Node: 1,
+		Kind: KindStable,
+		Cmd:  command.ID{Node: 0, Seq: seq},
+		Time: timestamp.Timestamp{Seq: seq, Node: 0},
+	}
+}
+
+func TestRingOrderAndOverwrite(t *testing.T) {
+	r := NewRing(4)
+	for seq := uint64(1); seq <= 3; seq++ {
+		r.Append(ev(seq))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	snap := r.Snapshot()
+	for i, e := range snap {
+		if e.Cmd.Seq != uint64(i+1) {
+			t.Fatalf("order broken: %v", snap)
+		}
+	}
+	// Overflow: oldest events fall off.
+	for seq := uint64(4); seq <= 6; seq++ {
+		r.Append(ev(seq))
+	}
+	snap = r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("post-overflow len %d", len(snap))
+	}
+	if snap[0].Cmd.Seq != 3 || snap[3].Cmd.Seq != 6 {
+		t.Fatalf("overflow kept wrong window: %v", snap)
+	}
+}
+
+func TestNilRingIsSafe(t *testing.T) {
+	var r *Ring
+	r.Append(ev(1))
+	r.Record(0, KindDeliver, command.ID{}, timestamp.Timestamp{})
+	if r.Snapshot() != nil || r.Len() != 0 {
+		t.Fatal("nil ring not inert")
+	}
+}
+
+func TestCommandHistoryFilters(t *testing.T) {
+	r := NewRing(16)
+	target := command.ID{Node: 2, Seq: 9}
+	r.Record(0, KindPropose, target, timestamp.Timestamp{Seq: 1, Node: 0})
+	r.Record(0, KindStable, command.ID{Node: 1, Seq: 1}, timestamp.Timestamp{})
+	r.Record(1, KindStable, target, timestamp.Timestamp{Seq: 1, Node: 0})
+	r.Record(1, KindDeliver, target, timestamp.Timestamp{Seq: 1, Node: 0})
+	hist := r.CommandHistory(target)
+	if len(hist) != 3 {
+		t.Fatalf("history %v", hist)
+	}
+	if hist[0].Kind != KindPropose || hist[2].Kind != KindDeliver {
+		t.Fatalf("milestones out of order: %v", hist)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	r := NewRing(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(0, KindDeliver, command.ID{}, timestamp.Timestamp{})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 1024 && r.Len() != 8*200 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestFormatAndStrings(t *testing.T) {
+	for k := KindPropose; k <= KindPurge; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Fatalf("kind %d missing name", k)
+		}
+	}
+	out := Format([]Event{ev(1), ev(2)})
+	if strings.Count(out, "\n") != 2 || !strings.Contains(out, "stable") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}

@@ -1,0 +1,33 @@
+// Package transport defines the messaging abstraction shared by all the
+// consensus engines. Implementations: memnet (in-process WAN simulator used
+// by tests, examples and the benchmark harness) and tcpnet (real sockets
+// for multi-process deployments).
+package transport
+
+import "github.com/caesar-consensus/caesar/internal/timestamp"
+
+// Handler consumes an inbound message. Implementations are invoked
+// sequentially per endpoint in per-sender FIFO order; the payload must be
+// treated as immutable because in-process transports share it by reference.
+type Handler func(from timestamp.NodeID, payload any)
+
+// Endpoint is one node's attachment to the network.
+type Endpoint interface {
+	// Self returns the node this endpoint belongs to.
+	Self() timestamp.NodeID
+	// Peers returns the identifiers of every node in the cluster,
+	// including self, in ascending order.
+	Peers() []timestamp.NodeID
+	// Send delivers payload to the given node (which may be self).
+	// Delivery is asynchronous and may silently fail (crash, partition).
+	Send(to timestamp.NodeID, payload any)
+	// Broadcast delivers payload to every node in the cluster including
+	// self. Per §V of the paper, leaders always message all of Π and wait
+	// for quorums of replies.
+	Broadcast(payload any)
+	// SetHandler installs the inbound message handler. Must be called
+	// before the first message can be delivered.
+	SetHandler(h Handler)
+	// Close detaches the endpoint; subsequent sends are dropped.
+	Close() error
+}

@@ -1,0 +1,109 @@
+// Package wire defines the on-the-wire encoding for multi-process
+// deployments: length-delimited gob envelopes carrying the protocol
+// messages of every engine in this repository. In-process transports pass
+// payloads by reference and never touch this package.
+package wire
+
+import (
+	"encoding/gob"
+	"io"
+	"sync"
+
+	"github.com/caesar-consensus/caesar/internal/caesar"
+	"github.com/caesar-consensus/caesar/internal/epaxos"
+	"github.com/caesar-consensus/caesar/internal/m2paxos"
+	"github.com/caesar-consensus/caesar/internal/mencius"
+	"github.com/caesar-consensus/caesar/internal/multipaxos"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+// Envelope frames one protocol message.
+type Envelope struct {
+	From    timestamp.NodeID
+	Payload any
+}
+
+// register lists every concrete message type that may cross the wire.
+func register() {
+	// CAESAR.
+	gob.Register(&caesar.FastPropose{})
+	gob.Register(&caesar.FastProposeReply{})
+	gob.Register(&caesar.SlowPropose{})
+	gob.Register(&caesar.SlowProposeReply{})
+	gob.Register(&caesar.Retry{})
+	gob.Register(&caesar.RetryReply{})
+	gob.Register(&caesar.Stable{})
+	gob.Register(&caesar.Recover{})
+	gob.Register(&caesar.RecoverReply{})
+	gob.Register(&caesar.StableAckBatch{})
+	gob.Register(&caesar.PurgeBatch{})
+	gob.Register(&caesar.Heartbeat{})
+	// EPaxos.
+	gob.Register(&epaxos.PreAccept{})
+	gob.Register(&epaxos.PreAcceptReply{})
+	gob.Register(&epaxos.Accept{})
+	gob.Register(&epaxos.AcceptReply{})
+	gob.Register(&epaxos.Commit{})
+	gob.Register(&epaxos.Prepare{})
+	gob.Register(&epaxos.PrepareReply{})
+	gob.Register(&epaxos.Heartbeat{})
+	// Multi-Paxos.
+	gob.Register(&multipaxos.Forward{})
+	gob.Register(&multipaxos.Accept{})
+	gob.Register(&multipaxos.AcceptOK{})
+	gob.Register(&multipaxos.Commit{})
+	// Mencius.
+	gob.Register(&mencius.Accept{})
+	gob.Register(&mencius.AcceptOK{})
+	gob.Register(&mencius.Commit{})
+	gob.Register(&mencius.SkipTo{})
+	// M2Paxos.
+	gob.Register(&m2paxos.Accept{})
+	gob.Register(&m2paxos.AcceptOK{})
+	gob.Register(&m2paxos.AcceptNACK{})
+	gob.Register(&m2paxos.PrepareKey{})
+	gob.Register(&m2paxos.PrepareKeyOK{})
+	gob.Register(&m2paxos.PrepareKeyNACK{})
+	gob.Register(&m2paxos.Commit{})
+	gob.Register(&m2paxos.Forward{})
+}
+
+// registerOnce guards one-time gob registration (gob panics on
+// duplicates).
+var registerOnce sync.Once
+
+func ensureRegistered() {
+	registerOnce.Do(register)
+}
+
+// Encoder writes envelopes to a stream.
+type Encoder struct {
+	enc *gob.Encoder
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	ensureRegistered()
+	return &Encoder{enc: gob.NewEncoder(w)}
+}
+
+// Encode writes one envelope.
+func (e *Encoder) Encode(env *Envelope) error {
+	return e.enc.Encode(env)
+}
+
+// Decoder reads envelopes from a stream.
+type Decoder struct {
+	dec *gob.Decoder
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	ensureRegistered()
+	return &Decoder{dec: gob.NewDecoder(r)}
+}
+
+// Decode reads one envelope.
+func (d *Decoder) Decode(env *Envelope) error {
+	return d.dec.Decode(env)
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+)
+
+func TestConflictRateMatchesConfig(t *testing.T) {
+	for _, pct := range []float64{0, 10, 30, 100} {
+		g := NewGenerator(Config{ConflictPct: pct, Seed: 3}, "c")
+		shared := 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			if strings.HasPrefix(g.Next().Key, "shared-") {
+				shared++
+			}
+		}
+		got := 100 * float64(shared) / n
+		if got < pct-2.5 || got > pct+2.5 {
+			t.Errorf("conflict %v%%: observed %.1f%% shared keys", pct, got)
+		}
+	}
+}
+
+func TestSharedPoolBounded(t *testing.T) {
+	g := NewGenerator(Config{ConflictPct: 100, SharedPool: 10, Seed: 1}, "c")
+	keys := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		keys[g.Next().Key] = true
+	}
+	if len(keys) > 10 {
+		t.Fatalf("shared pool leaked: %d distinct keys", len(keys))
+	}
+}
+
+func TestPrivateKeysNeverRepeat(t *testing.T) {
+	g := NewGenerator(Config{ConflictPct: 0, Seed: 5}, "cli")
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		k := g.Next().Key
+		if seen[k] {
+			t.Fatalf("private key %q repeated", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestDistinctPrefixesNeverCollide(t *testing.T) {
+	a := NewGenerator(Config{ConflictPct: 0, Seed: 1}, "a")
+	b := NewGenerator(Config{ConflictPct: 0, Seed: 1}, "b")
+	keysA := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		keysA[a.Next().Key] = true
+	}
+	for i := 0; i < 1000; i++ {
+		if keysA[b.Next().Key] {
+			t.Fatal("clients with distinct prefixes collided")
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(Config{ConflictPct: 30, Seed: 9}, "x")
+	b := NewGenerator(Config{ConflictPct: 30, Seed: 9}, "x")
+	for i := 0; i < 500; i++ {
+		if a.Next().Key != b.Next().Key {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+// stubEngines routes all submissions to one fake engine that answers
+// instantly, with node 0 considered down.
+type stubEngines struct {
+	calls chan int
+}
+
+func (s *stubEngines) Engine(node int) protocol.Engine {
+	if node == 0 {
+		return nil
+	}
+	return stubEngine{node: node, calls: s.calls}
+}
+func (s *stubEngines) Nodes() int { return 3 }
+
+type stubEngine struct {
+	node  int
+	calls chan int
+}
+
+func (e stubEngine) Submit(cmd command.Command, done protocol.DoneFunc) {
+	e.calls <- e.node
+	done(protocol.Result{})
+}
+func (e stubEngine) Start() {}
+func (e stubEngine) Stop()  {}
+
+func TestClosedLoopFailsOverFromDeadNode(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := &stubEngines{calls: make(chan int, 64)}
+	stats := &ClientStats{}
+	// Home node 0 is down: the client must hop to a live node and keep
+	// completing commands there.
+	go RunClosedLoop(ctx, s, 0, NewGenerator(Config{}, "c"), time.Second, stats)
+	for i := 0; i < 5; i++ {
+		select {
+		case node := <-s.calls:
+			if node == 0 {
+				t.Fatal("submitted to a dead node")
+			}
+		case <-time.After(time.Second):
+			t.Fatal("client made no progress")
+		}
+	}
+	cancel()
+	if stats.Completed() == 0 {
+		t.Fatal("no completions recorded")
+	}
+}
