@@ -12,6 +12,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 	"github.com/caesar-consensus/caesar/internal/transport"
 )
@@ -88,13 +89,16 @@ type Stats struct {
 // ErrClosed is returned for proposals on a closed node.
 var ErrClosed = errors.New("caesar: node closed")
 
-// Node is one CAESAR replica with an embedded key-value store.
+// Node is one CAESAR replica with an embedded key-value store. With
+// WithShards it runs several independent consensus groups and routes each
+// command to its key's group.
 type Node struct {
-	id      timestamp.NodeID
-	replica *caesar.Replica
-	store   *kvstore.Store
-	met     *metrics.Recorder
-	closed  bool
+	id     timestamp.NodeID
+	engine protocol.Engine
+	store  *kvstore.Store
+	met    *metrics.Recorder
+	shards int
+	closed bool
 }
 
 // Options tunes a node; the zero value is production defaults.
@@ -124,20 +128,33 @@ func (o Options) toConfig() caesar.Config {
 	return cfg
 }
 
-// newNode wires a replica to an endpoint; used by Cluster and the server
-// binaries.
-func newNode(ep transport.Endpoint, opts Options) *Node {
+// newNode wires a replica — or, with shards > 1, a sharded set of replicas
+// multiplexed over the endpoint — to the transport; used by Cluster and the
+// server binaries. Every shard shares the node's store and recorder (both
+// are safe for the per-shard delivery goroutines), so Stats and Read report
+// whole-node aggregates regardless of the shard count.
+func newNode(ep transport.Endpoint, opts Options, shards int) *Node {
+	if shards < 1 {
+		shards = 1
+	}
 	store := kvstore.New()
 	met := metrics.NewRecorder()
 	cfg := opts.toConfig()
 	cfg.Metrics = met
 	n := &Node{
-		id:      ep.Self(),
-		replica: caesar.New(ep, store, cfg),
-		store:   store,
-		met:     met,
+		id:     ep.Self(),
+		store:  store,
+		met:    met,
+		shards: shards,
 	}
-	n.replica.Start()
+	if shards == 1 {
+		n.engine = caesar.New(ep, store, cfg)
+	} else {
+		n.engine = shard.New(ep, shards, func(_ int, sep transport.Endpoint) protocol.Engine {
+			return caesar.New(sep, store, cfg)
+		})
+	}
+	n.engine.Start()
 	return n
 }
 
@@ -163,7 +180,7 @@ func (n *Node) Propose(ctx context.Context, cmd Command) ([]byte, error) {
 		return nil, fmt.Errorf("caesar: unknown command kind %d", cmd.Kind)
 	}
 	ch := make(chan protocol.Result, 1)
-	n.replica.Submit(inner, func(res protocol.Result) { ch <- res })
+	n.engine.Submit(inner, func(res protocol.Result) { ch <- res })
 	select {
 	case res := <-ch:
 		return res.Value, res.Err
@@ -188,11 +205,23 @@ func (n *Node) Stats() Stats {
 	}
 }
 
+// Shards returns the number of consensus groups this node runs (1 unless
+// the cluster was built with WithShards).
+func (n *Node) Shards() int { return n.shards }
+
 // Close stops the replica. In-flight proposals fail.
 func (n *Node) Close() {
 	if n.closed {
 		return
 	}
 	n.closed = true
-	n.replica.Stop()
+	n.engine.Stop()
+}
+
+// ShardOf returns the consensus group a key is routed to in a deployment
+// with the given shard count. Clients can use it to place related keys on
+// one shard; it is stable under growth (raising shards from G to G+1 moves
+// only ~1/(G+1) of the keyspace).
+func ShardOf(key string, shards int) int {
+	return shard.NewRouter(shards).Shard(key)
 }

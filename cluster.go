@@ -24,6 +24,7 @@ type clusterConfig struct {
 	delay  memnet.DelayFunc
 	jitter time.Duration
 	opts   Options
+	shards int
 }
 
 // WithGeoLatency injects the paper's five-site EC2 round-trip times
@@ -48,6 +49,16 @@ func WithNodeOptions(opts Options) ClusterOption {
 	return func(c *clusterConfig) { c.opts = opts }
 }
 
+// WithShards runs g independent consensus groups on every node and routes
+// each command to a group by consistent hashing of its key (ShardOf).
+// Commands on different shards are ordered and executed fully in parallel;
+// commands on the same key always share a shard, so conflicting commands
+// keep one cluster-wide order. Nothing is ordered across shards. g < 1 is
+// treated as 1 (an unsharded deployment).
+func WithShards(g int) ClusterOption {
+	return func(c *clusterConfig) { c.shards = g }
+}
+
 // NewLocalCluster builds and starts an n-node cluster. n must be at least
 // three (the protocol needs a meaningful quorum).
 func NewLocalCluster(n int, options ...ClusterOption) (*Cluster, error) {
@@ -61,7 +72,7 @@ func NewLocalCluster(n int, options ...ClusterOption) (*Cluster, error) {
 	net := memnet.New(memnet.Config{Nodes: n, Delay: cfg.delay, Jitter: cfg.jitter})
 	c := &Cluster{net: net}
 	for i := 0; i < n; i++ {
-		c.nodes = append(c.nodes, newNode(net.Endpoint(timestamp.NodeID(i)), cfg.opts))
+		c.nodes = append(c.nodes, newNode(net.Endpoint(timestamp.NodeID(i)), cfg.opts, cfg.shards))
 	}
 	return c, nil
 }

@@ -7,6 +7,8 @@
 //	caesar-bench -figure 6            # one figure
 //	caesar-bench -figure all          # the whole evaluation
 //	caesar-bench -figure 9 -scale 0.1 -duration 5s
+//	caesar-bench -figure sharding     # 1 vs 2 vs 4 consensus groups/node
+//	caesar-bench -figure 9 -shards 4  # any figure on a sharded deployment
 //
 // Scale 1.0 reproduces the paper's real WAN latencies (slow); the default
 // 0.05 keeps delay ratios while running 20× faster. Reported latencies are
@@ -31,12 +33,13 @@ func main() {
 
 func run() error {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11a, 11b, 12 or all")
+		figure   = flag.String("figure", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11a, 11b, 12, sharding, or all (the paper's figures)")
 		scale    = flag.Float64("scale", 0.05, "WAN latency scale (1.0 = real EC2 latencies)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement window per data point")
 		warmup   = flag.Duration("warmup", time.Second, "warmup before each measurement")
 		clients  = flag.Int("clients", 10, "closed-loop clients per node (latency figures)")
 		seed     = flag.Int64("seed", 42, "workload seed")
+		shards   = flag.Int("shards", 1, "independent consensus groups per node (keys routed by consistent hashing)")
 	)
 	flag.Parse()
 
@@ -46,6 +49,7 @@ func run() error {
 		Warmup:         *warmup,
 		ClientsPerNode: *clients,
 		Seed:           *seed,
+		Shards:         *shards,
 	}
 	w := os.Stdout
 	runs := map[string]func(){
@@ -57,6 +61,8 @@ func run() error {
 		"11a": func() { harness.Figure11a(w, base) },
 		"11b": func() { harness.Figure11b(w, base) },
 		"12":  func() { harness.Figure12(w, base) },
+		// Beyond the paper: throughput scaling of the sharded deployment.
+		"sharding": func() { harness.Sharding(w, base) },
 	}
 	if *figure == "all" {
 		for _, f := range []string{"6", "7", "8", "9", "10", "11a", "11b", "12"} {

@@ -30,8 +30,10 @@ import (
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/tcpnet"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/transport"
 )
 
 func main() {
@@ -39,15 +41,16 @@ func main() {
 		id         = flag.Int("id", 0, "this replica's id (index into -peers)")
 		peers      = flag.String("peers", "", "comma-separated replica addresses")
 		clientAddr = flag.String("client", "", "client-facing listen address")
+		shards     = flag.Int("shards", 1, "independent consensus groups per node (keys are routed by consistent hashing)")
 	)
 	flag.Parse()
-	if err := run(*id, *peers, *clientAddr); err != nil {
+	if err := run(*id, *peers, *clientAddr, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "caesar-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id int, peerList, clientAddr string) error {
+func run(id int, peerList, clientAddr string, shards int) error {
 	addrs := strings.Split(peerList, ",")
 	if len(addrs) < 3 {
 		return fmt.Errorf("need at least 3 peers, got %d", len(addrs))
@@ -60,10 +63,19 @@ func run(id int, peerList, clientAddr string) error {
 		return err
 	}
 	store := kvstore.New()
-	rep := caesar.New(tr, store, caesar.Config{})
+	var rep protocol.Engine
+	if shards > 1 {
+		// Every group shares the store; the mux gives each a logical
+		// channel over the one TCP transport.
+		rep = shard.New(tr, shards, func(_ int, sep transport.Endpoint) protocol.Engine {
+			return caesar.New(sep, store, caesar.Config{})
+		})
+	} else {
+		rep = caesar.New(tr, store, caesar.Config{})
+	}
 	rep.Start()
 	defer rep.Stop()
-	log.Printf("replica %d up: protocol %s, clients %s", id, addrs[id], clientAddr)
+	log.Printf("replica %d up: protocol %s, clients %s, shards %d", id, addrs[id], clientAddr, max(shards, 1))
 
 	ln, err := net.Listen("tcp", clientAddr)
 	if err != nil {
@@ -81,7 +93,7 @@ func run(id int, peerList, clientAddr string) error {
 
 // serveClients accepts client connections and executes their requests
 // through consensus.
-func serveClients(ln net.Listener, rep *caesar.Replica) {
+func serveClients(ln net.Listener, rep protocol.Engine) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -91,7 +103,7 @@ func serveClients(ln net.Listener, rep *caesar.Replica) {
 	}
 }
 
-func handleClient(conn net.Conn, rep *caesar.Replica) {
+func handleClient(conn net.Conn, rep protocol.Engine) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	out := bufio.NewWriter(conn)

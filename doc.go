@@ -25,4 +25,23 @@
 // as the paper's geo-replicated deployment does. See the examples/
 // directory for runnable scenarios and internal/harness for the full
 // reproduction of the paper's evaluation (Figures 6–12).
+//
+// # Sharding
+//
+// A single CAESAR group totally orders all conflicting commands, so its
+// serial delivery pipeline caps aggregate throughput no matter how high
+// the fast-decision rate is. WithShards(g) partitions a deployment into g
+// independent consensus groups per node:
+//
+//	cluster, _ := caesar.NewLocalCluster(3, caesar.WithShards(4))
+//
+// Every command is routed to a group by consistent hashing of its key
+// (ShardOf); the hash is stable under growth, moving only ~1/(g+1) of the
+// keyspace when a shard is added. Commands on the same key always land on
+// the same shard, so conflicting commands keep exactly the single-group
+// ordering guarantees, while commands on different shards are proposed,
+// stabilized and executed fully in parallel. Nothing is ordered across
+// shards: the sharded deployment offers per-key linearizability, not
+// cross-shard serializability, and multi-key commands whose keys span
+// shards are rejected. See internal/shard and examples/sharding.
 package caesar

@@ -1,0 +1,3 @@
+module github.com/caesar-consensus/caesar
+
+go 1.21

@@ -17,6 +17,9 @@ import (
 // two of five nodes down, only a classic quorum answers, so the leader
 // must time out, run the slow proposal phase and still decide.
 func TestSlowProposalPathWhenFastQuorumUnavailable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress workload (fast-quorum timeouts)")
+	}
 	cfg := Config{HeartbeatInterval: -1, FastTimeout: 60 * time.Millisecond, TickInterval: 10 * time.Millisecond}
 	c := newCluster(t, 5, memnet.Config{}, cfg)
 	c.net.Crash(3)
@@ -75,6 +78,9 @@ func TestGarbageCollectionPurgesHistory(t *testing.T) {
 // jittered delivery and verifies agreement plus bounded history (GC keeps
 // up under load).
 func TestHighConflictStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress workload")
+	}
 	cfg := Config{HeartbeatInterval: -1, GCInterval: 25 * time.Millisecond, TickInterval: 10 * time.Millisecond}
 	c := newCluster(t, 5, memnet.Config{Jitter: 300 * time.Microsecond, Seed: 11}, cfg)
 	const perNode = 150
@@ -108,6 +114,9 @@ func TestHighConflictStress(t *testing.T) {
 // (Theorem 1 observed at delivery): conflicting commands execute in the
 // order of their final timestamps.
 func TestDeliveryFollowsTimestampOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress workload")
+	}
 	cfg := Config{HeartbeatInterval: -1, GCInterval: -1}
 	c := newCluster(t, 5, memnet.Config{Jitter: 200 * time.Microsecond, Seed: 3}, cfg)
 	const total = 120

@@ -239,6 +239,62 @@ func Figure12(w io.Writer, base Options) []Result {
 	return results
 }
 
+// ShardCounts is the x-axis of the sharding scaling scenario.
+var ShardCounts = []int{1, 2, 4}
+
+// ShardingOpts is the pipeline-bound configuration the sharding scenario
+// compares shard counts under: a local (zero-delay) network so closed-loop
+// clients saturate the delivery pipeline rather than the WAN, and a modeled
+// per-command apply cost so a single group's serial execution is the
+// bottleneck — the regime the partitioning is built for. Callers may still
+// override duration, warmup, clients and seed through base.
+func ShardingOpts(base Options, p Protocol, conflict float64, shards int) Options {
+	o := applyOpts(base, p, conflict)
+	o.Shards = shards
+	o.LocalNet = true
+	if o.ApplyCost == 0 {
+		o.ApplyCost = 2 * time.Millisecond
+	}
+	if o.Nodes == 0 {
+		o.Nodes = 3
+	}
+	if o.ClientsPerNode == 0 {
+		o.ClientsPerNode = 20
+	}
+	return o
+}
+
+// Sharding is the scaling scenario of the sharded deployment: aggregate
+// throughput for 1, 2 and 4 consensus groups per node on the paper's
+// workload at low (2%) and moderate (10%) conflict rates. Execution within
+// one group is serial, so the 1-shard column is capped by a single delivery
+// pipeline (~1/ApplyCost cmds/s); non-conflicting traffic on different
+// shards executes in parallel and the speedup column approaches the shard
+// count.
+func Sharding(w io.Writer, base Options) []Result {
+	fmt.Fprintln(w, "Sharding: aggregate throughput (cmds/s) vs consensus groups per node")
+	fmt.Fprintf(w, "%-10s %8s", "conflict%", "shards")
+	fmt.Fprintf(w, " %12s %12s\n", "cmds/s", "speedup")
+	var results []Result
+	for _, conflict := range []float64{2, 10} {
+		var baseline float64
+		for _, shards := range ShardCounts {
+			res := Run(ShardingOpts(base, Caesar, conflict, shards))
+			results = append(results, res)
+			if shards == 1 {
+				baseline = res.Throughput
+			}
+			speedup := 0.0
+			if baseline > 0 {
+				speedup = res.Throughput / baseline
+			}
+			fmt.Fprintf(w, "%-10.0f %8d %12.0f %11.2fx\n",
+				conflict, shards, res.Throughput, speedup)
+		}
+	}
+	return results
+}
+
 // applyOpts stamps protocol and conflict level onto the base options.
 func applyOpts(base Options, p Protocol, conflict float64) Options {
 	o := base

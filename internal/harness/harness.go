@@ -16,6 +16,7 @@ import (
 
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/caesar"
+	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/epaxos"
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/m2paxos"
@@ -24,7 +25,9 @@ import (
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/multipaxos"
 	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/transport"
 	"github.com/caesar-consensus/caesar/internal/workload"
 )
 
@@ -70,6 +73,21 @@ type Options struct {
 	CrashNode      int
 	CrashAfter     time.Duration
 	SampleInterval time.Duration
+	// Shards > 1 runs that many independent consensus groups per node
+	// (internal/shard), routing every command to a group by consistent
+	// hashing of its key. Applies to every protocol.
+	Shards int
+	// ApplyCost models the state machine's per-command execution cost
+	// (e.g. a durable write) as a sleep inside Apply. Execution within one
+	// group is serial, so this caps a single group's delivery pipeline at
+	// 1/ApplyCost commands per second on every node; sharded runs overlap
+	// it across their groups. Wall-clock, not rescaled by Scale.
+	ApplyCost time.Duration
+	// LocalNet replaces the geo-replicated WAN with a zero-delay network
+	// (Scale is forced to 1, so latencies report unscaled) for
+	// pipeline-bound throughput experiments such as the sharding scaling
+	// comparison.
+	LocalNet bool
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +114,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CrashNode == 0 && o.CrashAfter == 0 {
 		o.CrashNode = -1
+	}
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
+	if o.LocalNet {
+		o.Scale = 1
 	}
 	return o
 }
@@ -170,51 +194,84 @@ func (s *engineSet) crash(node int) protocol.Engine {
 	return s.engines[node]
 }
 
-// build constructs the cluster's engines.
+// pacedApplier models Options.ApplyCost: each Apply sleeps for the
+// configured service time before executing, occupying its group's (serial)
+// delivery pipeline for that long without burning CPU.
+type pacedApplier struct {
+	inner protocol.Applier
+	cost  time.Duration
+}
+
+func (p pacedApplier) Apply(cmd command.Command) []byte {
+	time.Sleep(p.cost)
+	return p.inner.Apply(cmd)
+}
+
+// build constructs the cluster's engines. With o.Shards > 1 every node runs
+// one engine per shard behind a shard.Engine, all groups sharing the node's
+// applier and recorder; the per-protocol construction is identical either
+// way, so any protocol can be sharded.
 func build(o Options, net *memnet.Network, mets []*metrics.Recorder, apps []protocol.Applier) []protocol.Engine {
 	engines := make([]protocol.Engine, o.Nodes)
 	crashRun := o.CrashNode >= 0
 	for i := 0; i < o.Nodes; i++ {
 		ep := net.Endpoint(timestamp.NodeID(i))
 		app := apps[i]
+		if o.ApplyCost > 0 {
+			app = pacedApplier{inner: app, cost: o.ApplyCost}
+		}
 		met := mets[i]
-		var eng protocol.Engine
-		switch o.Protocol {
-		case Caesar, CaesarNoWait:
-			cfg := caesar.Config{Metrics: met, DisableWait: o.Protocol == CaesarNoWait}
-			if crashRun {
-				cfg.HeartbeatInterval = 50 * time.Millisecond
-				cfg.SuspectTimeout = 500 * time.Millisecond
-				cfg.RecoveryBackoff = 100 * time.Millisecond
-			} else {
-				cfg.HeartbeatInterval = -1
+		mk := func(ep transport.Endpoint) protocol.Engine {
+			switch o.Protocol {
+			case Caesar, CaesarNoWait:
+				cfg := caesar.Config{Metrics: met, DisableWait: o.Protocol == CaesarNoWait}
+				if crashRun {
+					cfg.HeartbeatInterval = 50 * time.Millisecond
+					cfg.SuspectTimeout = 500 * time.Millisecond
+					cfg.RecoveryBackoff = 100 * time.Millisecond
+				} else {
+					cfg.HeartbeatInterval = -1
+				}
+				return caesar.New(ep, app, cfg)
+			case EPaxos:
+				cfg := epaxos.Config{Metrics: met}
+				if crashRun {
+					cfg.HeartbeatInterval = 50 * time.Millisecond
+					cfg.SuspectTimeout = 500 * time.Millisecond
+					cfg.RecoveryBackoff = 100 * time.Millisecond
+				} else {
+					cfg.HeartbeatInterval = -1
+				}
+				return epaxos.New(ep, app, cfg)
+			case M2Paxos:
+				return m2paxos.New(ep, app, m2paxos.Config{Metrics: met})
+			case Mencius:
+				return mencius.New(ep, app, mencius.Config{Metrics: met})
+			case MultiPaxosIR:
+				return multipaxos.New(ep, app, multipaxos.Config{Leader: 3, Metrics: met})
+			case MultiPaxosIN:
+				return multipaxos.New(ep, app, multipaxos.Config{Leader: 4, Metrics: met})
+			default:
+				panic(fmt.Sprintf("harness: unknown protocol %q", o.Protocol))
 			}
-			eng = caesar.New(ep, app, cfg)
-		case EPaxos:
-			cfg := epaxos.Config{Metrics: met}
-			if crashRun {
-				cfg.HeartbeatInterval = 50 * time.Millisecond
-				cfg.SuspectTimeout = 500 * time.Millisecond
-				cfg.RecoveryBackoff = 100 * time.Millisecond
-			} else {
-				cfg.HeartbeatInterval = -1
+		}
+		// Batching wraps each group, not the sharded fan-out: the shard
+		// router sees single-key commands and the batches it would see
+		// otherwise would span shards and be rejected.
+		mkBatched := func(ep transport.Endpoint) protocol.Engine {
+			eng := mk(ep)
+			if o.Batching {
+				eng = batch.Wrap(eng, batch.Config{})
 			}
-			eng = epaxos.New(ep, app, cfg)
-		case M2Paxos:
-			eng = m2paxos.New(ep, app, m2paxos.Config{Metrics: met})
-		case Mencius:
-			eng = mencius.New(ep, app, mencius.Config{Metrics: met})
-		case MultiPaxosIR:
-			eng = multipaxos.New(ep, app, multipaxos.Config{Leader: 3, Metrics: met})
-		case MultiPaxosIN:
-			eng = multipaxos.New(ep, app, multipaxos.Config{Leader: 4, Metrics: met})
-		default:
-			panic(fmt.Sprintf("harness: unknown protocol %q", o.Protocol))
+			return eng
 		}
-		if o.Batching {
-			eng = batch.Wrap(eng, batch.Config{})
+		if o.Shards > 1 {
+			engines[i] = shard.New(ep, o.Shards, func(_ int, sep transport.Endpoint) protocol.Engine {
+				return mkBatched(sep)
+			})
+		} else {
+			engines[i] = mkBatched(ep)
 		}
-		engines[i] = eng
 	}
 	return engines
 }
@@ -222,9 +279,13 @@ func build(o Options, net *memnet.Network, mets []*metrics.Recorder, apps []prot
 // Run executes one experiment and returns its measurements.
 func Run(o Options) Result {
 	o = o.withDefaults()
+	delay := memnet.GeoDelay(o.Scale)
+	if o.LocalNet {
+		delay = nil
+	}
 	net := memnet.New(memnet.Config{
 		Nodes:  o.Nodes,
-		Delay:  memnet.GeoDelay(o.Scale),
+		Delay:  delay,
 		Jitter: time.Duration(float64(o.Jitter) * o.Scale),
 		Seed:   o.Seed,
 	})

@@ -19,6 +19,9 @@ func shortOpts(p Protocol, conflict float64) Options {
 }
 
 func TestRunAllProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
 	for _, p := range []Protocol{Caesar, EPaxos, M2Paxos, Mencius, MultiPaxosIR, MultiPaxosIN} {
 		p := p
 		t.Run(string(p), func(t *testing.T) {
@@ -42,6 +45,9 @@ func TestRunAllProtocols(t *testing.T) {
 }
 
 func TestCaesarFastPathDominatesAtLowConflict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
 	res := Run(shortOpts(Caesar, 0))
 	if res.SlowDecisions != 0 {
 		t.Fatalf("0%% conflicts must be all fast decisions, got %d slow", res.SlowDecisions)
@@ -49,6 +55,9 @@ func TestCaesarFastPathDominatesAtLowConflict(t *testing.T) {
 }
 
 func TestBatchingRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
 	o := shortOpts(Caesar, 10)
 	o.Batching = true
 	res := Run(o)
@@ -58,6 +67,9 @@ func TestBatchingRun(t *testing.T) {
 }
 
 func TestCrashRunProducesTimeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second crash-recovery experiment")
+	}
 	o := shortOpts(Caesar, 2)
 	o.Duration = 2 * time.Second
 	o.CrashNode = 4

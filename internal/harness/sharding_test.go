@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// shardingBase keeps the scaling runs short enough for CI while leaving a
+// wide margin over the apply-cost service time.
+func shardingBase() Options {
+	return Options{
+		Duration: 900 * time.Millisecond,
+		Warmup:   300 * time.Millisecond,
+		Seed:     7,
+	}
+}
+
+// TestShardedThroughputScalesAtLowConflict is the tentpole's acceptance
+// measurement: on the low-conflict workload, with a single group's delivery
+// pipeline as the bottleneck (ShardingOpts), four shards must deliver at
+// least twice the aggregate throughput of one. The expected ratio is ~3.5×;
+// 2× leaves room for scheduler noise.
+func TestShardedThroughputScalesAtLowConflict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second wall-clock experiment")
+	}
+	base := shardingBase()
+	one := Run(ShardingOpts(base, Caesar, 2, 1))
+	four := Run(ShardingOpts(base, Caesar, 2, 4))
+	t.Logf("1 shard: %.0f cmds/s, 4 shards: %.0f cmds/s (%.2fx)",
+		one.Throughput, four.Throughput, four.Throughput/one.Throughput)
+	if one.Failed > 0 || four.Failed > 0 {
+		t.Fatalf("failed commands: 1-shard %d, 4-shard %d", one.Failed, four.Failed)
+	}
+	if one.Throughput <= 0 {
+		t.Fatal("1-shard run made no progress")
+	}
+	if ratio := four.Throughput / one.Throughput; ratio < 2 {
+		t.Errorf("4-shard speedup %.2fx, want ≥ 2x", ratio)
+	}
+}
+
+// TestShardedRunMatchesUnshardedSemantics: a sharded harness run completes
+// the workload without failures for every protocol family the harness can
+// shard (the engines only see their group's commands).
+func TestShardedRunMatchesUnshardedSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	for _, p := range []Protocol{Caesar, EPaxos} {
+		o := shardingBase()
+		o.Protocol = p
+		o.ConflictPct = 10
+		o.Shards = 2
+		o.Nodes = 3
+		o.ClientsPerNode = 4
+		o.Scale = 0.02
+		o.Duration = 500 * time.Millisecond
+		o.Warmup = 200 * time.Millisecond
+		res := Run(o)
+		if res.Failed > 0 {
+			t.Errorf("%s sharded run: %d failed commands", p, res.Failed)
+		}
+		if res.Throughput <= 0 {
+			t.Errorf("%s sharded run made no progress", p)
+		}
+	}
+}
+
+// TestShardedBatchingRun pins the batching/sharding composition: batches
+// form per group (inside each shard), so they never span shards and no
+// command is rejected with ErrCrossShard.
+func TestShardedBatchingRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	o := shardingBase()
+	o.Protocol = Caesar
+	o.ConflictPct = 2
+	o.Shards = 2
+	o.Nodes = 3
+	o.ClientsPerNode = 6
+	o.Scale = 0.02
+	o.Batching = true
+	o.Duration = 500 * time.Millisecond
+	o.Warmup = 200 * time.Millisecond
+	res := Run(o)
+	if res.Failed > 0 {
+		t.Fatalf("batching+sharding failed %d commands (cross-shard batches?)", res.Failed)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("batching+sharding made no progress")
+	}
+}
+
+// TestShardingTableShape pins the scenario's report format without paying
+// for full-length runs.
+func TestShardingTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	base := shardingBase()
+	base.Duration = 300 * time.Millisecond
+	base.Warmup = 150 * time.Millisecond
+	base.ClientsPerNode = 8
+	var sb strings.Builder
+	results := Sharding(&sb, base)
+	if want := len(ShardCounts) * 2; len(results) != want {
+		t.Fatalf("Sharding returned %d results, want %d", len(results), want)
+	}
+	out := sb.String()
+	for _, needle := range []string{"Sharding:", "shards", "speedup"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("table output missing %q:\n%s", needle, out)
+		}
+	}
+}

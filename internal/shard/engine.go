@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/transport"
+)
+
+// BuildFunc constructs the consensus engine of one shard on its logical
+// endpoint. Called once per shard at Engine construction; the applier and
+// metrics each shard should use are captured by the closure, letting
+// callers share one store and recorder per node or keep them per-shard.
+type BuildFunc func(shard int, ep transport.Endpoint) protocol.Engine
+
+// Engine runs G independent consensus groups behind the protocol.Engine
+// interface: every submission is routed to its key's group, so commands on
+// different shards are agreed and executed fully in parallel, while
+// same-key (conflicting) commands keep their group's total order.
+type Engine struct {
+	router Router
+	groups []protocol.Engine
+	mux    *Mux // nil when groups were wired externally (per-shard networks)
+}
+
+var _ protocol.Engine = (*Engine)(nil)
+
+// New builds a sharded engine over one shared endpoint: a Mux gives each
+// shard a tagged logical channel, and build constructs each group on its
+// channel. Stop closes the endpoint.
+func New(ep transport.Endpoint, shards int, build BuildFunc) *Engine {
+	mux := NewMux(ep, shards)
+	groups := make([]protocol.Engine, mux.Shards())
+	for s := range groups {
+		groups[s] = build(s, mux.Endpoint(s))
+	}
+	return &Engine{router: NewRouter(len(groups)), groups: groups, mux: mux}
+}
+
+// NewFromGroups wraps externally wired groups (e.g. one network per shard).
+// The caller keeps ownership of the groups' transports.
+func NewFromGroups(groups []protocol.Engine) *Engine {
+	return &Engine{router: NewRouter(len(groups)), groups: groups}
+}
+
+// Router returns the engine's key → shard map.
+func (e *Engine) Router() Router { return e.router }
+
+// Shards returns the number of groups.
+func (e *Engine) Shards() int { return len(e.groups) }
+
+// Group returns the i-th shard's engine, for per-shard inspection.
+func (e *Engine) Group(i int) protocol.Engine { return e.groups[i] }
+
+// Submit implements protocol.Engine: the command is routed by its key and
+// proposed on that shard's group. Multi-key commands spanning shards fail
+// with ErrCrossShard.
+func (e *Engine) Submit(cmd command.Command, done protocol.DoneFunc) {
+	s, err := e.router.Route(cmd)
+	if err != nil {
+		if done != nil {
+			done(protocol.Result{Err: err})
+		}
+		return
+	}
+	e.groups[s].Submit(cmd, done)
+}
+
+// Start implements protocol.Engine.
+func (e *Engine) Start() {
+	for _, g := range e.groups {
+		g.Start()
+	}
+}
+
+// Stop implements protocol.Engine: it stops every group, then releases the
+// shared endpoint. Idempotent, like the groups it wraps.
+func (e *Engine) Stop() {
+	for _, g := range e.groups {
+		g.Stop()
+	}
+	if e.mux != nil {
+		_ = e.mux.Close()
+	}
+}

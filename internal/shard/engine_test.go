@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/memnet"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/transport"
+)
+
+// fakeGroup records what one shard's engine was asked to do.
+type fakeGroup struct {
+	mu        sync.Mutex
+	submitted []command.Command
+	started   int
+	stopped   int
+}
+
+func (f *fakeGroup) Submit(cmd command.Command, done protocol.DoneFunc) {
+	f.mu.Lock()
+	f.submitted = append(f.submitted, cmd)
+	f.mu.Unlock()
+	if done != nil {
+		done(protocol.Result{})
+	}
+}
+
+func (f *fakeGroup) Start() { f.mu.Lock(); f.started++; f.mu.Unlock() }
+func (f *fakeGroup) Stop()  { f.mu.Lock(); f.stopped++; f.mu.Unlock() }
+
+func (f *fakeGroup) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.submitted)
+}
+
+func TestShardedEngineRoutesSubmissions(t *testing.T) {
+	net := memnet.New(memnet.Config{Nodes: 1})
+	defer net.Close()
+	fakes := make([]*fakeGroup, 4)
+	eng := New(net.Endpoint(0), 4, func(s int, _ transport.Endpoint) protocol.Engine {
+		fakes[s] = &fakeGroup{}
+		return fakes[s]
+	})
+	eng.Start()
+	defer eng.Stop()
+
+	const n = 200
+	want := make([]int, 4)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		want[eng.Router().Shard(key)]++
+		eng.Submit(command.Put(key, nil), nil)
+	}
+	for s, f := range fakes {
+		if f.count() != want[s] {
+			t.Errorf("shard %d received %d submissions, want %d", s, f.count(), want[s])
+		}
+		if f.started != 1 {
+			t.Errorf("shard %d started %d times", s, f.started)
+		}
+	}
+}
+
+func TestShardedEngineRejectsCrossShard(t *testing.T) {
+	net := memnet.New(memnet.Config{Nodes: 1})
+	defer net.Close()
+	eng := New(net.Endpoint(0), 4, func(int, transport.Endpoint) protocol.Engine {
+		return &fakeGroup{}
+	})
+	eng.Start()
+	defer eng.Stop()
+
+	r := eng.Router()
+	a := "alpha"
+	var b string
+	for i := 0; b == ""; i++ {
+		if k := fmt.Sprintf("k-%d", i); r.Shard(k) != r.Shard(a) {
+			b = k
+		}
+	}
+	cross := command.Command{Op: command.OpBatch, Key: a, ExtraKeys: []string{b}}
+	var got error
+	eng.Submit(cross, func(res protocol.Result) { got = res.Err })
+	if !errors.Is(got, ErrCrossShard) {
+		t.Fatalf("cross-shard submit returned %v, want ErrCrossShard", got)
+	}
+}
+
+func TestShardedEngineStopFansOutAndReleasesEndpoint(t *testing.T) {
+	net := memnet.New(memnet.Config{Nodes: 1})
+	defer net.Close()
+	fakes := make([]*fakeGroup, 3)
+	eng := New(net.Endpoint(0), 3, func(s int, _ transport.Endpoint) protocol.Engine {
+		fakes[s] = &fakeGroup{}
+		return fakes[s]
+	})
+	eng.Start()
+	eng.Stop()
+	eng.Stop() // idempotent, like every protocol.Engine
+	for s, f := range fakes {
+		if f.stopped != 2 {
+			t.Errorf("shard %d saw %d stops, want 2 (fan-out is unconditional)", s, f.stopped)
+		}
+	}
+}
+
+func TestShardedEngineFromGroups(t *testing.T) {
+	fakes := []*fakeGroup{{}, {}}
+	eng := NewFromGroups([]protocol.Engine{fakes[0], fakes[1]})
+	if eng.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want 2", eng.Shards())
+	}
+	eng.Start()
+	eng.Submit(command.Put("k", nil), nil)
+	eng.Stop()
+	total := fakes[0].count() + fakes[1].count()
+	if total != 1 {
+		t.Fatalf("groups received %d submissions, want 1", total)
+	}
+	if eng.Group(0) != fakes[0] {
+		t.Fatal("Group(0) did not return the wired engine")
+	}
+}

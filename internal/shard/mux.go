@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/transport"
+)
+
+// Envelope tags a protocol message with the shard it belongs to, giving
+// every shard one logical channel over a shared transport. internal/wire
+// registers it for gob so tagged traffic crosses tcpnet unchanged.
+type Envelope struct {
+	Shard   int32
+	Payload any
+}
+
+// Mux splits one transport.Endpoint into per-shard logical endpoints: each
+// outbound payload is wrapped in an Envelope, and inbound envelopes are
+// dispatched to the handler registered for their shard. Untagged or
+// out-of-range traffic is dropped, mirroring the transports' silent-drop
+// semantics for unreachable destinations.
+type Mux struct {
+	ep transport.Endpoint
+
+	mu       sync.RWMutex
+	handlers []transport.Handler
+}
+
+// NewMux attaches to ep and demultiplexes shards logical channels over it.
+// The mux owns ep's inbound handler from this point on.
+func NewMux(ep transport.Endpoint, shards int) *Mux {
+	if shards < 1 {
+		shards = 1
+	}
+	m := &Mux{ep: ep, handlers: make([]transport.Handler, shards)}
+	ep.SetHandler(m.dispatch)
+	return m
+}
+
+// Shards returns the number of logical channels.
+func (m *Mux) Shards() int { return len(m.handlers) }
+
+// dispatch unwraps one inbound envelope and hands it to its shard.
+func (m *Mux) dispatch(from timestamp.NodeID, payload any) {
+	env, ok := payload.(*Envelope)
+	if !ok || int(env.Shard) < 0 || int(env.Shard) >= len(m.handlers) {
+		return
+	}
+	m.mu.RLock()
+	h := m.handlers[env.Shard]
+	m.mu.RUnlock()
+	if h != nil {
+		h(from, env.Payload)
+	}
+}
+
+// Endpoint returns the logical endpoint for one shard. It panics on an
+// out-of-range shard — a wiring bug, not a runtime condition.
+func (m *Mux) Endpoint(shard int) transport.Endpoint {
+	if shard < 0 || shard >= len(m.handlers) {
+		panic(fmt.Sprintf("shard: endpoint %d outside [0,%d)", shard, len(m.handlers)))
+	}
+	return &subEndpoint{mux: m, shard: int32(shard)}
+}
+
+// Close detaches the mux from the underlying endpoint and closes it.
+func (m *Mux) Close() error { return m.ep.Close() }
+
+// subEndpoint is one shard's logical channel. Closing it only deregisters
+// that shard's handler; the shared endpoint stays open for its siblings
+// until Mux.Close.
+type subEndpoint struct {
+	mux   *Mux
+	shard int32
+}
+
+var _ transport.Endpoint = (*subEndpoint)(nil)
+
+func (s *subEndpoint) Self() timestamp.NodeID    { return s.mux.ep.Self() }
+func (s *subEndpoint) Peers() []timestamp.NodeID { return s.mux.ep.Peers() }
+
+func (s *subEndpoint) Send(to timestamp.NodeID, payload any) {
+	s.mux.ep.Send(to, &Envelope{Shard: s.shard, Payload: payload})
+}
+
+func (s *subEndpoint) Broadcast(payload any) {
+	s.mux.ep.Broadcast(&Envelope{Shard: s.shard, Payload: payload})
+}
+
+func (s *subEndpoint) SetHandler(h transport.Handler) {
+	s.mux.mu.Lock()
+	defer s.mux.mu.Unlock()
+	s.mux.handlers[s.shard] = h
+}
+
+func (s *subEndpoint) Close() error {
+	s.mux.mu.Lock()
+	defer s.mux.mu.Unlock()
+	s.mux.handlers[s.shard] = nil
+	return nil
+}

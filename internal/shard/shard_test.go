@@ -1,0 +1,125 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+)
+
+func TestShardRouterDeterministicAndInRange(t *testing.T) {
+	r := NewRouter(4)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		s := r.Shard(key)
+		if s < 0 || s >= 4 {
+			t.Fatalf("key %q routed to %d, outside [0,4)", key, s)
+		}
+		if again := r.Shard(key); again != s {
+			t.Fatalf("key %q routed to %d then %d", key, s, again)
+		}
+	}
+}
+
+func TestShardRouterCoversAllShards(t *testing.T) {
+	const shards = 8
+	r := NewRouter(shards)
+	counts := make([]int, shards)
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Shard(fmt.Sprintf("key-%d", i))]++
+	}
+	// Jump hash is uniform; with 10k keys over 8 shards each shard expects
+	// 1250. Require every shard within ±30% — far looser than the hash's
+	// actual variance, tight enough to catch a broken bucket function.
+	for s, c := range counts {
+		if c < keys/shards*7/10 || c > keys/shards*13/10 {
+			t.Fatalf("shard %d got %d of %d keys, expected ~%d", s, c, keys, keys/shards)
+		}
+	}
+}
+
+func TestShardRouterStableUnderGrowth(t *testing.T) {
+	// Jump consistent hash: going from G to G+1 shards must move only the
+	// keys that land on the new shard (~1/(G+1)), never shuffle between
+	// existing shards.
+	const keys = 10000
+	for _, g := range []int{2, 4, 8} {
+		before, after := NewRouter(g), NewRouter(g+1)
+		moved, movedElsewhere := 0, 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			a, b := before.Shard(key), after.Shard(key)
+			if a != b {
+				moved++
+				if b != g {
+					movedElsewhere++
+				}
+			}
+		}
+		if movedElsewhere != 0 {
+			t.Errorf("G=%d→%d: %d keys moved between pre-existing shards", g, g+1, movedElsewhere)
+		}
+		// Expected moved fraction is 1/(G+1); allow 2× slack.
+		if limit := 2 * keys / (g + 1); moved > limit {
+			t.Errorf("G=%d→%d: %d keys moved, expected ≤%d", g, g+1, moved, limit)
+		}
+	}
+}
+
+func TestShardRouteCommands(t *testing.T) {
+	r := NewRouter(4)
+
+	// Single-key commands route by their key.
+	put := command.Put("alpha", nil)
+	s, err := r.Route(put)
+	if err != nil || s != r.Shard("alpha") {
+		t.Fatalf("Route(put alpha) = %d, %v; want %d, nil", s, err, r.Shard("alpha"))
+	}
+
+	// Keyless noops route to shard 0 (they conflict with nothing).
+	if s, err := r.Route(command.Noop()); err != nil || s != 0 {
+		t.Fatalf("Route(noop) = %d, %v; want 0, nil", s, err)
+	}
+
+	// Multi-key commands are fine when every key lands on one shard...
+	var same []string
+	want := r.Shard("alpha")
+	for i := 0; len(same) < 2; i++ {
+		k := fmt.Sprintf("co-%d", i)
+		if r.Shard(k) == want {
+			same = append(same, k)
+		}
+	}
+	multi := command.Command{Op: command.OpBatch, Key: same[0], ExtraKeys: same[1:]}
+	if s, err := r.Route(multi); err != nil || s != want {
+		t.Fatalf("Route(same-shard batch) = %d, %v; want %d, nil", s, err, want)
+	}
+
+	// ...and rejected with ErrCrossShard when they span shards.
+	var other string
+	for i := 0; other == ""; i++ {
+		k := fmt.Sprintf("x-%d", i)
+		if r.Shard(k) != want {
+			other = k
+		}
+	}
+	cross := command.Command{Op: command.OpBatch, Key: same[0], ExtraKeys: []string{other}}
+	if _, err := r.Route(cross); !errors.Is(err, ErrCrossShard) {
+		t.Fatalf("Route(cross-shard batch) err = %v, want ErrCrossShard", err)
+	}
+}
+
+func TestShardRouterZeroValue(t *testing.T) {
+	var r Router
+	if r.Shards() != 1 {
+		t.Fatalf("zero Router has %d shards, want 1", r.Shards())
+	}
+	if s := r.Shard("anything"); s != 0 {
+		t.Fatalf("zero Router sent %q to shard %d", "anything", s)
+	}
+	if NewRouter(0).Shards() != 1 || NewRouter(-3).Shards() != 1 {
+		t.Fatal("NewRouter must clamp non-positive shard counts to 1")
+	}
+}

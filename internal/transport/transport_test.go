@@ -1,0 +1,130 @@
+package transport_test
+
+// The package itself is pure interface; the contract it documents —
+// per-sender FIFO delivery, self-sends, broadcast including self, silent
+// drops after Close — is what every implementation must provide. These
+// smoke tests pin that contract against memnet, the implementation the
+// whole test suite builds on.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/memnet"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/transport"
+)
+
+// sink collects delivered (from, payload) pairs.
+type sink struct {
+	mu   sync.Mutex
+	from []timestamp.NodeID
+	msgs []any
+}
+
+func (s *sink) handler() transport.Handler {
+	return func(from timestamp.NodeID, payload any) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.from = append(s.from, from)
+		s.msgs = append(s.msgs, payload)
+	}
+}
+
+func (s *sink) wait(t *testing.T, n int) ([]timestamp.NodeID, []any) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		if len(s.msgs) >= n {
+			from := append([]timestamp.NodeID(nil), s.from...)
+			msgs := append([]any(nil), s.msgs...)
+			s.mu.Unlock()
+			return from, msgs
+		}
+		s.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d deliveries", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestEndpointSendReceive(t *testing.T) {
+	net := memnet.New(memnet.Config{Nodes: 3})
+	defer net.Close()
+	a, b := net.Endpoint(0), net.Endpoint(1)
+
+	var got sink
+	b.SetHandler(got.handler())
+
+	if a.Self() != 0 || b.Self() != 1 {
+		t.Fatalf("Self() = %v, %v; want 0, 1", a.Self(), b.Self())
+	}
+	if peers := a.Peers(); len(peers) != 3 || peers[0] != 0 || peers[2] != 2 {
+		t.Fatalf("Peers() = %v, want [0 1 2] ascending", peers)
+	}
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		a.Send(1, i)
+	}
+	from, msgs := got.wait(t, n)
+	for i := 0; i < n; i++ {
+		if from[i] != 0 {
+			t.Fatalf("message %d attributed to %v, want 0", i, from[i])
+		}
+		if msgs[i] != i {
+			t.Fatalf("per-sender FIFO violated at %d: got %v", i, msgs[i])
+		}
+	}
+}
+
+func TestEndpointSelfSendAndBroadcast(t *testing.T) {
+	net := memnet.New(memnet.Config{Nodes: 3})
+	defer net.Close()
+	eps := []transport.Endpoint{net.Endpoint(0), net.Endpoint(1), net.Endpoint(2)}
+	sinks := make([]*sink, 3)
+	for i, ep := range eps {
+		sinks[i] = &sink{}
+		ep.SetHandler(sinks[i].handler())
+	}
+
+	eps[0].Send(0, "self")
+	if _, msgs := sinks[0].wait(t, 1); msgs[0] != "self" {
+		t.Fatalf("self-send delivered %v", msgs[0])
+	}
+
+	// Broadcast reaches every node including the sender (§V: leaders
+	// message all of Π).
+	eps[1].Broadcast("hello")
+	for i, s := range sinks {
+		want := 1
+		if i == 0 {
+			want = 2 // the earlier self-send plus the broadcast
+		}
+		from, msgs := s.wait(t, want)
+		if from[want-1] != 1 || msgs[want-1] != "hello" {
+			t.Fatalf("node %d saw broadcast (%v, %v)", i, from[want-1], msgs[want-1])
+		}
+	}
+}
+
+func TestEndpointCloseDropsDelivery(t *testing.T) {
+	net := memnet.New(memnet.Config{Nodes: 2})
+	defer net.Close()
+	a, b := net.Endpoint(0), net.Endpoint(1)
+	var got sink
+	b.SetHandler(got.handler())
+	if err := b.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	a.Send(1, "late")
+	time.Sleep(20 * time.Millisecond)
+	got.mu.Lock()
+	defer got.mu.Unlock()
+	if len(got.msgs) != 0 {
+		t.Fatalf("closed endpoint still received %v", got.msgs)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/m2paxos"
 	"github.com/caesar-consensus/caesar/internal/mencius"
 	"github.com/caesar-consensus/caesar/internal/multipaxos"
+	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 )
 
@@ -66,6 +67,9 @@ func register() {
 	gob.Register(&m2paxos.PrepareKeyNACK{})
 	gob.Register(&m2paxos.Commit{})
 	gob.Register(&m2paxos.Forward{})
+	// Sharding: the envelope tagging each message with its consensus
+	// group (internal/shard); payloads are the engine messages above.
+	gob.Register(&shard.Envelope{})
 }
 
 // registerOnce guards one-time gob registration (gob panics on
