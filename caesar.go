@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/kvstore"
@@ -15,6 +17,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 	"github.com/caesar-consensus/caesar/internal/transport"
+	"github.com/caesar-consensus/caesar/internal/xshard"
 )
 
 // Command is a state-machine command. Two commands conflict when they
@@ -89,6 +92,12 @@ type Stats struct {
 // ErrClosed is returned for proposals on a closed node.
 var ErrClosed = errors.New("caesar: node closed")
 
+// ErrTxAborted is returned for cross-shard transactions killed by the
+// commit layer (e.g. the coordinating node failed before every consensus
+// group received its participant piece). An aborted transaction is applied
+// nowhere.
+var ErrTxAborted = xshard.ErrAborted
+
 // Node is one CAESAR replica with an embedded key-value store. With
 // WithShards it runs several independent consensus groups and routes each
 // command to its key's group.
@@ -98,7 +107,7 @@ type Node struct {
 	store  *kvstore.Store
 	met    *metrics.Recorder
 	shards int
-	closed bool
+	closed atomic.Bool
 }
 
 // Options tunes a node; the zero value is production defaults.
@@ -129,15 +138,18 @@ func (o Options) toConfig() caesar.Config {
 }
 
 // newNode wires a replica — or, with shards > 1, a sharded set of replicas
-// multiplexed over the endpoint — to the transport; used by Cluster and the
-// server binaries. Every shard shares the node's store and recorder (both
-// are safe for the per-shard delivery goroutines), so Stats and Read report
-// whole-node aggregates regardless of the shard count.
+// multiplexed over the endpoint, under the cross-shard commit layer — to
+// the transport; used by Cluster and the server binaries. Every shard
+// shares the node's store, recorder and commit table (all safe for the
+// per-shard delivery goroutines), so Stats and Read report whole-node
+// aggregates regardless of the shard count, and multi-key transactions
+// spanning groups commit atomically instead of failing.
 func newNode(ep transport.Endpoint, opts Options, shards int) *Node {
 	if shards < 1 {
 		shards = 1
 	}
 	store := kvstore.New()
+	app := batch.NewApplier(store)
 	met := metrics.NewRecorder()
 	cfg := opts.toConfig()
 	cfg.Metrics = met
@@ -148,11 +160,13 @@ func newNode(ep transport.Endpoint, opts Options, shards int) *Node {
 		shards: shards,
 	}
 	if shards == 1 {
-		n.engine = caesar.New(ep, store, cfg)
+		n.engine = caesar.New(ep, app, cfg)
 	} else {
-		n.engine = shard.New(ep, shards, func(_ int, sep transport.Endpoint) protocol.Engine {
-			return caesar.New(sep, store, cfg)
+		table := xshard.NewTable(xshard.TableConfig{Self: ep.Self(), Exec: app, Metrics: met})
+		inner := shard.New(ep, shards, func(g int, sep transport.Endpoint) protocol.Engine {
+			return caesar.New(sep, table.Applier(g, app), cfg)
 		})
+		n.engine = xshard.New(inner, table)
 	}
 	n.engine.Start()
 	return n
@@ -161,24 +175,22 @@ func newNode(ep transport.Endpoint, opts Options, shards int) *Node {
 // ID returns the node's identifier.
 func (n *Node) ID() int { return int(n.id) }
 
-// Propose submits a command to the replicated state machine through this
-// node and waits for its execution here. It returns the command's result
-// (the read value for gets, nil for puts).
-func (n *Node) Propose(ctx context.Context, cmd Command) ([]byte, error) {
-	if n.closed {
-		return nil, ErrClosed
-	}
-	var inner command.Command
+// toInner converts a public command to its consensus representation.
+func toInner(cmd Command) (command.Command, error) {
 	switch cmd.Kind {
 	case OpPut:
-		inner = command.Put(cmd.Key, cmd.Value)
+		return command.Put(cmd.Key, cmd.Value), nil
 	case OpGet:
-		inner = command.Get(cmd.Key)
+		return command.Get(cmd.Key), nil
 	case OpAdd:
-		inner = command.Command{Op: command.OpAdd, Key: cmd.Key, Value: cmd.Value}
+		return command.Command{Op: command.OpAdd, Key: cmd.Key, Value: cmd.Value}, nil
 	default:
-		return nil, fmt.Errorf("caesar: unknown command kind %d", cmd.Kind)
+		return command.Command{}, fmt.Errorf("caesar: unknown command kind %d", cmd.Kind)
 	}
+}
+
+// submitWait proposes one consensus command and waits for local execution.
+func (n *Node) submitWait(ctx context.Context, inner command.Command) ([]byte, error) {
 	ch := make(chan protocol.Result, 1)
 	n.engine.Submit(inner, func(res protocol.Result) { ch <- res })
 	select {
@@ -187,6 +199,62 @@ func (n *Node) Propose(ctx context.Context, cmd Command) ([]byte, error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// Propose submits a command to the replicated state machine through this
+// node and waits for its execution here. It returns the command's result
+// (the read value for gets, nil for puts).
+func (n *Node) Propose(ctx context.Context, cmd Command) ([]byte, error) {
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	inner, err := toInner(cmd)
+	if err != nil {
+		return nil, err
+	}
+	return n.submitWait(ctx, inner)
+}
+
+// ProposeTx submits several commands as one atomic transaction and waits
+// for its execution on this node: all of them are applied as one
+// indivisible unit on every replica, or none are (ErrTxAborted). On an
+// unsharded node — or when every key routes to one consensus group — the
+// transaction is an ordinary batch command; when its keys span groups it
+// commits through the cross-shard layer, executing at the merged (max) of
+// the groups' stable timestamps. Cross-shard transactions are atomic but
+// not strictly serializable against each other; see the package
+// documentation.
+//
+// Error semantics: nil means applied everywhere, ErrTxAborted means
+// applied nowhere. Any other error (context cancellation, a node shutting
+// down mid-submit) leaves the outcome UNKNOWN — the transaction may still
+// commit after the error is returned, so callers must not blindly retry a
+// non-idempotent transaction on such errors.
+func (n *Node) ProposeTx(ctx context.Context, cmds []Command) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	if len(cmds) == 0 {
+		return nil
+	}
+	inners := make([]command.Command, len(cmds))
+	for i, cmd := range cmds {
+		inner, err := toInner(cmd)
+		if err != nil {
+			return err
+		}
+		inners[i] = inner
+	}
+	if len(inners) == 1 {
+		_, err := n.submitWait(ctx, inners[0])
+		return err
+	}
+	packed, err := batch.Pack(inners)
+	if err != nil {
+		return err
+	}
+	_, err = n.submitWait(ctx, packed)
+	return err
 }
 
 // Read returns the local store's value for key without going through
@@ -209,12 +277,13 @@ func (n *Node) Stats() Stats {
 // the cluster was built with WithShards).
 func (n *Node) Shards() int { return n.shards }
 
-// Close stops the replica. In-flight proposals fail.
+// Close stops the replica. In-flight proposals fail. Safe for concurrent
+// use with Propose/ProposeTx (a proposal racing Close fails with ErrClosed
+// or the engine's stop error).
 func (n *Node) Close() {
-	if n.closed {
+	if !n.closed.CompareAndSwap(false, true) {
 		return
 	}
-	n.closed = true
 	n.engine.Stop()
 }
 

@@ -53,7 +53,10 @@ func WithNodeOptions(opts Options) ClusterOption {
 // each command to a group by consistent hashing of its key (ShardOf).
 // Commands on different shards are ordered and executed fully in parallel;
 // commands on the same key always share a shard, so conflicting commands
-// keep one cluster-wide order. Nothing is ordered across shards. g < 1 is
+// keep one cluster-wide order. Multi-key transactions (ProposeTx) whose
+// keys span groups commit atomically through the cross-shard layer at the
+// merged (max) of the groups' stable timestamps; cross-shard transactions
+// are atomic but not strictly serializable against each other. g < 1 is
 // treated as 1 (an unsharded deployment).
 func WithShards(g int) ClusterOption {
 	return func(c *clusterConfig) { c.shards = g }

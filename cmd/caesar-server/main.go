@@ -11,8 +11,15 @@
 //
 // Client protocol (one request per line):
 //
-//	PUT <key> <value>   →  OK
-//	GET <key>           →  OK <value> | OK
+//	PUT <key> <value>            →  OK
+//	GET <key>                    →  OK <value> | OK
+//	MPUT <k1> <v1> <k2> <v2> ... →  OK (one atomic transaction; with
+//	                                -shards the keys may span groups and
+//	                                commit through the cross-shard layer)
+//
+// Unlike PUT — whose value runs to the end of the line — MPUT keys and
+// values are single whitespace-separated tokens: a value containing a
+// space would silently shift every following pair.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"strings"
 	"syscall"
 
+	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/kvstore"
@@ -34,6 +42,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/tcpnet"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 	"github.com/caesar-consensus/caesar/internal/transport"
+	"github.com/caesar-consensus/caesar/internal/xshard"
 )
 
 func main() {
@@ -63,15 +72,20 @@ func run(id int, peerList, clientAddr string, shards int) error {
 		return err
 	}
 	store := kvstore.New()
+	app := batch.NewApplier(store)
 	var rep protocol.Engine
 	if shards > 1 {
-		// Every group shares the store; the mux gives each a logical
-		// channel over the one TCP transport.
-		rep = shard.New(tr, shards, func(_ int, sep transport.Endpoint) protocol.Engine {
-			return caesar.New(sep, store, caesar.Config{})
+		// Every group shares the store and the cross-shard commit table;
+		// the mux gives each a logical channel over the one TCP
+		// transport, and multi-key MPUTs spanning groups commit
+		// atomically through the table.
+		table := xshard.NewTable(xshard.TableConfig{Self: timestamp.NodeID(id), Exec: app})
+		inner := shard.New(tr, shards, func(g int, sep transport.Endpoint) protocol.Engine {
+			return caesar.New(sep, table.Applier(g, app), caesar.Config{})
 		})
+		rep = xshard.New(inner, table)
 	} else {
-		rep = caesar.New(tr, store, caesar.Config{})
+		rep = caesar.New(tr, app, caesar.Config{})
 	}
 	rep.Start()
 	defer rep.Stop()
@@ -103,20 +117,46 @@ func serveClients(ln net.Listener, rep protocol.Engine) {
 	}
 }
 
+// parseMPut builds one atomic multi-put transaction from an MPUT line.
+// Keys and values are single tokens (no spaces) — see the client protocol
+// comment above.
+func parseMPut(line string) (command.Command, error) {
+	fields := strings.Fields(line)[1:]
+	if len(fields) == 0 || len(fields)%2 != 0 {
+		return command.Command{}, fmt.Errorf("usage: MPUT <key> <value> [<key> <value>...] (single-token values)")
+	}
+	cmds := make([]command.Command, 0, len(fields)/2)
+	for i := 0; i < len(fields); i += 2 {
+		cmds = append(cmds, command.Put(fields[i], []byte(fields[i+1])))
+	}
+	if len(cmds) == 1 {
+		return cmds[0], nil
+	}
+	return batch.Pack(cmds)
+}
+
 func handleClient(conn net.Conn, rep protocol.Engine) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	out := bufio.NewWriter(conn)
 	for sc.Scan() {
-		fields := strings.SplitN(strings.TrimSpace(sc.Text()), " ", 3)
+		line := strings.TrimSpace(sc.Text())
+		fields := strings.SplitN(line, " ", 3)
 		var cmd command.Command
 		switch {
 		case len(fields) == 3 && strings.EqualFold(fields[0], "PUT"):
 			cmd = command.Put(fields[1], []byte(fields[2]))
 		case len(fields) == 2 && strings.EqualFold(fields[0], "GET"):
 			cmd = command.Get(fields[1])
+		case strings.EqualFold(fields[0], "MPUT"):
+			var err error
+			if cmd, err = parseMPut(line); err != nil {
+				fmt.Fprintf(out, "ERR %v\n", err)
+				out.Flush()
+				continue
+			}
 		default:
-			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key>\n")
+			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key> | MPUT <k> <v> [<k> <v>...]\n")
 			out.Flush()
 			continue
 		}

@@ -40,8 +40,25 @@
 // keyspace when a shard is added. Commands on the same key always land on
 // the same shard, so conflicting commands keep exactly the single-group
 // ordering guarantees, while commands on different shards are proposed,
-// stabilized and executed fully in parallel. Nothing is ordered across
-// shards: the sharded deployment offers per-key linearizability, not
-// cross-shard serializability, and multi-key commands whose keys span
-// shards are rejected. See internal/shard and examples/sharding.
+// stabilized and executed fully in parallel. See internal/shard and
+// examples/sharding.
+//
+// # Cross-shard transactions
+//
+// Multi-key transactions (ProposeTx) whose keys span groups commit
+// atomically through the cross-shard commit layer (internal/xshard): the
+// transaction is proposed as one participant piece per touched group, each
+// totally ordered by its group's consensus, held in a per-node commit
+// table until every group has stabilized its piece, and then applied as
+// one indivisible unit at the merged (max) of the per-group stable
+// timestamps. A transaction whose coordinator crashes mid-commit is
+// finished or aborted by the survivors — it executes on every replica or
+// on none (ErrTxAborted), never partially. Guaranteed: per-transaction
+// atomicity and exactly-once application at the merged timestamp. Not
+// guaranteed: cross-shard strict serializability — while a transaction is
+// in flight, other commands on its keys (cross-shard or single-key) may
+// be observed before it on one replica and after it on another; keys
+// never touched by a cross-shard transaction keep the full single-group
+// ordering guarantees. See internal/xshard and examples/bank for an
+// atomic transfer workload over four groups.
 package caesar

@@ -81,8 +81,15 @@ func (e *Engine) Stop() {
 }
 
 // Submit buffers the command; the whole buffer is proposed as one batch
-// command when the window elapses or the buffer fills.
+// command when the window elapses or the buffer fills. Consensus-control
+// commands bypass batching (buried inside a batch payload they would
+// escape their delivery-time interception), as do batches themselves —
+// re-packing an already-batched command would nest payloads for no win.
 func (e *Engine) Submit(cmd command.Command, done protocol.DoneFunc) {
+	if cmd.Op.IsControl() || cmd.Op == command.OpBatch {
+		e.inner.Submit(cmd, done)
+		return
+	}
 	e.mu.Lock()
 	if e.stopped {
 		e.mu.Unlock()
@@ -192,8 +199,50 @@ func (a Applier) Apply(cmd command.Command) []byte {
 	if err != nil {
 		return nil
 	}
-	for _, c := range cmds {
-		a.Inner.Apply(c)
-	}
+	a.ApplyAll(cmds)
 	return nil
+}
+
+// ApplyAll implements protocol.AtomicApplier, forwarding atomicity to the
+// inner applier when it provides it (a plain applier falls back to
+// sequential application). Nested batch members are flattened first — the
+// inner applier sees only executable ops, never an OpBatch it would drop.
+// When flattening occurs the returned results align with the flattened
+// op list, not the input (batch members have no individual results).
+func (a Applier) ApplyAll(cmds []command.Command) [][]byte {
+	cmds = flatten(cmds)
+	if aa, ok := a.Inner.(protocol.AtomicApplier); ok {
+		return aa.ApplyAll(cmds)
+	}
+	out := make([][]byte, len(cmds))
+	for i, c := range cmds {
+		out[i] = a.Inner.Apply(c)
+	}
+	return out
+}
+
+// flatten expands OpBatch members recursively; undecodable batches are
+// dropped, matching Apply's behavior for a corrupt payload.
+func flatten(cmds []command.Command) []command.Command {
+	nested := false
+	for _, c := range cmds {
+		if c.Op == command.OpBatch {
+			nested = true
+			break
+		}
+	}
+	if !nested {
+		return cmds
+	}
+	flat := make([]command.Command, 0, len(cmds))
+	for _, c := range cmds {
+		if c.Op != command.OpBatch {
+			flat = append(flat, c)
+			continue
+		}
+		if members, err := Unpack(c); err == nil {
+			flat = append(flat, flatten(members)...)
+		}
+	}
+	return flat
 }

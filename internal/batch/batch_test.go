@@ -162,3 +162,76 @@ func TestStopFailsPending(t *testing.T) {
 		t.Fatal("pending submission not failed on Stop")
 	}
 }
+
+// TestApplierFlattensNestedBatches: a client-submitted batch that ends up
+// inside another batch (or is handed to ApplyAll directly) must still
+// execute its members — the inner applier never sees an OpBatch it would
+// silently drop.
+func TestApplierFlattensNestedBatches(t *testing.T) {
+	store := kvstore.New()
+	app := NewApplier(store)
+
+	inner, err := Pack([]command.Command{
+		command.Put("n1", []byte("a")),
+		command.Put("n2", []byte("b")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := Pack([]command.Command{
+		command.Put("top", []byte("c")),
+		inner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Apply(outer)
+	for _, k := range []string{"top", "n1", "n2"} {
+		if _, ok := store.Get(k); !ok {
+			t.Errorf("key %q missing: nested batch member was dropped", k)
+		}
+	}
+}
+
+// TestSubmitPassesBatchesThrough: already-batched commands bypass the
+// buffer instead of being nested inside an outer batch.
+func TestSubmitPassesBatchesThrough(t *testing.T) {
+	rec := &recordingEngine{}
+	eng := Wrap(rec, Config{Window: time.Hour})
+	defer eng.Stop()
+	batched, err := Pack([]command.Command{
+		command.Put("x", nil),
+		command.Put("y", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Submit(batched, nil)
+	if got := rec.count(); got != 1 {
+		t.Fatalf("batch was buffered (inner saw %d submissions, want 1 immediately)", got)
+	}
+}
+
+// recordingEngine counts submissions reaching the inner engine.
+type recordingEngine struct {
+	mu   sync.Mutex
+	cmds []command.Command
+}
+
+func (r *recordingEngine) Submit(cmd command.Command, done protocol.DoneFunc) {
+	r.mu.Lock()
+	r.cmds = append(r.cmds, cmd)
+	r.mu.Unlock()
+	if done != nil {
+		done(protocol.Result{})
+	}
+}
+
+func (r *recordingEngine) Start() {}
+func (r *recordingEngine) Stop()  {}
+
+func (r *recordingEngine) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cmds)
+}

@@ -135,7 +135,7 @@ func (r *Replica) answerProposal(from timestamp.NodeID, rec *record, ts timestam
 			ballot: ballot,
 			slow:   slow,
 			from:   from,
-			start:  time.Now(),
+			start:  r.now,
 		})
 	case st.nack || st.blocked: // blocked && DisableWait ⇒ reject (ablation)
 		r.rejectProposal(from, rec, ballot, slow)
@@ -232,7 +232,7 @@ func (r *Replica) onStable(from timestamp.NodeID, m *Stable) {
 	// leader or recoverer) the decision is now fixed.
 	if c := r.proposals[id]; c != nil && c.phase != phaseStable {
 		c.phase = phaseStable
-		c.stableAt = time.Now()
+		c.stableAt = r.now
 	}
 
 	r.resolveWaiters()
@@ -300,7 +300,7 @@ func (r *Replica) resolveWaiter(w *waiter) waiterVerdict {
 	if st.blocked {
 		return waiterKeep
 	}
-	r.met.WaitCondition.Add(time.Since(w.start))
+	r.met.WaitCondition.Add(r.now.Sub(w.start))
 	r.cfg.Trace.Record(r.self, trace.KindWaitEnd, w.cmd.ID, w.ts)
 	if st.nack {
 		r.rejectProposal(w.from, rec, w.ballot, w.slow)

@@ -1,8 +1,6 @@
 package caesar
 
 import (
-	"time"
-
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/trace"
@@ -89,17 +87,24 @@ func (r *Replica) deliverable(rec *record) bool {
 	return true
 }
 
-// deliverNow executes one command and completes client bookkeeping.
+// deliverNow executes one command and completes client bookkeeping. The
+// applier receives the decided timestamp when it wants one (the cross-shard
+// commit table merges per-group stable timestamps through ApplyAt).
 func (r *Replica) deliverNow(rec *record) {
 	rec.delivered = true
 	r.delivered.Add(rec.id())
-	value := r.app.Apply(rec.cmd)
+	var value []byte
+	if ta, ok := r.app.(protocol.TimestampedApplier); ok {
+		value = ta.ApplyAt(rec.cmd, rec.ts)
+	} else {
+		value = r.app.Apply(rec.cmd)
+	}
 	r.met.Executed.Inc()
 	r.cfg.Trace.Record(r.self, trace.KindDeliver, rec.id(), rec.ts)
 
 	id := rec.id()
 	if c := r.proposals[id]; c != nil {
-		now := time.Now()
+		now := r.now
 		r.met.ObserveLatency(now.Sub(c.proposedAt))
 		if !c.stableAt.IsZero() {
 			r.met.DeliverPhase.Add(now.Sub(c.stableAt))

@@ -64,7 +64,7 @@ func (r *Replica) startFastProposal(c *coordinator, ts timestamp.Timestamp, whit
 	c.votes = quorum.NewTracker(r.fq)
 	c.anyNack = false
 	c.timedOut = false
-	c.deadline = time.Now().Add(r.cfg.FastTimeout)
+	c.deadline = r.now.Add(r.cfg.FastTimeout)
 	r.ep.Broadcast(&FastPropose{
 		Ballot:       c.ballot,
 		Cmd:          c.cmd,
@@ -160,14 +160,14 @@ func (r *Replica) onSlowProposeReply(from timestamp.NodeID, m *SlowProposeReply)
 // suggestion received (Fig 4, lines R1–R4).
 func (r *Replica) startRetry(c *coordinator, ts timestamp.Timestamp, pred command.IDSet) {
 	if c.phase == phaseFastProposal || c.phase == phaseSlowProposal {
-		r.met.ProposePhase.Add(time.Since(c.proposedAt))
+		r.met.ProposePhase.Add(r.now.Sub(c.proposedAt))
 	}
 	c.phase = phaseRetry
 	c.slowPath = true
 	c.ts = ts
 	c.pred = pred
 	c.votes = quorum.NewTracker(r.cq)
-	c.retryStart = time.Now()
+	c.retryStart = r.now
 	r.met.Retries.Inc()
 	r.cfg.Trace.Record(r.self, trace.KindRetry, c.cmd.ID, ts)
 	r.ep.Broadcast(&Retry{Ballot: c.ballot, Cmd: c.cmd, Time: ts, Pred: pred.Slice()})
@@ -194,7 +194,7 @@ func (r *Replica) onRetryReply(from timestamp.NodeID, m *RetryReply) {
 // startStable broadcasts the decision (Fig 4, line S1) and books the
 // decision-path metrics.
 func (r *Replica) startStable(c *coordinator) {
-	now := time.Now()
+	now := r.now
 	switch c.phase {
 	case phaseRetry:
 		r.met.RetryPhase.Add(now.Sub(c.retryStart))

@@ -88,7 +88,7 @@ func (r *Replica) startRecovery(id command.ID) {
 		ballot:   ballot,
 		votes:    quorum.NewTracker(r.cq),
 		replies:  make(map[timestamp.NodeID]*RecoverReply, r.cq),
-		deadline: time.Now().Add(r.cfg.RecoveryTimeout()),
+		deadline: r.now.Add(r.cfg.RecoveryTimeout()),
 	}
 	r.recoveries[id] = rc
 	r.met.Recoveries.Inc()
@@ -187,7 +187,7 @@ func (r *Replica) finishRecovery(rc *recovery) {
 		// outside this quorum. If it still blocks delivery here, try
 		// again later — a retry reaches whoever holds it.
 		if _, awaited := r.awaited[rc.id]; awaited && !r.delivered.Has(rc.id) {
-			r.scheduledRecovery[rc.id] = time.Now().Add(r.cfg.RecoveryTimeout())
+			r.scheduledRecovery[rc.id] = r.now.Add(r.cfg.RecoveryTimeout())
 		}
 		return
 	}
@@ -203,7 +203,7 @@ func (r *Replica) finishRecovery(rc *recovery) {
 
 	// A (possibly replaced) coordinator at the recovery ballot.
 	newCoord := func(cmd command.Command) *coordinator {
-		c := &coordinator{cmd: cmd, ballot: rc.ballot, proposedAt: time.Now()}
+		c := &coordinator{cmd: cmd, ballot: rc.ballot, proposedAt: r.now}
 		r.proposals[rc.id] = c
 		return c
 	}

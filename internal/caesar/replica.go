@@ -36,6 +36,12 @@ type Config struct {
 	GCInterval time.Duration
 	// TickInterval is the event-loop timer granularity. Default 20ms.
 	TickInterval time.Duration
+	// Now is the clock every timeout and deadline is computed from.
+	// Default time.Now. Tests inject a fake clock and drive ticks
+	// manually, making the replica's timers fire deterministically under
+	// simulated time; the event loop snapshots it once per event, so all
+	// decisions within one event observe one instant.
+	Now func() time.Time
 	// InboxSize bounds the event-loop mailbox. Default 8192.
 	InboxSize int
 	// DisableWait turns off the §IV-A wait condition (commands that
@@ -70,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.InboxSize == 0 {
 		c.InboxSize = 8192
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRecorder()
@@ -118,8 +127,13 @@ type Replica struct {
 	// purgePending accumulates fully acknowledged IDs to purge.
 	purgePending []command.ID
 
-	fd         *failure.Detector
-	nextSeq    uint64
+	fd      *failure.Detector
+	nextSeq uint64
+	// now is the event loop's clock: snapshotted from Config.Now (or the
+	// tick being handled) at the start of every event, so all protocol
+	// code sees one consistent instant per event and never reads the wall
+	// clock directly.
+	now        time.Time
 	lastHB     time.Time
 	lastGC     time.Time
 	tickerStop chan struct{}
@@ -168,8 +182,9 @@ func New(ep transport.Endpoint, app protocol.Applier, cfg Config) *Replica {
 		ackPending:        make(map[timestamp.NodeID][]command.ID),
 		ackCounts:         make(map[command.ID]int),
 	}
+	r.now = cfg.Now()
 	if cfg.HeartbeatInterval > 0 {
-		r.fd = failure.New(r.self, peers, cfg.SuspectTimeout, time.Now())
+		r.fd = failure.New(r.self, peers, cfg.SuspectTimeout, r.now)
 	}
 	return r
 }
@@ -206,8 +221,8 @@ func (r *Replica) runTicker() {
 		select {
 		case <-r.tickerStop:
 			return
-		case now := <-t.C:
-			r.loop.Post(evTick{now: now})
+		case <-t.C:
+			r.loop.Post(evTick{now: r.cfg.Now()})
 		}
 	}
 }
@@ -239,18 +254,24 @@ func (r *Replica) Submit(cmd command.Command, done protocol.DoneFunc) {
 	}
 }
 
-// handle is the single event-loop dispatcher.
+// handle is the single event-loop dispatcher. It snapshots the loop clock
+// once per event; every timeout, deadline and measurement below reads
+// r.now, never the wall clock.
 func (r *Replica) handle(ev any) {
+	if e, ok := ev.(evTick); ok {
+		r.now = e.now
+		r.onTick(e.now)
+		return
+	}
+	r.now = r.cfg.Now()
 	switch e := ev.(type) {
 	case protocol.Inbound:
 		if r.fd != nil {
-			r.fd.Observe(e.From, time.Now())
+			r.fd.Observe(e.From, r.now)
 		}
 		r.dispatch(e.From, e.Payload)
 	case evSubmit:
 		r.onSubmit(e.cmd, e.done)
-	case evTick:
-		r.onTick(e.now)
 	case evInspect:
 		e.fn(r)
 	}
@@ -297,7 +318,7 @@ func (r *Replica) onSubmit(cmd command.Command, done protocol.DoneFunc) {
 	c := &coordinator{
 		cmd:        cmd,
 		ballot:     0,
-		proposedAt: time.Now(),
+		proposedAt: r.now,
 	}
 	r.proposals[cmd.ID] = c
 	ts := r.clock.Next()

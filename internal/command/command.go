@@ -34,6 +34,18 @@ const (
 	// OpBatch marks a command whose Payload encodes a batch of inner
 	// commands; Keys lists the union of the inner key sets.
 	OpBatch
+	// OpXCommit is one group's participant piece of a cross-shard
+	// transaction (internal/xshard): its keys are the transaction's keys
+	// on that group, and Payload encodes the xshard.Piece. Delivery of a
+	// piece registers the group's vote in the node's commit table; the
+	// transaction executes once every participating group delivered its
+	// piece.
+	OpXCommit
+	// OpXAbort is a cross-shard abort marker: it conflicts with the
+	// participant piece of its group, so consensus totally orders the
+	// two and every node agrees which came first — marker first kills
+	// the transaction, piece first makes the marker a no-op.
+	OpXAbort
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +61,10 @@ func (o Op) String() string {
 		return "NOOP"
 	case OpBatch:
 		return "BATCH"
+	case OpXCommit:
+		return "XCOMMIT"
+	case OpXAbort:
+		return "XABORT"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -126,9 +142,25 @@ func (c Command) Keys() []string {
 
 // IsWrite reports whether the command mutates state. Batches are treated as
 // writes (they contain at least one write in practice; treating them as
-// writes is conservative and safe).
+// writes is conservative and safe), as are cross-shard pieces and abort
+// markers — the marker must conflict with its piece to be ordered against
+// it.
 func (c Command) IsWrite() bool {
-	return c.Op == OpPut || c.Op == OpAdd || c.Op == OpBatch
+	switch c.Op {
+	case OpPut, OpAdd, OpBatch, OpXCommit, OpXAbort:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether the op is a consensus-control command (a
+// cross-shard participant piece or abort marker) that layered engines
+// must propose and deliver as-is: buried inside another command's payload
+// it would escape the delivery-time interception it exists for. Keep this
+// predicate in sync when adding control ops, so generic layers (e.g.
+// proposer-side batching) need no per-subsystem knowledge.
+func (o Op) IsControl() bool {
+	return o == OpXCommit || o == OpXAbort
 }
 
 // Conflicts reports whether c and d are non-commutative (c ~ d in the

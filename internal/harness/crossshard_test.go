@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// crossShardBase keeps the mix runs short enough for CI.
+func crossShardBase() Options {
+	return Options{
+		Duration: 500 * time.Millisecond,
+		Warmup:   200 * time.Millisecond,
+		Seed:     11,
+	}
+}
+
+// TestCrossShardMixCommitsWithoutFailures is the tentpole's harness
+// acceptance: a sharded run with a 10% cross-shard transaction mix
+// completes every command — nothing is rejected with ErrCrossShard and
+// nothing wedges in the commit table.
+func TestCrossShardMixCommitsWithoutFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	o := CrossShardOpts(crossShardBase(), Caesar, 10, 4)
+	o.Nodes = 3
+	o.ClientsPerNode = 8
+	res := Run(o)
+	if res.Failed > 0 {
+		t.Fatalf("cross-shard mix failed %d commands (ErrCrossShard regression or stuck commit?)", res.Failed)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("cross-shard mix made no progress")
+	}
+}
+
+// TestCrossShardMixOnSingleGroupBaseline: the identical stream on one
+// group treats the pairs as ordinary atomic batches — the baseline column
+// of the scenario must also complete cleanly.
+func TestCrossShardMixOnSingleGroupBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	o := CrossShardOpts(crossShardBase(), Caesar, 10, 1)
+	o.Nodes = 3
+	o.ClientsPerNode = 8
+	res := Run(o)
+	if res.Failed > 0 {
+		t.Fatalf("single-group baseline failed %d commands", res.Failed)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("single-group baseline made no progress")
+	}
+}
+
+// TestCrossShardMixWithBatching pins the batching composition: client
+// batches form per group while cross-shard pieces bypass the batcher, so
+// the mix and proposer-side batching coexist.
+func TestCrossShardMixWithBatching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	o := CrossShardOpts(crossShardBase(), Caesar, 10, 2)
+	o.Nodes = 3
+	o.ClientsPerNode = 8
+	o.Batching = true
+	res := Run(o)
+	if res.Failed > 0 {
+		t.Fatalf("batching + cross-shard mix failed %d commands", res.Failed)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("batching + cross-shard mix made no progress")
+	}
+}
+
+// TestCrossShardTableShape pins the scenario's report format without
+// paying for full-length runs.
+func TestCrossShardTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	base := crossShardBase()
+	base.Duration = 250 * time.Millisecond
+	base.Warmup = 100 * time.Millisecond
+	base.ClientsPerNode = 6
+	base.Nodes = 3
+	var sb strings.Builder
+	results := CrossShard(&sb, base)
+	if want := len(CrossShardRatios) * 2; len(results) != want {
+		t.Fatalf("CrossShard returned %d results, want %d", len(results), want)
+	}
+	out := sb.String()
+	for _, needle := range []string{"CrossShard:", "cross%", "speedup"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("table output missing %q:\n%s", needle, out)
+		}
+	}
+}

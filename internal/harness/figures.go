@@ -295,6 +295,47 @@ func Sharding(w io.Writer, base Options) []Result {
 	return results
 }
 
+// CrossShardRatios is the x-axis of the cross-shard mix scenario: the
+// percentage of client commands that are two-key transactions spanning
+// consensus groups.
+var CrossShardRatios = []float64{0, 5, 10, 20}
+
+// CrossShardOpts configures one cross-shard mix run: the pipeline-bound
+// sharded setup of ShardingOpts at 2% conflict, with crossPct of the
+// commands drawn as cross-group pairs against a fixed 4-group topology —
+// so a 1-group baseline and a 4-group deployment see the identical command
+// stream (on one group the pairs are ordinary atomic batches).
+func CrossShardOpts(base Options, p Protocol, crossPct float64, shards int) Options {
+	o := ShardingOpts(base, p, 2, shards)
+	o.CrossShardPct = crossPct
+	o.CrossShardSpan = 4
+	return o
+}
+
+// CrossShard measures the price of atomic cross-group commits: aggregate
+// throughput of a 4-group deployment as the cross-shard transaction mix
+// grows from 0 to 20%, against the single-group baseline running the same
+// stream. At 0% the 4-group column reproduces the sharding speedup; each
+// added percent of cross-shard traffic pays one commit-table round per
+// touched group, pulling the speedup back toward the baseline.
+func CrossShard(w io.Writer, base Options) []Result {
+	fmt.Fprintln(w, "CrossShard: aggregate throughput (cmds/s) vs cross-shard transaction mix")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s\n", "cross%", "1 group", "4 groups", "speedup")
+	var results []Result
+	for _, pct := range CrossShardRatios {
+		one := Run(CrossShardOpts(base, Caesar, pct, 1))
+		four := Run(CrossShardOpts(base, Caesar, pct, 4))
+		results = append(results, one, four)
+		speedup := 0.0
+		if one.Throughput > 0 {
+			speedup = four.Throughput / one.Throughput
+		}
+		fmt.Fprintf(w, "%-10.0f %12.0f %12.0f %11.2fx\n",
+			pct, one.Throughput, four.Throughput, speedup)
+	}
+	return results
+}
+
 // applyOpts stamps protocol and conflict level onto the base options.
 func applyOpts(base Options, p Protocol, conflict float64) Options {
 	o := base

@@ -29,6 +29,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 	"github.com/caesar-consensus/caesar/internal/transport"
 	"github.com/caesar-consensus/caesar/internal/workload"
+	"github.com/caesar-consensus/caesar/internal/xshard"
 )
 
 // Protocol names the consensus engine under test.
@@ -74,9 +75,21 @@ type Options struct {
 	CrashAfter     time.Duration
 	SampleInterval time.Duration
 	// Shards > 1 runs that many independent consensus groups per node
-	// (internal/shard), routing every command to a group by consistent
+	// (internal/shard) under the cross-shard commit layer
+	// (internal/xshard), routing every command to a group by consistent
 	// hashing of its key. Applies to every protocol.
 	Shards int
+	// CrossShardPct in [0,100] makes that fraction of client commands
+	// two-key transactions spanning consensus groups, committed
+	// atomically through the cross-shard layer. Atomicity holds for
+	// every protocol; the layer's merged-timestamp ordering of
+	// concurrent conflicting transactions is only active for CAESAR
+	// groups (the other engines do not expose stable timestamps).
+	CrossShardPct float64
+	// CrossShardSpan is the group topology the cross-shard pairs are
+	// drawn against (default Shards); fixing it across runs keeps the
+	// command stream identical when comparing shard counts.
+	CrossShardSpan int
 	// ApplyCost models the state machine's per-command execution cost
 	// (e.g. a durable write) as a sleep inside Apply. Execution within one
 	// group is serial, so this caps a single group's delivery pipeline at
@@ -117,6 +130,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Shards == 0 {
 		o.Shards = 1
+	}
+	if o.CrossShardSpan == 0 {
+		o.CrossShardSpan = o.Shards
 	}
 	if o.LocalNet {
 		o.Scale = 1
@@ -203,14 +219,39 @@ type pacedApplier struct {
 }
 
 func (p pacedApplier) Apply(cmd command.Command) []byte {
-	time.Sleep(p.cost)
+	n := 1
+	if cmd.Op == command.OpBatch {
+		// A batch expands to its members below this wrapper; charge the
+		// modeled cost per member, or batched columns undercharge by the
+		// batch factor.
+		if members, err := batch.Unpack(cmd); err == nil && len(members) > 0 {
+			n = len(members)
+		}
+	}
+	time.Sleep(time.Duration(n) * p.cost)
 	return p.inner.Apply(cmd)
 }
 
+// ApplyAll keeps the inner applier's atomicity visible through the pacing
+// wrapper (the cross-shard commit table type-asserts AtomicApplier on its
+// Exec): the per-op cost is paid up front, outside the atomic window.
+func (p pacedApplier) ApplyAll(cmds []command.Command) [][]byte {
+	time.Sleep(time.Duration(len(cmds)) * p.cost)
+	if aa, ok := p.inner.(protocol.AtomicApplier); ok {
+		return aa.ApplyAll(cmds)
+	}
+	out := make([][]byte, len(cmds))
+	for i, c := range cmds {
+		out[i] = p.inner.Apply(c)
+	}
+	return out
+}
+
 // build constructs the cluster's engines. With o.Shards > 1 every node runs
-// one engine per shard behind a shard.Engine, all groups sharing the node's
-// applier and recorder; the per-protocol construction is identical either
-// way, so any protocol can be sharded.
+// one engine per shard behind a shard.Engine with the cross-shard commit
+// layer (internal/xshard) on top, all groups sharing the node's applier,
+// recorder and commit table; the per-protocol construction is identical
+// either way, so any protocol can be sharded.
 func build(o Options, net *memnet.Network, mets []*metrics.Recorder, apps []protocol.Applier) []protocol.Engine {
 	engines := make([]protocol.Engine, o.Nodes)
 	crashRun := o.CrashNode >= 0
@@ -221,7 +262,7 @@ func build(o Options, net *memnet.Network, mets []*metrics.Recorder, apps []prot
 			app = pacedApplier{inner: app, cost: o.ApplyCost}
 		}
 		met := mets[i]
-		mk := func(ep transport.Endpoint) protocol.Engine {
+		mk := func(ep transport.Endpoint, app protocol.Applier) protocol.Engine {
 			switch o.Protocol {
 			case Caesar, CaesarNoWait:
 				cfg := caesar.Config{Metrics: met, DisableWait: o.Protocol == CaesarNoWait}
@@ -255,22 +296,26 @@ func build(o Options, net *memnet.Network, mets []*metrics.Recorder, apps []prot
 				panic(fmt.Sprintf("harness: unknown protocol %q", o.Protocol))
 			}
 		}
-		// Batching wraps each group, not the sharded fan-out: the shard
-		// router sees single-key commands and the batches it would see
-		// otherwise would span shards and be rejected.
-		mkBatched := func(ep transport.Endpoint) protocol.Engine {
-			eng := mk(ep)
+		// Batching wraps each group, not the sharded fan-out: batches
+		// form per group, so they never span shards (cross-shard pieces
+		// bypass the batcher entirely).
+		mkBatched := func(ep transport.Endpoint, app protocol.Applier) protocol.Engine {
+			eng := mk(ep, app)
 			if o.Batching {
 				eng = batch.Wrap(eng, batch.Config{})
 			}
 			return eng
 		}
 		if o.Shards > 1 {
-			engines[i] = shard.New(ep, o.Shards, func(_ int, sep transport.Endpoint) protocol.Engine {
-				return mkBatched(sep)
+			table := xshard.NewTable(xshard.TableConfig{
+				Self: timestamp.NodeID(i), Exec: app, Metrics: met,
 			})
+			inner := shard.New(ep, o.Shards, func(g int, sep transport.Endpoint) protocol.Engine {
+				return mkBatched(sep, table.Applier(g, app))
+			})
+			engines[i] = xshard.New(inner, table)
 		} else {
-			engines[i] = mkBatched(ep)
+			engines[i] = mkBatched(ep, app)
 		}
 	}
 	return engines
@@ -320,8 +365,10 @@ func Run(o Options) Result {
 		for c := 0; c < o.ClientsPerNode; c++ {
 			wg.Add(1)
 			gen := workload.NewGenerator(workload.Config{
-				ConflictPct: o.ConflictPct,
-				Seed:        o.Seed + int64(node*1000+c),
+				ConflictPct:   o.ConflictPct,
+				Seed:          o.Seed + int64(node*1000+c),
+				CrossShardPct: o.CrossShardPct,
+				SpanShards:    o.CrossShardSpan,
 			}, fmt.Sprintf("n%dc%d", node, c))
 			go func(node int, gen *workload.Generator) {
 				defer wg.Done()

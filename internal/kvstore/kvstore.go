@@ -42,6 +42,10 @@ func New() *Store {
 func (s *Store) Apply(cmd command.Command) []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.applyLocked(cmd)
+}
+
+func (s *Store) applyLocked(cmd command.Command) []byte {
 	s.applied++
 	switch cmd.Op {
 	case command.OpPut:
@@ -63,6 +67,20 @@ func (s *Store) Apply(cmd command.Command) []byte {
 	default:
 		return nil
 	}
+}
+
+// ApplyAll implements protocol.AtomicApplier: the commands execute under
+// one lock hold, so no concurrent reader observes a strict subset of their
+// effects. The cross-shard commit layer uses this to apply a transaction's
+// writes at a single instant.
+func (s *Store) ApplyAll(cmds []command.Command) [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]byte, len(cmds))
+	for i, cmd := range cmds {
+		out[i] = s.applyLocked(cmd)
+	}
+	return out
 }
 
 // Get reads a key outside the replication path (for tests and examples).

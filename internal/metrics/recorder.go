@@ -37,6 +37,11 @@ type Recorder struct {
 
 	// Recoveries counts recovery phases this replica ran (Fig 12 runs).
 	Recoveries Counter
+
+	// CrossShardCommits / CrossShardAborts count cross-shard transactions
+	// executed or killed at this node's commit table (internal/xshard).
+	CrossShardCommits Counter
+	CrossShardAborts  Counter
 }
 
 // NewRecorder returns a Recorder ready for use.
@@ -62,6 +67,8 @@ func (r *Recorder) Reset() {
 	r.DeliverPhase.Reset()
 	r.WaitCondition.Reset()
 	r.Recoveries.Reset()
+	r.CrossShardCommits.Reset()
+	r.CrossShardAborts.Reset()
 }
 
 // ObserveLatency records one end-to-end command latency.

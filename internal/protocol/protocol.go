@@ -14,6 +14,7 @@ import (
 	"errors"
 
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
 )
 
 // Result is the outcome of executing one command.
@@ -52,6 +53,29 @@ type Applier interface {
 	// It is called from a single goroutine per replica, in decision
 	// order.
 	Apply(cmd command.Command) []byte
+}
+
+// TimestampedApplier is an Applier that also wants each command's decided
+// logical timestamp. Engines that agree on timestamps (CAESAR) prefer
+// ApplyAt over Apply when the applier implements it; layered appliers use
+// the timestamp to order work across engines — the cross-shard commit table
+// (internal/xshard) merges per-group stable timestamps this way.
+type TimestampedApplier interface {
+	Applier
+	// ApplyAt executes cmd, which was decided at ts within its engine's
+	// timestamp space.
+	ApplyAt(cmd command.Command, ts timestamp.Timestamp) []byte
+}
+
+// AtomicApplier is an Applier that can execute several commands as one
+// indivisible unit: no concurrent reader of the underlying state observes a
+// strict subset of the group's effects. The cross-shard commit layer uses
+// it to make a transaction's writes visible at a single instant.
+type AtomicApplier interface {
+	Applier
+	// ApplyAll executes cmds in order as one unit and returns their
+	// results.
+	ApplyAll(cmds []command.Command) [][]byte
 }
 
 // ApplierFunc adapts a function to the Applier interface.

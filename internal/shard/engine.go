@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"sync"
+
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/transport"
@@ -52,9 +54,17 @@ func (e *Engine) Shards() int { return len(e.groups) }
 func (e *Engine) Group(i int) protocol.Engine { return e.groups[i] }
 
 // Submit implements protocol.Engine: the command is routed by its key and
-// proposed on that shard's group. Multi-key commands spanning shards fail
-// with ErrCrossShard.
+// proposed on that shard's group. Keyless commands (noops/barriers)
+// conflict with nothing in particular and everything in spirit — they are
+// submitted to every group so a barrier flushes the whole deployment, not
+// just shard 0. Multi-key commands spanning shards fail with ErrCrossShard;
+// internal/xshard layers an atomic cross-group commit over this engine for
+// those.
 func (e *Engine) Submit(cmd command.Command, done protocol.DoneFunc) {
+	if len(cmd.Keys()) == 0 && len(e.groups) > 1 {
+		e.submitAll(cmd, done)
+		return
+	}
 	s, err := e.router.Route(cmd)
 	if err != nil {
 		if done != nil {
@@ -63,6 +73,32 @@ func (e *Engine) Submit(cmd command.Command, done protocol.DoneFunc) {
 		return
 	}
 	e.groups[s].Submit(cmd, done)
+}
+
+// submitAll proposes one copy of cmd on every group (each group's replica
+// assigns the copy its own command ID). done fires once, after every group
+// has executed its copy locally; the first error wins.
+func (e *Engine) submitAll(cmd command.Command, done protocol.DoneFunc) {
+	var (
+		mu        sync.Mutex
+		remaining = len(e.groups)
+		firstErr  error
+	)
+	for _, g := range e.groups {
+		g.Submit(cmd, func(res protocol.Result) {
+			mu.Lock()
+			if res.Err != nil && firstErr == nil {
+				firstErr = res.Err
+			}
+			remaining--
+			last := remaining == 0
+			err := firstErr
+			mu.Unlock()
+			if last && done != nil {
+				done(protocol.Result{Err: err})
+			}
+		})
+	}
 }
 
 // Start implements protocol.Engine.

@@ -66,6 +66,60 @@ func TestShardedEngineRoutesSubmissions(t *testing.T) {
 	}
 }
 
+func TestShardedEngineBroadcastsKeylessCommands(t *testing.T) {
+	net := memnet.New(memnet.Config{Nodes: 1})
+	defer net.Close()
+	fakes := make([]*fakeGroup, 4)
+	eng := New(net.Endpoint(0), 4, func(s int, _ transport.Endpoint) protocol.Engine {
+		fakes[s] = &fakeGroup{}
+		return fakes[s]
+	})
+	eng.Start()
+	defer eng.Stop()
+
+	// A keyless command (noop/barrier) must reach every group, not only
+	// shard 0 — otherwise a barrier never flushes shards 1..G-1.
+	var fired int
+	var res protocol.Result
+	eng.Submit(command.Noop(), func(r protocol.Result) { fired++; res = r })
+	for s, f := range fakes {
+		if f.count() != 1 {
+			t.Errorf("shard %d received %d copies of the barrier, want 1", s, f.count())
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("done fired %d times, want exactly once", fired)
+	}
+	if res.Err != nil {
+		t.Fatalf("barrier failed: %v", res.Err)
+	}
+}
+
+func TestShardedEngineKeylessBroadcastReportsFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	ok := &fakeGroup{}
+	eng := NewFromGroups([]protocol.Engine{ok, failingGroup{err: boom}})
+	var res protocol.Result
+	eng.Submit(command.Noop(), func(r protocol.Result) { res = r })
+	if !errors.Is(res.Err, boom) {
+		t.Fatalf("barrier error = %v, want %v", res.Err, boom)
+	}
+	if ok.count() != 1 {
+		t.Fatalf("healthy group received %d submissions, want 1", ok.count())
+	}
+}
+
+// failingGroup fails every submission.
+type failingGroup struct{ err error }
+
+func (f failingGroup) Submit(_ command.Command, done protocol.DoneFunc) {
+	if done != nil {
+		done(protocol.Result{Err: f.err})
+	}
+}
+func (failingGroup) Start() {}
+func (failingGroup) Stop()  {}
+
 func TestShardedEngineRejectsCrossShard(t *testing.T) {
 	net := memnet.New(memnet.Config{Nodes: 1})
 	defer net.Close()

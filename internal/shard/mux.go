@@ -65,8 +65,18 @@ func (m *Mux) Endpoint(shard int) transport.Endpoint {
 	return &subEndpoint{mux: m, shard: int32(shard)}
 }
 
-// Close detaches the mux from the underlying endpoint and closes it.
-func (m *Mux) Close() error { return m.ep.Close() }
+// Close detaches the mux from the underlying endpoint and closes it. All
+// shard handlers are deregistered first, so an envelope already in flight
+// through a delivery goroutine is dropped instead of being dispatched into
+// a stopped group.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	for i := range m.handlers {
+		m.handlers[i] = nil
+	}
+	m.mu.Unlock()
+	return m.ep.Close()
+}
 
 // subEndpoint is one shard's logical channel. Closing it only deregisters
 // that shard's handler; the shared endpoint stays open for its siblings

@@ -116,6 +116,28 @@ func TestShardMuxSubEndpointClose(t *testing.T) {
 	}
 }
 
+func TestShardMuxCloseDeregistersHandlers(t *testing.T) {
+	net := memnet.New(memnet.Config{Nodes: 2})
+	defer net.Close()
+	m1 := NewMux(net.Endpoint(1), 2)
+	var s0, s1 collector
+	m1.Endpoint(0).SetHandler(s0.handle)
+	m1.Endpoint(1).SetHandler(s1.handle)
+
+	if err := m1.Close(); err != nil {
+		t.Fatalf("mux close: %v", err)
+	}
+	// A late envelope already past the endpoint (e.g. pulled out of a
+	// delivery queue as Close ran) must not be dispatched into a stopped
+	// group: Close deregisters every shard handler under the lock.
+	m1.dispatch(0, &Envelope{Shard: 0, Payload: "late-0"})
+	m1.dispatch(0, &Envelope{Shard: 1, Payload: "late-1"})
+	if s0.count() != 0 || s1.count() != 0 {
+		t.Fatalf("dispatch after Close reached handlers: shard0=%d shard1=%d msgs",
+			s0.count(), s1.count())
+	}
+}
+
 func TestShardMuxSelfAndPeers(t *testing.T) {
 	net := memnet.New(memnet.Config{Nodes: 3})
 	defer net.Close()

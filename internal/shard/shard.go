@@ -59,8 +59,11 @@ func (r Router) Shard(key string) int {
 }
 
 // Route returns the shard every key of cmd maps to. Keyless commands
-// (noops) conflict with nothing and route to shard 0; a multi-key command
-// whose keys span shards is rejected with ErrCrossShard.
+// (noops) have no home shard and default to 0 — Engine.Submit broadcasts
+// them to every group instead of calling Route, so a barrier flushes the
+// whole deployment. A multi-key command whose keys span shards is rejected
+// with ErrCrossShard; internal/xshard catches that and runs the atomic
+// cross-group commit instead.
 func (r Router) Route(cmd command.Command) (int, error) {
 	keys := cmd.Keys()
 	if len(keys) == 0 {

@@ -16,6 +16,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/multipaxos"
 	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/xshard"
 )
 
 // Envelope frames one protocol message.
@@ -70,6 +71,11 @@ func register() {
 	// Sharding: the envelope tagging each message with its consensus
 	// group (internal/shard); payloads are the engine messages above.
 	gob.Register(&shard.Envelope{})
+	// Cross-shard commit layer: participant pieces and abort markers
+	// travel as interface-encoded command payloads inside the engine
+	// messages, so their concrete types must be in the gob registry on
+	// every process of a sharded deployment (internal/xshard).
+	xshard.RegisterGob()
 }
 
 // registerOnce guards one-time gob registration (gob panics on

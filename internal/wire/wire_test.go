@@ -13,6 +13,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/mencius"
 	"github.com/caesar-consensus/caesar/internal/multipaxos"
 	"github.com/caesar-consensus/caesar/internal/shard"
+	"github.com/caesar-consensus/caesar/internal/xshard"
 )
 
 // everyMessage returns one instance of every registered wire message,
@@ -150,5 +151,62 @@ func TestStreamCarriesMixedTraffic(t *testing.T) {
 		if got.From != want.From || !reflect.DeepEqual(got.Payload, want.Payload) {
 			t.Fatalf("message %d diverged: sent %#v, got %#v", i, want, got)
 		}
+	}
+}
+
+// TestCrossShardPayloadsRoundTrip pins the encoding path of the
+// cross-shard commit layer: pieces and abort markers ride as
+// interface-encoded payloads inside ordinary engine commands, so a sharded
+// multi-process deployment only works if register() put their concrete
+// types into the gob registry.
+func TestCrossShardPayloadsRoundTrip(t *testing.T) {
+	xid := xshard.XID{Node: 2, Seq: 9}
+	ops := []command.Command{command.Put("a", []byte("1")), command.Add("b", 5)}
+	piece, err := xshard.PieceCommand(xid, []int32{0, 3}, ops, ops[:1])
+	if err != nil {
+		t.Fatalf("piece: %v", err)
+	}
+	abort, err := xshard.AbortCommand(xid, 3, ops[1:])
+	if err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, cmd := range []command.Command{piece, abort} {
+		env := &Envelope{From: 1, Payload: &shard.Envelope{Shard: 3, Payload: &caesar.FastPropose{Cmd: cmd}}}
+		if err := enc.Encode(env); err != nil {
+			t.Fatalf("encode %v: %v", cmd.Op, err)
+		}
+	}
+	dec := NewDecoder(&buf)
+
+	var gotPiece Envelope
+	if err := dec.Decode(&gotPiece); err != nil {
+		t.Fatalf("decode piece: %v", err)
+	}
+	cmd := gotPiece.Payload.(*shard.Envelope).Payload.(*caesar.FastPropose).Cmd
+	p, err := xshard.DecodePiece(cmd.Payload)
+	if err != nil {
+		t.Fatalf("DecodePiece: %v", err)
+	}
+	if p.XID != xid || len(p.Ops) != 2 || !reflect.DeepEqual(p.Groups, []int32{0, 3}) {
+		t.Fatalf("piece round trip diverged: %#v", p)
+	}
+	if cmd.Key != "a" || len(cmd.ExtraKeys) != 0 {
+		t.Fatalf("piece keys = %q + %v, want the group's share only", cmd.Key, cmd.ExtraKeys)
+	}
+
+	var gotAbort Envelope
+	if err := dec.Decode(&gotAbort); err != nil {
+		t.Fatalf("decode abort: %v", err)
+	}
+	cmd = gotAbort.Payload.(*shard.Envelope).Payload.(*caesar.FastPropose).Cmd
+	a, err := xshard.DecodeAbort(cmd.Payload)
+	if err != nil {
+		t.Fatalf("DecodeAbort: %v", err)
+	}
+	if a.XID != xid || a.Group != 3 {
+		t.Fatalf("abort round trip diverged: %#v", a)
 	}
 }

@@ -15,8 +15,10 @@ import (
 	"sync"
 	"time"
 
+	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/shard"
 )
 
 // DefaultSharedPool is the paper's shared pool size.
@@ -35,6 +37,15 @@ type Config struct {
 	ValueSize int
 	// Seed makes the stream reproducible.
 	Seed int64
+	// CrossShardPct in [0,100]: probability a command is a two-key
+	// transaction whose keys route to different consensus groups of a
+	// SpanShards-group deployment. Requires SpanShards > 1.
+	CrossShardPct float64
+	// SpanShards is the router size used to pick cross-group key pairs.
+	// Using the scenario's group count here keeps the generated stream
+	// identical across deployments being compared (the same pairs are
+	// single-group batches on an unsharded run).
+	SpanShards int
 }
 
 // Generator produces the command stream of one client. Not safe for
@@ -45,6 +56,7 @@ type Generator struct {
 	prefix string
 	seq    uint64
 	value  []byte
+	router shard.Router
 }
 
 // NewGenerator builds a client generator; prefix namespaces the private
@@ -65,21 +77,51 @@ func NewGenerator(cfg Config, prefix string) *Generator {
 		rng:    rand.New(rand.NewSource(seed)),
 		prefix: prefix,
 		value:  make([]byte, cfg.ValueSize),
+		router: shard.NewRouter(cfg.SpanShards),
 	}
 	g.rng.Read(g.value)
 	return g
 }
 
-// Next returns the client's next update command.
+// Next returns the client's next command: an update, or — with probability
+// CrossShardPct — a two-key transaction spanning consensus groups.
 func (g *Generator) Next() command.Command {
-	var key string
-	if g.rng.Float64()*100 < g.cfg.ConflictPct {
-		key = "shared-" + strconv.Itoa(g.rng.Intn(g.cfg.SharedPool))
-	} else {
-		g.seq++
-		key = g.prefix + "-" + strconv.FormatUint(g.seq, 36)
+	if g.cfg.SpanShards > 1 && g.rng.Float64()*100 < g.cfg.CrossShardPct {
+		if cmd, ok := g.nextCrossShard(); ok {
+			return cmd
+		}
 	}
-	return command.Put(key, g.value)
+	return command.Put(g.nextKey(), g.value)
+}
+
+// nextKey draws one key per the conflict rule of §VI.
+func (g *Generator) nextKey() string {
+	if g.rng.Float64()*100 < g.cfg.ConflictPct {
+		return "shared-" + strconv.Itoa(g.rng.Intn(g.cfg.SharedPool))
+	}
+	g.seq++
+	return g.prefix + "-" + strconv.FormatUint(g.seq, 36)
+}
+
+// nextCrossShard builds a two-key transaction whose keys route to
+// different groups of the SpanShards-group topology.
+func (g *Generator) nextCrossShard() (command.Command, bool) {
+	k1 := g.nextKey()
+	for tries := 0; tries < 32; tries++ {
+		k2 := g.nextKey()
+		if k2 == k1 || g.router.Shard(k2) == g.router.Shard(k1) {
+			continue
+		}
+		cmd, err := batch.Pack([]command.Command{
+			command.Put(k1, g.value),
+			command.Put(k2, g.value),
+		})
+		if err != nil {
+			break
+		}
+		return cmd, true
+	}
+	return command.Command{}, false
 }
 
 // ClientStats aggregates one client pool's outcomes.

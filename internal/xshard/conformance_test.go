@@ -1,0 +1,27 @@
+package xshard_test
+
+// Black-box conformance: the cross-shard engine is a protocol.Engine and
+// must keep the full Generalized Consensus contract for single-key
+// traffic — the coordinator layer only intercepts multi-group commands,
+// everything else passes through the sharded deployment untouched.
+
+import (
+	"testing"
+
+	"github.com/caesar-consensus/caesar/internal/caesar"
+	"github.com/caesar-consensus/caesar/internal/enginetest"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/shard"
+	"github.com/caesar-consensus/caesar/internal/transport"
+	"github.com/caesar-consensus/caesar/internal/xshard"
+)
+
+func TestCrossShardEngineConformance(t *testing.T) {
+	enginetest.Run(t, func(ep transport.Endpoint, app protocol.Applier) protocol.Engine {
+		table := xshard.NewTable(xshard.TableConfig{Self: ep.Self(), Exec: app})
+		inner := shard.New(ep, 4, func(g int, sep transport.Endpoint) protocol.Engine {
+			return caesar.New(sep, table.Applier(g, app), caesar.Config{HeartbeatInterval: -1})
+		})
+		return xshard.New(inner, table)
+	})
+}

@@ -1,0 +1,552 @@
+package xshard
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/metrics"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/shard"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+// TableConfig tunes one node's commit table.
+type TableConfig struct {
+	// Self is this node's ID; it stamps XIDs, staggers survivor-side
+	// resolution and decides which entries carry a client callback.
+	Self timestamp.NodeID
+	// Exec is the node-level applier transactions execute against. When
+	// it implements protocol.AtomicApplier the whole transaction is
+	// applied as one indivisible unit.
+	Exec protocol.Applier
+	// Metrics receives CrossShardCommits/CrossShardAborts; may be nil.
+	Metrics *metrics.Recorder
+	// ResolveTimeout is how long a transaction may sit incomplete in the
+	// table before this node proposes abort markers to the groups whose
+	// pieces are missing. Default 3s.
+	ResolveTimeout time.Duration
+	// SweepInterval is the resolution timer granularity. Default
+	// ResolveTimeout/4.
+	SweepInterval time.Duration
+	// Now is the clock deadlines are computed from. Default time.Now.
+	Now func() time.Time
+}
+
+func (c TableConfig) withDefaults() TableConfig {
+	if c.ResolveTimeout == 0 {
+		c.ResolveTimeout = 3 * time.Second
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = c.ResolveTimeout / 4
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// entryState is the lifecycle of one commit-table entry.
+type entryState uint8
+
+const (
+	// entryPending: pieces are still being collected.
+	entryPending entryState = iota
+	// entryExecuted: the transaction was applied; the entry is a
+	// tombstone absorbing late abort markers until swept.
+	entryExecuted
+	// entryDead: an abort marker preceded the piece in some group; late
+	// pieces are dropped until the tombstone is swept.
+	entryDead
+)
+
+// entry is one transaction's state in the table.
+type entry struct {
+	xid    XID
+	groups []int32
+	ops    []command.Command
+	keys   map[string]struct{}
+	// got marks the groups whose piece was delivered before any abort
+	// marker of that group.
+	got map[int32]bool
+	// merged is the running max of the registered pieces' stable
+	// timestamps — a lower bound until the entry completes, the
+	// transaction's execution timestamp after.
+	merged timestamp.Timestamp
+	// done is the client callback; set only on the coordinating node.
+	done  protocol.DoneFunc
+	state entryState
+	// deadline is the next resolution attempt while pending, the sweep
+	// expiry once executed or dead.
+	deadline time.Time
+}
+
+// complete reports whether every participating group delivered its piece.
+func (e *entry) complete() bool {
+	return len(e.groups) > 0 && len(e.got) == len(e.groups)
+}
+
+// conflictsWith reports whether two transactions share a key.
+func (e *entry) conflictsWith(o *entry) bool {
+	a, b := e.keys, o.keys
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for k := range a {
+		if _, ok := b[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Table is one node's cross-shard commit table: it holds each in-flight
+// transaction's delivered pieces until all participating groups have
+// stabilized theirs, then executes the transaction atomically at the
+// merged (max) timestamp. It is shared by all of the node's group appliers
+// and by the submit-side coordinator (Engine).
+type Table struct {
+	cfg    TableConfig
+	router shard.Router
+	// submit proposes a command on one group; bound by Engine.
+	submit func(group int, cmd command.Command, done protocol.DoneFunc)
+
+	mu      sync.Mutex
+	entries map[XID]*entry
+	nextSeq uint64
+	// queue holds executions and client callbacks decided under mu, to
+	// be run outside it (the applier may sleep, callbacks may re-enter
+	// the table); flushing marks the single goroutine draining it, which
+	// keeps the apply order identical to the decision order.
+	queue    []func()
+	flushing bool
+
+	stop    chan struct{}
+	stopped chan struct{}
+	running bool
+}
+
+// NewTable builds an empty commit table.
+func NewTable(cfg TableConfig) *Table {
+	return &Table{cfg: cfg.withDefaults(), entries: make(map[XID]*entry)}
+}
+
+// bind wires the table to the sharded engine it resolves through.
+func (t *Table) bind(router shard.Router, submit func(int, command.Command, protocol.DoneFunc)) {
+	t.router = router
+	t.submit = submit
+}
+
+// nextXID mints a transaction ID for this coordinator.
+func (t *Table) nextXID() XID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextSeq++
+	return XID{Node: t.cfg.Self, Seq: t.nextSeq}
+}
+
+// Pending returns the number of in-flight (non-tombstone) transactions,
+// for tests and introspection.
+func (t *Table) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, e := range t.entries {
+		if e.state == entryPending {
+			n++
+		}
+	}
+	return n
+}
+
+// start launches the resolution sweeper.
+func (t *Table) start() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.running {
+		return
+	}
+	t.running = true
+	t.stop = make(chan struct{})
+	t.stopped = make(chan struct{})
+	go t.sweeper(t.stop, t.stopped)
+}
+
+// stopAndFail stops the sweeper and fails the pending client callbacks
+// with protocol.ErrStopped.
+func (t *Table) stopAndFail() {
+	t.mu.Lock()
+	if !t.running {
+		t.mu.Unlock()
+		return
+	}
+	t.running = false
+	stop, stopped := t.stop, t.stopped
+	var dones []protocol.DoneFunc
+	for _, e := range t.entries {
+		if e.state == entryPending && e.done != nil {
+			dones = append(dones, e.done)
+			e.done = nil
+		}
+	}
+	t.mu.Unlock()
+	close(stop)
+	<-stopped
+	for _, done := range dones {
+		done(protocol.Result{Err: protocol.ErrStopped})
+	}
+}
+
+// sweeper periodically resolves stuck transactions and sweeps tombstones.
+func (t *Table) sweeper(stop, stopped chan struct{}) {
+	defer close(stopped)
+	tick := time.NewTicker(t.cfg.SweepInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			t.Resolve()
+		}
+	}
+}
+
+// flush drains the action queue outside the lock. Only one goroutine
+// drains at a time, so actions run in exactly the order they were decided;
+// a second caller returns immediately and its actions run on the drainer.
+func (t *Table) flush() {
+	t.mu.Lock()
+	if t.flushing {
+		t.mu.Unlock()
+		return
+	}
+	t.flushing = true
+	for len(t.queue) > 0 {
+		fn := t.queue[0]
+		t.queue = t.queue[1:]
+		t.mu.Unlock()
+		fn()
+		t.mu.Lock()
+	}
+	t.flushing = false
+	t.mu.Unlock()
+}
+
+// ensure returns the entry for xid, creating a pending one if absent.
+// Callers hold t.mu.
+func (t *Table) ensureLocked(xid XID) *entry {
+	e := t.entries[xid]
+	if e == nil {
+		e = &entry{xid: xid, got: make(map[int32]bool)}
+		t.entries[xid] = e
+	}
+	return e
+}
+
+// fillLocked populates an entry's transaction body if still unknown.
+func (t *Table) fillLocked(e *entry, groups []int32, ops []command.Command) {
+	if len(e.groups) > 0 {
+		return
+	}
+	e.groups = groups
+	e.ops = ops
+	e.keys = make(map[string]struct{})
+	for _, k := range keyUnion(ops) {
+		e.keys[k] = struct{}{}
+	}
+}
+
+// expect registers the coordinator-side entry before its pieces are
+// submitted; done (may be nil) fires on local execution or abort. The
+// coordinator gets the earliest resolution deadline — it is the node best
+// placed to notice a participant that never landed.
+func (t *Table) expect(xid XID, groups []int32, ops []command.Command, done protocol.DoneFunc) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.ensureLocked(xid)
+	t.fillLocked(e, groups, ops)
+	e.done = done
+	e.deadline = t.cfg.Now().Add(t.cfg.ResolveTimeout)
+}
+
+// registerPiece records one group's delivered piece; called from that
+// group's delivery goroutine via the group applier. ts is the piece's
+// stable timestamp within its group (zero for engines without timestamps).
+func (t *Table) registerPiece(group int32, p *Piece, ts timestamp.Timestamp) {
+	t.mu.Lock()
+	defer t.flush()
+	defer t.mu.Unlock()
+	e := t.ensureLocked(p.XID)
+	if e.state != entryPending {
+		return // tombstone: executed already, or dead in some group
+	}
+	if len(e.groups) == 0 {
+		// First sighting on this node: survivors learn the full
+		// transaction from any piece and stagger their resolution
+		// deadline behind the coordinator's by node rank.
+		t.fillLocked(e, p.Groups, p.Ops)
+		stagger := time.Duration(int32(t.cfg.Self)+1) * t.cfg.ResolveTimeout / 4
+		e.deadline = t.cfg.Now().Add(t.cfg.ResolveTimeout + stagger)
+	}
+	if e.got[group] {
+		return
+	}
+	e.got[group] = true
+	if e.merged.Less(ts) {
+		e.merged = ts
+	}
+	t.drainLocked()
+}
+
+// registerAbort records one group's abort marker. If that group's piece
+// was delivered first the marker lost the race and is a no-op; otherwise
+// the group — and with it the transaction — is dead on every node, since
+// all nodes deliver the conflicting marker/piece pair in the same order.
+func (t *Table) registerAbort(group int32, a *Abort) {
+	t.mu.Lock()
+	defer t.flush()
+	defer t.mu.Unlock()
+	e := t.ensureLocked(a.XID)
+	if e.state != entryPending || e.got[group] {
+		return
+	}
+	t.killLocked(e)
+	t.drainLocked()
+}
+
+// killLocked turns an entry into a dead tombstone and queues its client
+// failure.
+func (t *Table) killLocked(e *entry) {
+	e.state = entryDead
+	e.ops, e.keys, e.got = nil, nil, nil
+	e.deadline = t.cfg.Now().Add(4 * t.cfg.ResolveTimeout)
+	if t.cfg.Metrics != nil {
+		t.cfg.Metrics.CrossShardAborts.Inc()
+	}
+	if e.done != nil {
+		done := e.done
+		e.done = nil
+		t.queue = append(t.queue, func() { done(protocol.Result{Err: ErrAborted}) })
+	}
+}
+
+// drainLocked executes every completed transaction whose turn has come:
+// completed entries run in merged-timestamp order, and an entry defers
+// while a conflicting incomplete transaction could still merge below it
+// (its timestamp lower bound is smaller). Execution can unblock further
+// entries, so the pass loops until a fixpoint.
+func (t *Table) drainLocked() {
+	for {
+		var ready []*entry
+		for _, e := range t.entries {
+			if e.state == entryPending && e.complete() {
+				ready = append(ready, e)
+			}
+		}
+		if len(ready) == 0 {
+			return
+		}
+		sort.Slice(ready, func(i, j int) bool {
+			if ready[i].merged != ready[j].merged {
+				return ready[i].merged.Less(ready[j].merged)
+			}
+			if ready[i].xid.Node != ready[j].xid.Node {
+				return ready[i].xid.Node < ready[j].xid.Node
+			}
+			return ready[i].xid.Seq < ready[j].xid.Seq
+		})
+		progress := false
+		var blocked []*entry
+		for _, e := range ready {
+			// Blocking is transitive through completed entries: if an
+			// earlier-timestamped conflicting entry is deferred, this one
+			// must defer too, or replicas where the earlier one was not
+			// deferred would execute the pair in the opposite order.
+			if t.blockedLocked(e) || conflictsAny(e, blocked) {
+				blocked = append(blocked, e)
+				continue
+			}
+			t.executeLocked(e)
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// conflictsAny reports whether e shares a key with any entry in es.
+func conflictsAny(e *entry, es []*entry) bool {
+	for _, o := range es {
+		if e.conflictsWith(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockedLocked reports whether a completed entry must wait: a conflicting
+// transaction is still collecting pieces and its merged-timestamp lower
+// bound is at or below this entry's final timestamp, so it could still
+// order first (ties included — per-group timestamp spaces are independent,
+// so equal timestamps across transactions are possible, and XID breaks the
+// tie only once both are complete). The blocker eventually completes,
+// dies, or is aborted by the resolution timer — each of which re-drains
+// the table.
+func (t *Table) blockedLocked(e *entry) bool {
+	for _, o := range t.entries {
+		if o == e || o.state != entryPending || o.complete() {
+			continue
+		}
+		if !e.merged.Less(o.merged) && e.conflictsWith(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// executeLocked marks one completed transaction executed and queues its
+// atomic application and client callback; the queue runs them outside the
+// lock (the applier may sleep, the callback may re-enter the table), in
+// decision order.
+func (t *Table) executeLocked(e *entry) {
+	ops, done := e.ops, e.done
+	e.state = entryExecuted
+	e.ops, e.keys, e.got, e.done = nil, nil, nil, nil
+	e.deadline = t.cfg.Now().Add(4 * t.cfg.ResolveTimeout)
+	if t.cfg.Metrics != nil {
+		t.cfg.Metrics.CrossShardCommits.Inc()
+	}
+	exec := t.cfg.Exec
+	t.queue = append(t.queue, func() {
+		if aa, ok := exec.(protocol.AtomicApplier); ok {
+			aa.ApplyAll(ops)
+		} else {
+			for _, op := range ops {
+				exec.Apply(op)
+			}
+		}
+		if done != nil {
+			done(protocol.Result{})
+		}
+	})
+}
+
+// pieceFailed reacts to a participant submission that could not be placed
+// (e.g. the group engine stopped): the client learns the error right away
+// and the entry's deadline is pulled forward so the next sweep proposes
+// abort markers to the groups that never got their piece. The markers are
+// ordered against the pieces by consensus, so a transaction whose pieces
+// all landed anyway still commits — the early error then reports an
+// unknown outcome, not a guaranteed abort.
+func (t *Table) pieceFailed(xid XID, err error) {
+	t.mu.Lock()
+	defer t.flush()
+	defer t.mu.Unlock()
+	e := t.entries[xid]
+	if e == nil || e.state != entryPending {
+		return
+	}
+	if e.done != nil {
+		done := e.done
+		e.done = nil
+		t.queue = append(t.queue, func() { done(protocol.Result{Err: err}) })
+	}
+	e.deadline = t.cfg.Now()
+}
+
+// Resolve runs one resolution sweep: it proposes abort markers for
+// transactions stuck past their deadline and sweeps expired tombstones.
+// Marker submissions are repeated every ResolveTimeout until the
+// transaction executes or dies — duplicates are harmless, losing every
+// race they cannot win. The background sweeper calls it on SweepInterval
+// (wall clock); tests that inject a fake TableConfig.Now call it directly
+// after advancing the clock, so resolution deadlines are fully drivable
+// under simulated time.
+func (t *Table) Resolve() {
+	now := t.cfg.Now()
+	type marker struct {
+		group int
+		cmd   command.Command
+	}
+	var markers []marker
+	t.mu.Lock()
+	for xid, e := range t.entries {
+		if e.state != entryPending {
+			if now.After(e.deadline) {
+				delete(t.entries, xid)
+			}
+			continue
+		}
+		if !now.After(e.deadline) || len(e.groups) == 0 {
+			continue
+		}
+		parts, err := partition(t.router, e.ops)
+		if err != nil {
+			continue
+		}
+		for _, g := range e.groups {
+			if e.got[g] {
+				continue
+			}
+			cmd, err := AbortCommand(e.xid, g, parts[int(g)])
+			if err != nil {
+				continue
+			}
+			markers = append(markers, marker{group: int(g), cmd: cmd})
+		}
+		e.deadline = now.Add(t.cfg.ResolveTimeout)
+	}
+	submit := t.submit
+	t.mu.Unlock()
+	if submit == nil {
+		return
+	}
+	for _, m := range markers {
+		submit(m.group, m.cmd, nil)
+	}
+}
+
+// Applier wraps one group's applier: cross-shard pieces and markers are
+// intercepted into the table, everything else passes through (with its
+// timestamp, when the engine provides one).
+func (t *Table) Applier(group int, inner protocol.Applier) protocol.Applier {
+	return &groupApplier{t: t, group: int32(group), inner: inner}
+}
+
+// groupApplier is the per-group interception layer.
+type groupApplier struct {
+	t     *Table
+	group int32
+	inner protocol.Applier
+}
+
+var _ protocol.TimestampedApplier = (*groupApplier)(nil)
+
+// Apply implements protocol.Applier (engines without timestamps).
+func (a *groupApplier) Apply(cmd command.Command) []byte {
+	return a.ApplyAt(cmd, timestamp.Zero)
+}
+
+// ApplyAt implements protocol.TimestampedApplier; ts is the command's
+// stable timestamp within this group.
+func (a *groupApplier) ApplyAt(cmd command.Command, ts timestamp.Timestamp) []byte {
+	switch cmd.Op {
+	case command.OpXCommit:
+		if p, err := DecodePiece(cmd.Payload); err == nil {
+			a.t.registerPiece(a.group, p, ts)
+		}
+		return nil
+	case command.OpXAbort:
+		if ab, err := DecodeAbort(cmd.Payload); err == nil {
+			a.t.registerAbort(a.group, ab)
+		}
+		return nil
+	}
+	if ta, ok := a.inner.(protocol.TimestampedApplier); ok {
+		return ta.ApplyAt(cmd, ts)
+	}
+	return a.inner.Apply(cmd)
+}
