@@ -14,6 +14,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/rebalance"
 	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 	"github.com/caesar-consensus/caesar/internal/transport"
@@ -98,16 +99,29 @@ var ErrClosed = errors.New("caesar: node closed")
 // nowhere.
 var ErrTxAborted = xshard.ErrAborted
 
+// ErrNotSharded is returned by Resize on a node built without WithShards:
+// an unsharded deployment has no router to re-epoch.
+var ErrNotSharded = errors.New("caesar: node is not sharded (build the cluster with WithShards)")
+
+// ErrResizeInProgress is returned by Resize while another resize is still
+// completing.
+var ErrResizeInProgress = rebalance.ErrResizeInProgress
+
+// ErrResizeConflict is returned when a concurrently initiated resize won
+// the epoch: the deployment was resized, but to the winner's shard count.
+var ErrResizeConflict = rebalance.ErrResizeConflict
+
 // Node is one CAESAR replica with an embedded key-value store. With
 // WithShards it runs several independent consensus groups and routes each
-// command to its key's group.
+// command to its key's group; Resize changes the group count live.
 type Node struct {
-	id     timestamp.NodeID
-	engine protocol.Engine
-	store  *kvstore.Store
-	met    *metrics.Recorder
-	shards int
-	closed atomic.Bool
+	id      timestamp.NodeID
+	engine  protocol.Engine
+	resizer *rebalance.Engine // nil on unsharded nodes
+	store   *kvstore.Store
+	met     *metrics.Recorder
+	shards  int
+	closed  atomic.Bool
 }
 
 // Options tunes a node; the zero value is production defaults.
@@ -138,12 +152,13 @@ func (o Options) toConfig() caesar.Config {
 }
 
 // newNode wires a replica — or, with shards > 1, a sharded set of replicas
-// multiplexed over the endpoint, under the cross-shard commit layer — to
-// the transport; used by Cluster and the server binaries. Every shard
-// shares the node's store, recorder and commit table (all safe for the
-// per-shard delivery goroutines), so Stats and Read report whole-node
-// aggregates regardless of the shard count, and multi-key transactions
-// spanning groups commit atomically instead of failing.
+// multiplexed over the endpoint, under the cross-shard commit and live
+// rebalancing layers — to the transport; used by Cluster and the server
+// binaries. Every shard shares the node's store, recorder, commit table
+// and rebalance coordinator (all safe for the per-shard delivery
+// goroutines), so Stats and Read report whole-node aggregates regardless
+// of the shard count, multi-key transactions spanning groups commit
+// atomically instead of failing, and Resize changes the group count live.
 func newNode(ep transport.Endpoint, opts Options, shards int) *Node {
 	if shards < 1 {
 		shards = 1
@@ -163,10 +178,17 @@ func newNode(ep transport.Endpoint, opts Options, shards int) *Node {
 		n.engine = caesar.New(ep, app, cfg)
 	} else {
 		table := xshard.NewTable(xshard.TableConfig{Self: ep.Self(), Exec: app, Metrics: met})
+		co := rebalance.NewCoordinator(rebalance.Config{
+			Self:   ep.Self(),
+			Export: store.Export,
+			Import: store.Import,
+		}, shards)
 		inner := shard.New(ep, shards, func(g int, sep transport.Endpoint) protocol.Engine {
-			return caesar.New(sep, table.Applier(g, app), cfg)
+			return caesar.New(sep, co.Applier(g, table.Applier(g, app)), cfg)
 		})
-		n.engine = xshard.New(inner, table)
+		reng := rebalance.NewEngine(xshard.New(inner, table), co)
+		n.resizer = reng
+		n.engine = reng
 	}
 	n.engine.Start()
 	return n
@@ -273,9 +295,39 @@ func (n *Node) Stats() Stats {
 	}
 }
 
-// Shards returns the number of consensus groups this node runs (1 unless
-// the cluster was built with WithShards).
-func (n *Node) Shards() int { return n.shards }
+// Shards returns the number of consensus groups this node currently runs
+// (1 unless the cluster was built with WithShards; live resizes move it).
+func (n *Node) Shards() int {
+	if n.resizer != nil {
+		return n.resizer.Shards()
+	}
+	return n.shards
+}
+
+// Resize changes this deployment's consensus-group count to shards, live:
+// no command is lost or reordered, keys whose home group changes are
+// handed off under a consensus-ordered resize marker, and every node
+// switches routing at the same point of each group's delivery order. Only
+// ~1/(G+1) of the keyspace moves per added group (jump consistent
+// hashing); traffic on migrating keys stalls for at most one handoff
+// round, everything else flows uninterrupted.
+//
+// Resize returns once the transition completes on this node; peers
+// complete on their own as the markers deliver (survivors finish the
+// propagation if this node crashes mid-resize). It returns
+// ErrResizeInProgress when a transition is already running,
+// ErrResizeConflict when a concurrently initiated resize won (the
+// deployment resized, but to the winner's count), and ErrNotSharded on a
+// node built without WithShards.
+func (n *Node) Resize(ctx context.Context, shards int) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	if n.resizer == nil {
+		return ErrNotSharded
+	}
+	return n.resizer.Resize(ctx, shards)
+}
 
 // Close stops the replica. In-flight proposals fail. Safe for concurrent
 // use with Propose/ProposeTx (a proposal racing Close fails with ErrClosed

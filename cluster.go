@@ -56,8 +56,10 @@ func WithNodeOptions(opts Options) ClusterOption {
 // keep one cluster-wide order. Multi-key transactions (ProposeTx) whose
 // keys span groups commit atomically through the cross-shard layer at the
 // merged (max) of the groups' stable timestamps; cross-shard transactions
-// are atomic but not strictly serializable against each other. g < 1 is
-// treated as 1 (an unsharded deployment).
+// are atomic but not strictly serializable against each other. The group
+// count is elastic: Node.Resize changes it live, with consensus-fenced
+// state handoff (internal/rebalance). g < 1 is treated as 1 (an unsharded
+// deployment).
 func WithShards(g int) ClusterOption {
 	return func(c *clusterConfig) { c.shards = g }
 }

@@ -9,6 +9,7 @@
 //	caesar-bench -figure 9 -scale 0.1 -duration 5s
 //	caesar-bench -figure sharding     # 1 vs 2 vs 4 consensus groups/node
 //	caesar-bench -figure crossshard   # throughput vs cross-shard txn mix (0–20%)
+//	caesar-bench -figure elastic      # throughput through a live 2→4 resize
 //	caesar-bench -figure 9 -shards 4  # any figure on a sharded deployment
 //
 // Scale 1.0 reproduces the paper's real WAN latencies (slow); the default
@@ -34,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11a, 11b, 12, sharding, crossshard, or all (the paper's figures)")
+		figure   = flag.String("figure", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11a, 11b, 12, sharding, crossshard, elastic, or all (the paper's figures)")
 		scale    = flag.Float64("scale", 0.05, "WAN latency scale (1.0 = real EC2 latencies)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement window per data point")
 		warmup   = flag.Duration("warmup", time.Second, "warmup before each measurement")
@@ -63,10 +64,12 @@ func run() error {
 		"11b": func() { harness.Figure11b(w, base) },
 		"12":  func() { harness.Figure12(w, base) },
 		// Beyond the paper: throughput scaling of the sharded deployment,
-		// and the cost of the atomic cross-group commit layer as the
-		// cross-shard transaction mix grows.
+		// the cost of the atomic cross-group commit layer as the
+		// cross-shard transaction mix grows, and throughput through a
+		// live mid-run shard-count resize.
 		"sharding":   func() { harness.Sharding(w, base) },
 		"crossshard": func() { harness.CrossShard(w, base) },
+		"elastic":    func() { harness.Elastic(w, base) },
 	}
 	if *figure == "all" {
 		for _, f := range []string{"6", "7", "8", "9", "10", "11a", "11b", "12"} {

@@ -16,6 +16,10 @@
 //	MPUT <k1> <v1> <k2> <v2> ... →  OK (one atomic transaction; with
 //	                                -shards the keys may span groups and
 //	                                commit through the cross-shard layer)
+//	RESIZE <n>                   →  OK <n> shards (admin: change the live
+//	                                deployment's consensus-group count —
+//	                                any replica accepts it; requires
+//	                                -shards > 1 at startup)
 //
 // Unlike PUT — whose value runs to the end of the line — MPUT keys and
 // values are single whitespace-separated tokens: a value containing a
@@ -24,20 +28,24 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/rebalance"
 	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/tcpnet"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
@@ -75,15 +83,21 @@ func run(id int, peerList, clientAddr string, shards int) error {
 	app := batch.NewApplier(store)
 	var rep protocol.Engine
 	if shards > 1 {
-		// Every group shares the store and the cross-shard commit table;
-		// the mux gives each a logical channel over the one TCP
-		// transport, and multi-key MPUTs spanning groups commit
-		// atomically through the table.
+		// Every group shares the store, the cross-shard commit table and
+		// the rebalance coordinator; the mux gives each a logical channel
+		// over the one TCP transport, multi-key MPUTs spanning groups
+		// commit atomically through the table, and the admin RESIZE
+		// command changes the group count live.
 		table := xshard.NewTable(xshard.TableConfig{Self: timestamp.NodeID(id), Exec: app})
+		co := rebalance.NewCoordinator(rebalance.Config{
+			Self:   timestamp.NodeID(id),
+			Export: store.Export,
+			Import: store.Import,
+		}, shards)
 		inner := shard.New(tr, shards, func(g int, sep transport.Endpoint) protocol.Engine {
-			return caesar.New(sep, table.Applier(g, app), caesar.Config{})
+			return caesar.New(sep, co.Applier(g, table.Applier(g, app)), caesar.Config{})
 		})
-		rep = xshard.New(inner, table)
+		rep = rebalance.NewEngine(xshard.New(inner, table), co)
 	} else {
 		rep = caesar.New(tr, app, caesar.Config{})
 	}
@@ -115,6 +129,30 @@ func serveClients(ln net.Listener, rep protocol.Engine) {
 		}
 		go handleClient(conn, rep)
 	}
+}
+
+// handleResize serves the RESIZE admin command: it changes the live
+// deployment's consensus-group count through the rebalance layer and
+// replies once the transition completed on this replica (the peers finish
+// theirs as the markers deliver).
+func handleResize(out *bufio.Writer, rep protocol.Engine, arg string) {
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 1 {
+		fmt.Fprintf(out, "ERR usage: RESIZE <shards> (a positive group count)\n")
+		return
+	}
+	re, ok := rep.(*rebalance.Engine)
+	if !ok {
+		fmt.Fprintf(out, "ERR this replica is not sharded (start it with -shards > 1)\n")
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := re.Resize(ctx, n); err != nil {
+		fmt.Fprintf(out, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(out, "OK %d shards\n", re.Shards())
 }
 
 // parseMPut builds one atomic multi-put transaction from an MPUT line.
@@ -155,8 +193,12 @@ func handleClient(conn net.Conn, rep protocol.Engine) {
 				out.Flush()
 				continue
 			}
+		case len(fields) == 2 && strings.EqualFold(fields[0], "RESIZE"):
+			handleResize(out, rep, fields[1])
+			out.Flush()
+			continue
 		default:
-			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key> | MPUT <k> <v> [<k> <v>...]\n")
+			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key> | MPUT <k> <v> [<k> <v>...] | RESIZE <shards>\n")
 			out.Flush()
 			continue
 		}

@@ -61,4 +61,35 @@
 // never touched by a cross-shard transaction keep the full single-group
 // ordering guarantees. See internal/xshard and examples/bank for an
 // atomic transfer workload over four groups.
+//
+// # Live rebalancing
+//
+// A sharded deployment can change its group count without downtime:
+//
+//	err := node.Resize(ctx, 8) // any node of a WithShards cluster
+//
+// Routing is epoch-versioned — each epoch names one shard count — and a
+// resize installs the next epoch behind a consensus-ordered marker: a
+// fence command that conflicts with every command of its group, so all
+// replicas switch epochs at the exact same point of each group's delivery
+// order (the same consensus-ordered-marker trick the paper's recovery
+// machinery uses to make state transitions deterministic). Group 0's
+// total order of markers serializes concurrent resizes. For each key
+// range changing homes, the source group's state is exported at its fence
+// point, imported for the destinations, and the cross-shard transactions
+// the source ordered pre-fence are drained; commands reaching a key's new
+// home early are queued — per-key FIFO, without stalling unrelated
+// traffic — until that handoff completes.
+//
+// Preserved through a resize: exactly-once application of every
+// acknowledged command, the per-key total order (old home's order up to
+// the fence, then the new home's order, cut identically on every
+// replica), and cross-shard atomicity — a ProposeTx straddling the marker
+// commits under one epoch everywhere or aborts everywhere and is
+// re-proposed under the new routing automatically. Commands routed under
+// the old epoch but ordered after their group's fence are skipped
+// deterministically and re-proposed by their submitting node; traffic on
+// migrating keys stalls at most one handoff round. See internal/rebalance
+// for the protocol, `caesar-bench -figure elastic` for throughput through
+// a live 2→4 resize, and examples/sharding for a mid-stream resize.
 package caesar

@@ -89,16 +89,14 @@ func (r *Replica) deliverable(rec *record) bool {
 
 // deliverNow executes one command and completes client bookkeeping. The
 // applier receives the decided timestamp when it wants one (the cross-shard
-// commit table merges per-group stable timestamps through ApplyAt).
+// commit table merges per-group stable timestamps through ApplyAt). A
+// DeferringApplier may postpone the execution past the delivery point; the
+// client callback then fires when the applier completes the command, from
+// whatever goroutine does so — all replica-side bookkeeping is finished
+// here, inside the event loop, before the applier is invoked.
 func (r *Replica) deliverNow(rec *record) {
 	rec.delivered = true
 	r.delivered.Add(rec.id())
-	var value []byte
-	if ta, ok := r.app.(protocol.TimestampedApplier); ok {
-		value = ta.ApplyAt(rec.cmd, rec.ts)
-	} else {
-		value = r.app.Apply(rec.cmd)
-	}
 	r.met.Executed.Inc()
 	r.cfg.Trace.Record(r.self, trace.KindDeliver, rec.id(), rec.ts)
 
@@ -110,11 +108,27 @@ func (r *Replica) deliverNow(rec *record) {
 			r.met.DeliverPhase.Add(now.Sub(c.stableAt))
 		}
 	}
-	if done := r.dones[id]; done != nil {
-		delete(r.dones, id)
-		done(protocol.Result{Value: value})
-	}
+	done := r.dones[id]
+	delete(r.dones, id)
 	if r.cfg.GCInterval > 0 {
 		r.ackPending[id.Node] = append(r.ackPending[id.Node], id)
+	}
+
+	if da, ok := r.app.(protocol.DeferringApplier); ok {
+		da.ApplyDeferred(rec.cmd, rec.ts, func(res protocol.Result) {
+			if done != nil {
+				done(res)
+			}
+		})
+		return
+	}
+	var value []byte
+	if ta, ok := r.app.(protocol.TimestampedApplier); ok {
+		value = ta.ApplyAt(rec.cmd, rec.ts)
+	} else {
+		value = r.app.Apply(rec.cmd)
+	}
+	if done != nil {
+		done(protocol.Result{Value: value})
 	}
 }

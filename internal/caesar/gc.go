@@ -81,12 +81,31 @@ func (h *history) purge(rec *record) {
 			h.fence[k] = rec.ts
 		}
 	}
+	if rec.cmd.Op == command.OpFence && h.purgedBarrier.Less(rec.ts) {
+		// The barrier conflicted with every command; keep rejecting
+		// proposals below it after the record is gone.
+		h.purgedBarrier = rec.ts
+	}
+	if h.purgedMax.Less(rec.ts) {
+		h.purgedMax = rec.ts
+	}
 	h.remove(rec)
 }
 
 // fencedAbove reports whether a proposal of cmd at ts falls below the purge
-// fence of any of its keys, which forces a rejection.
+// fence of any of its keys — or, for any command, below a purged barrier
+// (and, for a barrier proposal, below any purged record at all) — which
+// forces a rejection.
 func (h *history) fencedAbove(cmd command.Command, ts timestamp.Timestamp) bool {
+	if cmd.Op == command.OpNoop {
+		return false
+	}
+	if ts.Less(h.purgedBarrier) {
+		return true
+	}
+	if cmd.Op == command.OpFence && ts.Less(h.purgedMax) {
+		return true
+	}
 	for _, k := range cmd.Keys() {
 		if f, ok := h.fence[k]; ok && ts.Less(f) {
 			return true

@@ -55,16 +55,30 @@ func tsKeyLess(a, b tsKey) bool {
 type history struct {
 	recs  map[command.ID]*record
 	byKey map[string]*rbtree.Tree[tsKey, *record]
+	// barriers holds the indexed OpFence records. A fence conflicts with
+	// every command, so it lives outside the per-key trees: ordinary
+	// conflict scans consult this (usually empty) set as well, and a
+	// fence's own scans walk the whole history instead of key trees —
+	// resizes are rare, so the one-off O(history) pass is cheap.
+	barriers map[command.ID]*record
 	// fence holds, per key, the highest timestamp of a purged (globally
 	// delivered) command on that key; see history.purge.
 	fence map[string]timestamp.Timestamp
+	// purgedBarrier is the highest timestamp of a purged fence: every
+	// command conflicted with it, so proposals below it are rejected even
+	// though the record is gone. purgedMax is the highest timestamp of
+	// any purged record — the same guard for a future fence proposal,
+	// which conflicts with everything that was ever delivered.
+	purgedBarrier timestamp.Timestamp
+	purgedMax     timestamp.Timestamp
 }
 
 func newHistory() *history {
 	return &history{
-		recs:  make(map[command.ID]*record),
-		byKey: make(map[string]*rbtree.Tree[tsKey, *record]),
-		fence: make(map[string]timestamp.Timestamp),
+		recs:     make(map[command.ID]*record),
+		byKey:    make(map[string]*rbtree.Tree[tsKey, *record]),
+		barriers: make(map[command.ID]*record),
+		fence:    make(map[string]timestamp.Timestamp),
 	}
 }
 
@@ -101,6 +115,11 @@ func (h *history) index(rec *record) {
 	if rec.indexed {
 		return
 	}
+	if rec.cmd.Op == command.OpFence {
+		h.barriers[rec.id()] = rec
+		rec.indexed = true
+		return
+	}
 	key := tsKey{ts: rec.ts, id: rec.id()}
 	for _, k := range rec.cmd.Keys() {
 		tree, ok := h.byKey[k]
@@ -116,6 +135,11 @@ func (h *history) index(rec *record) {
 // unindex removes the record from the conflict index.
 func (h *history) unindex(rec *record) {
 	if !rec.indexed {
+		return
+	}
+	if rec.cmd.Op == command.OpFence {
+		delete(h.barriers, rec.id())
+		rec.indexed = false
 		return
 	}
 	key := tsKey{ts: rec.ts, id: rec.id()}
@@ -139,8 +163,23 @@ func (h *history) remove(rec *record) {
 // conflictsBelow calls fn for every indexed record conflicting with cmd
 // whose timestamp is strictly below ts. A record touching several of cmd's
 // keys is visited once per key; fn must tolerate duplicates (IDSet
-// insertion does).
+// insertion does). A fence conflicts with everything, so a fence command
+// scans the whole history, and every ordinary command checks the (usually
+// empty) barrier set on top of its key trees.
 func (h *history) conflictsBelow(cmd command.Command, ts timestamp.Timestamp, fn func(*record)) {
+	if cmd.Op == command.OpFence {
+		for _, rec := range h.recs {
+			if rec.indexed && rec.id() != cmd.ID && rec.ts.Less(ts) && rec.cmd.Conflicts(cmd) {
+				fn(rec)
+			}
+		}
+		return
+	}
+	for id, rec := range h.barriers {
+		if id != cmd.ID && rec.ts.Less(ts) && rec.cmd.Conflicts(cmd) {
+			fn(rec)
+		}
+	}
 	bound := tsKey{ts: ts}
 	for _, k := range cmd.Keys() {
 		tree, ok := h.byKey[k]
@@ -159,6 +198,23 @@ func (h *history) conflictsBelow(cmd command.Command, ts timestamp.Timestamp, fn
 // conflictsAbove calls fn for every indexed record conflicting with cmd
 // whose timestamp is strictly above ts; fn returns false to stop early.
 func (h *history) conflictsAbove(cmd command.Command, ts timestamp.Timestamp, fn func(*record) bool) {
+	if cmd.Op == command.OpFence {
+		for _, rec := range h.recs {
+			if rec.indexed && rec.id() != cmd.ID && ts.Less(rec.ts) && rec.cmd.Conflicts(cmd) {
+				if !fn(rec) {
+					return
+				}
+			}
+		}
+		return
+	}
+	for id, rec := range h.barriers {
+		if id != cmd.ID && ts.Less(rec.ts) && rec.cmd.Conflicts(cmd) {
+			if !fn(rec) {
+				return
+			}
+		}
+	}
 	// The bound has the zero command ID, which sorts before any real ID
 	// at the same timestamp; since timestamps are never shared between
 	// commands, "key > bound" is exactly "record timestamp > ts" for

@@ -46,6 +46,14 @@ const (
 	// two and every node agrees which came first — marker first kills
 	// the transaction, piece first makes the marker a no-op.
 	OpXAbort
+	// OpFence is a total-order barrier: it conflicts with every other
+	// command of its consensus group, so the group's delivery order has a
+	// single, replica-agreed cut point before and after it. The live
+	// rebalancing layer (internal/rebalance) uses fences as resize
+	// markers — Payload encodes the rebalance.Marker — so every replica
+	// switches routing epochs at the exact same point in each group's
+	// order.
+	OpFence
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +73,8 @@ func (o Op) String() string {
 		return "XCOMMIT"
 	case OpXAbort:
 		return "XABORT"
+	case OpFence:
+		return "FENCE"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -94,6 +104,11 @@ type Command struct {
 	ExtraKeys []string
 	// Payload carries opaque application data (e.g. an encoded batch).
 	Payload []byte
+	// Epoch is the routing epoch the command was submitted under in a
+	// sharded deployment (internal/shard). Replicas compare it against
+	// the epoch installed by the last delivered fence to decide whether
+	// the command was routed to the right group; zero everywhere else.
+	Epoch uint32
 }
 
 // Put builds a write command. The ID must be assigned by the proposer.
@@ -126,9 +141,17 @@ func Noop() Command {
 	return Command{Op: OpNoop}
 }
 
-// Keys returns every key the command touches. Noops return nil.
+// Fence builds a total-order barrier carrying an opaque payload. A fence
+// has no keys — it conflicts with every command of its group, not a key's
+// worth of them.
+func Fence(payload []byte) Command {
+	return Command{Op: OpFence, Payload: payload}
+}
+
+// Keys returns every key the command touches. Noops and fences return nil
+// (a fence orders against everything, not against a key set).
 func (c Command) Keys() []string {
-	if c.Op == OpNoop {
+	if c.Op == OpNoop || c.Op == OpFence {
 		return nil
 	}
 	if len(c.ExtraKeys) == 0 {
@@ -144,10 +167,10 @@ func (c Command) Keys() []string {
 // writes (they contain at least one write in practice; treating them as
 // writes is conservative and safe), as are cross-shard pieces and abort
 // markers — the marker must conflict with its piece to be ordered against
-// it.
+// it — and fences, which must be ordered against everything.
 func (c Command) IsWrite() bool {
 	switch c.Op {
-	case OpPut, OpAdd, OpBatch, OpXCommit, OpXAbort:
+	case OpPut, OpAdd, OpBatch, OpXCommit, OpXAbort, OpFence:
 		return true
 	}
 	return false
@@ -160,18 +183,23 @@ func (c Command) IsWrite() bool {
 // predicate in sync when adding control ops, so generic layers (e.g.
 // proposer-side batching) need no per-subsystem knowledge.
 func (o Op) IsControl() bool {
-	return o == OpXCommit || o == OpXAbort
+	return o == OpXCommit || o == OpXAbort || o == OpFence
 }
 
 // Conflicts reports whether c and d are non-commutative (c ~ d in the
 // paper): they share a key and at least one of the two writes it. A command
-// never conflicts with itself and noops conflict with nothing.
+// never conflicts with itself, noops conflict with nothing, and fences
+// conflict with everything (including other fences) — that is what makes a
+// fence a total-order barrier within its consensus group.
 func (c Command) Conflicts(d Command) bool {
 	if c.ID == d.ID && !c.ID.IsZero() {
 		return false
 	}
 	if c.Op == OpNoop || d.Op == OpNoop {
 		return false
+	}
+	if c.Op == OpFence || d.Op == OpFence {
+		return true
 	}
 	if !c.IsWrite() && !d.IsWrite() {
 		return false

@@ -336,6 +336,77 @@ func CrossShard(w io.Writer, base Options) []Result {
 	return results
 }
 
+// ElasticResize is the shard-count trajectory of the elastic scenario.
+var ElasticResize = struct{ From, To int }{From: 2, To: 4}
+
+// ElasticOpts configures the elastic scenario's measured run: the
+// pipeline-bound sharded setup of ShardingOpts starting at from groups,
+// resized live to to groups a third into the measurement window, with a
+// throughput timeline sampled around the transition.
+func ElasticOpts(base Options, from, to int) Options {
+	o := ShardingOpts(base, Caesar, 2, from)
+	o.ResizeTo = to
+	o.ResizeAfter = o.Duration / 3
+	if o.SampleInterval == 0 {
+		o.SampleInterval = o.Duration / 12
+		if o.SampleInterval < 50*time.Millisecond {
+			o.SampleInterval = 50 * time.Millisecond
+		}
+	}
+	return o
+}
+
+// Elastic measures a live shard-count resize under load: a 2-group
+// deployment serving the pipeline-bound workload is resized to 4 groups
+// mid-run (consensus-fenced epoch switch plus state handoff,
+// internal/rebalance), and its throughput timeline is compared with a
+// statically configured 4-group run of the same workload. A healthy
+// resize shows no stall longer than one handoff round and a post-resize
+// level matching the static deployment.
+func Elastic(w io.Writer, base Options) []Result {
+	from, to := ElasticResize.From, ElasticResize.To
+	o := ElasticOpts(base, from, to)
+	fmt.Fprintf(w, "Elastic: live %d→%d-group resize at t=%.1fs vs a static %d-group run\n",
+		from, to, o.ResizeAfter.Seconds(), to)
+	el := Run(o)
+	static4 := Run(ShardingOpts(base, Caesar, 2, to))
+
+	fmt.Fprintln(w, "timeline (cmds/s):")
+	var pre, post float64
+	var npre, npost int
+	// Samples within half a sample interval of the resize are the
+	// transition itself; split the rest around it.
+	for _, p := range el.Timeline {
+		marker := " "
+		switch {
+		case p.At <= o.ResizeAfter:
+			pre += p.Tps
+			npre++
+		case p.At > o.ResizeAfter+2*o.SampleInterval:
+			post += p.Tps
+			npost++
+		default:
+			marker = "← resize"
+		}
+		fmt.Fprintf(w, "  t=%5.2fs %8.0f %s\n", p.At.Seconds(), p.Tps, marker)
+	}
+	if npre > 0 {
+		pre /= float64(npre)
+	}
+	if npost > 0 {
+		post /= float64(npost)
+	}
+	ratio := 0.0
+	if static4.Throughput > 0 {
+		ratio = post / static4.Throughput
+	}
+	fmt.Fprintf(w, "%-22s %10.0f cmds/s\n", "pre-resize mean", pre)
+	fmt.Fprintf(w, "%-22s %10.0f cmds/s\n", "post-resize mean", post)
+	fmt.Fprintf(w, "%-22s %10.0f cmds/s\n", fmt.Sprintf("static %d-group", to), static4.Throughput)
+	fmt.Fprintf(w, "%-22s %9.2fx\n", "post/static", ratio)
+	return []Result{el, static4}
+}
+
 // applyOpts stamps protocol and conflict level onto the base options.
 func applyOpts(base Options, p Protocol, conflict float64) Options {
 	o := base

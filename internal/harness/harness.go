@@ -25,6 +25,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/multipaxos"
 	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/rebalance"
 	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 	"github.com/caesar-consensus/caesar/internal/transport"
@@ -101,6 +102,11 @@ type Options struct {
 	// pipeline-bound throughput experiments such as the sharding scaling
 	// comparison.
 	LocalNet bool
+	// ResizeTo > 0 resizes the deployment's shard count to this value
+	// ResizeAfter into the measurement window, live (the elastic
+	// scenario). Requires Protocol == Caesar and Shards > 1.
+	ResizeTo    int
+	ResizeAfter time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -249,10 +255,12 @@ func (p pacedApplier) ApplyAll(cmds []command.Command) [][]byte {
 
 // build constructs the cluster's engines. With o.Shards > 1 every node runs
 // one engine per shard behind a shard.Engine with the cross-shard commit
-// layer (internal/xshard) on top, all groups sharing the node's applier,
-// recorder and commit table; the per-protocol construction is identical
-// either way, so any protocol can be sharded.
-func build(o Options, net *memnet.Network, mets []*metrics.Recorder, apps []protocol.Applier) []protocol.Engine {
+// layer (internal/xshard) on top — and, for CAESAR, the live rebalancing
+// layer (internal/rebalance) so the elastic scenario can resize mid-run —
+// all groups sharing the node's applier, recorder and commit table; the
+// per-protocol construction is identical either way, so any protocol can
+// be sharded.
+func build(o Options, net *memnet.Network, mets []*metrics.Recorder, stores []*kvstore.Store, apps []protocol.Applier) []protocol.Engine {
 	engines := make([]protocol.Engine, o.Nodes)
 	crashRun := o.CrashNode >= 0
 	for i := 0; i < o.Nodes; i++ {
@@ -310,10 +318,25 @@ func build(o Options, net *memnet.Network, mets []*metrics.Recorder, apps []prot
 			table := xshard.NewTable(xshard.TableConfig{
 				Self: timestamp.NodeID(i), Exec: app, Metrics: met,
 			})
-			inner := shard.New(ep, o.Shards, func(g int, sep transport.Endpoint) protocol.Engine {
-				return mkBatched(sep, table.Applier(g, app))
-			})
-			engines[i] = xshard.New(inner, table)
+			if o.Protocol == Caesar || o.Protocol == CaesarNoWait {
+				// CAESAR groups get the live-rebalancing layer on top:
+				// inert until someone calls Resize (the elastic
+				// scenario), and the gate's pass path is two map reads.
+				co := rebalance.NewCoordinator(rebalance.Config{
+					Self:   timestamp.NodeID(i),
+					Export: stores[i].Export,
+					Import: stores[i].Import,
+				}, o.Shards)
+				inner := shard.New(ep, o.Shards, func(g int, sep transport.Endpoint) protocol.Engine {
+					return mkBatched(sep, co.Applier(g, table.Applier(g, app)))
+				})
+				engines[i] = rebalance.NewEngine(xshard.New(inner, table), co)
+			} else {
+				inner := shard.New(ep, o.Shards, func(g int, sep transport.Endpoint) protocol.Engine {
+					return mkBatched(sep, table.Applier(g, app))
+				})
+				engines[i] = xshard.New(inner, table)
+			}
 		} else {
 			engines[i] = mkBatched(ep, app)
 		}
@@ -337,12 +360,14 @@ func Run(o Options) Result {
 	defer net.Close()
 
 	mets := make([]*metrics.Recorder, o.Nodes)
+	stores := make([]*kvstore.Store, o.Nodes)
 	apps := make([]protocol.Applier, o.Nodes)
 	for i := range mets {
 		mets[i] = metrics.NewRecorder()
-		apps[i] = batch.NewApplier(kvstore.New())
+		stores[i] = kvstore.New()
+		apps[i] = batch.NewApplier(stores[i])
 	}
-	engines := build(o, net, mets, apps)
+	engines := build(o, net, mets, stores, apps)
 	set := &engineSet{engines: engines, down: make([]bool, o.Nodes)}
 	for _, e := range engines {
 		e.Start()
@@ -420,6 +445,18 @@ func Run(o Options) Result {
 				net.Crash(timestamp.NodeID(o.CrashNode))
 				eng := set.crash(o.CrashNode)
 				eng.Stop()
+			}
+		}()
+	}
+	if o.ResizeTo > 0 {
+		go func() {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(o.ResizeAfter):
+				if r, ok := engines[0].(*rebalance.Engine); ok {
+					_ = r.Resize(ctx, o.ResizeTo)
+				}
 			}
 		}()
 	}

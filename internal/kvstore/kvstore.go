@@ -83,6 +83,39 @@ func (s *Store) ApplyAll(cmds []command.Command) [][]byte {
 	return out
 }
 
+// Export returns a copy of every entry whose key satisfies pred — the
+// state-transfer snapshot of a shard handoff (internal/rebalance): the
+// caller invokes it at a consensus-fixed point of the source group's
+// history, so every replica exports the identical subset.
+func (s *Store) Export(pred func(key string) bool) map[string][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]byte)
+	for k, v := range s.data {
+		if pred != nil && !pred(k) {
+			continue
+		}
+		c := make([]byte, len(v))
+		copy(c, v)
+		out[k] = c
+	}
+	return out
+}
+
+// Import writes a snapshot's entries, copying the values. Counterpart of
+// Export on the destination side of a shard handoff; importing does not
+// count toward Applied (the entries were applied by the source group's
+// commands).
+func (s *Store) Import(snap map[string][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range snap {
+		c := make([]byte, len(v))
+		copy(c, v)
+		s.data[k] = c
+	}
+}
+
 // Get reads a key outside the replication path (for tests and examples).
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.RLock()

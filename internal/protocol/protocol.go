@@ -67,6 +67,23 @@ type TimestampedApplier interface {
 	ApplyAt(cmd command.Command, ts timestamp.Timestamp) []byte
 }
 
+// DeferringApplier is an Applier that may postpone a command's execution
+// past its delivery point: the engine hands it the command plus a
+// completion callback instead of expecting a synchronous return, and the
+// client's DoneFunc fires when the applier completes the command. The live
+// rebalancing gate (internal/rebalance) uses this to hold commands that
+// reached their new consensus group before the group's state handoff
+// finished — delivery of later, unrelated commands is never blocked.
+// Appliers must call done exactly once; calling it synchronously is the
+// common case.
+type DeferringApplier interface {
+	Applier
+	// ApplyDeferred executes cmd — now or later — and reports its result
+	// through done. ts is the command's decided timestamp (zero for
+	// engines without timestamps).
+	ApplyDeferred(cmd command.Command, ts timestamp.Timestamp, done func(Result))
+}
+
 // AtomicApplier is an Applier that can execute several commands as one
 // indivisible unit: no concurrent reader of the underlying state observes a
 // strict subset of the group's effects. The cross-shard commit layer uses

@@ -1,0 +1,972 @@
+package rebalance
+
+import (
+	"sync"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/shard"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/xshard"
+)
+
+// Config tunes one node's rebalance coordinator.
+type Config struct {
+	// Self is this node's ID; it staggers fence re-proposals and decides
+	// which skipped commands this node re-routes (only its own).
+	Self timestamp.NodeID
+	// Export returns a copy of the locally stored entries whose key
+	// satisfies pred; called while applying a source group's fence, so
+	// the snapshot sits at a replica-deterministic point of the group's
+	// history. May be nil (no state to hand off).
+	Export func(pred func(key string) bool) map[string][]byte
+	// Import applies a handed-off snapshot before the destination's first
+	// command. With the node-shared store of this repository it re-writes
+	// identical values (the data never left the node); deployments with
+	// per-group stores route each key to its new group's store here.
+	Import func(snap map[string][]byte)
+	// FenceTimeout is how long an installed epoch may wait for a group's
+	// fence before this node re-proposes it (a crashed initiator's
+	// propagation is finished by survivors). Default 2s.
+	FenceTimeout time.Duration
+	// RetireDelay is the grace between a shrink completing and the
+	// retired groups stopping, covering stragglers still proposing under
+	// the old epoch. Default 3s.
+	RetireDelay time.Duration
+	// SweepInterval is the maintenance timer granularity. Default 250ms.
+	SweepInterval time.Duration
+	// Now is the clock deadlines are computed from. Default time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.FenceTimeout == 0 {
+		c.FenceTimeout = 2 * time.Second
+	}
+	if c.RetireDelay == 0 {
+		c.RetireDelay = 3 * time.Second
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = 250 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// handoff tracks one source group's state transfer during a transition.
+type handoff struct {
+	// imported: the moving keys were exported at the fence point and
+	// imported for their destinations.
+	imported bool
+	// drained: every cross-shard transaction the group ordered before its
+	// fence has resolved (Table.AwaitGroupDrain fired).
+	drained bool
+}
+
+func (h *handoff) done() bool { return h.imported && h.drained }
+
+// transition is one in-flight epoch change.
+type transition struct {
+	marker     Marker
+	prev, next shard.Router
+	// fenced marks the old groups whose fence this replica delivered.
+	fenced map[int]bool
+	// sources maps each group losing keys to its handoff state.
+	sources   map[int]*handoff
+	startedAt time.Time
+}
+
+// queuedCmd is one gated delivery: a command that reached its new home
+// before the keys' handoff completed. It applies — in arrival order —
+// once the handoff releases it. groupEpoch pins the group's fence prefix
+// at the delivery position: the release-time verdict must be computed
+// against the epoch state the command was delivered under, which is
+// identical on every replica, not against whatever epoch this replica
+// reached by the (timing-dependent) moment of release.
+type queuedCmd struct {
+	group      int
+	groupEpoch uint32
+	cmd        command.Command
+	ts         timestamp.Timestamp
+	done       func(protocol.Result)
+	// releasing marks an entry whose apply is in flight: it stays in the
+	// queue — still claiming its keys, still ordering later same-key
+	// traffic behind it — until the apply returns.
+	releasing bool
+}
+
+// groupKey scopes the per-key FIFO accounting to one group: the queue
+// preserves each group's delivery order per key, while cross-group
+// ordering of a migrating key is the handoff protocol's job (tying the
+// two together can deadlock a source group's drain on a destination's).
+type groupKey struct {
+	group int
+	key   string
+}
+
+// gateVerdict classifies one delivery against the epoch state.
+type gateVerdict uint8
+
+const (
+	// gatePass: apply now.
+	gatePass gateVerdict = iota
+	// gateQueue: park until the keys' handoff (or the epoch's install)
+	// releases it.
+	gateQueue
+	// gateStale: routed under an outdated epoch and ordered after the
+	// group's fence, with at least one key now homed elsewhere — skip
+	// here (deterministically, on every replica) and re-route.
+	gateStale
+	// gateDropMarker: a cross-shard abort marker that lost to a queued
+	// piece of its own group — the piece was ordered first, the marker
+	// must not kill the transaction.
+	gateDropMarker
+)
+
+// fenceEvent is a fence delivery deferred because an earlier transition is
+// still in progress; it is replayed when that transition completes.
+type fenceEvent struct {
+	group  int
+	marker Marker
+}
+
+// Coordinator is one node's rebalancing brain: it owns the epoch table,
+// installs transitions when fences deliver, gates every group's deliveries
+// against the epoch state, runs the state handoff, and retires groups
+// after a shrink. One Coordinator serves all of a node's groups.
+type Coordinator struct {
+	cfg Config
+
+	mu sync.Mutex
+	// Wired by bind (Engine construction).
+	inner    *shard.Engine
+	table    *xshard.Table
+	resubmit func(command.Command, protocol.DoneFunc)
+
+	epoch  uint32
+	shards int
+	// epochShards remembers every epoch's shard count, so routers of past
+	// epochs can be rebuilt (survivor-side abort markers, stale checks).
+	epochShards map[uint32]int32
+	// groupEpoch is, per group, the highest epoch the group has passed a
+	// fence for (or was created at).
+	groupEpoch map[int]uint32
+	pending    *transition
+	deferred   []fenceEvent
+
+	// queue holds gated deliveries in arrival order; queuedKeys counts
+	// queued commands per group and key so later deliveries of the same
+	// group on a queued key keep that group's order (FIFO behind the
+	// queue).
+	queue      []*queuedCmd
+	queuedKeys map[groupKey]int
+	draining   bool
+	// drainAgain records a drain request that arrived while another
+	// goroutine was draining; the active drainer re-runs instead of the
+	// wakeup being lost.
+	drainAgain bool
+
+	// inners holds each group's inner applier chain for queue drains.
+	inners map[int]protocol.Applier
+
+	// Scheduled retirement after a shrink.
+	retireTo int
+	retireAt time.Time
+
+	// waiters are Resize callers parked until an epoch's transition
+	// completes locally.
+	waiters []waiter
+
+	running bool
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+}
+
+type waiter struct {
+	epoch uint32
+	ch    chan struct{}
+}
+
+// NewCoordinator builds the coordinator of a node starting at epoch 0 with
+// the given shard count. It must be wired to the engines with bind (done
+// by NewEngine) before traffic flows; its Applier method is safe to use
+// while constructing the groups.
+func NewCoordinator(cfg Config, shards int) *Coordinator {
+	if shards < 1 {
+		shards = 1
+	}
+	co := &Coordinator{
+		cfg:         cfg.withDefaults(),
+		epochShards: map[uint32]int32{0: int32(shards)},
+		groupEpoch:  make(map[int]uint32),
+		queuedKeys:  make(map[groupKey]int),
+		inners:      make(map[int]protocol.Applier),
+		shards:      shards,
+		retireTo:    -1,
+	}
+	for g := 0; g < shards; g++ {
+		co.groupEpoch[g] = 0
+	}
+	return co
+}
+
+// bind wires the coordinator to the engine stack; resubmit re-proposes
+// skipped commands through the full routing path (Engine.Submit).
+func (co *Coordinator) bind(x *xshard.Engine, resubmit func(command.Command, protocol.DoneFunc)) {
+	co.mu.Lock()
+	co.inner = x.Inner()
+	co.table = x.Table()
+	co.resubmit = resubmit
+	epoch, shards := co.epoch, co.shards
+	co.mu.Unlock()
+	co.inner.SetRouter(shard.NewRouterAt(epoch, shards))
+	co.table.SetRouterAt(co.RouterAt)
+}
+
+// RouterAt rebuilds the router of a past (or the current) epoch; unknown
+// epochs fall back to the current router.
+func (co *Coordinator) RouterAt(epoch uint32) shard.Router {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.routerForLocked(epoch)
+}
+
+// Epoch returns the current routing epoch.
+func (co *Coordinator) Epoch() uint32 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.epoch
+}
+
+// Shards returns the current epoch's shard count.
+func (co *Coordinator) Shards() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.shards
+}
+
+// Resizing reports whether a transition is in flight locally.
+func (co *Coordinator) Resizing() bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.pending != nil
+}
+
+// QueuedCommands returns the number of gated deliveries, for tests and
+// introspection.
+func (co *Coordinator) QueuedCommands() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.queue)
+}
+
+// start launches the maintenance sweeper.
+func (co *Coordinator) start() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.running {
+		return
+	}
+	co.running = true
+	co.stopCh = make(chan struct{})
+	co.doneCh = make(chan struct{})
+	go co.sweeper(co.stopCh, co.doneCh)
+}
+
+// stop halts the sweeper and fails every gated delivery with ErrStopped.
+func (co *Coordinator) stop() {
+	co.mu.Lock()
+	if !co.running {
+		co.mu.Unlock()
+		return
+	}
+	co.running = false
+	stopCh, doneCh := co.stopCh, co.doneCh
+	queue := co.queue
+	co.queue = nil
+	co.queuedKeys = make(map[groupKey]int)
+	ws := co.waiters
+	co.waiters = nil
+	co.mu.Unlock()
+	close(stopCh)
+	<-doneCh
+	for _, q := range queue {
+		// Entries mid-release report through the drainer; failing them
+		// here would fire their completion twice.
+		if q.done != nil && !q.releasing {
+			q.done(protocol.Result{Err: protocol.ErrStopped})
+		}
+	}
+	for _, w := range ws {
+		close(w.ch)
+	}
+}
+
+// sweeper drives timers: overdue fence re-proposals and scheduled
+// retirements.
+func (co *Coordinator) sweeper(stopCh, doneCh chan struct{}) {
+	defer close(doneCh)
+	tick := time.NewTicker(co.cfg.SweepInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stopCh:
+			return
+		case <-tick.C:
+			co.Sweep()
+		}
+	}
+}
+
+// Sweep runs one maintenance pass: it re-proposes fences for groups that
+// have not delivered theirs within FenceTimeout (staggered by node rank so
+// one survivor usually wins) and executes a due retirement. Tests with an
+// injected clock call it directly.
+func (co *Coordinator) Sweep() {
+	now := co.cfg.Now()
+	var refence []int
+	var marker Marker
+	co.mu.Lock()
+	if t := co.pending; t != nil {
+		stagger := time.Duration(int32(co.cfg.Self)) * co.cfg.FenceTimeout / 4
+		if now.Sub(t.startedAt) > co.cfg.FenceTimeout+stagger {
+			for g := 0; g < int(t.marker.PrevShards); g++ {
+				if !t.fenced[g] {
+					refence = append(refence, g)
+				}
+			}
+			marker = t.marker
+			t.startedAt = now // back off before the next round
+		}
+	}
+	inner := co.inner
+	doRetire := co.retireTo >= 0 && now.After(co.retireAt) && co.pending == nil
+	retireTo := co.retireTo
+	if doRetire {
+		co.retireTo = -1
+	}
+	co.mu.Unlock()
+
+	if len(refence) > 0 && inner != nil {
+		if cmd, err := FenceCommand(marker); err == nil {
+			for _, g := range refence {
+				inner.SubmitTo(g, cmd, nil)
+			}
+		}
+	}
+	if doRetire && inner != nil {
+		inner.RetireFrom(retireTo)
+	}
+}
+
+// Applier wraps one group's applier chain with the epoch gate. It must be
+// the outermost layer (above the cross-shard interception), so fences and
+// epoch checks see every delivery first.
+func (co *Coordinator) Applier(group int, inner protocol.Applier) protocol.Applier {
+	co.mu.Lock()
+	co.inners[group] = inner
+	co.mu.Unlock()
+	return &gateApplier{co: co, group: group, inner: inner}
+}
+
+// gateApplier is the per-group delivery gate.
+type gateApplier struct {
+	co    *Coordinator
+	group int
+	inner protocol.Applier
+}
+
+var (
+	_ protocol.TimestampedApplier = (*gateApplier)(nil)
+	_ protocol.DeferringApplier   = (*gateApplier)(nil)
+)
+
+// Apply implements protocol.Applier.
+func (a *gateApplier) Apply(cmd command.Command) []byte {
+	return a.ApplyAt(cmd, timestamp.Zero)
+}
+
+// ApplyAt implements protocol.TimestampedApplier for engines that do not
+// support deferral: a gated command blocks until released. The CAESAR
+// engine uses ApplyDeferred instead, which never blocks delivery.
+func (a *gateApplier) ApplyAt(cmd command.Command, ts timestamp.Timestamp) []byte {
+	ch := make(chan protocol.Result, 1)
+	a.ApplyDeferred(cmd, ts, func(res protocol.Result) { ch <- res })
+	res := <-ch
+	return res.Value
+}
+
+// ApplyDeferred implements protocol.DeferringApplier: the gate decides
+// whether the delivery applies now, parks until a handoff completes, or is
+// skipped as stale. done fires exactly once, synchronously on the pass and
+// stale paths.
+func (a *gateApplier) ApplyDeferred(cmd command.Command, ts timestamp.Timestamp, done func(protocol.Result)) {
+	a.co.gate(a.group, a.inner, cmd, ts, done)
+}
+
+// applyInner runs one released or passing command on the group's inner
+// chain.
+func applyInner(inner protocol.Applier, cmd command.Command, ts timestamp.Timestamp) []byte {
+	if ta, ok := inner.(protocol.TimestampedApplier); ok {
+		return ta.ApplyAt(cmd, ts)
+	}
+	return inner.Apply(cmd)
+}
+
+// gate classifies one delivery and carries out the verdict.
+func (co *Coordinator) gate(group int, inner protocol.Applier, cmd command.Command, ts timestamp.Timestamp, done func(protocol.Result)) {
+	if cmd.Op == command.OpFence {
+		if m, err := DecodeMarker(cmd.Payload); err == nil {
+			co.onFence(group, m)
+		}
+		done(protocol.Result{})
+		return
+	}
+	co.mu.Lock()
+	verdict := co.classifyLocked(group, cmd)
+	switch verdict {
+	case gateQueue:
+		co.queue = append(co.queue, &queuedCmd{
+			group:      group,
+			groupEpoch: co.groupEpoch[group],
+			cmd:        cmd,
+			ts:         ts,
+			done:       done,
+		})
+		if cmd.Op != command.OpXCommit {
+			// Pieces never join the per-key FIFO relation (see
+			// classifyLocked); only state-machine commands claim keys.
+			for _, k := range cmd.Keys() {
+				co.queuedKeys[groupKey{group: group, key: k}]++
+			}
+		}
+		co.mu.Unlock()
+		return
+	case gatePass:
+		co.mu.Unlock()
+		done(protocol.Result{Value: applyInner(inner, cmd, ts)})
+		return
+	default:
+		co.mu.Unlock()
+		co.finishSkipped(verdict, group, cmd, done)
+	}
+}
+
+// finishSkipped handles the stale and lost-marker verdicts outside the
+// lock.
+func (co *Coordinator) finishSkipped(v gateVerdict, group int, cmd command.Command, done func(protocol.Result)) {
+	if v == gateDropMarker {
+		done(protocol.Result{})
+		return
+	}
+	// gateStale: every replica skips at the same point of the group's
+	// order (the verdict depends only on the delivered fence prefix).
+	if cmd.Op == command.OpXCommit {
+		// A stale participant piece kills its transaction everywhere,
+		// deterministically; the coordinating node's client callback gets
+		// ErrEpochRetry and the engine re-proposes under the new epoch.
+		if p, err := xshard.DecodePiece(cmd.Payload); err == nil {
+			co.table.KillStale(int32(group), p.XID)
+		}
+		done(protocol.Result{})
+		return
+	}
+	co.mu.Lock()
+	resubmit := co.resubmit
+	mine := cmd.ID.Node == co.cfg.Self
+	co.mu.Unlock()
+	if mine && resubmit != nil {
+		// Re-route this node's own command under the current epoch; the
+		// client callback fires when the re-proposal executes.
+		cmd.ID = command.ID{}
+		resubmit(cmd, func(res protocol.Result) { done(res) })
+		return
+	}
+	done(protocol.Result{})
+}
+
+// classifyLocked is the gate's decision procedure. Everything it reads —
+// the group's fence prefix, the command's epoch stamp, the key homes per
+// epoch — is identical on every replica at this point of the group's
+// delivery order, except the handoff-progress and queue checks, which only
+// delay a command without reordering it against its key's other traffic.
+func (co *Coordinator) classifyLocked(group int, cmd command.Command) gateVerdict {
+	switch cmd.Op {
+	case command.OpXAbort:
+		// A marker races its piece through the queue too: if the piece
+		// was delivered first but parked, the marker lost.
+		if ab, err := xshard.DecodeAbort(cmd.Payload); err == nil {
+			for _, q := range co.queue {
+				if q.group == group && q.cmd.Op == command.OpXCommit {
+					if p, err := xshard.DecodePiece(q.cmd.Payload); err == nil && p.XID == ab.XID {
+						return gateDropMarker
+					}
+				}
+			}
+		}
+		return gatePass
+	case command.OpNoop:
+		return gatePass
+	}
+	isPiece := cmd.Op == command.OpXCommit
+	if !isPiece && co.touchesQueuedLocked(group, cmd) {
+		// Keep the group's per-key delivery order: traffic behind a
+		// queued state-machine command on the same key queues behind it.
+		// Pieces are exempt on both sides of the relation — they neither
+		// wait behind queued commands nor hold keys others wait on:
+		// piece registration order against same-key commands is already
+		// the commit table's documented relaxation window, and keeping
+		// pieces out of the FIFO relation is what keeps the queue's
+		// wait-graph acyclic (a pre-fence transaction's pieces must
+		// register for the handoff drain to finish, and a piece-owned
+		// key would let epoch-N handoffs wait on entries that wait on
+		// epoch-N handoffs of other groups).
+		return gateQueue
+	}
+	if cmd.Epoch < co.groupEpoch[group] {
+		// Routed under an outdated epoch and ordered after this group's
+		// fence: stale if any key has moved away, ordinary otherwise. The
+		// verdict is computed against the group's own fence prefix
+		// (groupEpoch), never this node's global epoch — the prefix is
+		// identical on every replica at this delivery position, while the
+		// global epoch advances with other groups' fences at
+		// replica-dependent times.
+		if co.keysMovedLocked(group, cmd, co.groupEpoch[group]) {
+			return gateStale
+		}
+		return gatePass
+	}
+	if cmd.Epoch > co.epoch {
+		// Routed under an epoch this replica has not installed yet (its
+		// first fence is still in flight); park until it is.
+		return gateQueue
+	}
+	if t := co.pending; t != nil && cmd.Epoch == t.marker.Epoch && co.awaitsHandoffLocked(t, cmd) {
+		return gateQueue
+	}
+	return gatePass
+}
+
+// touchesQueuedLocked reports whether any key of cmd has queued traffic
+// of the same group.
+func (co *Coordinator) touchesQueuedLocked(group int, cmd command.Command) bool {
+	if len(co.queuedKeys) == 0 {
+		return false
+	}
+	for _, k := range cmd.Keys() {
+		if co.queuedKeys[groupKey{group: group, key: k}] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// routerForLocked rebuilds the router of one recorded epoch (falling back
+// to the current one for an unknown epoch, which cannot happen for any
+// epoch a groupEpoch entry holds).
+func (co *Coordinator) routerForLocked(epoch uint32) shard.Router {
+	if n, ok := co.epochShards[epoch]; ok {
+		return shard.NewRouterAt(epoch, int(n))
+	}
+	return shard.NewRouterAt(co.epoch, co.shards)
+}
+
+// keysMovedLocked reports whether any key of cmd is homed outside group
+// under the given epoch's routing.
+func (co *Coordinator) keysMovedLocked(group int, cmd command.Command, epoch uint32) bool {
+	router := co.routerForLocked(epoch)
+	for _, k := range cmd.Keys() {
+		if router.Shard(k) != group {
+			return true
+		}
+	}
+	return false
+}
+
+// awaitsHandoffLocked reports whether cmd touches a key whose source
+// group's handoff is still incomplete.
+func (co *Coordinator) awaitsHandoffLocked(t *transition, cmd command.Command) bool {
+	for _, k := range cmd.Keys() {
+		src := t.prev.Shard(k)
+		if src == t.next.Shard(k) {
+			continue
+		}
+		if !co.handoffDoneLocked(t, src) {
+			return true
+		}
+	}
+	return false
+}
+
+// handoffDoneLocked reports whether one source group's handoff has fully
+// completed: its fence delivered, the moving keys exported and imported,
+// the transactions it ordered pre-fence settled, and — for back-to-back
+// resizes — every command of an earlier epoch this replica still holds
+// queued for the group applied. The last clause keeps a twice-migrating
+// key's history in order: the new epoch's destinations may not proceed
+// while a previous transition still owes the source an application.
+func (co *Coordinator) handoffDoneLocked(t *transition, src int) bool {
+	h := t.sources[src]
+	if h == nil || !h.done() || !t.fenced[src] {
+		return false
+	}
+	return !co.queueHoldsPreEpochLocked(src, t.marker.Epoch)
+}
+
+// queueHoldsPreEpochLocked reports whether the queue holds a command for
+// the group routed under an epoch older than the given one.
+func (co *Coordinator) queueHoldsPreEpochLocked(group int, epoch uint32) bool {
+	for _, q := range co.queue {
+		if q.group == group && q.cmd.Epoch < epoch {
+			return true
+		}
+	}
+	return false
+}
+
+// onFence processes one resize marker delivered by a group — the point
+// where this replica's epoch state advances.
+func (co *Coordinator) onFence(group int, m Marker) {
+	co.mu.Lock()
+	if m.Epoch > co.epoch && co.pending != nil && m != co.pending.marker {
+		// A fence beyond the transition in progress: replay when it
+		// completes (fences of one group always arrive in epoch order,
+		// but the first sighting of a future epoch can outrun an older
+		// transition still handing off).
+		co.deferred = append(co.deferred, fenceEvent{group: group, marker: m})
+		co.mu.Unlock()
+		return
+	}
+	if co.pending == nil {
+		if m.Epoch != co.epoch+1 || int(m.PrevShards) != co.shards {
+			// A duplicate of an installed epoch's fence, or a competing
+			// marker that lost its epoch to an earlier delivery.
+			co.mu.Unlock()
+			return
+		}
+		if !co.installLocked(m) {
+			co.mu.Unlock()
+			return
+		}
+	}
+	t := co.pending
+	if t == nil || t.marker != m || t.fenced[group] {
+		co.mu.Unlock()
+		return
+	}
+	t.fenced[group] = true
+	if co.groupEpoch[group] < m.Epoch {
+		co.groupEpoch[group] = m.Epoch
+	}
+	h := t.sources[group]
+	prev, next := t.prev, t.next
+	exportFn, importFn := co.cfg.Export, co.cfg.Import
+	table := co.table
+	co.mu.Unlock()
+
+	if h != nil {
+		// Source group: snapshot the moving keys at this exact point of
+		// the group's history and hand them to their destinations, then
+		// wait for the transactions this group ordered pre-fence to
+		// settle.
+		if exportFn != nil {
+			snap := exportFn(func(k string) bool {
+				return prev.Shard(k) == group && next.Shard(k) != group
+			})
+			if importFn != nil && len(snap) > 0 {
+				importFn(snap)
+			}
+		}
+		co.mu.Lock()
+		if co.pending == t {
+			h.imported = true
+		}
+		co.mu.Unlock()
+		if table != nil {
+			table.AwaitGroupDrain(int32(group), func() {
+				co.mu.Lock()
+				if co.pending == t {
+					h.drained = true
+				}
+				co.mu.Unlock()
+				co.advance()
+			})
+		}
+	}
+	co.advance()
+}
+
+// installLocked switches this replica to a new epoch: record it, create
+// the groups it needs (buffered traffic drains into them), switch the
+// proposer-side router, and start tracking the transition. A scheduled
+// retirement still pending from the previous shrink is executed first —
+// outside the lock (stopping a group joins its delivery goroutine, which
+// may be waiting on this mutex) — so a growth resize revives fresh group
+// instances instead of adopting half-retired ones. Returns false when a
+// concurrent delivery won the install during that unlocked window.
+func (co *Coordinator) installLocked(m Marker) bool {
+	if co.retireTo >= 0 {
+		retireTo := co.retireTo
+		co.retireTo = -1
+		inner := co.inner
+		co.mu.Unlock()
+		if inner != nil {
+			inner.RetireFrom(retireTo)
+		}
+		co.mu.Lock()
+		if co.pending != nil {
+			// A concurrent delivery installed during the unlocked
+			// window. The same marker: our caller proceeds against the
+			// installed transition — dropping this group's fence event
+			// would shift this replica's epoch cut for the group to a
+			// later re-proposed fence and diverge from its peers. A
+			// different marker: ours lost, drop it.
+			return co.pending.marker == m
+		}
+		if m.Epoch != co.epoch+1 {
+			return false
+		}
+	}
+	t := &transition{
+		marker:    m,
+		prev:      shard.NewRouterAt(m.Epoch-1, int(m.PrevShards)),
+		next:      shard.NewRouterAt(m.Epoch, int(m.Shards)),
+		fenced:    make(map[int]bool),
+		sources:   make(map[int]*handoff),
+		startedAt: co.cfg.Now(),
+	}
+	if m.Shards > m.PrevShards {
+		// Growth moves keys out of every old group into the new ones.
+		for g := 0; g < int(m.PrevShards); g++ {
+			t.sources[g] = &handoff{}
+		}
+	} else {
+		// A shrink moves only the retired groups' keys.
+		for g := int(m.Shards); g < int(m.PrevShards); g++ {
+			t.sources[g] = &handoff{}
+		}
+	}
+	co.pending = t
+	co.epoch = m.Epoch
+	co.shards = int(m.Shards)
+	co.epochShards[m.Epoch] = m.Shards
+	for g := int(m.PrevShards); g < int(m.Shards); g++ {
+		co.groupEpoch[g] = m.Epoch
+	}
+	inner := co.inner
+	if inner != nil {
+		co.mu.Unlock()
+		if m.Shards > m.PrevShards {
+			_ = inner.EnsureGroups(int(m.Shards), int32(m.Epoch))
+		}
+		inner.SetRouter(t.next)
+		co.mu.Lock()
+	}
+	return true
+}
+
+// advance drains releasable queued commands and completes the transition
+// when every fence has landed and every source handoff is done. A queue
+// release can itself complete a handoff (the back-to-back clause of
+// handoffDoneLocked) and a completion can release further queue entries,
+// so the pass loops to a fixpoint.
+func (co *Coordinator) advance() {
+	for {
+		progress := co.drainQueue()
+		var release []waiter
+		var replay []fenceEvent
+		co.mu.Lock()
+		if t := co.pending; t != nil && co.transitionDoneLocked(t) {
+			co.pending = nil
+			if int(t.marker.Shards) < int(t.marker.PrevShards) {
+				co.retireTo = int(t.marker.Shards)
+				co.retireAt = co.cfg.Now().Add(co.cfg.RetireDelay)
+			}
+			kept := co.waiters[:0]
+			for _, w := range co.waiters {
+				if w.epoch <= co.epoch {
+					release = append(release, w)
+				} else {
+					kept = append(kept, w)
+				}
+			}
+			co.waiters = kept
+			replay = co.deferred
+			co.deferred = nil
+		}
+		co.mu.Unlock()
+		for _, w := range release {
+			close(w.ch)
+		}
+		for _, ev := range replay {
+			co.onFence(ev.group, ev.marker) // re-enters advance; drains nest safely
+		}
+		if !progress && len(release) == 0 && len(replay) == 0 {
+			return
+		}
+	}
+}
+
+// transitionDoneLocked reports whether every old group fenced and every
+// source handed off.
+func (co *Coordinator) transitionDoneLocked(t *transition) bool {
+	for g := 0; g < int(t.marker.PrevShards); g++ {
+		if !t.fenced[g] {
+			return false
+		}
+	}
+	for src := range t.sources {
+		if !co.handoffDoneLocked(t, src) {
+			return false
+		}
+	}
+	return true
+}
+
+// drainQueue scans the queue and applies every entry that is no longer
+// gated and has no earlier same-group entry sharing a key with it (the
+// per-group per-key delivery order), reporting whether anything was
+// released. A release can ungate later — or, through a completed handoff,
+// earlier — entries, so the scan loops to a fixpoint. Only one goroutine
+// drains at a time, so releases of ordered pairs keep their arrival
+// order. Head-of-line blocking across unrelated groups and keys does not
+// exist: an entry waits only on its own gates and its own key
+// predecessors, which is also what keeps the wait-graph acyclic across
+// back-to-back resizes.
+func (co *Coordinator) drainQueue() bool {
+	progress := false
+	co.mu.Lock()
+	if co.draining {
+		// The active drainer picks this request up after its pass — a
+		// bail without the flag would lose e.g. a handoff-completion
+		// wakeup that arrived mid-scan, leaving released commands parked
+		// forever.
+		co.drainAgain = true
+		co.mu.Unlock()
+		return false
+	}
+	co.draining = true
+	for {
+		changed := co.drainAgain
+		co.drainAgain = false
+		for i := 0; i < len(co.queue); i++ {
+			q := co.queue[i]
+			if q.releasing || co.stillGatedLocked(q) || co.orderedBehindLocked(i) {
+				continue
+			}
+			// Keep the entry in place (keys claimed, later same-key
+			// traffic held back) while the apply runs outside the lock.
+			q.releasing = true
+			verdict := co.classifyReleasedLocked(q)
+			inner := co.inners[q.group]
+			co.mu.Unlock()
+			progress, changed = true, true
+			switch verdict {
+			case gateStale, gateDropMarker:
+				co.finishSkipped(verdict, q.group, q.cmd, q.done)
+			default:
+				res := protocol.Result{}
+				if inner != nil {
+					res.Value = applyInner(inner, q.cmd, q.ts)
+				}
+				q.done(res)
+			}
+			co.mu.Lock()
+			for j, e := range co.queue {
+				if e == q {
+					co.queue = append(co.queue[:j], co.queue[j+1:]...)
+					break
+				}
+			}
+			if q.cmd.Op != command.OpXCommit {
+				for _, k := range q.cmd.Keys() {
+					gk := groupKey{group: q.group, key: k}
+					if co.queuedKeys[gk]--; co.queuedKeys[gk] <= 0 {
+						delete(co.queuedKeys, gk)
+					}
+				}
+			}
+			// Indexes shifted under us while unlocked; keep scanning
+			// forward — anything skipped is caught by the outer fixpoint
+			// pass (restarting here would make a big drain quadratic).
+			i--
+		}
+		if !changed {
+			break
+		}
+	}
+	co.draining = false
+	co.mu.Unlock()
+	return progress
+}
+
+// orderedBehindLocked reports whether queue entry i must wait for an
+// earlier entry: both are state-machine commands of the same group
+// sharing a key, so their group's delivery order binds them. Pieces take
+// part on neither side (see classifyLocked).
+func (co *Coordinator) orderedBehindLocked(i int) bool {
+	q := co.queue[i]
+	if q.cmd.Op == command.OpXCommit {
+		return false
+	}
+	for j := 0; j < i; j++ {
+		p := co.queue[j]
+		if p.group != q.group || p.cmd.Op == command.OpXCommit {
+			continue
+		}
+		for _, k := range q.cmd.Keys() {
+			for _, pk := range p.cmd.Keys() {
+				if k == pk {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// stillGatedLocked reports whether a queued entry must keep waiting: its
+// epoch is not installed yet, or a handoff it depends on is incomplete.
+func (co *Coordinator) stillGatedLocked(q *queuedCmd) bool {
+	if q.cmd.Epoch > co.epoch {
+		return true
+	}
+	if t := co.pending; t != nil && q.cmd.Epoch == t.marker.Epoch && co.awaitsHandoffLocked(t, q.cmd) {
+		return true
+	}
+	return false
+}
+
+// classifyReleasedLocked re-judges a released command against the fence
+// prefix recorded at its delivery position (q.groupEpoch), NOT the epoch
+// this replica has reached by release time: the delivery position is
+// identical on every replica, the release moment is not, and judging by
+// the latter would let one replica skip what another applied.
+func (co *Coordinator) classifyReleasedLocked(q *queuedCmd) gateVerdict {
+	if q.cmd.Epoch < q.groupEpoch && co.keysMovedLocked(q.group, q.cmd, q.groupEpoch) {
+		return gateStale
+	}
+	return gatePass
+}
+
+// WaitEpoch parks until the transition installing epoch has completed
+// locally (fences delivered, handoffs done); it returns immediately when
+// the epoch is already current and idle. The returned channel closes on
+// completion or coordinator stop.
+func (co *Coordinator) WaitEpoch(epoch uint32) <-chan struct{} {
+	ch := make(chan struct{})
+	co.mu.Lock()
+	if (co.epoch >= epoch && co.pending == nil) || !co.runningLocked() {
+		co.mu.Unlock()
+		close(ch)
+		return ch
+	}
+	co.waiters = append(co.waiters, waiter{epoch: epoch, ch: ch})
+	co.mu.Unlock()
+	return ch
+}
+
+func (co *Coordinator) runningLocked() bool { return co.running }

@@ -1,0 +1,391 @@
+package rebalance
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/shard"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/xshard"
+)
+
+func TestMarkerCodec(t *testing.T) {
+	m := Marker{Epoch: 7, Shards: 4, PrevShards: 2}
+	cmd, err := FenceCommand(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Op != command.OpFence || len(cmd.Keys()) != 0 {
+		t.Fatalf("fence command malformed: %v keys=%v", cmd.Op, cmd.Keys())
+	}
+	got, err := DecodeMarker(cmd.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round-trip %+v, want %+v", got, m)
+	}
+}
+
+// keyHomedAt finds a key with the given homes under the two routers —
+// the raw material of every gate scenario.
+func keyHomedAt(t *testing.T, prev, next shard.Router, prevHome, nextHome int) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if prev.Shard(k) == prevHome && next.Shard(k) == nextHome {
+			return k
+		}
+	}
+	t.Fatalf("no key with homes %d→%d", prevHome, nextHome)
+	return ""
+}
+
+// recordingApplier logs applied commands.
+type recordingApplier struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+func (r *recordingApplier) Apply(cmd command.Command) []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.keys = append(r.keys, cmd.Key)
+	return []byte(cmd.Key)
+}
+
+func (r *recordingApplier) applied() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.keys...)
+}
+
+// newTestCoordinator builds an unbound coordinator suitable for driving
+// the gate directly: no engines, a standalone commit table, manual fences.
+func newTestCoordinator(shards int) (*Coordinator, *recordingApplier) {
+	co := NewCoordinator(Config{Self: 0, Now: time.Now}, shards)
+	co.table = xshard.NewTable(xshard.TableConfig{Self: 0, Exec: protocol.ApplierFunc(func(command.Command) []byte { return nil })})
+	app := &recordingApplier{}
+	return co, app
+}
+
+// applyThrough pushes one delivery through the gate and reports whether
+// its completion fired synchronously.
+func applyThrough(co *Coordinator, gate protocol.Applier, cmd command.Command) (fired bool, res protocol.Result) {
+	da := gate.(protocol.DeferringApplier)
+	ch := make(chan protocol.Result, 1)
+	da.ApplyDeferred(cmd, timestamp.Zero, func(r protocol.Result) { ch <- r })
+	select {
+	case r := <-ch:
+		return true, r
+	default:
+		return false, protocol.Result{}
+	}
+}
+
+// TestGateQueuesUntilHandoffCompletes drives a 2→4 growth by hand: a
+// new-epoch command on a moved key parks until its source group fences,
+// imports and drains, then applies in arrival order; same-epoch traffic on
+// unmoved keys flows throughout.
+func TestGateQueuesUntilHandoffCompletes(t *testing.T) {
+	co, app := newTestCoordinator(2)
+	prev, next := shard.NewRouterAt(0, 2), shard.NewRouterAt(1, 4)
+	moved := keyHomedAt(t, prev, next, 0, 2)
+	stayed := keyHomedAt(t, prev, next, 0, 0)
+
+	gate2 := co.Applier(2, app)
+	gate0 := co.Applier(0, app)
+
+	// The new epoch reaches group 2 (its birth group) before group 0's
+	// fence: the moved key's command must wait for group 0's handoff.
+	co.onFence(2, Marker{Epoch: 1, Shards: 4, PrevShards: 2}) // install via first sighting
+	cmd := command.Put(moved, nil)
+	cmd.Epoch = 1
+	cmd.ID = command.ID{Node: 1, Seq: 1}
+	if fired, _ := applyThrough(co, gate2, cmd); fired {
+		t.Fatal("moved-key command applied before its source group's handoff")
+	}
+	if co.QueuedCommands() != 1 {
+		t.Fatalf("queued = %d, want 1", co.QueuedCommands())
+	}
+
+	// Unmoved traffic is unaffected, old-epoch traffic in group 0 too.
+	ok := command.Put(stayed, nil)
+	ok.Epoch = 1
+	ok.ID = command.ID{Node: 1, Seq: 2}
+	if fired, _ := applyThrough(co, gate0, ok); !fired {
+		t.Fatal("unmoved-key command was gated")
+	}
+	old := command.Put(stayed, nil)
+	old.ID = command.ID{Node: 1, Seq: 3}
+	if fired, _ := applyThrough(co, gate0, old); !fired {
+		t.Fatal("pre-fence old-epoch command was gated")
+	}
+
+	// Group 0's fence completes the handoff (no pending transactions, no
+	// state hooks in this unit) and releases the queue.
+	co.onFence(0, Marker{Epoch: 1, Shards: 4, PrevShards: 2})
+	co.onFence(1, Marker{Epoch: 1, Shards: 4, PrevShards: 2})
+	deadline := time.Now().Add(5 * time.Second)
+	for co.QueuedCommands() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never drained after handoff")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got := app.applied()
+	if len(got) != 3 || got[len(got)-1] != moved {
+		t.Fatalf("applied %v; want the released command last", got)
+	}
+	if co.Resizing() {
+		t.Fatal("transition still pending after all fences and handoffs")
+	}
+	if co.Epoch() != 1 || co.Shards() != 4 {
+		t.Fatalf("epoch/shards = %d/%d, want 1/4", co.Epoch(), co.Shards())
+	}
+}
+
+// TestGateSkipsStaleAndReroutes checks the exactly-once path for a command
+// routed under the old epoch but ordered after its group's fence: every
+// replica skips it; only the submitting node re-routes it.
+func TestGateSkipsStaleAndReroutes(t *testing.T) {
+	co, app := newTestCoordinator(2)
+	prev, next := shard.NewRouterAt(0, 2), shard.NewRouterAt(1, 4)
+	moved := keyHomedAt(t, prev, next, 0, 2)
+
+	var resubmitted []command.Command
+	co.resubmit = func(cmd command.Command, done protocol.DoneFunc) {
+		resubmitted = append(resubmitted, cmd)
+		if done != nil {
+			done(protocol.Result{Value: []byte("rerouted")})
+		}
+	}
+	gate0 := co.Applier(0, app)
+	for g := 0; g < 2; g++ {
+		co.onFence(g, Marker{Epoch: 1, Shards: 4, PrevShards: 2})
+	}
+
+	// Someone else's stale command: skipped silently.
+	theirs := command.Put(moved, nil)
+	theirs.ID = command.ID{Node: 2, Seq: 9}
+	fired, res := applyThrough(co, gate0, theirs)
+	if !fired || res.Err != nil {
+		t.Fatalf("stale skip must complete synchronously, got %v/%v", fired, res)
+	}
+	if len(resubmitted) != 0 {
+		t.Fatal("a non-proposer re-routed someone else's command")
+	}
+
+	// Our own stale command: re-routed, result forwarded.
+	ours := command.Put(moved, nil)
+	ours.ID = command.ID{Node: 0, Seq: 1} // Self == 0
+	fired, res = applyThrough(co, gate0, ours)
+	if !fired || string(res.Value) != "rerouted" {
+		t.Fatalf("stale reroute result = %v/%q", fired, res.Value)
+	}
+	if len(resubmitted) != 1 || resubmitted[0].Key != moved {
+		t.Fatalf("resubmitted %v", resubmitted)
+	}
+	if got := app.applied(); len(got) != 0 {
+		t.Fatalf("stale commands were applied locally: %v", got)
+	}
+}
+
+// TestGateKillsStaleTransactionPieces checks the epoch consistency of
+// cross-shard transactions: a piece ordered after its group's fence under
+// the old epoch kills the transaction (deterministically), reporting
+// ErrEpochRetry to the coordinator's parked callback.
+func TestGateKillsStaleTransactionPieces(t *testing.T) {
+	co, app := newTestCoordinator(2)
+	prev, next := shard.NewRouterAt(0, 2), shard.NewRouterAt(1, 4)
+	moved := keyHomedAt(t, prev, next, 0, 2)
+	other := keyHomedAt(t, prev, next, 1, 1)
+
+	gate0 := co.Applier(0, app)
+	xid := xshard.XID{Node: 0, Seq: 1}
+	ops := []command.Command{command.Put(moved, nil), command.Put(other, nil)}
+	var got protocol.Result
+	fired := make(chan struct{})
+	co.table.Expect(xid, []int32{0, 1}, ops, 0, func(r protocol.Result) { got = r; close(fired) })
+
+	piece, err := xshard.PieceCommand(xid, []int32{0, 1}, ops, ops[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	piece.ID = command.ID{Node: 0, Seq: 5}
+	for g := 0; g < 2; g++ {
+		co.onFence(g, Marker{Epoch: 1, Shards: 4, PrevShards: 2})
+	}
+	if ok, _ := applyThrough(co, gate0, piece); !ok {
+		t.Fatal("stale piece delivery did not complete")
+	}
+	<-fired
+	if got.Err != xshard.ErrEpochRetry {
+		t.Fatalf("transaction callback err = %v, want ErrEpochRetry", got.Err)
+	}
+}
+
+// TestRouterAtRemembersEpochHistory checks survivors can rebuild old
+// routers after several resizes.
+func TestRouterAtRemembersEpochHistory(t *testing.T) {
+	co, _ := newTestCoordinator(2)
+	co.onFence(0, Marker{Epoch: 1, Shards: 4, PrevShards: 2})
+	co.onFence(1, Marker{Epoch: 1, Shards: 4, PrevShards: 2})
+	if r := co.RouterAt(0); r.Shards() != 2 || r.Epoch() != 0 {
+		t.Fatalf("RouterAt(0) = %d shards at epoch %d", r.Shards(), r.Epoch())
+	}
+	if r := co.RouterAt(1); r.Shards() != 4 {
+		t.Fatalf("RouterAt(1) = %d shards", r.Shards())
+	}
+	if r := co.RouterAt(99); r.Shards() != 4 {
+		t.Fatalf("unknown epoch fell back to %d shards, want current", r.Shards())
+	}
+}
+
+// TestCompetingMarkersFirstWins: the second marker of one epoch (a
+// concurrent resize that lost group 0's total order) must be ignored.
+func TestCompetingMarkersFirstWins(t *testing.T) {
+	co, _ := newTestCoordinator(2)
+	co.onFence(0, Marker{Epoch: 1, Shards: 4, PrevShards: 2})
+	co.onFence(0, Marker{Epoch: 1, Shards: 8, PrevShards: 2}) // the loser
+	if co.Shards() != 4 {
+		t.Fatalf("loser marker took effect: %d shards", co.Shards())
+	}
+	co.onFence(1, Marker{Epoch: 1, Shards: 4, PrevShards: 2})
+	if co.Resizing() {
+		t.Fatal("transition wedged by the losing marker")
+	}
+}
+
+// TestStaleVerdictUsesGroupFencePrefix pins the determinism fix for
+// back-to-back resizes: the apply-vs-skip verdict for an old-epoch
+// command must be computed against the delivering group's own fence
+// prefix (identical on every replica at that delivery position), never
+// this node's global epoch, which other groups' fences advance at
+// replica-dependent times.
+func TestStaleVerdictUsesGroupFencePrefix(t *testing.T) {
+	co, app := newTestCoordinator(2)
+	gate0 := co.Applier(0, app)
+
+	// Epoch 1 (2→4) completes everywhere.
+	for g := 0; g < 2; g++ {
+		co.onFence(g, Marker{Epoch: 1, Shards: 4, PrevShards: 2})
+	}
+	// Epoch 2 (4→8) installs via group 1's fence; group 0 has NOT fenced
+	// epoch 2 yet, so its prefix is still epoch 1.
+	co.onFence(1, Marker{Epoch: 2, Shards: 8, PrevShards: 4})
+	if co.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", co.Epoch())
+	}
+
+	// A key that lives in group 0 under epochs 0 and 1 but moves away
+	// under epoch 2's routing.
+	r0, r1, r2 := shard.NewRouterAt(0, 2), shard.NewRouterAt(1, 4), shard.NewRouterAt(2, 8)
+	var key string
+	for i := 0; key == "" && i < 200000; i++ {
+		k := fmt.Sprintf("gp-%d", i)
+		if r0.Shard(k) == 0 && r1.Shard(k) == 0 && r2.Shard(k) != 0 {
+			key = k
+		}
+	}
+	if key == "" {
+		t.Fatal("no probe key found")
+	}
+
+	// Old-epoch command delivered in group 0 after its epoch-1 fence: at
+	// this delivery position every replica sees prefix epoch 1, under
+	// which the key has not moved — it must apply, even on a replica
+	// whose global epoch already reached 2.
+	cmd := command.Put(key, nil)
+	cmd.ID = command.ID{Node: 2, Seq: 1}
+	fired, res := applyThrough(co, gate0, cmd)
+	if !fired || res.Err != nil {
+		t.Fatalf("delivery did not complete: %v/%v", fired, res)
+	}
+	if got := app.applied(); len(got) != 1 || got[0] != key {
+		t.Fatalf("command was skipped as stale under the node-global epoch: applied=%v", got)
+	}
+}
+
+// TestReleasedVerdictUsesDeliveryPosition pins the companion fix: a
+// queued command is re-judged at release against the fence prefix
+// recorded at its delivery position, not the prefix at the
+// (replica-dependent) release moment.
+func TestReleasedVerdictUsesDeliveryPosition(t *testing.T) {
+	co, _ := newTestCoordinator(2)
+	r1, r2 := shard.NewRouterAt(1, 4), shard.NewRouterAt(2, 8)
+	var key string
+	for i := 0; key == "" && i < 200000; i++ {
+		k := fmt.Sprintf("rp-%d", i)
+		if r1.Shard(k) == 2 && r2.Shard(k) != 2 {
+			key = k
+		}
+	}
+	if key == "" {
+		t.Fatal("no probe key found")
+	}
+	co.mu.Lock()
+	co.epochShards[1], co.epochShards[2] = 4, 8
+	cmd := command.Put(key, nil)
+	cmd.Epoch = 1
+	// Delivered in group 2 while its prefix was epoch 1 (not stale);
+	// by release time the group has fenced epoch 2 and the key moved.
+	co.groupEpoch[2] = 2
+	q := &queuedCmd{group: 2, groupEpoch: 1, cmd: cmd}
+	if v := co.classifyReleasedLocked(q); v != gatePass {
+		co.mu.Unlock()
+		t.Fatalf("release verdict = %v, want pass (judged by delivery position)", v)
+	}
+	// The same command delivered AFTER the epoch-2 fence is stale.
+	q2 := &queuedCmd{group: 2, groupEpoch: 2, cmd: cmd}
+	if v := co.classifyReleasedLocked(q2); v != gateStale {
+		co.mu.Unlock()
+		t.Fatalf("post-fence release verdict = %v, want stale", v)
+	}
+	co.mu.Unlock()
+}
+
+// TestConcurrentFencesDuringScheduledRetirement races two groups' fence
+// deliveries of one marker against a still-scheduled retirement from the
+// previous shrink: whichever delivery performs the retirement, neither
+// group's fence event may be dropped (a dropped fence shifts that group's
+// epoch cut to a later re-proposed fence and diverges from peers).
+func TestConcurrentFencesDuringScheduledRetirement(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		co, _ := newTestCoordinator(4)
+		// A completed 4→2 shrink with retirement still scheduled.
+		for g := 0; g < 4; g++ {
+			co.onFence(g, Marker{Epoch: 1, Shards: 2, PrevShards: 4})
+		}
+		if co.Resizing() {
+			t.Fatal("shrink did not complete")
+		}
+		co.mu.Lock()
+		if co.retireTo != 2 {
+			co.mu.Unlock()
+			t.Fatalf("retirement not scheduled: %d", co.retireTo)
+		}
+		co.mu.Unlock()
+
+		m := Marker{Epoch: 2, Shards: 2, PrevShards: 2}
+		var wg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				co.onFence(g, m)
+			}(g)
+		}
+		wg.Wait()
+		if co.Resizing() {
+			t.Fatal("a fence delivery was dropped during the retire window: transition never completed")
+		}
+		if co.Epoch() != 2 {
+			t.Fatalf("epoch = %d, want 2", co.Epoch())
+		}
+	}
+}

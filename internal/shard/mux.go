@@ -10,59 +10,193 @@ import (
 
 // Envelope tags a protocol message with the shard it belongs to, giving
 // every shard one logical channel over a shared transport. internal/wire
-// registers it for gob so tagged traffic crosses tcpnet unchanged.
+// registers it for gob so tagged traffic crosses tcpnet unchanged. Gen is
+// the generation of the group instance the message belongs to (the routing
+// epoch the instance was created at): after a live resize retires and
+// later recreates a shard slot, traffic from the dead instance carries an
+// older generation and is dropped instead of corrupting its successor.
 type Envelope struct {
 	Shard   int32
+	Gen     int32
 	Payload any
+}
+
+// pendingCap bounds the per-slot buffer of inbound messages that arrived
+// before the slot's handler registered — the window between a peer
+// creating a new group during a resize and this node catching up. Beyond
+// the cap the newest messages are dropped, mirroring the transports'
+// silent-drop semantics; consensus recovers them through retries.
+const pendingCap = 8192
+
+// maxSlots bounds how far inbound traffic can grow the slot table: a
+// corrupt or hostile envelope with an absurd shard number must not make
+// the node allocate (and buffer for) billions of phantom slots. Local
+// Attach calls — driven by consensus-agreed resizes — share the bound;
+// far more groups than this per node is a misconfiguration long before it
+// is a mux problem.
+const maxSlots = 4096
+
+// muxSlot is one shard's channel state.
+type muxSlot struct {
+	handler transport.Handler
+	gen     int32
+	// retired marks a slot whose instance was retired: traffic of its
+	// generation is dropped (not buffered) until a newer generation
+	// attaches.
+	retired bool
+	// pending buffers inbound envelopes of the current (or a future)
+	// generation while no handler is registered.
+	pending []pendingMsg
+}
+
+type pendingMsg struct {
+	from    timestamp.NodeID
+	gen     int32
+	payload any
 }
 
 // Mux splits one transport.Endpoint into per-shard logical endpoints: each
 // outbound payload is wrapped in an Envelope, and inbound envelopes are
-// dispatched to the handler registered for their shard. Untagged or
-// out-of-range traffic is dropped, mirroring the transports' silent-drop
-// semantics for unreachable destinations.
+// dispatched to the handler registered for their shard. Out-of-range or
+// stale-generation traffic is dropped; traffic for a shard that exists but
+// has no handler yet (a group being created mid-resize) is buffered until
+// the handler registers.
 type Mux struct {
 	ep transport.Endpoint
 
-	mu       sync.RWMutex
-	handlers []transport.Handler
+	mu    sync.RWMutex
+	slots []muxSlot
 }
 
 // NewMux attaches to ep and demultiplexes shards logical channels over it.
-// The mux owns ep's inbound handler from this point on.
+// The mux owns ep's inbound handler from this point on. The initial slots
+// are generation 0.
 func NewMux(ep transport.Endpoint, shards int) *Mux {
 	if shards < 1 {
 		shards = 1
 	}
-	m := &Mux{ep: ep, handlers: make([]transport.Handler, shards)}
+	m := &Mux{ep: ep, slots: make([]muxSlot, shards)}
 	ep.SetHandler(m.dispatch)
 	return m
 }
 
-// Shards returns the number of logical channels.
-func (m *Mux) Shards() int { return len(m.handlers) }
+// Shards returns the number of logical channels (live or retired).
+func (m *Mux) Shards() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.slots)
+}
 
-// dispatch unwraps one inbound envelope and hands it to its shard.
+// dispatch unwraps one inbound envelope and hands it to its shard, or
+// buffers it when the shard's instance is still being created.
 func (m *Mux) dispatch(from timestamp.NodeID, payload any) {
 	env, ok := payload.(*Envelope)
-	if !ok || int(env.Shard) < 0 || int(env.Shard) >= len(m.handlers) {
+	if !ok || env.Shard < 0 {
 		return
 	}
 	m.mu.RLock()
-	h := m.handlers[env.Shard]
+	var h transport.Handler
+	if int(env.Shard) < len(m.slots) {
+		slot := &m.slots[env.Shard]
+		if env.Gen == slot.gen {
+			h = slot.handler
+		}
+	}
 	m.mu.RUnlock()
 	if h != nil {
 		h(from, env.Payload)
+		return
 	}
+	m.buffer(from, env)
 }
 
-// Endpoint returns the logical endpoint for one shard. It panics on an
-// out-of-range shard — a wiring bug, not a runtime condition.
-func (m *Mux) Endpoint(shard int) transport.Endpoint {
-	if shard < 0 || shard >= len(m.handlers) {
-		panic(fmt.Sprintf("shard: endpoint %d outside [0,%d)", shard, len(m.handlers)))
+// buffer holds an envelope for a handler that has not registered yet: the
+// shard slot may not exist (a growth resize this node has not learned of),
+// or it exists with no handler, or the envelope belongs to a future
+// generation. Stale generations are dropped.
+func (m *Mux) buffer(from timestamp.NodeID, env *Envelope) {
+	if int(env.Shard) >= maxSlots {
+		return
 	}
-	return &subEndpoint{mux: m, shard: int32(shard)}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for int(env.Shard) >= len(m.slots) {
+		m.slots = append(m.slots, muxSlot{gen: -1})
+	}
+	slot := &m.slots[env.Shard]
+	if env.Gen == slot.gen && slot.handler != nil {
+		// The handler registered between the RLock check and here;
+		// deliver in-line (handlers must tolerate concurrent calls, as
+		// every transport already requires).
+		h := slot.handler
+		m.mu.Unlock()
+		h(from, env.Payload)
+		m.mu.Lock()
+		return
+	}
+	if env.Gen < slot.gen || (slot.retired && env.Gen <= slot.gen) || len(slot.pending) >= pendingCap {
+		return
+	}
+	slot.pending = append(slot.pending, pendingMsg{from: from, gen: env.Gen, payload: env.Payload})
+}
+
+// Endpoint returns the logical endpoint for one shard at its current
+// generation. It panics on an out-of-range shard — a wiring bug, not a
+// runtime condition.
+func (m *Mux) Endpoint(shard int) transport.Endpoint {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if shard < 0 || shard >= len(m.slots) {
+		panic(fmt.Sprintf("shard: endpoint %d outside [0,%d)", shard, len(m.slots)))
+	}
+	gen := m.slots[shard].gen
+	if gen < 0 {
+		gen = 0
+	}
+	return &subEndpoint{mux: m, shard: int32(shard), gen: gen}
+}
+
+// Attach creates (or revives) the slot for shard at generation gen and
+// returns its endpoint. Growing a resize calls it with the new routing
+// epoch as the generation; buffered traffic of that generation is
+// preserved for the handler, anything older is discarded.
+func (m *Mux) Attach(shard int, gen int32) transport.Endpoint {
+	if shard < 0 || shard >= maxSlots {
+		panic(fmt.Sprintf("shard: attach of shard %d outside [0,%d)", shard, maxSlots))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for shard >= len(m.slots) {
+		m.slots = append(m.slots, muxSlot{gen: -1})
+	}
+	slot := &m.slots[shard]
+	if gen > slot.gen {
+		slot.gen = gen
+		slot.handler = nil
+		kept := slot.pending[:0]
+		for _, p := range slot.pending {
+			if p.gen == gen {
+				kept = append(kept, p)
+			}
+		}
+		slot.pending = kept
+	}
+	slot.retired = false
+	return &subEndpoint{mux: m, shard: int32(shard), gen: slot.gen}
+}
+
+// Retire deregisters a shard's handler and discards its buffered traffic;
+// in-flight envelopes for it are dropped from now on. The slot can be
+// revived later by Attach with a higher generation.
+func (m *Mux) Retire(shard int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if shard < 0 || shard >= len(m.slots) {
+		return
+	}
+	m.slots[shard].handler = nil
+	m.slots[shard].pending = nil
+	m.slots[shard].retired = true
 }
 
 // Close detaches the mux from the underlying endpoint and closes it. All
@@ -71,19 +205,21 @@ func (m *Mux) Endpoint(shard int) transport.Endpoint {
 // a stopped group.
 func (m *Mux) Close() error {
 	m.mu.Lock()
-	for i := range m.handlers {
-		m.handlers[i] = nil
+	for i := range m.slots {
+		m.slots[i].handler = nil
+		m.slots[i].pending = nil
 	}
 	m.mu.Unlock()
 	return m.ep.Close()
 }
 
-// subEndpoint is one shard's logical channel. Closing it only deregisters
-// that shard's handler; the shared endpoint stays open for its siblings
-// until Mux.Close.
+// subEndpoint is one shard instance's logical channel. Closing it only
+// deregisters that instance's handler; the shared endpoint stays open for
+// its siblings until Mux.Close.
 type subEndpoint struct {
 	mux   *Mux
 	shard int32
+	gen   int32
 }
 
 var _ transport.Endpoint = (*subEndpoint)(nil)
@@ -92,22 +228,43 @@ func (s *subEndpoint) Self() timestamp.NodeID    { return s.mux.ep.Self() }
 func (s *subEndpoint) Peers() []timestamp.NodeID { return s.mux.ep.Peers() }
 
 func (s *subEndpoint) Send(to timestamp.NodeID, payload any) {
-	s.mux.ep.Send(to, &Envelope{Shard: s.shard, Payload: payload})
+	s.mux.ep.Send(to, &Envelope{Shard: s.shard, Gen: s.gen, Payload: payload})
 }
 
 func (s *subEndpoint) Broadcast(payload any) {
-	s.mux.ep.Broadcast(&Envelope{Shard: s.shard, Payload: payload})
+	s.mux.ep.Broadcast(&Envelope{Shard: s.shard, Gen: s.gen, Payload: payload})
 }
 
 func (s *subEndpoint) SetHandler(h transport.Handler) {
 	s.mux.mu.Lock()
-	defer s.mux.mu.Unlock()
-	s.mux.handlers[s.shard] = h
+	if int(s.shard) >= len(s.mux.slots) {
+		s.mux.mu.Unlock()
+		return
+	}
+	slot := &s.mux.slots[s.shard]
+	if slot.gen != s.gen {
+		s.mux.mu.Unlock()
+		return // a newer instance took the slot
+	}
+	slot.handler = h
+	pending := slot.pending
+	slot.pending = nil
+	s.mux.mu.Unlock()
+	if h == nil {
+		return
+	}
+	for _, p := range pending {
+		if p.gen == s.gen {
+			h(p.from, p.payload)
+		}
+	}
 }
 
 func (s *subEndpoint) Close() error {
 	s.mux.mu.Lock()
 	defer s.mux.mu.Unlock()
-	s.mux.handlers[s.shard] = nil
+	if int(s.shard) < len(s.mux.slots) && s.mux.slots[s.shard].gen == s.gen {
+		s.mux.slots[s.shard].handler = nil
+	}
 	return nil
 }

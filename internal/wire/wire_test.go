@@ -12,6 +12,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/m2paxos"
 	"github.com/caesar-consensus/caesar/internal/mencius"
 	"github.com/caesar-consensus/caesar/internal/multipaxos"
+	"github.com/caesar-consensus/caesar/internal/rebalance"
 	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/xshard"
 )
@@ -208,5 +209,58 @@ func TestCrossShardPayloadsRoundTrip(t *testing.T) {
 	}
 	if a.XID != xid || a.Group != 3 {
 		t.Fatalf("abort round trip diverged: %#v", a)
+	}
+}
+
+// TestResizeFenceRoundTrip pins the multi-process encoding of live
+// resizes: the fence command's marker payload, the routing-epoch stamp
+// every sharded submission carries, and the mux envelope's generation tag
+// must all survive the wire unchanged.
+func TestResizeFenceRoundTrip(t *testing.T) {
+	marker := rebalance.Marker{Epoch: 3, Shards: 8, PrevShards: 4}
+	fence, err := rebalance.FenceCommand(marker)
+	if err != nil {
+		t.Fatalf("fence: %v", err)
+	}
+	stamped := command.Put("k", []byte("v"))
+	stamped.Epoch = 3
+
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, cmd := range []command.Command{fence, stamped} {
+		env := &Envelope{From: 1, Payload: &shard.Envelope{Shard: 2, Gen: 3, Payload: &caesar.FastPropose{Cmd: cmd}}}
+		if err := enc.Encode(env); err != nil {
+			t.Fatalf("encode %v: %v", cmd.Op, err)
+		}
+	}
+	dec := NewDecoder(&buf)
+
+	var gotFence Envelope
+	if err := dec.Decode(&gotFence); err != nil {
+		t.Fatalf("decode fence: %v", err)
+	}
+	senv := gotFence.Payload.(*shard.Envelope)
+	if senv.Shard != 2 || senv.Gen != 3 {
+		t.Fatalf("mux envelope tags diverged: shard %d gen %d", senv.Shard, senv.Gen)
+	}
+	cmd := senv.Payload.(*caesar.FastPropose).Cmd
+	if cmd.Op != command.OpFence {
+		t.Fatalf("fence op diverged: %v", cmd.Op)
+	}
+	m, err := rebalance.DecodeMarker(cmd.Payload)
+	if err != nil {
+		t.Fatalf("DecodeMarker: %v", err)
+	}
+	if m != marker {
+		t.Fatalf("marker round trip diverged: %+v", m)
+	}
+
+	var gotStamped Envelope
+	if err := dec.Decode(&gotStamped); err != nil {
+		t.Fatalf("decode stamped: %v", err)
+	}
+	cmd = gotStamped.Payload.(*shard.Envelope).Payload.(*caesar.FastPropose).Cmd
+	if cmd.Epoch != 3 {
+		t.Fatalf("routing epoch stamp lost: %d", cmd.Epoch)
 	}
 }

@@ -22,11 +22,16 @@ var _ protocol.Engine = (*Engine)(nil)
 
 // New wires the coordinator over the sharded engine. Every group of inner
 // must apply commands through table.Applier so pieces and markers reach
-// the same table.
+// the same table. The default epoch resolver ignores the epoch and
+// answers with the engine's current router — exact until a live resize
+// happens, at which point the rebalancing layer rebinds it with real
+// epoch history (Table.SetRouterAt).
 func New(inner *shard.Engine, table *Table) *Engine {
-	table.bind(inner.Router(), func(g int, cmd command.Command, done protocol.DoneFunc) {
-		inner.Group(g).Submit(cmd, done)
-	})
+	table.bind(
+		func(uint32) shard.Router { return inner.Router() },
+		func(g int, cmd command.Command, done protocol.DoneFunc) {
+			inner.SubmitTo(g, cmd, done)
+		})
 	return &Engine{inner: inner, table: table}
 }
 
@@ -38,23 +43,30 @@ func (e *Engine) Table() *Table { return e.table }
 
 // Submit implements protocol.Engine. done fires after local execution: for
 // a cross-shard command that is the atomic application of the whole
-// transaction on this node, or ErrAborted if it was killed.
+// transaction on this node, or ErrAborted if it was killed. Routing works
+// against one router snapshot, so everything a submission produces —
+// the single-group command or every participant piece of a transaction —
+// is stamped with one routing epoch; a resize fence racing the submission
+// invalidates the whole set together, never a subset.
 func (e *Engine) Submit(cmd command.Command, done protocol.DoneFunc) {
 	if len(cmd.Keys()) == 0 {
 		e.inner.Submit(cmd, done) // keyless barrier: broadcast to every group
 		return
 	}
-	if g, err := e.inner.Router().Route(cmd); err == nil {
-		e.inner.Group(g).Submit(cmd, done) // single group: the common fast path
+	router := e.inner.Router()
+	if g, err := router.Route(cmd); err == nil {
+		cmd.Epoch = router.Epoch()
+		e.inner.SubmitTo(g, cmd, done) // single group: the common fast path
 		return
 	}
-	e.submitCross(cmd, done)
+	e.submitCross(router, cmd, done)
 }
 
-// submitCross splits the transaction and proposes one piece per touched
-// group. The client callback is parked in the commit table; it fires when
-// the last local piece delivery completes the transaction.
-func (e *Engine) submitCross(cmd command.Command, done protocol.DoneFunc) {
+// submitCross splits the transaction under one router snapshot and
+// proposes one piece per touched group. The client callback is parked in
+// the commit table; it fires when the last local piece delivery completes
+// the transaction.
+func (e *Engine) submitCross(router shard.Router, cmd command.Command, done protocol.DoneFunc) {
 	fail := func(err error) {
 		if done != nil {
 			done(protocol.Result{Err: err})
@@ -65,7 +77,7 @@ func (e *Engine) submitCross(cmd command.Command, done protocol.DoneFunc) {
 		fail(err)
 		return
 	}
-	parts, err := partition(e.inner.Router(), ops)
+	parts, err := partition(router, ops)
 	if err != nil {
 		fail(err) // a single member spanning groups stays unsupported
 		return
@@ -84,10 +96,11 @@ func (e *Engine) submitCross(cmd command.Command, done protocol.DoneFunc) {
 		fail(err)
 		return
 	}
-	e.table.expect(xid, groups, ops, done)
+	e.table.Expect(xid, groups, ops, router.Epoch(), done)
 	for _, g := range groups {
 		pc := pieceWithPayload(payload, parts[int(g)])
-		e.inner.Group(int(g)).Submit(pc, func(res protocol.Result) {
+		pc.Epoch = router.Epoch()
+		e.inner.SubmitTo(int(g), pc, func(res protocol.Result) {
 			if res.Err != nil {
 				e.table.pieceFailed(xid, res.Err)
 			}

@@ -1,6 +1,7 @@
 package xshard
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"time"
@@ -67,6 +68,10 @@ type entry struct {
 	groups []int32
 	ops    []command.Command
 	keys   map[string]struct{}
+	// epoch is the routing epoch the transaction's pieces were
+	// partitioned under; survivor-side resolution rebuilds the same
+	// per-group key split from it.
+	epoch uint32
 	// got marks the groups whose piece was delivered before any abort
 	// marker of that group.
 	got map[int32]bool
@@ -87,18 +92,13 @@ func (e *entry) complete() bool {
 	return len(e.groups) > 0 && len(e.got) == len(e.groups)
 }
 
-// conflictsWith reports whether two transactions share a key.
-func (e *entry) conflictsWith(o *entry) bool {
-	a, b := e.keys, o.keys
-	if len(a) > len(b) {
-		a, b = b, a
-	}
-	for k := range a {
-		if _, ok := b[k]; ok {
-			return true
-		}
-	}
-	return false
+// drainWaiter parks a callback until a snapshot of in-flight transactions
+// has fully resolved (executed or died). The rebalancing layer uses it to
+// finish a source group's state handoff only after every transaction that
+// group ordered before its resize fence has settled.
+type drainWaiter struct {
+	remaining map[XID]struct{}
+	fn        func()
 }
 
 // Table is one node's cross-shard commit table: it holds each in-flight
@@ -106,15 +106,32 @@ func (e *entry) conflictsWith(o *entry) bool {
 // stabilized theirs, then executes the transaction atomically at the
 // merged (max) timestamp. It is shared by all of the node's group appliers
 // and by the submit-side coordinator (Engine).
+//
+// Entries are indexed by key: registering a piece touches only the entries
+// that actually conflict with the transaction, so the drain pass after a
+// registration is O(conflicts), not O(table²) — the difference between a
+// flat table and one holding hundreds of in-flight transactions under one
+// mutex (see BenchmarkTableRegister).
 type Table struct {
-	cfg    TableConfig
-	router shard.Router
+	cfg TableConfig
+	// routerAt rebuilds the router of a given routing epoch, so
+	// survivor-side abort markers are keyed exactly like the pieces they
+	// must conflict with even when the current epoch has moved on. Bound
+	// by Engine; the rebalancing layer rebinds it with real epoch
+	// history.
+	routerAt func(epoch uint32) shard.Router
 	// submit proposes a command on one group; bound by Engine.
 	submit func(group int, cmd command.Command, done protocol.DoneFunc)
 
 	mu      sync.Mutex
 	entries map[XID]*entry
-	nextSeq uint64
+	// pendingByKey indexes the pending entries by every key they touch;
+	// completed holds the pending entries whose pieces have all arrived
+	// (the only drain candidates).
+	pendingByKey map[string]map[*entry]struct{}
+	completed    map[*entry]struct{}
+	drainWaiters []*drainWaiter
+	nextSeq      uint64
 	// queue holds executions and client callbacks decided under mu, to
 	// be run outside it (the applier may sleep, callbacks may re-enter
 	// the table); flushing marks the single goroutine draining it, which
@@ -129,13 +146,26 @@ type Table struct {
 
 // NewTable builds an empty commit table.
 func NewTable(cfg TableConfig) *Table {
-	return &Table{cfg: cfg.withDefaults(), entries: make(map[XID]*entry)}
+	return &Table{
+		cfg:          cfg.withDefaults(),
+		entries:      make(map[XID]*entry),
+		pendingByKey: make(map[string]map[*entry]struct{}),
+		completed:    make(map[*entry]struct{}),
+	}
 }
 
 // bind wires the table to the sharded engine it resolves through.
-func (t *Table) bind(router shard.Router, submit func(int, command.Command, protocol.DoneFunc)) {
-	t.router = router
+func (t *Table) bind(routerAt func(uint32) shard.Router, submit func(int, command.Command, protocol.DoneFunc)) {
+	t.routerAt = routerAt
 	t.submit = submit
+}
+
+// SetRouterAt replaces the epoch → router resolver; the rebalancing layer
+// installs one that remembers every epoch's shard count.
+func (t *Table) SetRouterAt(fn func(uint32) shard.Router) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.routerAt = fn
 }
 
 // nextXID mints a transaction ID for this coordinator.
@@ -245,36 +275,105 @@ func (t *Table) ensureLocked(xid XID) *entry {
 	return e
 }
 
-// fillLocked populates an entry's transaction body if still unknown.
-func (t *Table) fillLocked(e *entry, groups []int32, ops []command.Command) {
+// fillLocked populates an entry's transaction body if still unknown and
+// indexes it by its keys.
+func (t *Table) fillLocked(e *entry, groups []int32, ops []command.Command, epoch uint32) {
 	if len(e.groups) > 0 {
 		return
 	}
 	e.groups = groups
 	e.ops = ops
+	e.epoch = epoch
 	e.keys = make(map[string]struct{})
 	for _, k := range keyUnion(ops) {
 		e.keys[k] = struct{}{}
+		m := t.pendingByKey[k]
+		if m == nil {
+			m = make(map[*entry]struct{})
+			t.pendingByKey[k] = m
+		}
+		m[e] = struct{}{}
 	}
 }
 
-// expect registers the coordinator-side entry before its pieces are
+// unindexLocked removes a settling entry from the key index and the drain
+// candidates.
+func (t *Table) unindexLocked(e *entry) {
+	for k := range e.keys {
+		if m := t.pendingByKey[k]; m != nil {
+			delete(m, e)
+			if len(m) == 0 {
+				delete(t.pendingByKey, k)
+			}
+		}
+	}
+	delete(t.completed, e)
+}
+
+// noteResolvedLocked settles xid for the parked drain waiters, queueing
+// the callbacks whose snapshot is fully resolved.
+func (t *Table) noteResolvedLocked(xid XID) {
+	if len(t.drainWaiters) == 0 {
+		return
+	}
+	kept := t.drainWaiters[:0]
+	for _, w := range t.drainWaiters {
+		delete(w.remaining, xid)
+		if len(w.remaining) == 0 {
+			t.queue = append(t.queue, w.fn)
+			continue
+		}
+		kept = append(kept, w)
+	}
+	for i := len(kept); i < len(t.drainWaiters); i++ {
+		t.drainWaiters[i] = nil
+	}
+	t.drainWaiters = kept
+}
+
+// AwaitGroupDrain snapshots the in-flight transactions holding a piece
+// delivered by the given group and parks fn until every one of them has
+// resolved (executed or died); fn fires immediately when there are none.
+// The snapshot is replica-deterministic when taken at a fixed point of the
+// group's delivery order — the rebalancing layer calls it while applying
+// the group's resize fence, so every node waits for the same transaction
+// set before completing the group's state handoff.
+func (t *Table) AwaitGroupDrain(group int32, fn func()) {
+	t.mu.Lock()
+	defer t.flush()
+	w := &drainWaiter{remaining: make(map[XID]struct{}), fn: fn}
+	for xid, e := range t.entries {
+		if e.state == entryPending && e.got[group] {
+			w.remaining[xid] = struct{}{}
+		}
+	}
+	if len(w.remaining) == 0 {
+		t.queue = append(t.queue, fn)
+	} else {
+		t.drainWaiters = append(t.drainWaiters, w)
+	}
+	t.mu.Unlock()
+}
+
+// Expect registers the coordinator-side entry before its pieces are
 // submitted; done (may be nil) fires on local execution or abort. The
 // coordinator gets the earliest resolution deadline — it is the node best
-// placed to notice a participant that never landed.
-func (t *Table) expect(xid XID, groups []int32, ops []command.Command, done protocol.DoneFunc) {
+// placed to notice a participant that never landed. Exported for the
+// layered engines (xshard's own coordinator, rebalance tests).
+func (t *Table) Expect(xid XID, groups []int32, ops []command.Command, epoch uint32, done protocol.DoneFunc) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e := t.ensureLocked(xid)
-	t.fillLocked(e, groups, ops)
+	t.fillLocked(e, groups, ops, epoch)
 	e.done = done
 	e.deadline = t.cfg.Now().Add(t.cfg.ResolveTimeout)
 }
 
 // registerPiece records one group's delivered piece; called from that
 // group's delivery goroutine via the group applier. ts is the piece's
-// stable timestamp within its group (zero for engines without timestamps).
-func (t *Table) registerPiece(group int32, p *Piece, ts timestamp.Timestamp) {
+// stable timestamp within its group (zero for engines without timestamps);
+// epoch is the routing epoch the piece was submitted under.
+func (t *Table) registerPiece(group int32, p *Piece, ts timestamp.Timestamp, epoch uint32) {
 	t.mu.Lock()
 	defer t.flush()
 	defer t.mu.Unlock()
@@ -286,7 +385,7 @@ func (t *Table) registerPiece(group int32, p *Piece, ts timestamp.Timestamp) {
 		// First sighting on this node: survivors learn the full
 		// transaction from any piece and stagger their resolution
 		// deadline behind the coordinator's by node rank.
-		t.fillLocked(e, p.Groups, p.Ops)
+		t.fillLocked(e, p.Groups, p.Ops, epoch)
 		stagger := time.Duration(int32(t.cfg.Self)+1) * t.cfg.ResolveTimeout / 4
 		e.deadline = t.cfg.Now().Add(t.cfg.ResolveTimeout + stagger)
 	}
@@ -296,6 +395,9 @@ func (t *Table) registerPiece(group int32, p *Piece, ts timestamp.Timestamp) {
 	e.got[group] = true
 	if e.merged.Less(ts) {
 		e.merged = ts
+	}
+	if e.complete() {
+		t.completed[e] = struct{}{}
 	}
 	t.drainLocked()
 }
@@ -312,13 +414,34 @@ func (t *Table) registerAbort(group int32, a *Abort) {
 	if e.state != entryPending || e.got[group] {
 		return
 	}
-	t.killLocked(e)
+	t.killLocked(e, ErrAborted)
+	t.drainLocked()
+}
+
+// KillStale kills a transaction whose participant piece for the given
+// group was ordered after the group's resize fence under an outdated
+// routing epoch. Deterministic on every node: the fence/piece order is
+// fixed by the group's consensus, so all replicas kill (or none do). The
+// coordinator's client callback reports ErrEpochRetry, which the
+// rebalancing layer turns into a re-partition and re-proposal under the
+// new epoch.
+func (t *Table) KillStale(group int32, xid XID) {
+	t.mu.Lock()
+	defer t.flush()
+	defer t.mu.Unlock()
+	e := t.ensureLocked(xid)
+	if e.state != entryPending {
+		return
+	}
+	t.killLocked(e, ErrEpochRetry)
 	t.drainLocked()
 }
 
 // killLocked turns an entry into a dead tombstone and queues its client
-// failure.
-func (t *Table) killLocked(e *entry) {
+// failure with the given reason.
+func (t *Table) killLocked(e *entry, reason error) {
+	t.unindexLocked(e)
+	t.noteResolvedLocked(e.xid)
 	e.state = entryDead
 	e.ops, e.keys, e.got = nil, nil, nil
 	e.deadline = t.cfg.Now().Add(4 * t.cfg.ResolveTimeout)
@@ -328,7 +451,7 @@ func (t *Table) killLocked(e *entry) {
 	if e.done != nil {
 		done := e.done
 		e.done = nil
-		t.queue = append(t.queue, func() { done(protocol.Result{Err: ErrAborted}) })
+		t.queue = append(t.queue, func() { done(protocol.Result{Err: reason}) })
 	}
 }
 
@@ -336,17 +459,15 @@ func (t *Table) killLocked(e *entry) {
 // completed entries run in merged-timestamp order, and an entry defers
 // while a conflicting incomplete transaction could still merge below it
 // (its timestamp lower bound is smaller). Execution can unblock further
-// entries, so the pass loops until a fixpoint.
+// entries, so the pass loops until a fixpoint. Only the completed set is
+// scanned, and each candidate's blockers are found through the key index —
+// one registration costs O(its conflicts), not a rescan of every held
+// entry.
 func (t *Table) drainLocked() {
-	for {
-		var ready []*entry
-		for _, e := range t.entries {
-			if e.state == entryPending && e.complete() {
-				ready = append(ready, e)
-			}
-		}
-		if len(ready) == 0 {
-			return
+	for len(t.completed) > 0 {
+		ready := make([]*entry, 0, len(t.completed))
+		for e := range t.completed {
+			ready = append(ready, e)
 		}
 		sort.Slice(ready, func(i, j int) bool {
 			if ready[i].merged != ready[j].merged {
@@ -358,14 +479,19 @@ func (t *Table) drainLocked() {
 			return ready[i].xid.Seq < ready[j].xid.Seq
 		})
 		progress := false
-		var blocked []*entry
+		var blockedKeys map[string]struct{}
 		for _, e := range ready {
 			// Blocking is transitive through completed entries: if an
 			// earlier-timestamped conflicting entry is deferred, this one
 			// must defer too, or replicas where the earlier one was not
 			// deferred would execute the pair in the opposite order.
-			if t.blockedLocked(e) || conflictsAny(e, blocked) {
-				blocked = append(blocked, e)
+			if t.blockedLocked(e) || touchesAny(e, blockedKeys) {
+				if blockedKeys == nil {
+					blockedKeys = make(map[string]struct{})
+				}
+				for k := range e.keys {
+					blockedKeys[k] = struct{}{}
+				}
 				continue
 			}
 			t.executeLocked(e)
@@ -377,10 +503,13 @@ func (t *Table) drainLocked() {
 	}
 }
 
-// conflictsAny reports whether e shares a key with any entry in es.
-func conflictsAny(e *entry, es []*entry) bool {
-	for _, o := range es {
-		if e.conflictsWith(o) {
+// touchesAny reports whether e shares a key with the blocked-key set.
+func touchesAny(e *entry, keys map[string]struct{}) bool {
+	if len(keys) == 0 {
+		return false
+	}
+	for k := range e.keys {
+		if _, ok := keys[k]; ok {
 			return true
 		}
 	}
@@ -394,14 +523,17 @@ func conflictsAny(e *entry, es []*entry) bool {
 // so equal timestamps across transactions are possible, and XID breaks the
 // tie only once both are complete). The blocker eventually completes,
 // dies, or is aborted by the resolution timer — each of which re-drains
-// the table.
+// the table. Blockers are found through the key index: only entries
+// actually sharing a key are examined.
 func (t *Table) blockedLocked(e *entry) bool {
-	for _, o := range t.entries {
-		if o == e || o.state != entryPending || o.complete() {
-			continue
-		}
-		if !e.merged.Less(o.merged) && e.conflictsWith(o) {
-			return true
+	for k := range e.keys {
+		for o := range t.pendingByKey[k] {
+			if o == e || o.complete() {
+				continue
+			}
+			if !e.merged.Less(o.merged) {
+				return true
+			}
 		}
 	}
 	return false
@@ -412,6 +544,8 @@ func (t *Table) blockedLocked(e *entry) bool {
 // lock (the applier may sleep, the callback may re-enter the table), in
 // decision order.
 func (t *Table) executeLocked(e *entry) {
+	t.unindexLocked(e)
+	t.noteResolvedLocked(e.xid)
 	ops, done := e.ops, e.done
 	e.state = entryExecuted
 	e.ops, e.keys, e.got, e.done = nil, nil, nil, nil
@@ -464,15 +598,19 @@ func (t *Table) pieceFailed(xid XID, err error) {
 // race they cannot win. The background sweeper calls it on SweepInterval
 // (wall clock); tests that inject a fake TableConfig.Now call it directly
 // after advancing the clock, so resolution deadlines are fully drivable
-// under simulated time.
+// under simulated time. Markers are keyed by the entry's own routing
+// epoch, so they conflict with the pieces they chase even while a resize
+// is moving the current epoch on.
 func (t *Table) Resolve() {
 	now := t.cfg.Now()
 	type marker struct {
+		xid   XID
 		group int
 		cmd   command.Command
 	}
 	var markers []marker
 	t.mu.Lock()
+	routerAt := t.routerAt
 	for xid, e := range t.entries {
 		if e.state != entryPending {
 			if now.After(e.deadline) {
@@ -480,10 +618,10 @@ func (t *Table) Resolve() {
 			}
 			continue
 		}
-		if !now.After(e.deadline) || len(e.groups) == 0 {
+		if !now.After(e.deadline) || len(e.groups) == 0 || routerAt == nil {
 			continue
 		}
-		parts, err := partition(t.router, e.ops)
+		parts, err := partition(routerAt(e.epoch), e.ops)
 		if err != nil {
 			continue
 		}
@@ -495,7 +633,8 @@ func (t *Table) Resolve() {
 			if err != nil {
 				continue
 			}
-			markers = append(markers, marker{group: int(g), cmd: cmd})
+			cmd.Epoch = e.epoch
+			markers = append(markers, marker{xid: xid, group: int(g), cmd: cmd})
 		}
 		e.deadline = now.Add(t.cfg.ResolveTimeout)
 	}
@@ -505,8 +644,37 @@ func (t *Table) Resolve() {
 		return
 	}
 	for _, m := range markers {
-		submit(m.group, m.cmd, nil)
+		xid := m.xid
+		submit(m.group, m.cmd, func(res protocol.Result) {
+			if errors.Is(res.Err, shard.ErrNoGroup) {
+				// The participant group no longer exists (retired by a
+				// shrink). Retirement implies the group's pre-fence
+				// history was fully delivered here — had the piece been
+				// ordered before the fence it would have registered, and
+				// ordered after it the epoch gate would have killed the
+				// entry — so the piece was never ordered anywhere and
+				// the transaction can never commit. Kill it locally;
+				// every replica's own sweep reaches the same verdict,
+				// releasing the conflicting transactions blockedLocked
+				// was holding for it.
+				t.killUnreachable(xid)
+			}
+		})
 	}
+}
+
+// killUnreachable kills a pending transaction whose abort marker cannot
+// even be proposed because the participant group is gone; see Resolve.
+func (t *Table) killUnreachable(xid XID) {
+	t.mu.Lock()
+	defer t.flush()
+	defer t.mu.Unlock()
+	e := t.entries[xid]
+	if e == nil || e.state != entryPending {
+		return
+	}
+	t.killLocked(e, ErrAborted)
+	t.drainLocked()
 }
 
 // Applier wraps one group's applier: cross-shard pieces and markers are
@@ -536,7 +704,7 @@ func (a *groupApplier) ApplyAt(cmd command.Command, ts timestamp.Timestamp) []by
 	switch cmd.Op {
 	case command.OpXCommit:
 		if p, err := DecodePiece(cmd.Payload); err == nil {
-			a.t.registerPiece(a.group, p, ts)
+			a.t.registerPiece(a.group, p, ts, cmd.Epoch)
 		}
 		return nil
 	case command.OpXAbort:

@@ -67,6 +67,15 @@ import (
 // be placed).
 var ErrAborted = errors.New("xshard: cross-shard transaction aborted")
 
+// ErrEpochRetry is reported for cross-shard transactions killed because a
+// participant piece was ordered after its group's resize fence: the piece
+// was routed under a routing epoch that is no longer current, so the
+// transaction's group partition may be wrong. The kill is deterministic on
+// every node (the fence/piece order is fixed by the group's consensus);
+// the submitting node's rebalancing layer re-partitions and re-proposes
+// the transaction under the new epoch.
+var ErrEpochRetry = errors.New("xshard: transaction straddled a resize epoch, retry under the new routing")
+
 // XID identifies a cross-shard transaction: the coordinating node plus a
 // local sequence number, mirroring command.ID in a separate space.
 type XID struct {
