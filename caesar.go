@@ -16,8 +16,10 @@ import (
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/rebalance"
 	"github.com/caesar-consensus/caesar/internal/shard"
+	"github.com/caesar-consensus/caesar/internal/stack"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 	"github.com/caesar-consensus/caesar/internal/transport"
+	"github.com/caesar-consensus/caesar/internal/wal"
 	"github.com/caesar-consensus/caesar/internal/xshard"
 )
 
@@ -116,6 +118,7 @@ var ErrResizeConflict = rebalance.ErrResizeConflict
 // command to its key's group; Resize changes the group count live.
 type Node struct {
 	id      timestamp.NodeID
+	stk     *stack.Stack
 	engine  protocol.Engine
 	resizer *rebalance.Engine // nil on unsharded nodes
 	store   *kvstore.Store
@@ -137,6 +140,18 @@ type Options struct {
 	SuspectTimeout time.Duration
 	// DisableGC retains all command metadata (debugging only).
 	DisableGC bool
+	// DataDir enables the durable write-ahead log (internal/wal): every
+	// acknowledged command is fsynced (group commit — many decisions,
+	// one sync) before its client learns the result, and a node rebuilt
+	// from the same directory replays snapshot + log tail, rejoins the
+	// cluster and continues with exactly-once application intact. Empty
+	// keeps the node purely in memory.
+	DataDir string
+	// RetransmitAfter is how long a command leader waits for a missing
+	// delivery acknowledgement before re-sending the decision — the
+	// catch-up path a restarted replica relearns missed commands
+	// through. Default 1s; negative disables.
+	RetransmitAfter time.Duration
 }
 
 func (o Options) toConfig() caesar.Config {
@@ -144,6 +159,7 @@ func (o Options) toConfig() caesar.Config {
 		FastTimeout:       o.FastQuorumTimeout,
 		HeartbeatInterval: o.HeartbeatInterval,
 		SuspectTimeout:    o.SuspectTimeout,
+		RetransmitAfter:   o.RetransmitAfter,
 	}
 	if o.DisableGC {
 		cfg.GCInterval = -1
@@ -153,45 +169,48 @@ func (o Options) toConfig() caesar.Config {
 
 // newNode wires a replica — or, with shards > 1, a sharded set of replicas
 // multiplexed over the endpoint, under the cross-shard commit and live
-// rebalancing layers — to the transport; used by Cluster and the server
-// binaries. Every shard shares the node's store, recorder, commit table
-// and rebalance coordinator (all safe for the per-shard delivery
-// goroutines), so Stats and Read report whole-node aggregates regardless
-// of the shard count, multi-key transactions spanning groups commit
-// atomically instead of failing, and Resize changes the group count live.
-func newNode(ep transport.Endpoint, opts Options, shards int) *Node {
-	if shards < 1 {
-		shards = 1
-	}
-	store := kvstore.New()
-	app := batch.NewApplier(store)
+// rebalancing layers, and with a data dir under the durable write-ahead
+// log — to the transport; used by Cluster and the server binaries. The
+// actual layering lives in internal/stack (shared with cmd/caesar-server
+// and the harness); every shard shares the node's store, recorder, commit
+// table, rebalance coordinator and log, so Stats and Read report
+// whole-node aggregates regardless of the shard count, multi-key
+// transactions spanning groups commit atomically instead of failing, and
+// Resize changes the group count live. With a data dir, a node built from
+// a previous incarnation's directory recovers its state before joining.
+func newNode(ep transport.Endpoint, opts Options, shards int) (*Node, error) {
 	met := metrics.NewRecorder()
 	cfg := opts.toConfig()
 	cfg.Metrics = met
+	stk, err := stack.Build(ep, stack.Config{
+		Shards:    shards,
+		Metrics:   met,
+		DataDir:   opts.DataDir,
+		Rebalance: true,
+		Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed) protocol.Engine {
+			gcfg := cfg
+			gcfg.Predelivered = seed.Delivered
+			gcfg.SeqFloor = seed.SeqFloor
+			gcfg.ClockSeed = seed.ClockSeed
+			gcfg.ReserveSeq = seed.ReserveSeq
+			gcfg.ReserveClock = seed.ReserveClock
+			return caesar.New(sep, app, gcfg)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	n := &Node{
-		id:     ep.Self(),
-		store:  store,
-		met:    met,
-		shards: shards,
+		id:      ep.Self(),
+		stk:     stk,
+		engine:  stk.Engine,
+		resizer: stk.Resizer,
+		store:   stk.Store,
+		met:     met,
+		shards:  stk.Shards,
 	}
-	if shards == 1 {
-		n.engine = caesar.New(ep, app, cfg)
-	} else {
-		table := xshard.NewTable(xshard.TableConfig{Self: ep.Self(), Exec: app, Metrics: met})
-		co := rebalance.NewCoordinator(rebalance.Config{
-			Self:   ep.Self(),
-			Export: store.Export,
-			Import: store.Import,
-		}, shards)
-		inner := shard.New(ep, shards, func(g int, sep transport.Endpoint) protocol.Engine {
-			return caesar.New(sep, co.Applier(g, table.Applier(g, app)), cfg)
-		})
-		reng := rebalance.NewEngine(xshard.New(inner, table), co)
-		n.resizer = reng
-		n.engine = reng
-	}
-	n.engine.Start()
-	return n
+	stk.Start()
+	return n, nil
 }
 
 // ID returns the node's identifier.
@@ -329,14 +348,16 @@ func (n *Node) Resize(ctx context.Context, shards int) error {
 	return n.resizer.Resize(ctx, shards)
 }
 
-// Close stops the replica. In-flight proposals fail. Safe for concurrent
-// use with Propose/ProposeTx (a proposal racing Close fails with ErrClosed
-// or the engine's stop error).
+// Close stops the replica: engines first (quiescing deliveries), then —
+// on a durable node — the write-ahead log, whose acknowledged tail is
+// already fsynced. In-flight proposals fail. Safe for concurrent use with
+// Propose/ProposeTx (a proposal racing Close fails with ErrClosed or the
+// engine's stop error).
 func (n *Node) Close() {
 	if !n.closed.CompareAndSwap(false, true) {
 		return
 	}
-	n.engine.Stop()
+	n.stk.Stop()
 }
 
 // ShardOf returns the consensus group a key is routed to in a deployment

@@ -2,6 +2,7 @@ package caesar
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"github.com/caesar-consensus/caesar/internal/memnet"
@@ -14,6 +15,7 @@ import (
 // deployments use cmd/caesar-server instead.
 type Cluster struct {
 	net   *memnet.Network
+	cfg   clusterConfig
 	nodes []*Node
 }
 
@@ -21,10 +23,11 @@ type Cluster struct {
 type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
-	delay  memnet.DelayFunc
-	jitter time.Duration
-	opts   Options
-	shards int
+	delay   memnet.DelayFunc
+	jitter  time.Duration
+	opts    Options
+	shards  int
+	dataDir string
 }
 
 // WithGeoLatency injects the paper's five-site EC2 round-trip times
@@ -64,6 +67,22 @@ func WithShards(g int) ClusterOption {
 	return func(c *clusterConfig) { c.shards = g }
 }
 
+// WithDataDir makes every node durable: node i logs to dir/node<i>
+// (internal/wal) and can be rebuilt from it after a crash with Restart.
+func WithDataDir(dir string) ClusterOption {
+	return func(c *clusterConfig) { c.dataDir = dir }
+}
+
+// nodeOpts resolves node i's options (its data subdirectory, when the
+// cluster is durable).
+func (cfg clusterConfig) nodeOpts(i int) Options {
+	opts := cfg.opts
+	if cfg.dataDir != "" {
+		opts.DataDir = filepath.Join(cfg.dataDir, fmt.Sprintf("node%d", i))
+	}
+	return opts
+}
+
 // NewLocalCluster builds and starts an n-node cluster. n must be at least
 // three (the protocol needs a meaningful quorum).
 func NewLocalCluster(n int, options ...ClusterOption) (*Cluster, error) {
@@ -75,9 +94,17 @@ func NewLocalCluster(n int, options ...ClusterOption) (*Cluster, error) {
 		opt(&cfg)
 	}
 	net := memnet.New(memnet.Config{Nodes: n, Delay: cfg.delay, Jitter: cfg.jitter})
-	c := &Cluster{net: net}
+	c := &Cluster{net: net, cfg: cfg}
 	for i := 0; i < n; i++ {
-		c.nodes = append(c.nodes, newNode(net.Endpoint(timestamp.NodeID(i)), cfg.opts, cfg.shards))
+		node, err := newNode(net.Endpoint(timestamp.NodeID(i)), cfg.nodeOpts(i), cfg.shards)
+		if err != nil {
+			for _, built := range c.nodes {
+				built.Close()
+			}
+			net.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
 	}
 	return c, nil
 }
@@ -89,10 +116,37 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 func (c *Cluster) Size() int { return len(c.nodes) }
 
 // Crash disconnects and stops a node, simulating a failure. The survivors
-// detect it and recover its in-flight commands.
+// detect it and recover its in-flight commands. On a durable cluster the
+// node's data dir is left behind for Restart.
 func (c *Cluster) Crash(i int) {
 	c.net.Crash(timestamp.NodeID(i))
 	c.nodes[i].Close()
+}
+
+// Restart rebuilds a crashed node from its data directory and rejoins it
+// to the cluster: the new incarnation replays its snapshot + write-ahead
+// log tail, resumes the routing epoch it crashed at, and relearns the
+// decisions it missed while down from the leaders' Stable retransmission
+// — every command it acknowledged before the crash is applied exactly
+// once, never twice. Requires a cluster built WithDataDir; the node must
+// have been crashed (or closed) first.
+func (c *Cluster) Restart(i int) error {
+	if c.cfg.dataDir == "" {
+		return fmt.Errorf("caesar: Restart needs a durable cluster (build it with WithDataDir)")
+	}
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("caesar: no node %d", i)
+	}
+	if !c.nodes[i].closed.Load() {
+		return fmt.Errorf("caesar: node %d is still running (Crash it first)", i)
+	}
+	c.net.Restore(timestamp.NodeID(i))
+	node, err := newNode(c.net.Endpoint(timestamp.NodeID(i)), c.cfg.nodeOpts(i), c.cfg.shards)
+	if err != nil {
+		return err
+	}
+	c.nodes[i] = node
+	return nil
 }
 
 // Close stops every node and the network.

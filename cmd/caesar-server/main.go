@@ -43,14 +43,13 @@ import (
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
-	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/rebalance"
-	"github.com/caesar-consensus/caesar/internal/shard"
+	"github.com/caesar-consensus/caesar/internal/stack"
 	"github.com/caesar-consensus/caesar/internal/tcpnet"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 	"github.com/caesar-consensus/caesar/internal/transport"
-	"github.com/caesar-consensus/caesar/internal/xshard"
+	"github.com/caesar-consensus/caesar/internal/wal"
 )
 
 func main() {
@@ -59,15 +58,16 @@ func main() {
 		peers      = flag.String("peers", "", "comma-separated replica addresses")
 		clientAddr = flag.String("client", "", "client-facing listen address")
 		shards     = flag.Int("shards", 1, "independent consensus groups per node (keys are routed by consistent hashing)")
+		dataDir    = flag.String("data-dir", "", "durable write-ahead log directory; the replica recovers from it on restart (empty = in-memory only)")
 	)
 	flag.Parse()
-	if err := run(*id, *peers, *clientAddr, *shards); err != nil {
+	if err := run(*id, *peers, *clientAddr, *shards, *dataDir); err != nil {
 		fmt.Fprintln(os.Stderr, "caesar-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id int, peerList, clientAddr string, shards int) error {
+func run(id int, peerList, clientAddr string, shards int, dataDir string) error {
 	addrs := strings.Split(peerList, ",")
 	if len(addrs) < 3 {
 		return fmt.Errorf("need at least 3 peers, got %d", len(addrs))
@@ -79,43 +79,64 @@ func run(id int, peerList, clientAddr string, shards int) error {
 	if err != nil {
 		return err
 	}
-	store := kvstore.New()
-	app := batch.NewApplier(store)
-	var rep protocol.Engine
-	if shards > 1 {
-		// Every group shares the store, the cross-shard commit table and
-		// the rebalance coordinator; the mux gives each a logical channel
-		// over the one TCP transport, multi-key MPUTs spanning groups
-		// commit atomically through the table, and the admin RESIZE
-		// command changes the group count live.
-		table := xshard.NewTable(xshard.TableConfig{Self: timestamp.NodeID(id), Exec: app})
-		co := rebalance.NewCoordinator(rebalance.Config{
-			Self:   timestamp.NodeID(id),
-			Export: store.Export,
-			Import: store.Import,
-		}, shards)
-		inner := shard.New(tr, shards, func(g int, sep transport.Endpoint) protocol.Engine {
-			return caesar.New(sep, co.Applier(g, table.Applier(g, app)), caesar.Config{})
-		})
-		rep = rebalance.NewEngine(xshard.New(inner, table), co)
-	} else {
-		rep = caesar.New(tr, app, caesar.Config{})
+	// One shared stack constructor wires store, commit table, rebalance
+	// coordinator and (with -data-dir) the write-ahead log: every group
+	// shares them, multi-key MPUTs spanning groups commit atomically, the
+	// admin RESIZE changes the group count live, and a replica restarted
+	// on the same -data-dir replays its snapshot + log tail — including
+	// the routing epoch it crashed at — before rejoining.
+	stk, err := stack.Build(tr, stack.Config{
+		Shards:    shards,
+		DataDir:   dataDir,
+		Rebalance: true,
+		Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed) protocol.Engine {
+			return caesar.New(sep, app, caesar.Config{
+				Predelivered: seed.Delivered,
+				SeqFloor:     seed.SeqFloor,
+				ClockSeed:    seed.ClockSeed,
+				ReserveSeq:   seed.ReserveSeq,
+				ReserveClock: seed.ReserveClock,
+			})
+		},
+	})
+	if err != nil {
+		return err
 	}
-	rep.Start()
-	defer rep.Stop()
-	log.Printf("replica %d up: protocol %s, clients %s, shards %d", id, addrs[id], clientAddr, max(shards, 1))
+	rep := stk.Engine
+	stk.Start()
+	if recovered := stk.Recovered; recovered != nil && !recovered.Empty {
+		log.Printf("replica %d recovered %d keys (%d commands applied) from %s", id, len(recovered.KV), recovered.Applied, dataDir)
+	}
+	log.Printf("replica %d up: protocol %s, clients %s, shards %d", id, addrs[id], clientAddr, stk.Shards)
 
 	ln, err := net.Listen("tcp", clientAddr)
 	if err != nil {
 		return err
 	}
-	defer ln.Close()
 	go serveClients(ln, rep)
 
-	sig := make(chan os.Signal, 1)
+	// Graceful shutdown on the first SIGINT/SIGTERM: stop accepting
+	// clients, quiesce the engines, flush and close the WAL (clean-path
+	// restarts recover from it just like hard kills — kill -9 exercises
+	// the other path). A second signal force-exits.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	log.Printf("replica %d shutting down", id)
+	log.Printf("replica %d shutting down (signal again to force)", id)
+	done := make(chan struct{})
+	go func() {
+		ln.Close()
+		stk.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+		log.Printf("replica %d stopped cleanly", id)
+	case <-sig:
+		log.Printf("replica %d forced exit", id)
+	case <-time.After(10 * time.Second):
+		log.Printf("replica %d shutdown timed out", id)
+	}
 	return nil
 }
 

@@ -92,4 +92,41 @@
 // migrating keys stalls at most one handoff round. See internal/rebalance
 // for the protocol, `caesar-bench -figure elastic` for throughput through
 // a live 2→4 resize, and examples/sharding for a mid-stream resize.
+//
+// # Durability and crash restart
+//
+// A node given a data directory survives crashes:
+//
+//	cluster, _ := caesar.NewLocalCluster(3, caesar.WithDataDir(dir))
+//	...
+//	cluster.Crash(1)           // kill it
+//	err := cluster.Restart(1)  // rebuild it from dir/node1 and rejoin
+//
+// (Options.DataDir for a single node; `caesar-server -data-dir` for a
+// multi-process replica.) Every applied command, executed cross-shard
+// transaction, installed routing epoch and ID/clock reservation is
+// written to a segmented, CRC-checksummed write-ahead log
+// (internal/wal) and fsynced — group commit: many decisions, one sync —
+// before its client is acknowledged; periodic snapshots truncate the
+// log. A restarted node replays snapshot + log tail to rebuild its
+// store, its delivered-command sets, its commit-table state and its
+// routing epoch, then rejoins: decisions it missed while down are
+// re-sent by their leaders (and, for commands its own previous
+// incarnation led, by the surviving replicas), and commands it already
+// applied are acknowledged without re-executing — application stays
+// exactly once across the crash.
+//
+// Persisted: everything the node has applied and acknowledged, plus the
+// sequence/timestamp floors that keep a new incarnation from colliding
+// with its predecessor's identifiers. Not persisted: in-flight protocol
+// state (ballots, pending proposals, un-applied decisions) — commands
+// in flight at the crash are finished or noop'd by the survivors'
+// recovery machinery, exactly as for a permanent failure, and a client
+// of the crashed node sees an unknown outcome for them. The crash model
+// is fail-stop with stable storage: a node may lose everything after
+// its last fsync and recover; Byzantine disks (silent corruption past
+// the CRC) and fsync lies are outside it. See internal/wal,
+// internal/stack for how the layers compose, `caesar-bench -figure
+// durable` for the throughput cost and recovery time, and
+// restart_test.go for the crash-restart conformance run.
 package caesar

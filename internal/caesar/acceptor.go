@@ -218,6 +218,15 @@ func (r *Replica) onStable(from timestamp.NodeID, m *Stable) {
 	r.clock.Observe(m.Time)
 	rec := r.hist.ensure(m.Cmd)
 	if rec.status == StatusStable || rec.delivered {
+		if rec.applied {
+			// A duplicate Stable for a command we already applied means
+			// the leader is missing our ack (it was lost, or sent before
+			// a crash); re-ack so it can purge. Keyed on applied, not
+			// delivered: a delivery whose apply is still deferred behind
+			// a handoff is not yet in the durable log, and acking it
+			// could let a purge erase it from every replay path.
+			r.queueAck(id)
+		}
 		return
 	}
 	rec.status = StatusStable

@@ -95,12 +95,23 @@ func (r *Replica) deliverable(rec *record) bool {
 // whatever goroutine does so — all replica-side bookkeeping is finished
 // here, inside the event loop, before the applier is invoked.
 func (r *Replica) deliverNow(rec *record) {
+	// A seeded delivered set (crash recovery) can already contain this
+	// command: it was applied — and logged — before the crash, and a
+	// leader re-sent its decision. Finish the delivery bookkeeping (ack,
+	// wake dependents) but skip the execution, keeping application
+	// exactly-once across the restart.
+	already := !r.delivered.Add(rec.id())
 	rec.delivered = true
-	r.delivered.Add(rec.id())
-	r.met.Executed.Inc()
+	rec.deliveredAt = r.now
 	r.cfg.Trace.Record(r.self, trace.KindDeliver, rec.id(), rec.ts)
 
 	id := rec.id()
+	if already {
+		rec.applied = true // replayed from the durable log pre-crash
+		r.queueAck(id)
+		return
+	}
+	r.met.Executed.Inc()
 	if c := r.proposals[id]; c != nil {
 		now := r.now
 		r.met.ObserveLatency(now.Sub(c.proposedAt))
@@ -110,12 +121,22 @@ func (r *Replica) deliverNow(rec *record) {
 	}
 	done := r.dones[id]
 	delete(r.dones, id)
-	if r.cfg.GCInterval > 0 {
-		r.ackPending[id.Node] = append(r.ackPending[id.Node], id)
-	}
 
+	// The GC ack is queued only after the applier completes: an acked
+	// command may be purged cluster-wide, so on a durable node it must
+	// already be in the write-ahead log (which the applier chain writes)
+	// — acking a delivery whose apply is still deferred (a rebalance
+	// gate queueing it behind a handoff) could purge a command that a
+	// crash then erases from every replay path.
 	if da, ok := r.app.(protocol.DeferringApplier); ok {
 		da.ApplyDeferred(rec.cmd, rec.ts, func(res protocol.Result) {
+			// Completion may run on any goroutine — including the event
+			// loop itself (the gate's pass path completes synchronously),
+			// where a blocking Post on a full inbox would deadlock the
+			// loop against itself. TryPost never blocks; a dropped or
+			// shutdown-raced ack is recovered by the duplicate-Stable
+			// re-ack path when the leader retransmits.
+			r.loop.TryPost(evAck{id: id})
 			if done != nil {
 				done(res)
 			}
@@ -128,7 +149,24 @@ func (r *Replica) deliverNow(rec *record) {
 	} else {
 		value = r.app.Apply(rec.cmd)
 	}
+	rec.applied = true
+	r.queueAck(id)
 	if done != nil {
 		done(protocol.Result{Value: value})
+	}
+}
+
+// onAck marks a deferred apply complete and queues its GC ack.
+func (r *Replica) onAck(id command.ID) {
+	if rec := r.hist.get(id); rec != nil {
+		rec.applied = true
+	}
+	r.queueAck(id)
+}
+
+// queueAck adds one delivered-and-applied command to the GC ack batch.
+func (r *Replica) queueAck(id command.ID) {
+	if r.cfg.GCInterval > 0 {
+		r.ackPending[id.Node] = append(r.ackPending[id.Node], id)
 	}
 }

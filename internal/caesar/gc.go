@@ -1,6 +1,8 @@
 package caesar
 
 import (
+	"time"
+
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 	"github.com/caesar-consensus/caesar/internal/trace"
@@ -30,18 +32,108 @@ func (r *Replica) flushGC() {
 	}
 }
 
-// onStableAckBatch counts acks as the commands' leader; fully acknowledged
-// commands are queued for purging.
-func (r *Replica) onStableAckBatch(_ timestamp.NodeID, m *StableAckBatch) {
+// onStableAckBatch records acks as the commands' leader; fully
+// acknowledged commands are queued for purging. The sender is remembered
+// (not just counted) so retransmitStables knows who still owes one.
+func (r *Replica) onStableAckBatch(from timestamp.NodeID, m *StableAckBatch) {
 	for _, id := range m.IDs {
 		if id.Node != r.self {
 			continue
 		}
-		r.ackCounts[id]++
-		if r.ackCounts[id] >= r.n {
-			delete(r.ackCounts, id)
+		acks := r.acked[id]
+		if acks == nil {
+			acks = make(map[timestamp.NodeID]struct{}, r.n)
+			r.acked[id] = acks
+		}
+		acks[from] = struct{}{}
+		if len(acks) >= r.n {
+			delete(r.acked, id)
 			r.purgePending = append(r.purgePending, id)
 		}
+	}
+}
+
+// retransmitStables re-sends delivered Stable decisions whose purge is
+// overdue. In steady state acks arrive within a GC interval, purges
+// follow, and this loop sends nothing; it exists for replicas that
+// missed the original broadcast — crashed and restarted from their
+// durable log, or partitioned — which relearn the decisions here,
+// acknowledge (their seeded delivered set suppresses re-execution), and
+// let the leader purge.
+//
+// Two cadences:
+//   - Leader precision: for commands this node leads, it knows exactly
+//     which replicas still owe an ack and re-sends to just those after
+//     RetransmitAfter.
+//   - Survivor fallback: a delivered record led by SOMEONE ELSE that is
+//     still unpurged after 4× that (the leader should long have fixed
+//     it) is re-broadcast by everyone holding it. This is what lets a
+//     node relearn the commands its own previous incarnation led: their
+//     leader state died with it, so only the survivors can re-send —
+//     and the acks the re-broadcast triggers flow to the restarted
+//     leader, which resumes purge duty for its predecessor's commands.
+func (r *Replica) retransmitStables(now time.Time) {
+	for id, c := range r.proposals {
+		if c.phase != phaseStable {
+			continue
+		}
+		rec := r.hist.get(id)
+		if rec == nil || !rec.delivered || rec.status != StatusStable {
+			continue
+		}
+		base := c.stableAt
+		if c.lastResend.After(base) {
+			base = c.lastResend
+		}
+		if now.Sub(base) < r.cfg.RetransmitAfter {
+			continue
+		}
+		c.lastResend = now
+		rec.resentAt = now
+		acks := r.acked[id]
+		for _, p := range r.peers {
+			if p == r.self {
+				continue
+			}
+			if r.fd != nil && r.fd.Suspected(p) {
+				// A currently dead peer cannot ack; re-sending to it is
+				// pure waste, and a permanently dead one would turn this
+				// loop into unbounded background traffic. It is caught
+				// up on the cycle after it heartbeats again.
+				continue
+			}
+			if _, ok := acks[p]; !ok {
+				r.echoStable(p, rec)
+			}
+		}
+	}
+	for id, rec := range r.hist.recs {
+		if !rec.delivered || rec.status != StatusStable {
+			continue
+		}
+		if r.proposals[id] != nil {
+			continue // handled precisely above
+		}
+		// Fallback cadence backs off with record age: a record whose
+		// purge is missing because some replica is gone for good is
+		// re-broadcast ever more rarely instead of hammering the cluster
+		// forever, while a freshly relevant one (its leader just
+		// restarted) goes out within a few retransmit windows.
+		interval := 4*r.cfg.RetransmitAfter + now.Sub(rec.deliveredAt)/2
+		base := rec.deliveredAt
+		if rec.resentAt.After(base) {
+			base = rec.resentAt
+		}
+		if now.Sub(base) < interval {
+			continue
+		}
+		rec.resentAt = now
+		r.ep.Broadcast(&Stable{
+			Ballot: rec.ballot,
+			Cmd:    rec.cmd,
+			Time:   rec.ts,
+			Pred:   rec.pred.Slice(),
+		})
 	}
 }
 

@@ -1,6 +1,8 @@
 package caesar
 
 import (
+	"time"
+
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/rbtree"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
@@ -17,8 +19,22 @@ type record struct {
 	ballot uint32
 	forced bool
 
-	// delivered is set once the command has been executed locally.
-	delivered bool
+	// delivered is set once the command has been handed to the applier;
+	// applied once the applier completed it (a DeferringApplier may hold
+	// the gap open across a rebalance handoff). GC acks key on applied:
+	// on a durable node an acked command must already be in the
+	// write-ahead log, which the applier chain writes. deliveredAt and
+	// resentAt drive Stable retransmission for records whose purge is
+	// overdue.
+	delivered   bool
+	applied     bool
+	deliveredAt time.Time
+	resentAt    time.Time
+	// stuckSince is set by the stuck-record scan the first time it sees
+	// the record pre-stable; a record still pre-stable a full
+	// StuckTimeout later is recovered even if its leader looks alive
+	// (it may be a restarted incarnation that lost the command).
+	stuckSince time.Time
 	// indexed tracks whether the record currently appears in the
 	// conflict index (at timestamp ts).
 	indexed bool

@@ -52,6 +52,8 @@ type coordinator struct {
 	proposedAt time.Time
 	retryStart time.Time
 	stableAt   time.Time
+	// lastResend throttles Stable retransmission to unacked replicas.
+	lastResend time.Time
 }
 
 // startFastProposal broadcasts a FastPropose and arms the fast-quorum

@@ -48,6 +48,52 @@ type Config struct {
 	// would wait are rejected instead). Used only by the ablation study;
 	// the protocol remains safe but takes more slow decisions.
 	DisableWait bool
+	// Predelivered seeds the replica's delivered-command set with the
+	// IDs a crashed predecessor already applied (recovered from the
+	// durable log): re-sent decisions for them are acknowledged — so
+	// their leaders can garbage-collect — but not re-executed, keeping
+	// application exactly-once across the restart. The replica takes
+	// ownership of the set.
+	Predelivered *idset.Set
+	// SeqFloor is the highest local sequence number a predecessor may
+	// have used (its durable reservation watermark): fresh command IDs
+	// start strictly above it, so a restarted replica never reuses the
+	// ID of a pre-crash command.
+	SeqFloor uint64
+	// ReserveSeq, when non-nil, durably records a new sequence
+	// reservation before the replica assigns IDs beyond the previous
+	// one; reservations are taken in blocks of seqReserveBlock, so the
+	// (synchronous, fsynced) call is rare. Invoked from the event loop.
+	ReserveSeq func(upto uint64)
+	// ClockSeed advances the initial logical clock past this sequence —
+	// the maximum of the timestamps a predecessor applied at and its
+	// durable clock reservation, so a restarted replica never issues a
+	// timestamp at or below one its predecessor issued. That bound is
+	// load-bearing: a fresh proposal below an orphaned pre-crash command
+	// would invert the wait condition's timestamp order and can deadlock
+	// delivery.
+	ClockSeed uint64
+	// ReserveClock, when non-nil, durably records a clock-issue
+	// watermark before timestamps beyond the previous one are issued
+	// (timestamp.Clock.SetReserve); ClockSeed must come from the same
+	// durable source.
+	ReserveClock func(upto uint64)
+	// RetransmitAfter is how long a command leader waits for a missing
+	// delivery acknowledgement before re-sending the Stable decision to
+	// the replicas that still owe one — the catch-up path that lets a
+	// restarted (or long-partitioned) replica relearn decisions it
+	// missed while down. Default 1s; negative disables.
+	RetransmitAfter time.Duration
+	// StuckTimeout is how long a command may sit pre-stable before this
+	// replica recovers it even though its leader looks alive. The
+	// failure detector only catches leaders that stay silent; a leader
+	// that crashed and RESTARTED heartbeats again but has lost its
+	// in-flight commands, which would otherwise stay pending forever —
+	// blocking the wait condition and the delivery of everything
+	// conflicting with them. Recovery is ballot-protected, so firing on
+	// a merely slow command is safe. Default 3× SuspectTimeout; negative
+	// disables. Only active when failure handling is on.
+	StuckTimeout time.Duration
 	// Metrics receives measurements; nil allocates a private recorder.
 	Metrics *metrics.Recorder
 	// Trace, when non-nil, records protocol milestones (propose, waits,
@@ -76,6 +122,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.InboxSize == 0 {
 		c.InboxSize = 8192
+	}
+	if c.RetransmitAfter == 0 {
+		c.RetransmitAfter = time.Second
+	}
+	if c.StuckTimeout == 0 {
+		c.StuckTimeout = 3 * c.SuspectTimeout
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -122,13 +174,18 @@ type Replica struct {
 	scheduledRecovery map[command.ID]time.Time
 	// ackPending accumulates delivered IDs to acknowledge, per leader.
 	ackPending map[timestamp.NodeID][]command.ID
-	// ackCounts counts per-command delivery acks (leader side).
-	ackCounts map[command.ID]int
+	// acked tracks which replicas acknowledged each command's delivery
+	// (leader side); a full set queues the purge, missing members drive
+	// Stable retransmission.
+	acked map[command.ID]map[timestamp.NodeID]struct{}
 	// purgePending accumulates fully acknowledged IDs to purge.
 	purgePending []command.ID
 
 	fd      *failure.Detector
 	nextSeq uint64
+	// seqReserved is the durable sequence reservation watermark: IDs up
+	// to it may be assigned without another Config.ReserveSeq call.
+	seqReserved uint64
 	// now is the event loop's clock: snapshotted from Config.Now (or the
 	// tick being handled) at the start of every event, so all protocol
 	// code sees one consistent instant per event and never reads the wall
@@ -136,6 +193,8 @@ type Replica struct {
 	now        time.Time
 	lastHB     time.Time
 	lastGC     time.Time
+	lastRetx   time.Time
+	lastStuck  time.Time
 	tickerStop chan struct{}
 	tickerDone chan struct{}
 	started    bool
@@ -148,6 +207,9 @@ type (
 		done protocol.DoneFunc
 	}
 	evTick struct{ now time.Time }
+	// evAck queues a GC acknowledgement for a command whose deferred
+	// apply completed outside the event loop (see deliverNow).
+	evAck struct{ id command.ID }
 	// evInspect runs fn inside the event loop; tests use it to snapshot
 	// protocol state without data races.
 	evInspect struct{ fn func(*Replica) }
@@ -159,6 +221,10 @@ func New(ep transport.Endpoint, app protocol.Applier, cfg Config) *Replica {
 	cfg = cfg.withDefaults()
 	peers := ep.Peers()
 	n := len(peers)
+	delivered := cfg.Predelivered
+	if delivered == nil {
+		delivered = idset.New()
+	}
 	r := &Replica{
 		ep:                ep,
 		self:              ep.Self(),
@@ -173,14 +239,22 @@ func New(ep transport.Endpoint, app protocol.Applier, cfg Config) *Replica {
 		loop:              protocol.NewLoop(cfg.InboxSize),
 		hist:              newHistory(),
 		ballots:           make(map[command.ID]uint32),
-		delivered:         idset.New(),
+		delivered:         delivered,
 		awaited:           make(map[command.ID][]*record),
 		proposals:         make(map[command.ID]*coordinator),
 		dones:             make(map[command.ID]protocol.DoneFunc),
 		recoveries:        make(map[command.ID]*recovery),
 		scheduledRecovery: make(map[command.ID]time.Time),
 		ackPending:        make(map[timestamp.NodeID][]command.ID),
-		ackCounts:         make(map[command.ID]int),
+		acked:             make(map[command.ID]map[timestamp.NodeID]struct{}),
+		nextSeq:           cfg.SeqFloor,
+		seqReserved:       cfg.SeqFloor,
+	}
+	if cfg.ClockSeed > 0 {
+		r.clock.Observe(timestamp.Timestamp{Seq: cfg.ClockSeed})
+	}
+	if cfg.ReserveClock != nil {
+		r.clock.SetReserve(cfg.ClockSeed, cfg.ReserveClock)
 	}
 	r.now = cfg.Now()
 	if cfg.HeartbeatInterval > 0 {
@@ -272,6 +346,8 @@ func (r *Replica) handle(ev any) {
 		r.dispatch(e.From, e.Payload)
 	case evSubmit:
 		r.onSubmit(e.cmd, e.done)
+	case evAck:
+		r.onAck(e.id)
 	case evInspect:
 		e.fn(r)
 	}
@@ -307,10 +383,22 @@ func (r *Replica) dispatch(from timestamp.NodeID, payload any) {
 	}
 }
 
+// seqReserveBlock is how many sequence numbers one durable reservation
+// covers: one Config.ReserveSeq fsync per block of submissions.
+const seqReserveBlock = 4096
+
 // onSubmit starts the fast proposal phase for a fresh command (lines
 // I1–I2 of Fig 4).
 func (r *Replica) onSubmit(cmd command.Command, done protocol.DoneFunc) {
 	r.nextSeq++
+	if r.cfg.ReserveSeq != nil && r.nextSeq > r.seqReserved {
+		// The reservation is durable before any ID above the previous
+		// watermark is used, so a crash-restarted replica (which resumes
+		// from the highest persisted watermark) can never mint an ID
+		// twice.
+		r.seqReserved = r.nextSeq + seqReserveBlock
+		r.cfg.ReserveSeq(r.seqReserved)
+	}
 	cmd.ID = command.ID{Node: r.self, Seq: r.nextSeq}
 	if done != nil {
 		r.dones[cmd.ID] = done
@@ -351,5 +439,45 @@ func (r *Replica) onTick(now time.Time) {
 	if r.cfg.GCInterval > 0 && now.Sub(r.lastGC) >= r.cfg.GCInterval {
 		r.lastGC = now
 		r.flushGC()
+	}
+	// Stable retransmission for replicas that have not acknowledged.
+	if r.cfg.RetransmitAfter > 0 && now.Sub(r.lastRetx) >= r.cfg.RetransmitAfter/2 {
+		r.lastRetx = now
+		r.retransmitStables(now)
+	}
+	// Stuck-command recovery runs on its own cadence: it must keep
+	// working even with retransmission disabled.
+	if r.fd != nil && r.cfg.StuckTimeout > 0 && now.Sub(r.lastStuck) >= r.cfg.StuckTimeout/4 {
+		r.lastStuck = now
+		r.recoverStuck(now)
+	}
+}
+
+// recoverStuck schedules recovery for records that have sat pre-stable a
+// full StuckTimeout: their leader may be a restarted incarnation that
+// lost them, which the silence-based failure detector cannot see (the
+// new incarnation heartbeats happily). The scan is two-phase — a record
+// is first marked, then recovered if still pre-stable a timeout later —
+// so freshly created records never trip it.
+func (r *Replica) recoverStuck(now time.Time) {
+	for id, rec := range r.hist.recs {
+		if rec.status == StatusStable || rec.delivered || id.Node == r.self {
+			continue
+		}
+		if rec.stuckSince.IsZero() {
+			rec.stuckSince = now
+			continue
+		}
+		if now.Sub(rec.stuckSince) < r.cfg.StuckTimeout {
+			continue
+		}
+		rec.stuckSince = now // throttle rescheduling
+		if _, active := r.recoveries[id]; active {
+			continue
+		}
+		if _, scheduled := r.scheduledRecovery[id]; scheduled {
+			continue
+		}
+		r.scheduledRecovery[id] = now.Add(time.Duration(r.self) * r.cfg.RecoveryBackoff)
 	}
 }

@@ -3,9 +3,12 @@ package harness
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/caesar-consensus/caesar/internal/memnet"
+	"github.com/caesar-consensus/caesar/internal/wal"
 )
 
 // ConflictLevels are the x-axis of Figs 6, 9, 10 and 11a: "{0% – no
@@ -405,6 +408,99 @@ func Elastic(w io.Writer, base Options) []Result {
 	fmt.Fprintf(w, "%-22s %10.0f cmds/s\n", fmt.Sprintf("static %d-group", to), static4.Throughput)
 	fmt.Fprintf(w, "%-22s %9.2fx\n", "post/static", ratio)
 	return []Result{el, static4}
+}
+
+// DurableOpts configures one durable scenario run: a local-net 3-node,
+// 4-group CAESAR deployment with a 5% cross-shard transaction mix (so
+// the log carries pieces, markers and transaction outcomes, not just
+// puts). Both columns run the same modeled 1ms state-machine cost —
+// half the sharding family's — so the ratio prices group-commit
+// durability against a command that does real work; the no-fsync
+// column isolates the write path from the sync.
+func DurableOpts(base Options, dataDir string, noSync bool) Options {
+	o := applyOpts(base, Caesar, 2)
+	o.LocalNet = true
+	o.Shards = 4
+	o.CrossShardPct = 5
+	// Proposer-side batching is the other half of the HotStuff-1 trade
+	// the log is built around: one consensus decision — one log record,
+	// one share of an fsync — carries a window of client commands. Both
+	// columns run batched, so the ratio isolates durability's cost.
+	o.Batching = true
+	if o.ApplyCost == 0 {
+		// Like the sharding scenario family, model a real state machine:
+		// durability's price is then measured against a command that does
+		// work, not against an empty in-memory map write.
+		o.ApplyCost = time.Millisecond
+	}
+	if o.Nodes == 0 {
+		o.Nodes = 3
+	}
+	if o.ClientsPerNode == 0 {
+		o.ClientsPerNode = 80
+	}
+	o.DataDir = dataDir
+	o.WALNoSync = noSync
+	return o
+}
+
+// Durable measures what durability costs and what it buys: the same
+// workload runs purely in memory, with the write-ahead log but no fsync
+// (the write path alone), and with full group-commit fsync; then node
+// 0's log is reopened and replayed, timing crash recovery. The durable
+// column's ratio is the scenario's acceptance bar (≥ 0.6 of in-memory
+// with group commit); the batch column shows how many decisions each
+// fsync amortizes.
+func Durable(w io.Writer, base Options) []Result {
+	fmt.Fprintln(w, "Durable: throughput with a write-ahead log vs in-memory (4 groups, 5% cross-shard)")
+	fmt.Fprintf(w, "%-16s %10s %8s %10s %12s\n", "mode", "cmds/s", "ratio", "batch/sync", "sync latency")
+
+	mem := Run(DurableOpts(base, "", false))
+	fmt.Fprintf(w, "%-16s %10.0f %8s %10s %12s\n", "in-memory", mem.Throughput, "1.00x", "-", "-")
+
+	row := func(label string, res Result) {
+		ratio := 0.0
+		if mem.Throughput > 0 {
+			ratio = res.Throughput / mem.Throughput
+		}
+		lat := "-"
+		if res.FsyncLatencyMean > 0 {
+			lat = fmt.Sprintf("%.0fµs", float64(res.FsyncLatencyMean.Microseconds()))
+		}
+		fmt.Fprintf(w, "%-16s %10.0f %7.2fx %10.1f %12s\n",
+			label, res.Throughput, ratio, res.FsyncBatchMean, lat)
+	}
+
+	nosyncDir, err := os.MkdirTemp("", "caesar-durable-nosync-")
+	if err != nil {
+		fmt.Fprintf(w, "durable: %v\n", err)
+		return []Result{mem}
+	}
+	defer os.RemoveAll(nosyncDir)
+	nosync := Run(DurableOpts(base, nosyncDir, true))
+	row("log, no fsync", nosync)
+
+	dir, err := os.MkdirTemp("", "caesar-durable-")
+	if err != nil {
+		fmt.Fprintf(w, "durable: %v\n", err)
+		return []Result{mem, nosync}
+	}
+	defer os.RemoveAll(dir)
+	durable := Run(DurableOpts(base, dir, false))
+	row("log, fsync", durable)
+
+	// Crash-recovery time: reopen node 0's log cold and replay it.
+	start := time.Now()
+	log, st, err := wal.Open(filepath.Join(dir, "node0"), wal.Options{})
+	if err != nil {
+		fmt.Fprintf(w, "recovery: %v\n", err)
+		return []Result{mem, nosync, durable}
+	}
+	elapsed := time.Since(start)
+	log.Close()
+	fmt.Fprintf(w, "recovery: replayed %d commands (%d keys) in %s\n",
+		st.Applied, len(st.KV), elapsed.Round(time.Millisecond))
+	return []Result{mem, nosync, durable}
 }
 
 // applyOpts stamps protocol and conflict level onto the base options.

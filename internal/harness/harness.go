@@ -11,6 +11,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -25,12 +26,11 @@ import (
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/multipaxos"
 	"github.com/caesar-consensus/caesar/internal/protocol"
-	"github.com/caesar-consensus/caesar/internal/rebalance"
-	"github.com/caesar-consensus/caesar/internal/shard"
+	"github.com/caesar-consensus/caesar/internal/stack"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 	"github.com/caesar-consensus/caesar/internal/transport"
+	"github.com/caesar-consensus/caesar/internal/wal"
 	"github.com/caesar-consensus/caesar/internal/workload"
-	"github.com/caesar-consensus/caesar/internal/xshard"
 )
 
 // Protocol names the consensus engine under test.
@@ -107,6 +107,13 @@ type Options struct {
 	// scenario). Requires Protocol == Caesar and Shards > 1.
 	ResizeTo    int
 	ResizeAfter time.Duration
+	// DataDir makes every node durable (internal/wal): node i logs to
+	// DataDir/node<i> with group-commit fsync batching, the durable
+	// scenario's subject. Caller owns the directory's lifetime.
+	DataDir string
+	// WALNoSync disables the fsync on group commit (ablation: the cost
+	// of the write path alone, without the sync).
+	WALNoSync bool
 }
 
 func (o Options) withDefaults() Options {
@@ -178,6 +185,12 @@ type Result struct {
 	Timeline                            []TimelinePoint
 	// Failed counts client commands that timed out or errored.
 	Failed int64
+	// Durable-log measurements (the durable figure), aggregated across
+	// the cluster: group commits, their mean batch size (records per
+	// fsync) and mean fsync latency. Zero without Options.DataDir.
+	FsyncCount       int64
+	FsyncBatchMean   float64
+	FsyncLatencyMean time.Duration
 }
 
 // SlowRatio returns the slow-decision fraction.
@@ -253,15 +266,18 @@ func (p pacedApplier) ApplyAll(cmds []command.Command) [][]byte {
 	return out
 }
 
-// build constructs the cluster's engines. With o.Shards > 1 every node runs
-// one engine per shard behind a shard.Engine with the cross-shard commit
+// build constructs the cluster's node stacks through the shared
+// constructor (internal/stack). With o.Shards > 1 every node runs one
+// engine per shard behind a shard.Engine with the cross-shard commit
 // layer (internal/xshard) on top — and, for CAESAR, the live rebalancing
 // layer (internal/rebalance) so the elastic scenario can resize mid-run —
-// all groups sharing the node's applier, recorder and commit table; the
-// per-protocol construction is identical either way, so any protocol can
-// be sharded.
-func build(o Options, net *memnet.Network, mets []*metrics.Recorder, stores []*kvstore.Store, apps []protocol.Applier) []protocol.Engine {
-	engines := make([]protocol.Engine, o.Nodes)
+// all groups sharing the node's applier, recorder and commit table; with
+// o.DataDir every node additionally logs through a write-ahead log
+// (internal/wal). The per-protocol construction is identical either way,
+// so any protocol can be sharded; durable restart seeding is wired for
+// CAESAR, the protocol the durable scenario runs.
+func build(o Options, net *memnet.Network, mets []*metrics.Recorder, stores []*kvstore.Store, apps []protocol.Applier) []*stack.Stack {
+	stacks := make([]*stack.Stack, o.Nodes)
 	crashRun := o.CrashNode >= 0
 	for i := 0; i < o.Nodes; i++ {
 		ep := net.Endpoint(timestamp.NodeID(i))
@@ -270,10 +286,18 @@ func build(o Options, net *memnet.Network, mets []*metrics.Recorder, stores []*k
 			app = pacedApplier{inner: app, cost: o.ApplyCost}
 		}
 		met := mets[i]
-		mk := func(ep transport.Endpoint, app protocol.Applier) protocol.Engine {
+		mk := func(ep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed) protocol.Engine {
 			switch o.Protocol {
 			case Caesar, CaesarNoWait:
-				cfg := caesar.Config{Metrics: met, DisableWait: o.Protocol == CaesarNoWait}
+				cfg := caesar.Config{
+					Metrics:      met,
+					DisableWait:  o.Protocol == CaesarNoWait,
+					Predelivered: seed.Delivered,
+					SeqFloor:     seed.SeqFloor,
+					ClockSeed:    seed.ClockSeed,
+					ReserveSeq:   seed.ReserveSeq,
+					ReserveClock: seed.ReserveClock,
+				}
 				if crashRun {
 					cfg.HeartbeatInterval = 50 * time.Millisecond
 					cfg.SuspectTimeout = 500 * time.Millisecond
@@ -304,44 +328,35 @@ func build(o Options, net *memnet.Network, mets []*metrics.Recorder, stores []*k
 				panic(fmt.Sprintf("harness: unknown protocol %q", o.Protocol))
 			}
 		}
-		// Batching wraps each group, not the sharded fan-out: batches
-		// form per group, so they never span shards (cross-shard pieces
-		// bypass the batcher entirely).
-		mkBatched := func(ep transport.Endpoint, app protocol.Applier) protocol.Engine {
-			eng := mk(ep, app)
-			if o.Batching {
-				eng = batch.Wrap(eng, batch.Config{})
-			}
-			return eng
+		dataDir := ""
+		if o.DataDir != "" {
+			dataDir = filepath.Join(o.DataDir, fmt.Sprintf("node%d", i))
 		}
-		if o.Shards > 1 {
-			table := xshard.NewTable(xshard.TableConfig{
-				Self: timestamp.NodeID(i), Exec: app, Metrics: met,
-			})
-			if o.Protocol == Caesar || o.Protocol == CaesarNoWait {
-				// CAESAR groups get the live-rebalancing layer on top:
-				// inert until someone calls Resize (the elastic
-				// scenario), and the gate's pass path is two map reads.
-				co := rebalance.NewCoordinator(rebalance.Config{
-					Self:   timestamp.NodeID(i),
-					Export: stores[i].Export,
-					Import: stores[i].Import,
-				}, o.Shards)
-				inner := shard.New(ep, o.Shards, func(g int, sep transport.Endpoint) protocol.Engine {
-					return mkBatched(sep, co.Applier(g, table.Applier(g, app)))
-				})
-				engines[i] = rebalance.NewEngine(xshard.New(inner, table), co)
-			} else {
-				inner := shard.New(ep, o.Shards, func(g int, sep transport.Endpoint) protocol.Engine {
-					return mkBatched(sep, table.Applier(g, app))
-				})
-				engines[i] = xshard.New(inner, table)
-			}
-		} else {
-			engines[i] = mkBatched(ep, app)
+		stk, err := stack.Build(ep, stack.Config{
+			Shards:    o.Shards,
+			Store:     stores[i],
+			Applier:   app,
+			Metrics:   met,
+			DataDir:   dataDir,
+			WAL:       wal.Options{NoSync: o.WALNoSync, Metrics: met},
+			Rebalance: o.Protocol == Caesar || o.Protocol == CaesarNoWait,
+			Build: func(_ int, sep transport.Endpoint, gapp protocol.Applier, seed wal.GroupSeed) protocol.Engine {
+				// Batching wraps each group, not the sharded fan-out:
+				// batches form per group, so they never span shards
+				// (cross-shard pieces bypass the batcher entirely).
+				eng := mk(sep, gapp, seed)
+				if o.Batching {
+					eng = batch.Wrap(eng, batch.Config{})
+				}
+				return eng
+			},
+		})
+		if err != nil {
+			panic(fmt.Sprintf("harness: building node %d: %v", i, err))
 		}
+		stacks[i] = stk
 	}
-	return engines
+	return stacks
 }
 
 // Run executes one experiment and returns its measurements.
@@ -367,15 +382,19 @@ func Run(o Options) Result {
 		stores[i] = kvstore.New()
 		apps[i] = batch.NewApplier(stores[i])
 	}
-	engines := build(o, net, mets, stores, apps)
+	stacks := build(o, net, mets, stores, apps)
+	engines := make([]protocol.Engine, o.Nodes)
+	for i, stk := range stacks {
+		engines[i] = stk.Engine
+	}
 	set := &engineSet{engines: engines, down: make([]bool, o.Nodes)}
-	for _, e := range engines {
-		e.Start()
+	for _, stk := range stacks {
+		stk.Start()
 	}
 	defer func() {
-		for i, e := range engines {
+		for i, stk := range stacks {
 			if !set.down[i] {
-				e.Stop()
+				stk.Stop()
 			}
 		}
 	}()
@@ -443,8 +462,8 @@ func Run(o Options) Result {
 				return
 			case <-time.After(o.CrashAfter):
 				net.Crash(timestamp.NodeID(o.CrashNode))
-				eng := set.crash(o.CrashNode)
-				eng.Stop()
+				set.crash(o.CrashNode)
+				stacks[o.CrashNode].Stop()
 			}
 		}()
 	}
@@ -454,7 +473,7 @@ func Run(o Options) Result {
 			case <-ctx.Done():
 				return
 			case <-time.After(o.ResizeAfter):
-				if r, ok := engines[0].(*rebalance.Engine); ok {
+				if r := stacks[0].Resizer; r != nil {
 					_ = r.Resize(ctx, o.ResizeTo)
 				}
 			}
@@ -474,6 +493,8 @@ func Run(o Options) Result {
 		return time.Duration(float64(d) / o.Scale)
 	}
 	var propose, retry, deliver time.Duration
+	var fsyncs, fsyncRecs int64
+	var fsyncTotal time.Duration
 	for i, m := range mets {
 		site := fmt.Sprintf("site%d", i)
 		if i < len(memnet.SiteNames) {
@@ -492,6 +513,14 @@ func Run(o Options) Result {
 		propose += m.ProposePhase.Total()
 		retry += m.RetryPhase.Total()
 		deliver += m.DeliverPhase.Total()
+		fsyncs += m.Fsyncs.Load()
+		fsyncRecs += m.FsyncedRecords.Load()
+		fsyncTotal += m.FsyncLatency.Total()
+	}
+	res.FsyncCount = fsyncs
+	if fsyncs > 0 {
+		res.FsyncBatchMean = float64(fsyncRecs) / float64(fsyncs)
+		res.FsyncLatencyMean = fsyncTotal / time.Duration(fsyncs)
 	}
 	// Throughput counts completed client commands (batches unfold to
 	// their members at the clients), the quantity the paper plots.

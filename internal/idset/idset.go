@@ -70,3 +70,57 @@ func (s *Set) Has(id command.ID) bool {
 
 // Len returns the number of members.
 func (s *Set) Len() int64 { return s.count }
+
+// Dump is a serializable image of a Set: the per-node watermarks plus the
+// sparse out-of-order sequences above them. The durable log
+// (internal/wal) persists delivered-command sets in this form — it stays
+// O(nodes + reorder window) no matter how many commands the set holds.
+type Dump struct {
+	WM    map[timestamp.NodeID]uint64
+	Above map[timestamp.NodeID][]uint64
+	Count int64
+}
+
+// Dump exports the set. The result shares nothing with the receiver.
+func (s *Set) Dump() Dump {
+	d := Dump{
+		WM:    make(map[timestamp.NodeID]uint64, len(s.wm)),
+		Above: make(map[timestamp.NodeID][]uint64, len(s.above)),
+		Count: s.count,
+	}
+	for n, wm := range s.wm {
+		d.WM[n] = wm
+	}
+	for n, over := range s.above {
+		if len(over) == 0 {
+			continue
+		}
+		seqs := make([]uint64, 0, len(over))
+		for seq := range over {
+			seqs = append(seqs, seq)
+		}
+		d.Above[n] = seqs
+	}
+	return d
+}
+
+// FromDump rebuilds a Set from a Dump. The result shares nothing with the
+// dump.
+func FromDump(d Dump) *Set {
+	s := New()
+	for n, wm := range d.WM {
+		s.wm[n] = wm
+	}
+	for n, seqs := range d.Above {
+		if len(seqs) == 0 {
+			continue
+		}
+		over := make(map[uint64]struct{}, len(seqs))
+		for _, seq := range seqs {
+			over[seq] = struct{}{}
+		}
+		s.above[n] = over
+	}
+	s.count = d.Count
+	return s
+}

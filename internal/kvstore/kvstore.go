@@ -46,6 +46,14 @@ func (s *Store) Apply(cmd command.Command) []byte {
 }
 
 func (s *Store) applyLocked(cmd command.Command) []byte {
+	if cmd.Op == command.OpFence {
+		// Fences are consensus barriers, not state-machine commands: the
+		// rebalancing gate interprets them and the durable log records
+		// them; by the time one reaches a store there is nothing to do,
+		// and it must not count as an applied command (crash replay
+		// skips control commands, and the two counts must agree).
+		return nil
+	}
 	s.applied++
 	switch cmd.Op {
 	case command.OpPut:
@@ -136,4 +144,13 @@ func (s *Store) Applied() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.applied
+}
+
+// SetApplied overwrites the executed-command counter. Crash recovery
+// (internal/wal) uses it to continue the count a snapshot was taken at, so
+// a restarted replica's counters line up with the state it restored.
+func (s *Store) SetApplied(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applied = n
 }

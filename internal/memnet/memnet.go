@@ -185,6 +185,16 @@ func (n *Network) Crash(id timestamp.NodeID) {
 	n.crashed[id] = true
 }
 
+// Restore reconnects a crashed node: traffic to and from it flows again
+// from now on. The node's old endpoint stays detached (its Close
+// deregistered the handler, and a crashed process's endpoint is gone
+// anyway); the restarted replica attaches through a fresh Endpoint call.
+func (n *Network) Restore(id timestamp.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, id)
+}
+
 // Crashed reports whether the node was crashed.
 func (n *Network) Crashed(id timestamp.NodeID) bool {
 	n.mu.Lock()

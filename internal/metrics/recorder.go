@@ -42,6 +42,14 @@ type Recorder struct {
 	// executed or killed at this node's commit table (internal/xshard).
 	CrossShardCommits Counter
 	CrossShardAborts  Counter
+
+	// Durable-log group commit (internal/wal): Fsyncs counts sync
+	// batches, FsyncedRecords the log records they covered (their ratio
+	// is the group-commit batch size), FsyncLatency the time each batch
+	// spent in the file system's sync call.
+	Fsyncs         Counter
+	FsyncedRecords Counter
+	FsyncLatency   DurationSum
 }
 
 // NewRecorder returns a Recorder ready for use.
@@ -69,6 +77,9 @@ func (r *Recorder) Reset() {
 	r.Recoveries.Reset()
 	r.CrossShardCommits.Reset()
 	r.CrossShardAborts.Reset()
+	r.Fsyncs.Reset()
+	r.FsyncedRecords.Reset()
+	r.FsyncLatency.Reset()
 }
 
 // ObserveLatency records one end-to-end command latency.

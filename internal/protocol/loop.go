@@ -20,6 +20,15 @@ type Loop struct {
 	stop    chan struct{}
 	stopped chan struct{}
 	once    sync.Once
+	// mu fences Post against Stop: posts hold it shared while enqueuing,
+	// Stop takes it exclusively before closing the loop, so every Post
+	// that returned true has its event in the inbox before the final
+	// drain runs — an event can never be accepted and then silently
+	// discarded. (Without the fence, a post racing Stop could win the
+	// enqueue select after the drain already finished, losing its
+	// submission callback forever.)
+	mu     sync.RWMutex
+	closed bool
 }
 
 // NewLoop returns a loop with the given inbox capacity. The capacity is a
@@ -38,17 +47,41 @@ func NewLoop(capacity int) *Loop {
 }
 
 // Post enqueues an event, blocking if the inbox is full. It reports false
-// once the loop has been stopped.
+// once the loop has been stopped; true guarantees the event will be
+// handled (the stop path drains the inbox).
 func (l *Loop) Post(ev any) bool {
-	select {
-	case <-l.stop:
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
 		return false
-	default:
 	}
+	// A full inbox is drained by Run until Stop closes l.stop, and Stop
+	// cannot close it while we hold the read lock — so this select
+	// cannot deadlock, and an enqueue here is strictly before the final
+	// drain.
 	select {
 	case l.inbox <- ev:
 		return true
 	case <-l.stop:
+		return false
+	}
+}
+
+// TryPost enqueues an event without ever blocking: it reports false when
+// the loop is stopped or the inbox is full. For best-effort events posted
+// from contexts that may BE the loop goroutine (an applier completion
+// callback running synchronously inside handle), where a blocking Post on
+// a full inbox would deadlock the loop against itself.
+func (l *Loop) TryPost(ev any) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return false
+	}
+	select {
+	case l.inbox <- ev:
+		return true
+	default:
 		return false
 	}
 }
@@ -79,7 +112,12 @@ func (l *Loop) Run(handle func(ev any)) {
 
 // Stop terminates the loop and waits for Run to return. Idempotent.
 func (l *Loop) Stop() {
-	l.once.Do(func() { close(l.stop) })
+	l.once.Do(func() {
+		l.mu.Lock()
+		l.closed = true
+		l.mu.Unlock()
+		close(l.stop)
+	})
 	<-l.stopped
 }
 

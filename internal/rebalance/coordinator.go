@@ -38,6 +38,12 @@ type Config struct {
 	SweepInterval time.Duration
 	// Now is the clock deadlines are computed from. Default time.Now.
 	Now func() time.Time
+	// Journal, when non-nil, durably records each epoch this node
+	// installs (internal/wal): a restarted node rebuilds its routing
+	// epoch history from these records. Called once per installed epoch,
+	// synchronously (the install is not visible to deliveries until it
+	// returns); it must not call back into the coordinator.
+	Journal func(m Marker)
 }
 
 func (c Config) withDefaults() Config {
@@ -198,9 +204,30 @@ func NewCoordinator(cfg Config, shards int) *Coordinator {
 	if shards < 1 {
 		shards = 1
 	}
+	return NewCoordinatorAt(cfg, map[uint32]int32{0: int32(shards)}, 0)
+}
+
+// NewCoordinatorAt builds a coordinator restored to a recovered epoch
+// history (crash restart): epochs maps every installed epoch to its
+// shard count, and epoch is the last installed one. The node resumes at
+// that epoch with no transition in flight — a crash mid-transition is
+// safe because with the node-shared store the handoff import is a local
+// no-op and gated (queued) deliveries were never acknowledged; the
+// groups' fence prefixes are treated as complete at the restored epoch.
+func NewCoordinatorAt(cfg Config, epochs map[uint32]int32, epoch uint32) *Coordinator {
+	shards := int(epochs[epoch])
+	if shards < 1 {
+		shards = 1
+	}
+	es := make(map[uint32]int32, len(epochs))
+	for e, n := range epochs {
+		es[e] = n
+	}
+	es[epoch] = int32(shards)
 	co := &Coordinator{
 		cfg:         cfg.withDefaults(),
-		epochShards: map[uint32]int32{0: int32(shards)},
+		epoch:       epoch,
+		epochShards: es,
 		groupEpoch:  make(map[int]uint32),
 		queuedKeys:  make(map[groupKey]int),
 		inners:      make(map[int]protocol.Applier),
@@ -208,7 +235,7 @@ func NewCoordinator(cfg Config, shards int) *Coordinator {
 		retireTo:    -1,
 	}
 	for g := 0; g < shards; g++ {
-		co.groupEpoch[g] = 0
+		co.groupEpoch[g] = epoch
 	}
 	return co
 }
@@ -422,6 +449,12 @@ func (co *Coordinator) gate(group int, inner protocol.Applier, cmd command.Comma
 		if m, err := DecodeMarker(cmd.Payload); err == nil {
 			co.onFence(group, m)
 		}
+		// Pass the fence down the chain after interpreting it: the
+		// durable log (below the cross-shard table) must record its
+		// delivery — a restarted replica's delivered set has to contain
+		// fence IDs, or re-sent decisions listing a fence as predecessor
+		// would park forever — and the store ignores fences.
+		applyInner(inner, cmd, ts)
 		done(protocol.Result{})
 		return
 	}
@@ -755,6 +788,12 @@ func (co *Coordinator) installLocked(m Marker) bool {
 	co.epochShards[m.Epoch] = m.Shards
 	for g := int(m.PrevShards); g < int(m.Shards); g++ {
 		co.groupEpoch[g] = m.Epoch
+	}
+	if co.cfg.Journal != nil {
+		// Durable before any delivery can observe the new epoch (they
+		// classify under co.mu, which we hold until the install's own
+		// unlocked window below).
+		co.cfg.Journal(m)
 	}
 	inner := co.inner
 	if inner != nil {

@@ -53,6 +53,23 @@ func New(ep transport.Endpoint, shards int, build BuildFunc) *Engine {
 	return &Engine{router: NewRouter(len(groups)), groups: groups, build: build, mux: mux}
 }
 
+// NewAt builds a sharded engine whose group instances attach at the
+// given per-group mux generations — the routing epochs the groups were
+// most recently created at. A node restarting into a previously resized
+// deployment must match the generations its peers' mux slots run, or its
+// outbound traffic would be dropped as stale (and inbound buffered for a
+// generation that never attaches). gens[i] is group i's generation; a
+// fresh deployment is all zeros, for which NewAt behaves exactly like
+// New.
+func NewAt(ep transport.Endpoint, gens []int32, build BuildFunc) *Engine {
+	mux := NewMux(ep, len(gens))
+	groups := make([]protocol.Engine, len(gens))
+	for s := range groups {
+		groups[s] = build(s, mux.Attach(s, gens[s]))
+	}
+	return &Engine{router: NewRouter(len(groups)), groups: groups, build: build, mux: mux}
+}
+
 // NewFromGroups wraps externally wired groups (e.g. one network per shard).
 // The caller keeps ownership of the groups' transports; such an engine
 // cannot grow.

@@ -1,0 +1,297 @@
+// Package stack builds one node's full engine stack — store, node-level
+// applier, cross-shard commit table, live-rebalancing coordinator,
+// sharded fan-out and (optionally) the durable write-ahead log — from a
+// single description. The public caesar package, cmd/caesar-server and
+// the benchmark harness all construct nodes through it, so a new layer
+// threaded here lands in every deployment path at once; before this
+// package the table + coordinator + shard/xshard/rebalance wiring was
+// triplicated across the three.
+//
+// Layer order per consensus group, outermost first:
+//
+//	rebalance gate → write-ahead log → cross-shard table → node applier
+//
+// The gate must see fences before anything else (and it drops stale
+// deliveries, which therefore never reach the log — replay agrees). The
+// log sits above the commit table so a transaction piece is durable, and
+// in the recovered delivered set, before the table can react to it; the
+// transaction's effects are logged separately when the table executes
+// it. Below the table only plain state-machine commands remain, applied
+// exactly as replay re-applies them.
+package stack
+
+import (
+	"errors"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/batch"
+	"github.com/caesar-consensus/caesar/internal/kvstore"
+	"github.com/caesar-consensus/caesar/internal/metrics"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/rebalance"
+	"github.com/caesar-consensus/caesar/internal/shard"
+	"github.com/caesar-consensus/caesar/internal/transport"
+	"github.com/caesar-consensus/caesar/internal/wal"
+	"github.com/caesar-consensus/caesar/internal/xshard"
+)
+
+// BuildEngine constructs one consensus group's engine on its transport
+// channel. app is the group's fully layered applier chain; seed carries
+// the group's crash-recovery inputs (zero without a data dir) — engines
+// that support durable restart (CAESAR) wire it into their config,
+// others may ignore it.
+type BuildEngine func(group int, ep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed) protocol.Engine
+
+// Config describes the node to build.
+type Config struct {
+	// Shards is the consensus-group count; < 2 builds an unsharded node.
+	// A recovered data dir's routing epoch overrides it — the durable
+	// truth about the deployment's group count beats a restart flag.
+	Shards int
+	// Store is the node's key-value store; nil creates one. Recovery
+	// imports the replayed state into it before any engine starts.
+	Store *kvstore.Store
+	// Applier is the node-level applier transactions and commands
+	// execute against; nil wraps Store in the batch unpacker. Harness
+	// runs wrap it with pacing here.
+	Applier protocol.Applier
+	// Metrics receives commit-table and fsync measurements; may be nil.
+	Metrics *metrics.Recorder
+	// DataDir enables the durable write-ahead log (internal/wal): every
+	// applied command survives a crash, and a node rebuilt from the same
+	// dir replays snapshot + log tail and rejoins. Empty disables
+	// durability (the pre-existing purely in-memory behavior).
+	DataDir string
+	// WAL tunes the log when DataDir is set.
+	WAL wal.Options
+	// SnapshotInterval is how often the snapshot loop checks whether the
+	// log grew past WAL.SnapshotBytes. Default 1s; negative disables the
+	// loop (tests snapshot explicitly).
+	SnapshotInterval time.Duration
+	// Rebalance layers live resizing over a sharded node. Requires
+	// engines that deliver OpFence markers (CAESAR); plain sharded
+	// deployments of other protocols leave it false.
+	Rebalance bool
+	// Build constructs each group's engine. Required.
+	Build BuildEngine
+}
+
+// Stack is one built node.
+type Stack struct {
+	// Engine is the node's top-level submission engine.
+	Engine protocol.Engine
+	// Store is the node's (possibly recovered) store.
+	Store *kvstore.Store
+	// Resizer is the live-rebalancing engine; nil unless Config.Rebalance
+	// on a sharded node.
+	Resizer *rebalance.Engine
+	// Table is the cross-shard commit table; nil on unsharded nodes.
+	Table *xshard.Table
+	// Log is the write-ahead log; nil without a data dir.
+	Log *wal.Log
+	// Recovered is the state replayed from the data dir; nil without one.
+	Recovered *wal.State
+	// Shards is the group count actually built (after epoch recovery).
+	Shards int
+
+	snapInterval time.Duration
+	snapStop     chan struct{}
+	snapDone     chan struct{}
+}
+
+// Build constructs the node stack. Nothing is started; call Start.
+func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
+	if cfg.Build == nil {
+		return nil, errors.New("stack: Config.Build is required")
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	store := cfg.Store
+	if store == nil {
+		store = kvstore.New()
+	}
+	app := cfg.Applier
+	if app == nil {
+		app = batch.NewApplier(store)
+	}
+	s := &Stack{Store: store, snapInterval: cfg.SnapshotInterval}
+	if s.snapInterval == 0 {
+		s.snapInterval = time.Second
+	}
+
+	sharded := cfg.Shards > 1
+	var log *wal.Log
+	var st *wal.State
+	if cfg.DataDir != "" {
+		opts := cfg.WAL
+		if opts.Metrics == nil {
+			opts.Metrics = cfg.Metrics
+		}
+		var err error
+		log, st, err = wal.Open(cfg.DataDir, opts)
+		if err != nil {
+			return nil, err
+		}
+		if !st.Empty {
+			store.Import(st.KV)
+			store.SetApplied(st.Applied)
+		}
+		if ec, ok := st.CurrentEpoch(); ok {
+			// The durable epoch history marks a sharded deployment even
+			// if it was resized down to one group — its peers speak the
+			// mux framing, so the restart must too.
+			sharded = true
+			cfg.Shards = int(ec.Shards)
+			if cfg.Shards < 1 {
+				cfg.Shards = 1
+			}
+		}
+		s.Log = log
+		s.Recovered = st
+	}
+	shards := cfg.Shards
+	s.Shards = shards
+
+	wrap := func(g int, inner protocol.Applier) protocol.Applier {
+		if log == nil {
+			return inner
+		}
+		return log.GroupApplier(g, inner)
+	}
+	seedFor := func(g int) wal.GroupSeed {
+		var seed wal.GroupSeed
+		if st != nil {
+			seed = st.GroupSeed(int32(g))
+		}
+		if log != nil {
+			group := int32(g)
+			seed.ReserveSeq = func(upto uint64) { _ = log.ReserveSeq(group, upto) }
+			seed.ReserveClock = func(upto uint64) { _ = log.LogClock(group, upto) }
+		}
+		return seed
+	}
+
+	if !sharded {
+		s.Engine = cfg.Build(0, ep, wrap(0, app), seedFor(0))
+		return s, nil
+	}
+
+	// Sharded: the epoch history must be durable from the very first
+	// record, or a restart could not know the group count.
+	if log != nil && len(st.Epochs) == 0 {
+		if err := log.LogEpoch(wal.EpochChange{Epoch: 0, Shards: int32(shards), PrevShards: int32(shards)}); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
+	tcfg := xshard.TableConfig{Self: ep.Self(), Exec: app, Metrics: cfg.Metrics}
+	if log != nil {
+		tcfg.ApplyTx = log.TxApplier(app)
+		tcfg.XIDFloor = st.XIDFloor()
+		tcfg.ReserveXID = log.ReserveXID
+	}
+	table := xshard.NewTable(tcfg)
+	s.Table = table
+	if st != nil {
+		table.SeedExecuted(st.ExecutedTx)
+		for _, p := range st.PendingTx {
+			table.SeedPending(p.XID, p.Groups, p.Ops, p.Epoch, p.Got, p.Merged)
+		}
+	}
+	gens := st.Generations(shards) // nil-safe: zeros for a fresh node
+
+	// Layer order per group (outermost first): rebalance gate → log →
+	// commit table → node applier. The log sits ABOVE the table so piece
+	// and marker deliveries are durable — and in the delivered seed —
+	// before the table reacts to them; transaction effects are logged
+	// separately at execution time (TableConfig.ApplyTx).
+	if !cfg.Rebalance {
+		inner := shard.NewAt(ep, gens, func(g int, sep transport.Endpoint) protocol.Engine {
+			return cfg.Build(g, sep, wrap(g, table.Applier(g, app)), seedFor(g))
+		})
+		s.Engine = xshard.New(inner, table)
+		return s, nil
+	}
+
+	rcfg := rebalance.Config{
+		Self:   ep.Self(),
+		Export: store.Export,
+		Import: store.Import,
+	}
+	if log != nil {
+		rcfg.Journal = func(m rebalance.Marker) {
+			_ = log.LogEpoch(wal.EpochChange{Epoch: m.Epoch, Shards: m.Shards, PrevShards: m.PrevShards})
+		}
+	}
+	epochs := map[uint32]int32{0: int32(shards)}
+	epoch := uint32(0)
+	if st != nil && len(st.Epochs) > 0 {
+		epochs = make(map[uint32]int32, len(st.Epochs))
+		for _, ec := range st.Epochs {
+			epochs[ec.Epoch] = ec.Shards
+		}
+		epoch = st.Epochs[len(st.Epochs)-1].Epoch
+	}
+	co := rebalance.NewCoordinatorAt(rcfg, epochs, epoch)
+	inner := shard.NewAt(ep, gens, func(g int, sep transport.Endpoint) protocol.Engine {
+		return cfg.Build(g, sep, co.Applier(g, wrap(g, table.Applier(g, app))), seedFor(g))
+	})
+	reng := rebalance.NewEngine(xshard.New(inner, table), co)
+	s.Resizer = reng
+	s.Engine = reng
+	return s, nil
+}
+
+// Start launches the engine stack and, with a log, the snapshot loop.
+func (s *Stack) Start() {
+	s.Engine.Start()
+	if s.Log != nil && s.snapInterval > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop()
+	}
+}
+
+// snapshotLoop periodically truncates the log behind a fresh snapshot
+// once it has grown enough.
+func (s *Stack) snapshotLoop() {
+	defer close(s.snapDone)
+	tick := time.NewTicker(s.snapInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-tick.C:
+			_ = s.Log.MaybeSnapshot(s.export)
+		}
+	}
+}
+
+func (s *Stack) export() (map[string][]byte, int64) {
+	return s.Store.Export(nil), s.Store.Applied()
+}
+
+// Snapshot forces a snapshot now (tests, graceful shutdown).
+func (s *Stack) Snapshot() error {
+	if s.Log == nil {
+		return nil
+	}
+	return s.Log.Snapshot(s.export)
+}
+
+// Stop shuts the node down: snapshot loop, engines (quiescing all
+// deliveries), then the log — every acknowledged command is already
+// durable, so the close is just a tail flush.
+func (s *Stack) Stop() {
+	if s.snapStop != nil {
+		close(s.snapStop)
+		<-s.snapDone
+		s.snapStop = nil
+	}
+	s.Engine.Stop()
+	if s.Log != nil {
+		_ = s.Log.Close()
+	}
+}

@@ -1,0 +1,71 @@
+package wal
+
+import (
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/xshard"
+)
+
+// GroupApplier wraps one consensus group's applier chain with logging:
+// each delivered command is made durable (group commit) before the inner
+// apply runs and the client is acknowledged. It sits *below* the
+// cross-shard and rebalancing interception layers, so it records exactly
+// what this node applies, in local apply order — which is what replay
+// must reproduce.
+//
+// On a closed log (node shutting down) the apply is skipped and nil
+// returned: the command is treated like one delivered an instant after
+// the crash — not yet durable, so never acknowledged — and the restart
+// path re-delivers it.
+func (l *Log) GroupApplier(group int, inner protocol.Applier) protocol.Applier {
+	return &groupApplier{l: l, group: int32(group), inner: inner}
+}
+
+type groupApplier struct {
+	l     *Log
+	group int32
+	inner protocol.Applier
+}
+
+var _ protocol.TimestampedApplier = (*groupApplier)(nil)
+
+func (a *groupApplier) Apply(cmd command.Command) []byte {
+	return a.ApplyAt(cmd, timestamp.Zero)
+}
+
+func (a *groupApplier) ApplyAt(cmd command.Command, ts timestamp.Timestamp) []byte {
+	v, err := a.l.LogCommand(a.group, cmd, ts, func() []byte {
+		if ta, ok := a.inner.(protocol.TimestampedApplier); ok {
+			return ta.ApplyAt(cmd, ts)
+		}
+		return a.inner.Apply(cmd)
+	})
+	if err != nil {
+		// ErrClosed during shutdown: drop, see type comment. Any other
+		// error means the durability contract is broken; the value
+		// returned is nil either way and the command is never acked as
+		// durable. Surfacing richer errors through the Applier interface
+		// would change every engine for a path that only a dying disk
+		// takes.
+		return nil
+	}
+	return v
+}
+
+// TxApplier returns the commit-table hook that logs an executed
+// cross-shard transaction and then applies its ops atomically through
+// exec. Wire it as xshard.TableConfig.ApplyTx.
+func (l *Log) TxApplier(exec protocol.Applier) func(xshard.XID, timestamp.Timestamp, []command.Command) {
+	return func(xid xshard.XID, merged timestamp.Timestamp, ops []command.Command) {
+		_ = l.LogTx(xid, merged, ops, func() {
+			if aa, ok := exec.(protocol.AtomicApplier); ok {
+				aa.ApplyAll(ops)
+				return
+			}
+			for _, op := range ops {
+				exec.Apply(op)
+			}
+		})
+	}
+}

@@ -1,0 +1,391 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/xshard"
+)
+
+// segment file layout: a 16-byte header (magic + index) followed by
+// frames of [u32 payload length][u32 CRC-32C][payload].
+const (
+	segMagic     = "CAESWAL1"
+	segHeaderLen = 16
+	frameHdrLen  = 8
+	// maxRecord bounds a frame so a corrupt length field cannot make the
+	// reader allocate gigabytes.
+	maxRecord = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned for appends on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+func segName(index uint64) string  { return fmt.Sprintf("wal-%016d.seg", index) }
+func snapName(index uint64) string { return fmt.Sprintf("snap-%016d.snap", index) }
+
+// Log is one node's write-ahead log handle. All methods are safe for
+// concurrent use; the Log* appenders block until their record is durable
+// (group commit) and then run their apply while the snapshot lock is
+// held shared, so a snapshot always observes a store state that exactly
+// matches a log position.
+type Log struct {
+	dir  string
+	opts Options
+
+	// snapMu: record cycles (append → sync → apply) hold it shared;
+	// Snapshot holds it exclusively, so the exported store state sits at
+	// an exact log cut. Transaction cycles (LogTx) use the snapshotting
+	// flag + txActive instead: a LogTx can run nested inside a command
+	// cycle (the commit table executes a completed transaction while its
+	// last piece is being applied), and a nested RLock would deadlock
+	// against a waiting Snapshot writer.
+	snapMu sync.RWMutex
+	// txActive counts in-flight LogTx cycles; snapshotting (guarded by
+	// mu, waited on via snapCond) gates new top-level ones out while a
+	// snapshot runs. Nested LogTx never observes snapshotting=true: the
+	// snapshot only raises it after acquiring snapMu, which excludes
+	// every command cycle a nested LogTx could ride in.
+	txActive     sync.WaitGroup
+	snapshotting bool
+	snapCond     *sync.Cond
+
+	// snapSerial serializes whole Snapshot invocations (the pause is
+	// brief; the file write runs outside it).
+	snapSerial sync.Mutex
+
+	mu        sync.Mutex // file/buffer/aggregate state
+	f         *os.File
+	w         *bufio.Writer
+	segIndex  uint64
+	segBytes  int64
+	sinceSnap int64
+	agg       *aggregates
+	waiters   []chan error
+	werr      error // sticky write/sync failure
+	closed    bool
+
+	kick       chan struct{}
+	stop       chan struct{}
+	syncerDone chan struct{}
+}
+
+// Dir returns the log's data directory.
+func (l *Log) Dir() string { return l.dir }
+
+// startSyncer launches the group-commit goroutine.
+func (l *Log) startSyncer() {
+	l.kick = make(chan struct{}, 1)
+	l.stop = make(chan struct{})
+	l.syncerDone = make(chan struct{})
+	go l.syncer()
+}
+
+// syncer is the group-commit loop: each pass flushes and fsyncs whatever
+// accumulated since the previous pass — the longer a sync takes, the
+// bigger the next batch, which is the self-tuning at the heart of group
+// commit.
+func (l *Log) syncer() {
+	defer close(l.syncerDone)
+	for {
+		select {
+		case <-l.stop:
+			l.syncBatch()
+			return
+		case <-l.kick:
+			l.syncBatch()
+		}
+	}
+}
+
+// syncBatch makes one flush+fsync pass and completes its waiters.
+func (l *Log) syncBatch() {
+	l.mu.Lock()
+	waiters := l.waiters
+	l.waiters = nil
+	if len(waiters) == 0 {
+		l.mu.Unlock()
+		return
+	}
+	err := l.werr
+	if err == nil {
+		err = l.w.Flush()
+	}
+	f := l.f
+	needRoll := err == nil && l.segBytes >= l.opts.SegmentSize
+	if err != nil {
+		l.werr = err
+	}
+	l.mu.Unlock()
+
+	if err == nil && !l.opts.NoSync {
+		start := time.Now()
+		err = f.Sync()
+		if m := l.opts.Metrics; m != nil {
+			m.Fsyncs.Inc()
+			m.FsyncedRecords.Add(int64(len(waiters)))
+			m.FsyncLatency.Add(time.Since(start))
+		}
+	} else if m := l.opts.Metrics; m != nil && err == nil {
+		m.Fsyncs.Inc()
+		m.FsyncedRecords.Add(int64(len(waiters)))
+	}
+	if err != nil {
+		l.mu.Lock()
+		l.werr = err
+		l.mu.Unlock()
+	}
+	for _, ch := range waiters {
+		ch <- err
+	}
+	if needRoll {
+		l.mu.Lock()
+		if !l.closed && l.werr == nil && l.segBytes >= l.opts.SegmentSize {
+			if err := l.openSegmentLocked(l.segIndex + 1); err != nil {
+				l.werr = err
+			}
+		}
+		l.mu.Unlock()
+	}
+}
+
+// openSegmentLocked closes the active segment (if any) and creates the
+// next one. Callers hold l.mu.
+func (l *Log) openSegmentLocked(index uint64) error {
+	if l.f != nil {
+		if err := l.w.Flush(); err != nil {
+			return err
+		}
+		if !l.opts.NoSync {
+			if err := l.f.Sync(); err != nil {
+				return err
+			}
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f, l.w = nil, nil
+	}
+	path := filepath.Join(l.dir, segName(index))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], index)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if !l.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := syncDir(l.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	l.segIndex = index
+	l.segBytes = segHeaderLen
+	return nil
+}
+
+// syncDir fsyncs a directory so freshly created (or removed) files
+// survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// append writes one framed record and blocks until the group commit that
+// covers it completes. It must be called with l.snapMu held shared.
+func (l *Log) append(payload []byte, note func(*aggregates)) error {
+	if len(payload) > maxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d byte bound", len(payload), maxRecord)
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.werr != nil {
+		err := l.werr
+		l.mu.Unlock()
+		return err
+	}
+	var hdr [frameHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		l.werr = err
+		l.mu.Unlock()
+		return err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		l.werr = err
+		l.mu.Unlock()
+		return err
+	}
+	n := int64(frameHdrLen + len(payload))
+	l.segBytes += n
+	l.sinceSnap += n
+	if note != nil {
+		note(l.agg)
+	}
+	ch := make(chan error, 1)
+	l.waiters = append(l.waiters, ch)
+	l.mu.Unlock()
+
+	select {
+	case l.kick <- struct{}{}:
+	default: // a kick is already pending; the syncer will see our record
+	}
+	return <-ch
+}
+
+// LogCommand makes one group's applied command durable, then runs apply
+// and returns its value. The record precedes the application (and the
+// client acknowledgement that follows it) — the "write-ahead" in the
+// name. A failed append (log closed mid-shutdown, disk error) skips
+// apply and returns the error: the command is treated exactly like one
+// delivered an instant after a crash, and its client is never falsely
+// acknowledged.
+func (l *Log) LogCommand(group int32, cmd command.Command, ts timestamp.Timestamp, apply func() []byte) ([]byte, error) {
+	l.snapMu.RLock()
+	defer l.snapMu.RUnlock()
+	err := l.append(encodeCommandRec(group, cmd, ts), func(a *aggregates) {
+		a.noteCommand(group, cmd, ts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return apply(), nil
+}
+
+// LogTx makes an executed cross-shard transaction durable, then runs
+// apply (the atomic application of its ops). It may be called nested
+// inside a LogCommand cycle — the commit table executes a transaction
+// the moment its last piece registers — so it synchronizes with
+// Snapshot through the snapshotting gate + txActive count rather than
+// snapMu (see the Log fields).
+func (l *Log) LogTx(xid xshard.XID, merged timestamp.Timestamp, ops []command.Command, apply func()) error {
+	l.mu.Lock()
+	for l.snapshotting {
+		l.snapCond.Wait()
+	}
+	l.txActive.Add(1)
+	l.mu.Unlock()
+	defer l.txActive.Done()
+	err := l.append(encodeTxRec(xid, merged, ops), func(a *aggregates) {
+		a.noteTx(xid, merged)
+	})
+	if err != nil {
+		return err
+	}
+	apply()
+	return nil
+}
+
+// LogEpoch makes an installed routing epoch durable.
+func (l *Log) LogEpoch(ec EpochChange) error {
+	l.snapMu.RLock()
+	defer l.snapMu.RUnlock()
+	return l.append(encodeEpochRec(ec), func(a *aggregates) {
+		a.noteEpoch(ec)
+	})
+}
+
+// ReserveSeq makes a proposer's sequence reservation durable: after a
+// restart the group's proposer starts above the highest reservation, so
+// command IDs are never reused across the crash.
+func (l *Log) ReserveSeq(group int32, upto uint64) error {
+	l.snapMu.RLock()
+	defer l.snapMu.RUnlock()
+	return l.append(encodeSeqRec(group, upto), func(a *aggregates) {
+		a.noteSeq(group, upto)
+	})
+}
+
+// LogClock makes a group's logical-clock issue reservation durable; see
+// timestamp.Clock.SetReserve.
+func (l *Log) LogClock(group int32, upto uint64) error {
+	l.snapMu.RLock()
+	defer l.snapMu.RUnlock()
+	return l.append(encodeClockRec(group, upto), func(a *aggregates) {
+		a.noteClock(group, upto)
+	})
+}
+
+// txSeqGroup is the pseudo-group sequence reservations of the
+// cross-shard commit table are filed under: the table mints one XID
+// stream per node, not per group.
+const txSeqGroup int32 = -1
+
+// ReserveXID makes the commit table's transaction-sequence reservation
+// durable; wire it as xshard.TableConfig.ReserveXID.
+func (l *Log) ReserveXID(upto uint64) {
+	_ = l.ReserveSeq(txSeqGroup, upto)
+}
+
+// SizeSinceSnapshot returns the bytes appended since the last snapshot
+// (or open), the growth MaybeSnapshot thresholds on.
+func (l *Log) SizeSinceSnapshot() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinceSnap
+}
+
+// Close flushes and syncs the tail, stops the group-commit goroutine and
+// closes the active segment. In-flight appenders complete first (their
+// waiters are answered by the syncer's final pass); appends after Close
+// fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+
+	close(l.stop)
+	<-l.syncerDone
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if l.f != nil {
+		err = l.w.Flush()
+		if err == nil && !l.opts.NoSync {
+			err = l.f.Sync()
+		}
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f, l.w = nil, nil
+	}
+	if err == nil {
+		err = l.werr
+	}
+	return err
+}

@@ -1,0 +1,236 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"github.com/caesar-consensus/caesar/internal/idset"
+	"github.com/caesar-consensus/caesar/internal/xshard"
+)
+
+// snapshotData is the on-disk snapshot: the store image plus every log
+// aggregate, covering all segments with index < Cut. Encoded as gob
+// (one-shot, so gob's self-description costs nothing per record) behind
+// a small CRC'd header.
+type snapshotData struct {
+	// Cut is the first segment index NOT covered: replay starts there.
+	Cut        uint64
+	KV         map[string][]byte
+	Applied    int64
+	Delivered  map[int32]idset.Dump
+	ExecutedTx []xshard.XID
+	PendingTx  []PendingTx
+	Epochs     []EpochChange
+	SeqFloor   map[int32]uint64
+	ClockFloor map[int32]uint64
+	MaxTS      uint64
+}
+
+const snapMagic = "CAESNAP1"
+
+// writeSnapshotFile atomically writes a snapshot: temp file, fsync,
+// rename, fsync dir.
+func writeSnapshotFile(dir string, data snapshotData, noSync bool) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(data); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriterSize(tmp, 1<<16)
+	var hdr [16]byte
+	copy(hdr[:8], snapMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(body.Len()))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(body.Bytes(), crcTable))
+	werr := func() error {
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(body.Bytes()); err != nil {
+			return err
+		}
+		return w.Flush()
+	}()
+	if werr != nil {
+		// Renaming a short snapshot into place would let truncation
+		// delete the segments it fails to replace.
+		tmp.Close()
+		return werr
+	}
+	if !noSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	final := filepath.Join(dir, snapName(data.Cut))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	if noSync {
+		return nil
+	}
+	return syncDir(dir)
+}
+
+// readSnapshotFile loads and verifies one snapshot file.
+func readSnapshotFile(path string) (snapshotData, error) {
+	var data snapshotData
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return data, err
+	}
+	if len(raw) < 16 || string(raw[:8]) != snapMagic {
+		return data, fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(raw[8:12])
+	sum := binary.LittleEndian.Uint32(raw[12:16])
+	if uint64(len(raw)-16) != uint64(n) {
+		return data, fmt.Errorf("%w: snapshot length", ErrCorrupt)
+	}
+	body := raw[16:]
+	if crc32.Checksum(body, crcTable) != sum {
+		return data, fmt.Errorf("%w: snapshot checksum", ErrCorrupt)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&data); err != nil {
+		return data, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return data, nil
+}
+
+// Snapshot takes a snapshot now. The pause (exclusive snapshot lock)
+// covers only what fixes the cut: rolling to a fresh segment so the cut
+// falls on a segment boundary, copying the aggregates, and exporting the
+// store — microseconds-to-milliseconds of stalled deliveries. The slow
+// part — encoding and fsyncing the snapshot file, then deleting covered
+// segments — runs after the pause lifts: appends resumed in the meantime
+// land in segments >= cut and stay outside the snapshot by construction,
+// and a crash mid-write just leaves the previous snapshot + all segments
+// in place. Concurrent Snapshot calls are serialized.
+func (l *Log) Snapshot(export func() (map[string][]byte, int64)) error {
+	l.snapSerial.Lock()
+	defer l.snapSerial.Unlock()
+
+	cut, data, err := l.pauseAndCut(export)
+	if err != nil {
+		return err
+	}
+	if err := writeSnapshotFile(l.dir, data, l.opts.NoSync); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.sinceSnap = 0
+	l.mu.Unlock()
+	l.removeCovered(cut)
+	return nil
+}
+
+// pauseAndCut stops all record cycles, rolls the segment, and captures
+// the snapshot image at that exact cut.
+func (l *Log) pauseAndCut(export func() (map[string][]byte, int64)) (uint64, snapshotData, error) {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+	// Command cycles are out (snapMu); now gate new top-level
+	// transaction cycles and wait for in-flight ones. Nested transaction
+	// cycles cannot exist here — they only run inside command cycles.
+	l.mu.Lock()
+	l.snapshotting = true
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		l.snapshotting = false
+		l.snapCond.Broadcast()
+		l.mu.Unlock()
+	}()
+	l.txActive.Wait()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, snapshotData{}, ErrClosed
+	}
+	if l.werr != nil {
+		err := l.werr
+		l.mu.Unlock()
+		return 0, snapshotData{}, err
+	}
+	// No record cycle is in flight (they hold snapMu shared), so the
+	// buffer drains completely and the roll puts the cut at a segment
+	// boundary.
+	if err := l.openSegmentLocked(l.segIndex + 1); err != nil {
+		l.werr = err
+		l.mu.Unlock()
+		return 0, snapshotData{}, err
+	}
+	cut := l.segIndex
+	data := l.agg.toSnapshotData(cut)
+	l.mu.Unlock()
+
+	data.KV, data.Applied = export()
+	return cut, data, nil
+}
+
+// MaybeSnapshot snapshots when the log grew past Options.SnapshotBytes
+// since the last one; the cheap no-op path makes it safe to call on a
+// timer.
+func (l *Log) MaybeSnapshot(export func() (map[string][]byte, int64)) error {
+	if l.SizeSinceSnapshot() < l.opts.SnapshotBytes {
+		return nil
+	}
+	return l.Snapshot(export)
+}
+
+// removeCovered deletes segments below the cut and snapshots below the
+// newest. Best-effort: a leftover file is re-collected by the next
+// snapshot (and ignored by Open).
+func (l *Log) removeCovered(cut uint64) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	removed := false
+	for _, e := range entries {
+		var idx uint64
+		switch {
+		case parseName(e.Name(), "wal-", ".seg", &idx) && idx < cut:
+		case parseName(e.Name(), "snap-", ".snap", &idx) && idx < cut:
+		default:
+			continue
+		}
+		if os.Remove(filepath.Join(l.dir, e.Name())) == nil {
+			removed = true
+		}
+	}
+	if removed && !l.opts.NoSync {
+		_ = syncDir(l.dir)
+	}
+}
+
+// parseName extracts the index of a "<prefix><16 digits><suffix>" file.
+func parseName(name, prefix, suffix string, out *uint64) bool {
+	if len(name) != len(prefix)+16+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return false
+	}
+	var v uint64
+	for _, c := range name[len(prefix) : len(prefix)+16] {
+		if c < '0' || c > '9' {
+			return false
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	*out = v
+	return true
+}

@@ -1,0 +1,413 @@
+// Package wal is the durability layer of a replica: a segmented,
+// CRC-checksummed, append-only write-ahead log with group-commit fsync
+// batching, plus periodic snapshots with log truncation.
+//
+// CAESAR's recovery protocol (§V-C of the paper) assumes replicas keep
+// their decision state on stable storage; this package supplies the
+// stable storage for the part of that state a restarted node actually
+// needs to rejoin: everything it has *executed and acknowledged*. Each
+// consensus group logs its applied commands at their stable timestamps,
+// the cross-shard commit table logs transaction outcomes at their merged
+// timestamps, the rebalancing layer logs installed routing epochs, and
+// proposers log sequence-number and logical-clock reservations. On restart, Open replays
+// the latest snapshot plus the log tail and hands back a State from
+// which the node stack rebuilds its store, its per-group
+// delivered-command sets (so re-sent decisions are acknowledged but not
+// re-applied — exactly-once survives the crash), its commit-table
+// tombstones, its routing epoch and its ID sequence floor.
+//
+// # Group commit
+//
+// Every append is durable before its apply runs and its client is
+// acknowledged, but appends do not fsync individually: a dedicated
+// syncer goroutine flushes and syncs whatever accumulated while the
+// previous sync was in flight — many decisions, one Sync. Under
+// concurrent load from a node's consensus groups the batch size grows
+// with the arrival rate, which is what keeps durable throughput within
+// a small factor of in-memory throughput (HotStuff-1 makes the same
+// trade: speculate on the decision, batch the durability).
+//
+// # Crash model
+//
+// The log records the *effects* this node applied, in its local apply
+// order, so replay reproduces the node's exact pre-crash application
+// state with no re-execution ambiguity. Commands that were in flight —
+// proposed, accepted, even decided but not yet applied here — are not
+// persisted; the survivors' recovery protocol (suspect, take over,
+// finish or noop) and the leaders' Stable retransmission re-deliver
+// them after the restart. A torn final record (crash mid-write) is
+// detected by CRC and truncated; corruption anywhere earlier fails Open
+// loudly rather than replaying a hole.
+package wal
+
+import (
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/idset"
+	"github.com/caesar-consensus/caesar/internal/metrics"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/xshard"
+)
+
+// Options tunes a Log. The zero value selects production defaults.
+type Options struct {
+	// SegmentSize rolls the active segment file once it exceeds this
+	// many bytes. Default 8 MiB.
+	SegmentSize int64
+	// SnapshotBytes is the log growth after which MaybeSnapshot takes a
+	// snapshot and truncates the covered segments. Default 4 MiB.
+	SnapshotBytes int64
+	// NoSync skips the fsync on group commit: appends are still ordered
+	// and torn-tail safe, but an OS crash can lose the acknowledged
+	// tail. For benchmarks (the durable figure's ablation) and tests.
+	NoSync bool
+	// Metrics receives fsync batch measurements; may be nil.
+	Metrics *metrics.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize == 0 {
+		o.SegmentSize = 8 << 20
+	}
+	if o.SnapshotBytes == 0 {
+		o.SnapshotBytes = 4 << 20
+	}
+	return o
+}
+
+// EpochChange records one installed routing epoch (a resize fence's
+// marker): the epoch, its shard count, and the count it replaced.
+type EpochChange struct {
+	Epoch      uint32
+	Shards     int32
+	PrevShards int32
+}
+
+// State is everything recovered by Open: the replayed application state
+// plus the bookkeeping a restarting node stack needs to rejoin with
+// exactly-once application intact.
+type State struct {
+	// KV and Applied are the replayed store contents and its
+	// executed-command count (snapshot plus log tail).
+	KV      map[string][]byte
+	Applied int64
+	// Delivered holds, per consensus group, the set of command IDs this
+	// node applied before the crash. A restarted group seeds its
+	// delivered set from it so re-sent decisions are acknowledged
+	// without re-executing.
+	Delivered map[int32]*idset.Set
+	// ExecutedTx lists the cross-shard transactions this node executed;
+	// the commit table seeds tombstones from it so re-delivered pieces
+	// cannot commit a transaction twice.
+	ExecutedTx []xshard.XID
+	// PendingTx holds the transactions whose pieces were (partly)
+	// delivered here but which had not executed or died by the crash;
+	// the commit table re-registers them so its resolution machinery
+	// (completion by late pieces, timeout aborts) picks up where the
+	// old incarnation stopped.
+	PendingTx []PendingTx
+	// Epochs is the installed routing-epoch history in install order
+	// (the initial epoch first). Empty for unsharded deployments started
+	// before durability was enabled.
+	Epochs []EpochChange
+	// SeqFloor holds, per group, the highest reserved local sequence
+	// number: the restarted proposer must assign IDs strictly above it
+	// or it would reuse the IDs of pre-crash commands.
+	SeqFloor map[int32]uint64
+	// ClockFloor holds, per group, the highest reserved logical-clock
+	// sequence: the restarted clock must issue strictly above it, or
+	// fresh proposals could land below the predecessor's orphaned
+	// in-flight commands and deadlock the wait condition.
+	ClockFloor map[int32]uint64
+	// MaxTS is the highest logical-timestamp sequence the node applied
+	// at; restarted clocks advance past it.
+	MaxTS uint64
+	// Empty reports that nothing was recovered (a fresh data dir).
+	Empty bool
+}
+
+// GroupSeed bundles one group's recovery inputs in the form the caesar
+// engine config takes.
+type GroupSeed struct {
+	// Delivered is the group's applied-command set; nil when empty. The
+	// receiver takes ownership.
+	Delivered *idset.Set
+	// SeqFloor is the group's reserved-sequence watermark.
+	SeqFloor uint64
+	// ClockSeed is the timestamp sequence to advance the clock past.
+	ClockSeed uint64
+	// ReserveSeq durably records a new reservation watermark for the
+	// group; nil when the node runs without a log. (Filled by the stack
+	// builder, not by State.)
+	ReserveSeq func(upto uint64)
+	// ReserveClock durably records a new clock-issue watermark for the
+	// group; nil when the node runs without a log. (Filled by the stack
+	// builder.)
+	ReserveClock func(upto uint64)
+}
+
+// GroupSeed extracts group g's recovery seed; the zero GroupSeed for a
+// group (or state) with nothing recovered.
+func (s *State) GroupSeed(g int32) GroupSeed {
+	if s == nil {
+		return GroupSeed{}
+	}
+	seed := GroupSeed{SeqFloor: s.SeqFloor[g], ClockSeed: s.MaxTS}
+	if cf := s.ClockFloor[g]; cf > seed.ClockSeed {
+		seed.ClockSeed = cf
+	}
+	if set := s.Delivered[g]; set != nil && set.Len() > 0 {
+		seed.Delivered = idset.FromDump(set.Dump())
+	}
+	return seed
+}
+
+// XIDFloor returns the commit table's reserved transaction-sequence
+// watermark; new XIDs must start strictly above it.
+func (s *State) XIDFloor() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.SeqFloor[txSeqGroup]
+}
+
+// CurrentEpoch returns the last installed epoch and its shard count, or
+// ok=false when no epoch was ever recorded.
+func (s *State) CurrentEpoch() (EpochChange, bool) {
+	if s == nil || len(s.Epochs) == 0 {
+		return EpochChange{}, false
+	}
+	return s.Epochs[len(s.Epochs)-1], true
+}
+
+// Generations computes, for groups 0..shards-1 of the current epoch, the
+// routing epoch each group instance was (most recently) created at — the
+// generation its peers' transport mux slots run the group under. A
+// restarted node must attach its groups at these generations or its
+// traffic would be dropped as stale (and theirs buffered forever).
+func (s *State) Generations(shards int) []int32 {
+	gens := make([]int32, shards)
+	if s == nil {
+		return gens
+	}
+	live := 0
+	for _, ec := range s.Epochs {
+		n := int(ec.Shards)
+		for g := live; g < n && g < shards; g++ {
+			gens[g] = int32(ec.Epoch)
+		}
+		live = n
+	}
+	return gens
+}
+
+// PendingTx is one in-flight cross-shard transaction reconstructed from
+// the log: the pieces delivered so far, in the table's own terms.
+type PendingTx struct {
+	XID    xshard.XID
+	Groups []int32
+	Ops    []command.Command
+	Epoch  uint32
+	// Got lists the groups whose piece was delivered before the crash.
+	Got []int32
+	// Merged is the running max of the delivered pieces' timestamps.
+	Merged timestamp.Timestamp
+}
+
+// record types on the wire.
+const (
+	recCommand byte = 1 // one group's applied command at its stable timestamp
+	recTx      byte = 2 // an executed cross-shard transaction at its merged timestamp
+	recEpoch   byte = 3 // an installed routing epoch
+	recSeq     byte = 4 // a proposer sequence reservation
+	recClock   byte = 5 // a logical-clock issue reservation
+)
+
+// txAgg mirrors one commit-table entry during aggregation: enough of the
+// table's state machine (piece-before-abort wins per group, tombstones
+// absorb stragglers) to rebuild its pending set at recovery.
+type txAgg struct {
+	groups []int32
+	ops    []command.Command
+	epoch  uint32
+	got    map[int32]bool
+	merged timestamp.Timestamp
+	state  uint8 // 0 pending, 1 executed, 2 dead
+}
+
+// aggregates is the log's running recovery bookkeeping: rebuilt from
+// snapshot + replay at Open, extended on every append, persisted into
+// the next snapshot. Guarded by Log.mu.
+type aggregates struct {
+	delivered  map[int32]*idset.Set
+	executedTx map[xshard.XID]struct{}
+	txOrder    []xshard.XID
+	txs        map[xshard.XID]*txAgg
+	epochs     []EpochChange
+	seqFloor   map[int32]uint64
+	clockFloor map[int32]uint64
+	maxTS      uint64
+}
+
+func newAggregates() *aggregates {
+	return &aggregates{
+		delivered:  make(map[int32]*idset.Set),
+		executedTx: make(map[xshard.XID]struct{}),
+		txs:        make(map[xshard.XID]*txAgg),
+		seqFloor:   make(map[int32]uint64),
+		clockFloor: make(map[int32]uint64),
+	}
+}
+
+func (a *aggregates) noteCommand(group int32, cmd command.Command, ts timestamp.Timestamp) {
+	set := a.delivered[group]
+	if set == nil {
+		set = idset.New()
+		a.delivered[group] = set
+	}
+	if !cmd.ID.IsZero() {
+		set.Add(cmd.ID)
+	}
+	if ts.Seq > a.maxTS {
+		a.maxTS = ts.Seq
+	}
+	switch cmd.Op {
+	case command.OpXCommit:
+		if p, err := xshard.DecodePiece(cmd.Payload); err == nil {
+			a.notePiece(group, p, ts, cmd.Epoch)
+		}
+	case command.OpXAbort:
+		if ab, err := xshard.DecodeAbort(cmd.Payload); err == nil {
+			a.noteAbort(group, ab.XID)
+		}
+	}
+}
+
+// notePiece mirrors Table.registerPiece for recovery bookkeeping.
+func (a *aggregates) notePiece(group int32, p *xshard.Piece, ts timestamp.Timestamp, epoch uint32) {
+	e := a.txs[p.XID]
+	if e == nil {
+		e = &txAgg{got: make(map[int32]bool)}
+		a.txs[p.XID] = e
+	}
+	if e.state != 0 || e.got[group] {
+		return
+	}
+	if len(e.groups) == 0 {
+		e.groups, e.ops, e.epoch = p.Groups, p.Ops, epoch
+	}
+	e.got[group] = true
+	if e.merged.Less(ts) {
+		e.merged = ts
+	}
+}
+
+// noteAbort mirrors Table.registerAbort: a marker beaten by its group's
+// piece is a no-op, otherwise the transaction is dead.
+func (a *aggregates) noteAbort(group int32, xid xshard.XID) {
+	e := a.txs[xid]
+	if e == nil {
+		e = &txAgg{got: make(map[int32]bool)}
+		a.txs[xid] = e
+	}
+	if e.state != 0 || e.got[group] {
+		return
+	}
+	e.state = 2
+	e.groups, e.ops, e.got = nil, nil, nil
+}
+
+func (a *aggregates) noteTx(xid xshard.XID, merged timestamp.Timestamp) {
+	if _, ok := a.executedTx[xid]; !ok {
+		a.executedTx[xid] = struct{}{}
+		a.txOrder = append(a.txOrder, xid)
+	}
+	if e := a.txs[xid]; e != nil {
+		e.state = 1
+		e.groups, e.ops, e.got = nil, nil, nil
+	} else {
+		a.txs[xid] = &txAgg{state: 1}
+	}
+	if merged.Seq > a.maxTS {
+		a.maxTS = merged.Seq
+	}
+}
+
+// toSnapshotData copies every aggregate into the serializable snapshot
+// form; state() derives the recovery State from the same copy. This is
+// the single place aggregate fields are copied out — a new field added
+// to aggregates only needs to be threaded through here. Callers hold
+// the log's mu.
+func (a *aggregates) toSnapshotData(cut uint64) snapshotData {
+	data := snapshotData{
+		Cut:        cut,
+		Delivered:  make(map[int32]idset.Dump, len(a.delivered)),
+		ExecutedTx: append([]xshard.XID(nil), a.txOrder...),
+		PendingTx:  a.pending(),
+		Epochs:     append([]EpochChange(nil), a.epochs...),
+		SeqFloor:   make(map[int32]uint64, len(a.seqFloor)),
+		ClockFloor: make(map[int32]uint64, len(a.clockFloor)),
+		MaxTS:      a.maxTS,
+	}
+	for g, set := range a.delivered {
+		data.Delivered[g] = set.Dump()
+	}
+	for g, v := range a.seqFloor {
+		data.SeqFloor[g] = v
+	}
+	for g, v := range a.clockFloor {
+		data.ClockFloor[g] = v
+	}
+	return data
+}
+
+// state builds an independent recovery State from the aggregates; the
+// store-side fields (KV, Applied) are filled by the caller. Callers hold
+// the log's mu.
+func (a *aggregates) state() *State {
+	d := a.toSnapshotData(0)
+	st := &State{
+		Delivered:  make(map[int32]*idset.Set, len(d.Delivered)),
+		ExecutedTx: d.ExecutedTx,
+		PendingTx:  d.PendingTx,
+		Epochs:     d.Epochs,
+		SeqFloor:   d.SeqFloor,
+		ClockFloor: d.ClockFloor,
+		MaxTS:      d.MaxTS,
+	}
+	for g, dump := range d.Delivered {
+		st.Delivered[g] = idset.FromDump(dump)
+	}
+	return st
+}
+
+// pending extracts the still-pending transactions, for State.
+func (a *aggregates) pending() []PendingTx {
+	var out []PendingTx
+	for xid, e := range a.txs {
+		if e.state != 0 || len(e.got) == 0 {
+			continue
+		}
+		p := PendingTx{XID: xid, Groups: e.groups, Ops: e.ops, Epoch: e.epoch, Merged: e.merged}
+		for g := range e.got {
+			p.Got = append(p.Got, g)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func (a *aggregates) noteEpoch(ec EpochChange) {
+	a.epochs = append(a.epochs, ec)
+}
+
+func (a *aggregates) noteSeq(group int32, upto uint64) {
+	if upto > a.seqFloor[group] {
+		a.seqFloor[group] = upto
+	}
+}
+
+func (a *aggregates) noteClock(group int32, upto uint64) {
+	if upto > a.clockFloor[group] {
+		a.clockFloor[group] = upto
+	}
+}

@@ -22,6 +22,24 @@ type TableConfig struct {
 	// it implements protocol.AtomicApplier the whole transaction is
 	// applied as one indivisible unit.
 	Exec protocol.Applier
+	// ApplyTx, when non-nil, executes a completed transaction instead of
+	// Exec: it receives the transaction's identity, merged timestamp and
+	// ops, in the table's decision order. The durable layer
+	// (internal/wal) uses it to log the outcome and apply atomically
+	// under its snapshot lock, so crash recovery re-seeds exactly the
+	// executed set.
+	ApplyTx func(xid XID, merged timestamp.Timestamp, ops []command.Command)
+	// XIDFloor is the highest transaction sequence a crashed predecessor
+	// may have used (its durable reservation watermark): fresh XIDs start
+	// strictly above it. Without it a restarted coordinator would mint
+	// XIDs colliding with its predecessor's — whose table entries are
+	// seeded as tombstones, silently swallowing the new transaction's
+	// pieces.
+	XIDFloor uint64
+	// ReserveXID, when non-nil, durably records a new XID reservation
+	// before sequences beyond the previous watermark are used; taken in
+	// blocks, so the (fsynced) call is rare.
+	ReserveXID func(upto uint64)
 	// Metrics receives CrossShardCommits/CrossShardAborts; may be nil.
 	Metrics *metrics.Recorder
 	// ResolveTimeout is how long a transaction may sit incomplete in the
@@ -123,8 +141,9 @@ type Table struct {
 	// submit proposes a command on one group; bound by Engine.
 	submit func(group int, cmd command.Command, done protocol.DoneFunc)
 
-	mu      sync.Mutex
-	entries map[XID]*entry
+	mu          sync.Mutex
+	xidReserved uint64
+	entries     map[XID]*entry
 	// pendingByKey indexes the pending entries by every key they touch;
 	// completed holds the pending entries whose pieces have all arrived
 	// (the only drain candidates).
@@ -148,6 +167,8 @@ type Table struct {
 func NewTable(cfg TableConfig) *Table {
 	return &Table{
 		cfg:          cfg.withDefaults(),
+		nextSeq:      cfg.XIDFloor,
+		xidReserved:  cfg.XIDFloor,
 		entries:      make(map[XID]*entry),
 		pendingByKey: make(map[string]map[*entry]struct{}),
 		completed:    make(map[*entry]struct{}),
@@ -168,12 +189,72 @@ func (t *Table) SetRouterAt(fn func(uint32) shard.Router) {
 	t.routerAt = fn
 }
 
-// nextXID mints a transaction ID for this coordinator.
+// xidReserveBlock is how many transaction sequences one durable
+// reservation covers.
+const xidReserveBlock = 4096
+
+// nextXID mints a transaction ID for this coordinator. With a durable
+// log attached, the reservation watermark is persisted before any
+// sequence beyond the previous block is used, so XIDs are never reused
+// across a crash-restart.
 func (t *Table) nextXID() XID {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.nextSeq++
+	if t.cfg.ReserveXID != nil && t.nextSeq > t.xidReserved {
+		t.xidReserved = t.nextSeq + xidReserveBlock
+		t.cfg.ReserveXID(t.xidReserved)
+	}
 	return XID{Node: t.cfg.Self, Seq: t.nextSeq}
+}
+
+// SeedExecuted marks transactions as already executed — crash recovery
+// seeds the set a restarted node's write-ahead log replayed. The entries
+// are effectively permanent tombstones (a century-long sweep deadline):
+// a leader may re-send the Stable decisions of unacknowledged pieces at
+// any time after the restart, and a re-registered piece set must never
+// re-commit a transaction the pre-crash table already applied.
+func (t *Table) SeedExecuted(xids []XID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	deadline := t.cfg.Now().Add(100 * 365 * 24 * time.Hour)
+	for _, xid := range xids {
+		e := t.ensureLocked(xid)
+		if e.state != entryPending {
+			continue
+		}
+		e.state = entryExecuted
+		e.ops, e.keys, e.got, e.done = nil, nil, nil, nil
+		e.deadline = deadline
+	}
+}
+
+// SeedPending re-registers a transaction whose pieces a crashed
+// predecessor had delivered (and logged) but which had not executed or
+// died by the crash: got lists the groups whose piece arrived, merged is
+// their timestamp max. The entry joins the table's normal lifecycle —
+// late pieces complete it, the resolution sweeper aborts it on timeout —
+// with no client callback (that client is gone). Call before traffic
+// flows.
+func (t *Table) SeedPending(xid XID, groups []int32, ops []command.Command, epoch uint32, got []int32, merged timestamp.Timestamp) {
+	t.mu.Lock()
+	defer t.flush()
+	defer t.mu.Unlock()
+	e := t.ensureLocked(xid)
+	if e.state != entryPending || len(e.groups) > 0 {
+		return
+	}
+	t.fillLocked(e, groups, ops, epoch)
+	stagger := time.Duration(int32(t.cfg.Self)+1) * t.cfg.ResolveTimeout / 4
+	e.deadline = t.cfg.Now().Add(t.cfg.ResolveTimeout + stagger)
+	for _, g := range got {
+		e.got[g] = true
+	}
+	e.merged = merged
+	if e.complete() {
+		t.completed[e] = struct{}{}
+	}
+	t.drainLocked()
 }
 
 // Pending returns the number of in-flight (non-tombstone) transactions,
@@ -276,9 +357,12 @@ func (t *Table) ensureLocked(xid XID) *entry {
 }
 
 // fillLocked populates an entry's transaction body if still unknown and
-// indexes it by its keys.
+// indexes it by its keys. Tombstones are never filled (or re-indexed): a
+// late Expect or piece for a settled transaction must not resurrect it
+// into the pending index, where its zero merged bound would block every
+// same-key transaction behind it.
 func (t *Table) fillLocked(e *entry, groups []int32, ops []command.Command, epoch uint32) {
-	if len(e.groups) > 0 {
+	if len(e.groups) > 0 || e.state != entryPending {
 		return
 	}
 	e.groups = groups
@@ -546,20 +630,25 @@ func (t *Table) blockedLocked(e *entry) bool {
 func (t *Table) executeLocked(e *entry) {
 	t.unindexLocked(e)
 	t.noteResolvedLocked(e.xid)
-	ops, done := e.ops, e.done
+	xid, merged, ops, done := e.xid, e.merged, e.ops, e.done
 	e.state = entryExecuted
 	e.ops, e.keys, e.got, e.done = nil, nil, nil, nil
 	e.deadline = t.cfg.Now().Add(4 * t.cfg.ResolveTimeout)
 	if t.cfg.Metrics != nil {
 		t.cfg.Metrics.CrossShardCommits.Inc()
 	}
-	exec := t.cfg.Exec
+	exec, applyTx := t.cfg.Exec, t.cfg.ApplyTx
 	t.queue = append(t.queue, func() {
-		if aa, ok := exec.(protocol.AtomicApplier); ok {
-			aa.ApplyAll(ops)
-		} else {
-			for _, op := range ops {
-				exec.Apply(op)
+		switch {
+		case applyTx != nil:
+			applyTx(xid, merged, ops)
+		default:
+			if aa, ok := exec.(protocol.AtomicApplier); ok {
+				aa.ApplyAll(ops)
+			} else {
+				for _, op := range ops {
+					exec.Apply(op)
+				}
 			}
 		}
 		if done != nil {
