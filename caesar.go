@@ -14,6 +14,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/reads"
 	"github.com/caesar-consensus/caesar/internal/rebalance"
 	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/stack"
@@ -122,6 +123,7 @@ type Node struct {
 	engine  protocol.Engine
 	resizer *rebalance.Engine // nil on unsharded nodes
 	store   *kvstore.Store
+	reads   *reads.Engine
 	met     *metrics.Recorder
 	shards  int
 	closed  atomic.Bool
@@ -206,6 +208,7 @@ func newNode(ep transport.Endpoint, opts Options, shards int) (*Node, error) {
 		engine:  stk.Engine,
 		resizer: stk.Resizer,
 		store:   stk.Store,
+		reads:   stk.Reads,
 		met:     met,
 		shards:  stk.Shards,
 	}
@@ -298,10 +301,61 @@ func (n *Node) ProposeTx(ctx context.Context, cmds []Command) error {
 	return err
 }
 
-// Read returns the local store's value for key without going through
-// consensus (a stale read).
-func (n *Node) Read(key string) ([]byte, bool) {
-	return n.store.Get(key)
+// Read serves a linearizable read of key from this node, off the
+// consensus path (internal/reads): the read is stamped with the key's
+// consensus-group logical clock and answered from the local store the
+// moment every conflicting command below the stamp has been applied here
+// — no proposal, no quorum round-trip, no log record. A client that
+// writes and reads through one node always reads its own writes, and
+// successive reads of a key through one node never go backwards; see the
+// package documentation's read model for the precise guarantee. Reads
+// racing a live Resize retry internally under a consistent epoch. The
+// returned value is nil for an absent key (like Propose of a Get).
+func (n *Node) Read(ctx context.Context, key string) ([]byte, error) {
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	if n.reads != nil && n.reads.Available() {
+		val, _, err := n.reads.Read(ctx, key)
+		if err == nil || !errors.Is(err, reads.ErrUnavailable) {
+			return val, err
+		}
+	}
+	return n.Propose(ctx, Get(key))
+}
+
+// ReadTx serves a snapshot read of several keys — possibly spanning
+// consensus groups — at one merged read timestamp, without proposing or
+// writing transaction pieces: a consistent cut of the store in which an
+// atomic transaction's writes (ProposeTx) appear for all of its keys or
+// for none. Values align with keys; absent keys read nil. Like Read, the
+// snapshot is served locally after the groups' delivery frontiers pass
+// the read point and every held cross-shard transaction on the keys has
+// settled.
+func (n *Node) ReadTx(ctx context.Context, keys []string) ([][]byte, error) {
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	if n.reads != nil && n.reads.Available() {
+		vals, _, err := n.reads.ReadTx(ctx, keys)
+		if err == nil || !errors.Is(err, reads.ErrUnavailable) {
+			return vals, err
+		}
+	}
+	// No local read support (not reachable for CAESAR-built nodes): fall
+	// back to proposing each read — correct per key, not a snapshot.
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		v, err := n.Propose(ctx, Get(k))
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return vals, nil
 }
 
 // Stats snapshots the node's counters.

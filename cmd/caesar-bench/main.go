@@ -11,6 +11,7 @@
 //	caesar-bench -figure crossshard   # throughput vs cross-shard txn mix (0–20%)
 //	caesar-bench -figure elastic      # throughput through a live 2→4 resize
 //	caesar-bench -figure durable      # write-ahead-log cost + crash-recovery time
+//	caesar-bench -figure readheavy    # local linearizable reads vs proposed reads
 //	caesar-bench -figure 9 -shards 4  # any figure on a sharded deployment
 //
 // Scale 1.0 reproduces the paper's real WAN latencies (slow); the default
@@ -36,7 +37,7 @@ func main() {
 
 func run() error {
 	var (
-		figure   = flag.String("figure", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11a, 11b, 12, sharding, crossshard, elastic, durable, or all (the paper's figures)")
+		figure   = flag.String("figure", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11a, 11b, 12, sharding, crossshard, elastic, durable, readheavy, or all (the paper's figures)")
 		scale    = flag.Float64("scale", 0.05, "WAN latency scale (1.0 = real EC2 latencies)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement window per data point")
 		warmup   = flag.Duration("warmup", time.Second, "warmup before each measurement")
@@ -74,6 +75,10 @@ func run() error {
 		// Durable: throughput with the write-ahead log (group-commit
 		// fsync batching) vs in-memory, plus cold crash-recovery time.
 		"durable": func() { harness.Durable(w, base) },
+		// ReadHeavy: local linearizable reads (internal/reads) vs
+		// propose-based reads across 50/90/99% read mixes, with read
+		// latency percentiles.
+		"readheavy": func() { harness.ReadHeavy(w, base) },
 	}
 	if *figure == "all" {
 		for _, f := range []string{"6", "7", "8", "9", "10", "11a", "11b", "12"} {

@@ -12,7 +12,13 @@
 // Client protocol (one request per line):
 //
 //	PUT <key> <value>            →  OK
-//	GET <key>                    →  OK <value> | OK
+//	GET <key>                    →  OK <value> | OK (served from the local
+//	                                read engine — linearizable, no
+//	                                consensus round; see internal/reads)
+//	MGET <k1> <k2> ...           →  OK <v1> <v2> ... (one local snapshot
+//	                                read across keys — and, with -shards,
+//	                                across consensus groups; absent keys
+//	                                read "-")
 //	MPUT <k1> <v1> <k2> <v2> ... →  OK (one atomic transaction; with
 //	                                -shards the keys may span groups and
 //	                                commit through the cross-shard layer)
@@ -21,8 +27,8 @@
 //	                                any replica accepts it; requires
 //	                                -shards > 1 at startup)
 //
-// Unlike PUT — whose value runs to the end of the line — MPUT keys and
-// values are single whitespace-separated tokens: a value containing a
+// Unlike PUT — whose value runs to the end of the line — MPUT/MGET keys
+// and values are single whitespace-separated tokens: a value containing a
 // space would silently shift every following pair.
 package main
 
@@ -102,10 +108,11 @@ func run(id int, peerList, clientAddr string, shards int, dataDir string) error 
 	if err != nil {
 		return err
 	}
-	rep := stk.Engine
 	stk.Start()
 	if recovered := stk.Recovered; recovered != nil && !recovered.Empty {
-		log.Printf("replica %d recovered %d keys (%d commands applied) from %s", id, len(recovered.KV), recovered.Applied, dataDir)
+		// The replay lands directly in the node's store (wal.OpenInto), so
+		// the store is where the recovered key count lives.
+		log.Printf("replica %d recovered %d keys (%d commands applied) from %s", id, stk.Store.Len(), recovered.Applied, dataDir)
 	}
 	log.Printf("replica %d up: protocol %s, clients %s, shards %d", id, addrs[id], clientAddr, stk.Shards)
 
@@ -113,7 +120,7 @@ func run(id int, peerList, clientAddr string, shards int, dataDir string) error 
 	if err != nil {
 		return err
 	}
-	go serveClients(ln, rep)
+	go serveClients(ln, stk)
 
 	// Graceful shutdown on the first SIGINT/SIGTERM: stop accepting
 	// clients, quiesce the engines, flush and close the WAL (clean-path
@@ -140,15 +147,15 @@ func run(id int, peerList, clientAddr string, shards int, dataDir string) error 
 	return nil
 }
 
-// serveClients accepts client connections and executes their requests
-// through consensus.
-func serveClients(ln net.Listener, rep protocol.Engine) {
+// serveClients accepts client connections and executes their requests —
+// writes through consensus, reads through the node-local read engine.
+func serveClients(ln net.Listener, stk *stack.Stack) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
-		go handleClient(conn, rep)
+		go handleClient(conn, stk)
 	}
 }
 
@@ -194,8 +201,67 @@ func parseMPut(line string) (command.Command, error) {
 	return batch.Pack(cmds)
 }
 
-func handleClient(conn net.Conn, rep protocol.Engine) {
+// readTimeout bounds a local read's frontier wait; a read that cannot
+// settle within it (a wedged deployment) reports the error instead of
+// hanging the connection.
+const readTimeout = 30 * time.Second
+
+// handleGet serves GET from the node-local read engine — stamped against
+// the key's group clock, answered once the delivery frontier passes the
+// stamp, linearizable with no consensus round — falling back to a
+// proposed read only if local reads are unavailable.
+func handleGet(out *bufio.Writer, stk *stack.Stack, key string) bool {
+	if stk.Reads == nil || !stk.Reads.Available() {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), readTimeout)
+	defer cancel()
+	val, _, err := stk.Reads.Read(ctx, key)
+	switch {
+	case err != nil:
+		fmt.Fprintf(out, "ERR %v\n", err)
+	case len(val) > 0:
+		fmt.Fprintf(out, "OK %s\n", val)
+	default:
+		fmt.Fprintf(out, "OK\n")
+	}
+	return true
+}
+
+// handleMGet serves MGET: one consistent local snapshot across the keys
+// (and, in a sharded deployment, across consensus groups) at a merged
+// read timestamp — an atomic MPUT's values appear all together or not at
+// all. Absent keys render as "-".
+func handleMGet(out *bufio.Writer, stk *stack.Stack, keys []string) {
+	if len(keys) == 0 {
+		fmt.Fprintf(out, "ERR usage: MGET <key> [<key>...]\n")
+		return
+	}
+	if stk.Reads == nil || !stk.Reads.Available() {
+		fmt.Fprintf(out, "ERR snapshot reads unavailable on this replica\n")
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), readTimeout)
+	defer cancel()
+	vals, present, err := stk.Reads.ReadTx(ctx, keys)
+	if err != nil {
+		fmt.Fprintf(out, "ERR %v\n", err)
+		return
+	}
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		if !present[i] || len(v) == 0 {
+			parts[i] = "-"
+			continue
+		}
+		parts[i] = string(v)
+	}
+	fmt.Fprintf(out, "OK %s\n", strings.Join(parts, " "))
+}
+
+func handleClient(conn net.Conn, stk *stack.Stack) {
 	defer conn.Close()
+	rep := stk.Engine
 	sc := bufio.NewScanner(conn)
 	out := bufio.NewWriter(conn)
 	for sc.Scan() {
@@ -206,7 +272,18 @@ func handleClient(conn net.Conn, rep protocol.Engine) {
 		case len(fields) == 3 && strings.EqualFold(fields[0], "PUT"):
 			cmd = command.Put(fields[1], []byte(fields[2]))
 		case len(fields) == 2 && strings.EqualFold(fields[0], "GET"):
+			if handleGet(out, stk, fields[1]) {
+				out.Flush()
+				continue
+			}
 			cmd = command.Get(fields[1])
+		case strings.EqualFold(fields[0], "MGET"):
+			// Re-tokenize on purpose: fields came from SplitN(line, 3)
+			// (PUT values run to end of line), which would fold keys
+			// 2..N into one token.
+			handleMGet(out, stk, strings.Fields(line)[1:])
+			out.Flush()
+			continue
 		case strings.EqualFold(fields[0], "MPUT"):
 			var err error
 			if cmd, err = parseMPut(line); err != nil {
@@ -219,7 +296,7 @@ func handleClient(conn net.Conn, rep protocol.Engine) {
 			out.Flush()
 			continue
 		default:
-			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key> | MPUT <k> <v> [<k> <v>...] | RESIZE <shards>\n")
+			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key> | MGET <k> [<k>...] | MPUT <k> <v> [<k> <v>...] | RESIZE <shards>\n")
 			out.Flush()
 			continue
 		}

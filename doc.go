@@ -75,11 +75,14 @@
 // order (the same consensus-ordered-marker trick the paper's recovery
 // machinery uses to make state transitions deterministic). Group 0's
 // total order of markers serializes concurrent resizes. For each key
-// range changing homes, the source group's state is exported at its fence
-// point, imported for the destinations, and the cross-shard transactions
-// the source ordered pre-fence are drained; commands reaching a key's new
-// home early are queued — per-key FIFO, without stalling unrelated
-// traffic — until that handoff completes.
+// range changing homes, the cross-shard transactions the source group
+// ordered pre-fence are drained, and state-machine commands reaching a
+// key's new home early are queued — per-key FIFO, without stalling
+// unrelated traffic — until that handoff completes. (The store is
+// node-shared, so no key bytes move: the handoff is purely the ordering
+// protocol; cross-shard participant pieces bypass the handoff gate —
+// registering one touches only the commit table — which is what keeps
+// the handoff's wait graph acyclic.)
 //
 // Preserved through a resize: exactly-once application of every
 // acknowledged command, the per-key total order (old home's order up to
@@ -92,6 +95,44 @@
 // migrating keys stalls at most one handoff round. See internal/rebalance
 // for the protocol, `caesar-bench -figure elastic` for throughput through
 // a live 2→4 resize, and examples/sharding for a mid-stream resize.
+//
+// # Read model
+//
+// Reads are served off the consensus path (internal/reads):
+//
+//	val, _ := node.Read(ctx, "accounts/alice")            // one key
+//	vals, _ := node.ReadTx(ctx, []string{"a", "b", "c"})  // one snapshot
+//
+// A read is stamped from its key's consensus-group logical clock,
+// registered against the group's delivery frontier, and answered from the
+// local store the moment every conflicting command below the stamp has
+// been applied here — the paper's §IV-A wait condition, applied to reads:
+// no proposal, no quorum round-trip, no log record. A small per-key
+// version ring in the store answers "as of" the stamp even when later
+// writes land during the wait. ReadTx fans the frontier wait across every
+// touched group, merges to the max per-group stamp, waits until no held
+// cross-shard transaction on its keys could still execute below it, and
+// cuts one snapshot under a single store lock.
+//
+// Guaranteed: a read observes a real point of its key's conflict order —
+// never a torn write, never a reordering; a ReadTx snapshot is one
+// consistent cut in which a ProposeTx's writes appear for all of its keys
+// or for none; reads through one node are monotone per key (a later read
+// never sees an older state); a client that writes and reads through the
+// same node reads its own writes; and a read observes every command whose
+// acknowledgement the serving replica has learned — single-key reads are
+// linearizable with respect to everything the replica has heard of.
+// During a resize, reads racing the epoch switch retry internally under
+// one consistent epoch, and reads of migrating keys stall at most one
+// handoff round; after a restart the version window starts empty, so
+// reads serve the recovered state directly. Not guaranteed: strict
+// cross-node real-time ordering against a command the serving replica has
+// not yet received any message for — a write acknowledged elsewhere whose
+// first message is still in flight here serializes after the read
+// (closing that window requires leases or quorum reads; proposing a Get
+// buys it today). See internal/reads for the mechanism and
+// `caesar-bench -figure readheavy` for what the local path is worth:
+// ≥3–10× propose-based reads at a 90% read mix.
 //
 // # Durability and crash restart
 //

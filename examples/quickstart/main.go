@@ -31,8 +31,11 @@ func main() {
 		}
 	}
 
-	// Reads are linearizable when proposed; node 0 sees node 4's write.
-	val, err := cluster.Node(0).Propose(ctx, caesar.Get("greeting/4"))
+	// Reads are served from the local store off the consensus path
+	// (Node.Read): stamped against the logical clock and answered once
+	// every conflicting command below the stamp has applied — no quorum
+	// round-trip. Proposing a Get still works and is equivalent.
+	val, err := cluster.Node(0).Read(ctx, "greeting/4")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +48,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	val, _ = cluster.Node(2).Propose(ctx, caesar.Get("counter"))
+	val, _ = cluster.Node(2).Read(ctx, "counter")
 	fmt.Printf("final counter byte = %d (expect 9)\n", val[0])
 
 	for i := 0; i < cluster.Size(); i++ {

@@ -43,12 +43,19 @@ func main() {
 	}
 	fmt.Printf("24 keys routed across %d shards: %v\n", shards, perShard)
 
-	// Reads go through consensus on any node, whatever shard holds the key.
-	val, err := cluster.Node(2).Propose(ctx, caesar.Get("user/7"))
+	// Reads are served locally on any node, whatever shard holds the key
+	// (Node.Read: linearizable, no consensus round); a multi-key ReadTx
+	// cuts one snapshot even when the keys live on different groups.
+	val, err := cluster.Node(2).Read(ctx, "user/7")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("node 2 reads user/7 = %q (shard %d)\n", val, caesar.ShardOf("user/7", shards))
+	snap, err := cluster.Node(0).ReadTx(ctx, []string{"user/3", "user/7", "user/11"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot across groups: user/3=%q user/7=%q user/11=%q\n", snap[0], snap[1], snap[2])
 
 	// Conflicting commands always share a shard, so increments from every
 	// node serialize exactly once no matter how many groups run.

@@ -16,6 +16,7 @@ import (
 
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
 )
 
 // Config tunes the batcher.
@@ -56,6 +57,11 @@ var _ protocol.Engine = (*Engine)(nil)
 func Wrap(inner protocol.Engine, cfg Config) *Engine {
 	return &Engine{inner: inner, cfg: cfg.withDefaults()}
 }
+
+// Unwrap exposes the wrapped engine, so layers that need the concrete
+// replica underneath — the local-read engine (internal/reads) discovering
+// each group's read frontier — can reach through the batcher.
+func (e *Engine) Unwrap() protocol.Engine { return e.inner }
 
 // Start starts the inner engine.
 func (e *Engine) Start() { e.inner.Start() }
@@ -183,7 +189,11 @@ type Applier struct {
 	Inner protocol.Applier
 }
 
-var _ protocol.Applier = Applier{}
+var (
+	_ protocol.Applier                  = Applier{}
+	_ protocol.TimestampedApplier       = Applier{}
+	_ protocol.TimestampedAtomicApplier = Applier{}
+)
 
 // NewApplier wraps inner so it can execute batches.
 func NewApplier(inner protocol.Applier) Applier {
@@ -192,15 +202,31 @@ func NewApplier(inner protocol.Applier) Applier {
 
 // Apply implements protocol.Applier.
 func (a Applier) Apply(cmd command.Command) []byte {
+	return a.ApplyAt(cmd, timestamp.Zero)
+}
+
+// ApplyAt implements protocol.TimestampedApplier, forwarding the decided
+// timestamp to the inner applier: every member of a batch was decided —
+// and is therefore stamped — at the batch's timestamp.
+func (a Applier) ApplyAt(cmd command.Command, ts timestamp.Timestamp) []byte {
 	if cmd.Op != command.OpBatch {
-		return a.Inner.Apply(cmd)
+		return applyAt(a.Inner, cmd, ts)
 	}
 	cmds, err := Unpack(cmd)
 	if err != nil {
 		return nil
 	}
-	a.ApplyAll(cmds)
+	a.ApplyAllAt(cmds, ts)
 	return nil
+}
+
+// applyAt hands one command to an applier with its timestamp when the
+// applier wants it.
+func applyAt(app protocol.Applier, cmd command.Command, ts timestamp.Timestamp) []byte {
+	if ta, ok := app.(protocol.TimestampedApplier); ok {
+		return ta.ApplyAt(cmd, ts)
+	}
+	return app.Apply(cmd)
 }
 
 // ApplyAll implements protocol.AtomicApplier, forwarding atomicity to the
@@ -210,13 +236,21 @@ func (a Applier) Apply(cmd command.Command) []byte {
 // When flattening occurs the returned results align with the flattened
 // op list, not the input (batch members have no individual results).
 func (a Applier) ApplyAll(cmds []command.Command) [][]byte {
+	return a.ApplyAllAt(cmds, timestamp.Zero)
+}
+
+// ApplyAllAt implements protocol.TimestampedAtomicApplier; see ApplyAll.
+func (a Applier) ApplyAllAt(cmds []command.Command, ts timestamp.Timestamp) [][]byte {
 	cmds = flatten(cmds)
+	if ta, ok := a.Inner.(protocol.TimestampedAtomicApplier); ok {
+		return ta.ApplyAllAt(cmds, ts)
+	}
 	if aa, ok := a.Inner.(protocol.AtomicApplier); ok {
 		return aa.ApplyAll(cmds)
 	}
 	out := make([][]byte, len(cmds))
 	for i, c := range cmds {
-		out[i] = a.Inner.Apply(c)
+		out[i] = applyAt(a.Inner, c, ts)
 	}
 	return out
 }

@@ -108,6 +108,7 @@ func (r *Replica) deliverNow(rec *record) {
 	id := rec.id()
 	if already {
 		rec.applied = true // replayed from the durable log pre-crash
+		r.releaseReads(id)
 		r.queueAck(id)
 		return
 	}
@@ -133,10 +134,15 @@ func (r *Replica) deliverNow(rec *record) {
 			// Completion may run on any goroutine — including the event
 			// loop itself (the gate's pass path completes synchronously),
 			// where a blocking Post on a full inbox would deadlock the
-			// loop against itself. TryPost never blocks; a dropped or
-			// shutdown-raced ack is recovered by the duplicate-Stable
-			// re-ack path when the leader retransmits.
-			r.loop.TryPost(evAck{id: id})
+			// loop against itself. TryPost never blocks; when it fails
+			// (full inbox), the ack is re-posted from a fresh goroutine,
+			// where blocking is safe — losing it would leave the record
+			// unapplied forever, parking every read fence on its keys and
+			// withholding its GC ack (a shutdown race just drops it: Post
+			// fails on a stopped loop).
+			if !r.loop.TryPost(evAck{id: id}) {
+				go r.loop.Post(evAck{id: id})
+			}
 			if done != nil {
 				done(res)
 			}
@@ -150,17 +156,20 @@ func (r *Replica) deliverNow(rec *record) {
 		value = r.app.Apply(rec.cmd)
 	}
 	rec.applied = true
+	r.releaseReads(id)
 	r.queueAck(id)
 	if done != nil {
 		done(protocol.Result{Value: value})
 	}
 }
 
-// onAck marks a deferred apply complete and queues its GC ack.
+// onAck marks a deferred apply complete, wakes the read fences parked on
+// it and queues its GC ack.
 func (r *Replica) onAck(id command.ID) {
 	if rec := r.hist.get(id); rec != nil {
 		rec.applied = true
 	}
+	r.releaseReads(id)
 	r.queueAck(id)
 }
 

@@ -1,0 +1,127 @@
+package caesar
+
+// Local-read support (internal/reads): a read is stamped with this
+// replica's logical clock and registered against the delivery frontier —
+// it may be served from the local store the moment every conflicting
+// command that could still order below its timestamp has been applied
+// here. That is the paper's §IV-A wait condition turned around and applied
+// to reads: instead of an acceptor holding a *proposal* until the lower
+// timestamps settle, the replica holds a *read* until the lower timestamps
+// are executed, after which the local state at the read's timestamp is a
+// real point of the group's serialization order. No proposal, no quorum
+// round-trip, no log record.
+//
+// The fence covers every conflicting command this replica has seen
+// (pre-stable, stable-undelivered, or delivered-but-deferred behind a
+// rebalance handoff). A command it has not yet heard of at registration
+// time is not waited for: the read then serializes before that command,
+// which is consistent because the command's acknowledgement cannot have
+// preceded the read's completion at this replica. See the package
+// documentation of internal/reads for the precise guarantee.
+
+import (
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+// readWaiter is one parked read fence: remaining counts the conflicting
+// commands still unapplied; done fires (from the event loop — it must not
+// block) when the count reaches zero.
+type readWaiter struct {
+	remaining int
+	done      func(error)
+}
+
+// evReadFence registers a read point inside the event loop.
+type evReadFence struct {
+	keys []string
+	ts   timestamp.Timestamp
+	done func(error)
+}
+
+// ReadStamp issues a fresh read timestamp from the replica's logical
+// clock. The clock has observed every timestamp this replica proposed,
+// accepted or delivered, so the stamp orders strictly after everything
+// already applied here — including the caller's own completed writes
+// through this node (read-your-writes). Safe for concurrent use; called
+// outside the event loop.
+func (r *Replica) ReadStamp() timestamp.Timestamp {
+	return r.clock.Next()
+}
+
+// ReadFence parks done until every command conflicting with keys that this
+// replica has seen and that could still order below ts has been applied to
+// the local store. done is invoked from the event loop (or inline on a
+// stopped replica, with protocol.ErrStopped) and must not block.
+func (r *Replica) ReadFence(keys []string, ts timestamp.Timestamp, done func(error)) {
+	if len(keys) == 0 {
+		done(nil)
+		return
+	}
+	if !r.loop.Post(evReadFence{keys: keys, ts: ts, done: done}) {
+		done(protocol.ErrStopped)
+	}
+}
+
+// onReadFence computes the read's blocking set: every indexed conflicting
+// record below ts not yet applied. Timestamps only move up (retries raise
+// them, never lower them), so a record currently at or above ts can never
+// finalize below it and is not waited for; a record below ts that later
+// retries above it is waited for anyway — a small latency cost, never a
+// correctness one.
+func (r *Replica) onReadFence(e evReadFence) {
+	phantom := command.Command{Op: command.OpGet, Key: e.keys[0]}
+	if len(e.keys) > 1 {
+		phantom.ExtraKeys = e.keys[1:]
+	}
+	w := &readWaiter{done: e.done}
+	seen := make(map[command.ID]struct{})
+	r.hist.conflictsBelow(phantom, e.ts, func(rec *record) {
+		if rec.applied {
+			return
+		}
+		id := rec.id()
+		if _, dup := seen[id]; dup {
+			return // a record touching several of the read's keys
+		}
+		seen[id] = struct{}{}
+		w.remaining++
+		r.readParked[id] = append(r.readParked[id], w)
+	})
+	if w.remaining == 0 {
+		e.done(nil)
+	}
+}
+
+// releaseReads wakes the read fences parked on a command that has just
+// been applied (or recognized as applied by a pre-crash incarnation).
+// Called from the event loop.
+func (r *Replica) releaseReads(id command.ID) {
+	ws := r.readParked[id]
+	if len(ws) == 0 {
+		return
+	}
+	delete(r.readParked, id)
+	for _, w := range ws {
+		if w.remaining--; w.remaining == 0 {
+			w.done(nil)
+		}
+	}
+}
+
+// failReadWaiters fails every parked read fence with ErrStopped; called
+// once from Stop after the loop has drained.
+func (r *Replica) failReadWaiters() {
+	failed := make(map[*readWaiter]struct{})
+	for id, ws := range r.readParked {
+		delete(r.readParked, id)
+		for _, w := range ws {
+			if _, done := failed[w]; done {
+				continue
+			}
+			failed[w] = struct{}{}
+			w.done(protocol.ErrStopped)
+		}
+	}
+}

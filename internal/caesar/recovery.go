@@ -54,7 +54,12 @@ func (r *Replica) onSuspect(q timestamp.NodeID, now time.Time) {
 }
 
 // checkRecoveryDeadlines fires scheduled recoveries that are due and
-// retries in-flight ones that could not gather a quorum in time.
+// retries in-flight ones that could not gather a quorum in time. Retries
+// are re-scheduled with the same rank stagger the initial takeover gets:
+// dueling recoverers whose prepares preempted each other share one
+// deadline arithmetic, and an unstaggered retry would re-collide them at
+// identical instants every round — the suspected residue behind the rare
+// post-restart liveness stall (see TestStrandedDuelRetriesConverge).
 func (r *Replica) checkRecoveryDeadlines(now time.Time) {
 	for id, at := range r.scheduledRecovery {
 		if now.Before(at) {
@@ -66,7 +71,13 @@ func (r *Replica) checkRecoveryDeadlines(now time.Time) {
 	for id, rc := range r.recoveries {
 		if now.After(rc.deadline) {
 			delete(r.recoveries, id)
-			r.startRecovery(id)
+			if _, scheduled := r.scheduledRecovery[id]; !scheduled {
+				// Rank like onSuspect (dense among survivors, so some
+				// survivor always retries with zero delay), not raw node
+				// ID — with node 0 crashed, an ID stagger would add one
+				// idle backoff to every retry round.
+				r.scheduledRecovery[id] = now.Add(time.Duration(r.fd.Rank()) * r.cfg.RecoveryBackoff)
+			}
 		}
 	}
 }

@@ -169,9 +169,16 @@ type Replica struct {
 	// dones holds client callbacks for locally submitted commands.
 	dones map[command.ID]protocol.DoneFunc
 	// recoveries holds in-flight recovery prepares; scheduledRecovery
-	// holds takeovers waiting out their stagger delay.
+	// holds takeovers waiting out their stagger delay. awaitedStuck
+	// tracks how long delivery has been parked on predecessors with no
+	// local record (recoverStuck's third class).
 	recoveries        map[command.ID]*recovery
 	scheduledRecovery map[command.ID]time.Time
+	awaitedStuck      map[command.ID]time.Time
+	// readParked maps an unapplied command ID to the read fences waiting
+	// on it (internal/reads): a read at timestamp T parks on every known
+	// conflicting command that could still order below T.
+	readParked map[command.ID][]*readWaiter
 	// ackPending accumulates delivered IDs to acknowledge, per leader.
 	ackPending map[timestamp.NodeID][]command.ID
 	// acked tracks which replicas acknowledged each command's delivery
@@ -245,6 +252,8 @@ func New(ep transport.Endpoint, app protocol.Applier, cfg Config) *Replica {
 		dones:             make(map[command.ID]protocol.DoneFunc),
 		recoveries:        make(map[command.ID]*recovery),
 		scheduledRecovery: make(map[command.ID]time.Time),
+		awaitedStuck:      make(map[command.ID]time.Time),
+		readParked:        make(map[command.ID][]*readWaiter),
 		ackPending:        make(map[timestamp.NodeID][]command.ID),
 		acked:             make(map[command.ID]map[timestamp.NodeID]struct{}),
 		nextSeq:           cfg.SeqFloor,
@@ -318,6 +327,7 @@ func (r *Replica) Stop() {
 			done(protocol.Result{Err: protocol.ErrStopped})
 		}
 	}
+	r.failReadWaiters()
 }
 
 // Submit proposes cmd on this replica. The replica becomes the command's
@@ -348,6 +358,8 @@ func (r *Replica) handle(ev any) {
 		r.onSubmit(e.cmd, e.done)
 	case evAck:
 		r.onAck(e.id)
+	case evReadFence:
+		r.onReadFence(e)
 	case evInspect:
 		e.fn(r)
 	}
@@ -453,15 +465,41 @@ func (r *Replica) onTick(now time.Time) {
 	}
 }
 
-// recoverStuck schedules recovery for records that have sat pre-stable a
-// full StuckTimeout: their leader may be a restarted incarnation that
-// lost them, which the silence-based failure detector cannot see (the
-// new incarnation heartbeats happily). The scan is two-phase — a record
-// is first marked, then recovered if still pre-stable a timeout later —
-// so freshly created records never trip it.
+// recoverStuck schedules recovery for commands that have sat unfinished a
+// full StuckTimeout even though their leader looks alive. Three classes
+// the failure detector cannot see:
+//
+//   - a foreign pre-stable record whose leader is a restarted incarnation
+//     that lost it (heartbeats happily, will never finish it);
+//   - one of this node's own pre-stable records whose proposer round has
+//     wedged — e.g. parked in a peer's §IV-A wait behind a command that
+//     is itself stuck — where "the local proposer will drive it" no
+//     longer holds and a ballot-protected recovery restart is the only
+//     way forward;
+//   - a stable record parked on a predecessor this replica has never
+//     received (r.awaited with no local record): onSuspect recovers those
+//     when the pred's leader goes silent, but a wedged-yet-alive leader
+//     never trips suspicion.
+//
+// Every scan is two-phase — mark first, recover if still stuck a timeout
+// later — so fresh records and freshly parked predecessors never trip it,
+// and recovery is ballot-protected, so firing on a merely-slow command is
+// safe.
 func (r *Replica) recoverStuck(now time.Time) {
+	schedule := func(id command.ID) {
+		if _, active := r.recoveries[id]; active {
+			return
+		}
+		if _, scheduled := r.scheduledRecovery[id]; scheduled {
+			return
+		}
+		// Rank like onSuspect (dense among survivors) so some replica
+		// always recovers with zero delay even when low-ID nodes are the
+		// crashed ones. recoverStuck only runs with the detector on.
+		r.scheduledRecovery[id] = now.Add(time.Duration(r.fd.Rank()) * r.cfg.RecoveryBackoff)
+	}
 	for id, rec := range r.hist.recs {
-		if rec.status == StatusStable || rec.delivered || id.Node == r.self {
+		if rec.status == StatusStable || rec.delivered {
 			continue
 		}
 		if rec.stuckSince.IsZero() {
@@ -472,12 +510,26 @@ func (r *Replica) recoverStuck(now time.Time) {
 			continue
 		}
 		rec.stuckSince = now // throttle rescheduling
-		if _, active := r.recoveries[id]; active {
+		schedule(id)
+	}
+	for id := range r.awaited {
+		if r.delivered.Has(id) || r.hist.get(id) != nil {
+			continue // a known record: the loop above covers it
+		}
+		since, marked := r.awaitedStuck[id]
+		if !marked {
+			r.awaitedStuck[id] = now
 			continue
 		}
-		if _, scheduled := r.scheduledRecovery[id]; scheduled {
+		if now.Sub(since) < r.cfg.StuckTimeout {
 			continue
 		}
-		r.scheduledRecovery[id] = now.Add(time.Duration(r.self) * r.cfg.RecoveryBackoff)
+		r.awaitedStuck[id] = now
+		schedule(id)
+	}
+	for id := range r.awaitedStuck {
+		if _, parked := r.awaited[id]; !parked {
+			delete(r.awaitedStuck, id)
+		}
 	}
 }

@@ -410,6 +410,52 @@ func Elastic(w io.Writer, base Options) []Result {
 	return []Result{el, static4}
 }
 
+// ReadMixes is the x-axis of the read-heavy scenario: the percentage of
+// client operations that are reads.
+var ReadMixes = []float64{50, 90, 99}
+
+// ReadHeavyOpts configures one read-heavy run: the pipeline-bound sharded
+// setup of ShardingOpts (4 groups, local net, modeled apply cost) with
+// readPct of the operations reads — served from the node-local read
+// engine (internal/reads) when local is set, proposed through consensus
+// like any command otherwise. Reads target mostly the client's own
+// recent writes (read-after-write, the pattern that actually exercises
+// the frontier wait) plus the shared pool at the conflict rate.
+func ReadHeavyOpts(base Options, readPct float64, local bool) Options {
+	o := ShardingOpts(base, Caesar, 2, 4)
+	o.ReadPct = readPct
+	o.LocalReads = local
+	return o
+}
+
+// ReadHeavy measures what taking reads off the consensus path buys: for
+// each read mix, aggregate throughput with reads proposed through
+// consensus (two message delays + a quorum round per GET) against reads
+// served locally after the delivery frontier passes their stamp — plus
+// the local columns' client-observed read-latency percentiles. The
+// propose-based column pays the full write path for every read, so the
+// speedup grows with the read share; local reads of an idle frontier
+// complete in microseconds.
+func ReadHeavy(w io.Writer, base Options) []Result {
+	fmt.Fprintln(w, "ReadHeavy: local linearizable reads vs propose-based reads (4 groups)")
+	fmt.Fprintf(w, "%-8s %12s %12s %9s %12s %12s\n",
+		"read%", "propose", "local", "speedup", "read p50", "read p99")
+	var results []Result
+	for _, mix := range ReadMixes {
+		prop := Run(ReadHeavyOpts(base, mix, false))
+		local := Run(ReadHeavyOpts(base, mix, true))
+		results = append(results, prop, local)
+		speedup := 0.0
+		if prop.Throughput > 0 {
+			speedup = local.Throughput / prop.Throughput
+		}
+		fmt.Fprintf(w, "%-8.0f %12.0f %12.0f %8.2fx %12s %12s\n",
+			mix, prop.Throughput, local.Throughput, speedup,
+			ms(local.ReadP50)+"ms", ms(local.ReadP99)+"ms")
+	}
+	return results
+}
+
 // DurableOpts configures one durable scenario run: a local-net 3-node,
 // 4-group CAESAR deployment with a 5% cross-shard transaction mix (so
 // the log carries pieces, markers and transaction outcomes, not just

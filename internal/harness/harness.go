@@ -114,6 +114,14 @@ type Options struct {
 	// WALNoSync disables the fsync on group commit (ablation: the cost
 	// of the write path alone, without the sync).
 	WALNoSync bool
+	// ReadPct in [0,100] makes that fraction of client operations reads
+	// (the read-heavy scenario's mix axis). Reads are proposed through
+	// consensus like writes unless LocalReads is set.
+	ReadPct float64
+	// LocalReads serves the read mix from each node's local read engine
+	// (internal/reads): stamped against the group clock, answered once
+	// the delivery frontier passes the stamp — no proposal, no quorum.
+	LocalReads bool
 }
 
 func (o Options) withDefaults() Options {
@@ -185,6 +193,12 @@ type Result struct {
 	Timeline                            []TimelinePoint
 	// Failed counts client commands that timed out or errored.
 	Failed int64
+	// Read-mix measurements (the readheavy figure): completed reads over
+	// the window and their latency percentiles in paper units, measured
+	// client-side so the local and propose-based columns are directly
+	// comparable. Zero without Options.ReadPct.
+	Reads            int64
+	ReadP50, ReadP99 time.Duration
 	// Durable-log measurements (the durable figure), aggregated across
 	// the cluster: group commits, their mean batch size (records per
 	// fsync) and mean fsync latency. Zero without Options.DataDir.
@@ -229,6 +243,31 @@ func (s *engineSet) crash(node int) protocol.Engine {
 	return s.engines[node]
 }
 
+func (s *engineSet) isDown(node int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.down[node]
+}
+
+// stackReaders resolves each node's local read engine for the client
+// loops (Options.LocalReads); crashed nodes and nodes without read
+// support resolve to nil, making their clients propose reads instead.
+type stackReaders struct {
+	stacks []*stack.Stack
+	down   *engineSet
+}
+
+func (s stackReaders) Reader(node int) workload.Reader {
+	if s.down.isDown(node) {
+		return nil
+	}
+	rd := s.stacks[node].Reads
+	if rd == nil || !rd.Available() {
+		return nil
+	}
+	return rd
+}
+
 // pacedApplier models Options.ApplyCost: each Apply sleeps for the
 // configured service time before executing, occupying its group's (serial)
 // delivery pipeline for that long without burning CPU.
@@ -238,6 +277,12 @@ type pacedApplier struct {
 }
 
 func (p pacedApplier) Apply(cmd command.Command) []byte {
+	return p.ApplyAt(cmd, timestamp.Zero)
+}
+
+// ApplyAt keeps decided timestamps flowing through the pacing wrapper so
+// the store's version ring (behind the local read path) stays stamped.
+func (p pacedApplier) ApplyAt(cmd command.Command, ts timestamp.Timestamp) []byte {
 	n := 1
 	if cmd.Op == command.OpBatch {
 		// A batch expands to its members below this wrapper; charge the
@@ -248,6 +293,9 @@ func (p pacedApplier) Apply(cmd command.Command) []byte {
 		}
 	}
 	time.Sleep(time.Duration(n) * p.cost)
+	if ta, ok := p.inner.(protocol.TimestampedApplier); ok {
+		return ta.ApplyAt(cmd, ts)
+	}
 	return p.inner.Apply(cmd)
 }
 
@@ -255,7 +303,15 @@ func (p pacedApplier) Apply(cmd command.Command) []byte {
 // wrapper (the cross-shard commit table type-asserts AtomicApplier on its
 // Exec): the per-op cost is paid up front, outside the atomic window.
 func (p pacedApplier) ApplyAll(cmds []command.Command) [][]byte {
+	return p.ApplyAllAt(cmds, timestamp.Zero)
+}
+
+// ApplyAllAt is ApplyAll with the unit's decided (merged) timestamp.
+func (p pacedApplier) ApplyAllAt(cmds []command.Command, ts timestamp.Timestamp) [][]byte {
 	time.Sleep(time.Duration(len(cmds)) * p.cost)
+	if ta, ok := p.inner.(protocol.TimestampedAtomicApplier); ok {
+		return ta.ApplyAllAt(cmds, ts)
+	}
 	if aa, ok := p.inner.(protocol.AtomicApplier); ok {
 		return aa.ApplyAll(cmds)
 	}
@@ -404,6 +460,10 @@ func Run(o Options) Result {
 	defer cancel()
 	cmdTimeout := 10 * time.Second
 	stats := &workload.ClientStats{}
+	var readers workload.Readers
+	if o.LocalReads {
+		readers = stackReaders{stacks: stacks, down: set}
+	}
 	var wg sync.WaitGroup
 	for node := 0; node < o.Nodes; node++ {
 		for c := 0; c < o.ClientsPerNode; c++ {
@@ -413,10 +473,11 @@ func Run(o Options) Result {
 				Seed:          o.Seed + int64(node*1000+c),
 				CrossShardPct: o.CrossShardPct,
 				SpanShards:    o.CrossShardSpan,
+				ReadPct:       o.ReadPct,
 			}, fmt.Sprintf("n%dc%d", node, c))
 			go func(node int, gen *workload.Generator) {
 				defer wg.Done()
-				workload.RunClosedLoop(ctx, set, node, gen, cmdTimeout, stats)
+				workload.RunClosedLoopMixed(ctx, set, readers, node, gen, cmdTimeout, stats)
 			}(node, gen)
 		}
 	}
@@ -425,8 +486,10 @@ func Run(o Options) Result {
 	for _, m := range mets {
 		m.Reset()
 	}
+	stats.ResetReads()
 	start := time.Now()
 	completedAtStart := stats.Completed()
+	readsAtStart := stats.Reads()
 
 	// Optional crash + timeline sampling (Fig 12).
 	var timeline []TimelinePoint
@@ -525,6 +588,11 @@ func Run(o Options) Result {
 	// Throughput counts completed client commands (batches unfold to
 	// their members at the clients), the quantity the paper plots.
 	res.Throughput = float64(completed) / elapsed.Seconds()
+	res.Reads = stats.Reads() - readsAtStart
+	if rl := stats.ReadLatency(); rl != nil && rl.Count() > 0 {
+		res.ReadP50 = rescale(rl.Quantile(0.50))
+		res.ReadP99 = rescale(rl.Quantile(0.99))
+	}
 	if total := propose + retry + deliver; total > 0 {
 		res.ProposeFrac = float64(propose) / float64(total)
 		res.RetryFrac = float64(retry) / float64(total)

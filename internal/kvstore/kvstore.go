@@ -2,6 +2,15 @@
 // benchmark application in §VI of the paper: clients issue commands that
 // update or read a given key of a fully replicated store, and two commands
 // conflict when they access the same key.
+//
+// Beyond the plain map, the store keeps a small per-key ring of recent
+// versions stamped with each write's decided timestamp and routing epoch
+// (the MVCC window behind internal/reads): a local read registered at
+// timestamp T can be answered with the value *as of* T even when later
+// writes have already been applied by the time the read's frontier wait
+// completes. The ring is bounded (versionRing entries per key) — a read
+// point that falls off the window reports uncovered and the read layer
+// retries with a fresh stamp.
 package kvstore
 
 import (
@@ -10,6 +19,7 @@ import (
 
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
 )
 
 // decodeInt reads a stored big-endian int64 (absent or malformed = 0).
@@ -20,32 +30,79 @@ func decodeInt(b []byte) int64 {
 	return int64(binary.BigEndian.Uint64(b))
 }
 
+// versionRing bounds the per-key recent-version history. Reads only need
+// the window between their stamp and the moment their frontier wait
+// completes, so a handful of versions suffices; overruns surface as an
+// uncovered read, never a wrong value.
+const versionRing = 8
+
+// version is one write's stamped value. Ordering across versions of a key
+// follows apply order; a version is visible at a read point (epoch, ts)
+// when it was applied under an earlier routing epoch, or under the same
+// epoch at or below the read timestamp.
+type version struct {
+	epoch   uint32
+	ts      timestamp.Timestamp
+	val     []byte
+	present bool
+}
+
+// visibleAt reports whether the version is within a read point.
+func (v version) visibleAt(epoch uint32, ts timestamp.Timestamp) bool {
+	if v.epoch != epoch {
+		return v.epoch < epoch
+	}
+	return !ts.Less(v.ts) // v.ts <= ts
+}
+
 // Store is an in-memory key-value store satisfying protocol.Applier.
 // Apply is invoked from a single goroutine per replica, but reads (Get,
-// Len) may come from other goroutines, so access is guarded.
+// GetAt, Len) may come from other goroutines, so access is guarded.
 type Store struct {
 	mu   sync.RWMutex
 	data map[string][]byte
+	// vers holds each written key's recent versions, oldest first; base is
+	// the key's state just below the ring (the last evicted version, or
+	// the pre-existing state captured at the first recorded write).
+	vers map[string][]version
+	base map[string]version
 	// applied counts executed commands, for test assertions.
 	applied int64
 }
 
-var _ protocol.Applier = (*Store)(nil)
+var (
+	_ protocol.Applier                  = (*Store)(nil)
+	_ protocol.TimestampedApplier       = (*Store)(nil)
+	_ protocol.AtomicApplier            = (*Store)(nil)
+	_ protocol.TimestampedAtomicApplier = (*Store)(nil)
+)
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{data: make(map[string][]byte)}
+	return &Store{
+		data: make(map[string][]byte),
+		vers: make(map[string][]version),
+		base: make(map[string]version),
+	}
 }
 
 // Apply executes one command and returns its result (the stored value for
 // a GET, nil otherwise).
 func (s *Store) Apply(cmd command.Command) []byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.applyLocked(cmd)
+	return s.ApplyAt(cmd, timestamp.Zero)
 }
 
-func (s *Store) applyLocked(cmd command.Command) []byte {
+// ApplyAt implements protocol.TimestampedApplier: the write is recorded in
+// the key's version ring at its decided timestamp (and the command's
+// routing epoch), so reads registered at earlier points can still be
+// answered exactly.
+func (s *Store) ApplyAt(cmd command.Command, ts timestamp.Timestamp) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyLocked(cmd, ts)
+}
+
+func (s *Store) applyLocked(cmd command.Command, ts timestamp.Timestamp) []byte {
 	if cmd.Op == command.OpFence {
 		// Fences are consensus barriers, not state-machine commands: the
 		// rebalancing gate interprets them and the durable log records
@@ -61,6 +118,7 @@ func (s *Store) applyLocked(cmd command.Command) []byte {
 		// replicas.
 		v := make([]byte, len(cmd.Value))
 		copy(v, cmd.Value)
+		s.recordVersionLocked(cmd.Key, cmd.Epoch, ts, v)
 		s.data[cmd.Key] = v
 		return nil
 	case command.OpGet:
@@ -70,6 +128,7 @@ func (s *Store) applyLocked(cmd command.Command) []byte {
 		next := cur + cmd.AddDelta()
 		buf := make([]byte, 8)
 		binary.BigEndian.PutUint64(buf, uint64(next))
+		s.recordVersionLocked(cmd.Key, cmd.Epoch, ts, buf)
 		s.data[cmd.Key] = buf
 		return buf
 	default:
@@ -77,18 +136,98 @@ func (s *Store) applyLocked(cmd command.Command) []byte {
 	}
 }
 
+// recordVersionLocked appends one write to the key's version ring. The
+// first recorded write snapshots the key's pre-existing state (an imported
+// or recovered value, or absence) as the base every earlier read point
+// falls back to; evictions roll the oldest ring entry into the base.
+func (s *Store) recordVersionLocked(key string, epoch uint32, ts timestamp.Timestamp, val []byte) {
+	ring := s.vers[key]
+	if len(ring) == 0 {
+		if _, ok := s.base[key]; !ok {
+			old, present := s.data[key]
+			s.base[key] = version{val: old, present: present}
+		}
+	}
+	ring = append(ring, version{epoch: epoch, ts: ts, val: val, present: true})
+	if len(ring) > versionRing {
+		s.base[key] = ring[0]
+		copy(ring, ring[1:])
+		ring = ring[:versionRing]
+	}
+	s.vers[key] = ring
+}
+
 // ApplyAll implements protocol.AtomicApplier: the commands execute under
 // one lock hold, so no concurrent reader observes a strict subset of their
 // effects. The cross-shard commit layer uses this to apply a transaction's
 // writes at a single instant.
 func (s *Store) ApplyAll(cmds []command.Command) [][]byte {
+	return s.ApplyAllAt(cmds, timestamp.Zero)
+}
+
+// ApplyAllAt implements protocol.TimestampedAtomicApplier: like ApplyAll,
+// with every write version-stamped at ts — a cross-shard transaction's
+// writes all carry its merged timestamp, so a snapshot read either sees
+// the whole transaction or none of it.
+func (s *Store) ApplyAllAt(cmds []command.Command, ts timestamp.Timestamp) [][]byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([][]byte, len(cmds))
 	for i, cmd := range cmds {
-		out[i] = s.applyLocked(cmd)
+		out[i] = s.applyLocked(cmd, ts)
 	}
 	return out
+}
+
+// GetAt reads key as of the read point (epoch, ts): the newest version
+// applied under an earlier routing epoch or at/below ts within the same
+// epoch. covered=false reports that the point has fallen off the key's
+// retention window (the caller retries with a fresh stamp); a key with no
+// recorded versions serves its current state (imported, recovered, or
+// never written).
+func (s *Store) GetAt(key string, epoch uint32, ts timestamp.Timestamp) (val []byte, present, covered bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.getAtLocked(key, epoch, ts)
+}
+
+func (s *Store) getAtLocked(key string, epoch uint32, ts timestamp.Timestamp) (val []byte, present, covered bool) {
+	ring := s.vers[key]
+	for i := len(ring) - 1; i >= 0; i-- {
+		if ring[i].visibleAt(epoch, ts) {
+			return ring[i].val, ring[i].present, true
+		}
+	}
+	if b, ok := s.base[key]; ok {
+		// The first-write base carries the zero epoch and timestamp, so it
+		// is visible at every read point; an evicted ring entry qualifies
+		// by its own stamp.
+		if b.visibleAt(epoch, ts) {
+			return b.val, b.present, true
+		}
+		return nil, false, false
+	}
+	v, ok := s.data[key]
+	return v, ok, true
+}
+
+// SnapshotAt reads several keys at one read point under a single lock
+// hold: because writers (including atomic transaction application) mutate
+// under the write lock, the returned values are a consistent cut — a
+// transaction's writes appear for all of its keys or for none.
+func (s *Store) SnapshotAt(keys []string, epoch uint32, ts timestamp.Timestamp) (vals [][]byte, present []bool, covered bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vals = make([][]byte, len(keys))
+	present = make([]bool, len(keys))
+	for i, k := range keys {
+		v, p, c := s.getAtLocked(k, epoch, ts)
+		if !c {
+			return nil, nil, false
+		}
+		vals[i], present[i] = v, p
+	}
+	return vals, present, true
 }
 
 // Export returns a copy of every entry whose key satisfies pred — the
@@ -113,7 +252,9 @@ func (s *Store) Export(pred func(key string) bool) map[string][]byte {
 // Import writes a snapshot's entries, copying the values. Counterpart of
 // Export on the destination side of a shard handoff; importing does not
 // count toward Applied (the entries were applied by the source group's
-// commands).
+// commands) and records no versions (with the node-shared store the
+// values are already present; keys without version history serve their
+// current state).
 func (s *Store) Import(snap map[string][]byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

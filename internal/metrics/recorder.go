@@ -12,6 +12,10 @@ type Recorder struct {
 	// Latency is the client-visible submit→executed latency (Figs 6–8).
 	Latency *Histogram
 
+	// ReadLatency is the client-visible latency of node-local reads
+	// (internal/reads): stamp → frontier wait → settle → snapshot.
+	ReadLatency *Histogram
+
 	// Executed counts commands executed locally; Decided counts
 	// decisions learned. The harness samples Executed over time for the
 	// throughput figures (9, 12).
@@ -54,7 +58,7 @@ type Recorder struct {
 
 // NewRecorder returns a Recorder ready for use.
 func NewRecorder() *Recorder {
-	return &Recorder{Latency: NewHistogram()}
+	return &Recorder{Latency: NewHistogram(), ReadLatency: NewHistogram()}
 }
 
 // Reset zeroes every measurement; the harness calls it after warmup so the
@@ -64,6 +68,7 @@ func (r *Recorder) Reset() {
 		return
 	}
 	r.Latency.Reset()
+	r.ReadLatency.Reset()
 	r.Executed.Reset()
 	r.Decided.Reset()
 	r.FastDecisions.Reset()

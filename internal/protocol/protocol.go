@@ -95,6 +95,19 @@ type AtomicApplier interface {
 	ApplyAll(cmds []command.Command) [][]byte
 }
 
+// TimestampedAtomicApplier is an AtomicApplier that also wants the decided
+// timestamp of the unit it applies. The cross-shard commit table executes
+// a transaction through ApplyAllAt at its merged timestamp, so a
+// version-recording store (internal/kvstore's MVCC ring, behind
+// internal/reads) stamps every write of the transaction with one
+// timestamp and snapshot reads observe the transaction all-or-nothing.
+type TimestampedAtomicApplier interface {
+	AtomicApplier
+	// ApplyAllAt executes cmds in order as one unit, all decided at ts,
+	// and returns their results.
+	ApplyAllAt(cmds []command.Command, ts timestamp.Timestamp) [][]byte
+}
+
 // ApplierFunc adapts a function to the Applier interface.
 type ApplierFunc func(cmd command.Command) []byte
 

@@ -1,0 +1,345 @@
+// Package reads is the node-local read engine: it serves single-key reads
+// and cross-shard snapshot reads from the replica's own store — no
+// proposal, no quorum round-trip, no log record — the moment the store
+// provably reflects every conflicting command below the read's timestamp.
+//
+// # Mechanism
+//
+// A read is stamped from the key's consensus-group logical clock
+// (GroupReader.ReadStamp) and registered against the group's delivery
+// frontier (GroupReader.ReadFence): the CAESAR replica parks it until
+// every conflicting command it has seen that could still order below the
+// stamp has been applied locally — the paper's §IV-A wait condition,
+// applied to reads instead of proposals. The store's recent-version ring
+// (internal/kvstore) then answers *as of* the stamp even when the
+// frontier has moved past it. A multi-key ReadTx fans the fence across
+// every touched group at the merged (max) per-group stamp, waits the
+// cross-shard commit table's settle point (no held transaction on the
+// keys could still execute below the stamp — xshard.Table.WaitSettled),
+// and cuts one snapshot under a single store lock, so a cross-shard
+// transaction is observed whole or not at all. A read racing a live
+// resize retries under one consistent epoch, exactly like a straddling
+// ProposeTx (rebalance's ErrEpochRetry discipline).
+//
+// # Guarantee
+//
+// Served reads are real points of the serialization order: a single-key
+// read returns the value some prefix of the key's conflict order
+// produced, never a torn or reordered state, and a ReadTx snapshot is one
+// consistent cut across its keys (atomic transactions appear
+// all-or-nothing). Reads through one node are monotone per key (a later
+// read never observes an older prefix) and observe every command whose
+// acknowledgement this replica has seen — in particular a client that
+// writes and reads through the same node always reads its own writes.
+// The fence covers the commands the serving replica has *heard of*; a
+// command decided elsewhere whose very first message is still in flight
+// to this replica serializes after the read, which is the one relaxation
+// of strict cross-node real-time order this design buys its zero
+// round-trips with (closing it requires leases or a quorum read).
+package reads
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/kvstore"
+	"github.com/caesar-consensus/caesar/internal/metrics"
+	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/shard"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/xshard"
+)
+
+// GroupReader is one consensus group's read-frontier surface; the CAESAR
+// replica implements it.
+type GroupReader interface {
+	// ReadStamp issues a fresh read timestamp, strictly above everything
+	// the group has applied on this node.
+	ReadStamp() timestamp.Timestamp
+	// ReadFence calls done (nil error) once every conflicting command the
+	// group has seen that could still order below ts has been applied
+	// locally; done must not block.
+	ReadFence(keys []string, ts timestamp.Timestamp, done func(error))
+}
+
+// Unwrapper lets layered engines (proposer-side batching) expose the
+// engine they wrap, so AsGroupReader can find the replica underneath.
+type Unwrapper interface{ Unwrap() protocol.Engine }
+
+// AsGroupReader extracts the GroupReader behind an engine stack, reaching
+// through Unwrap layers.
+func AsGroupReader(eng protocol.Engine) (GroupReader, bool) {
+	for eng != nil {
+		if gr, ok := eng.(GroupReader); ok {
+			return gr, true
+		}
+		uw, ok := eng.(Unwrapper)
+		if !ok {
+			return nil, false
+		}
+		eng = uw.Unwrap()
+	}
+	return nil, false
+}
+
+// ErrUnavailable reports that a key's consensus group has no local read
+// support on this node (an engine without read frontiers, e.g. the
+// comparison protocols); callers fall back to proposing the read.
+var ErrUnavailable = errors.New("reads: no local read support for the key's consensus group")
+
+// ErrRetriesExhausted reports a read that kept racing resizes (or kept
+// falling off the version-retention window) past the retry budget.
+var ErrRetriesExhausted = errors.New("reads: read kept racing resizes, retries exhausted")
+
+// errRetry classifies one failed attempt that a fresh routing/stamp
+// snapshot can fix: the key moved groups mid-read or the read point fell
+// off the store's version window. errRetryStopped is its variant for a
+// dead serving group — retriable once (a shrink retired the group and
+// the re-route heals it), a node shutdown when it repeats.
+var (
+	errRetry        = errors.New("reads: attempt invalidated, retry")
+	errRetryStopped = errors.New("reads: serving group stopped, retry")
+)
+
+// maxAttempts bounds the internal retry loop, mirroring rebalance's
+// maxEpochRetries: exceeding it means the deployment is resizing
+// continuously.
+const maxAttempts = 8
+
+// Engine is one node's read engine, shared by every consensus group.
+type Engine struct {
+	store *kvstore.Store
+	met   *metrics.Recorder
+
+	mu     sync.RWMutex
+	groups map[int]GroupReader
+	router func() shard.Router
+	table  *xshard.Table
+}
+
+// New builds the engine over the node's store. Groups are attached as the
+// node stack constructs them; SetRouter/SetTable bind the sharded layers.
+func New(store *kvstore.Store, met *metrics.Recorder) *Engine {
+	return &Engine{store: store, met: met, groups: make(map[int]GroupReader)}
+}
+
+// Attach registers (or replaces, after a resize revives a slot) group g's
+// reader. Called by the node stack at group construction, including for
+// groups a live resize adds.
+func (e *Engine) Attach(g int, r GroupReader) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.groups[g] = r
+}
+
+// SetRouter installs the current-router source (shard.Engine.Router); nil
+// means an unsharded node (a single group at epoch 0).
+func (e *Engine) SetRouter(fn func() shard.Router) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.router = fn
+}
+
+// SetTable binds the node's cross-shard commit table; nil on unsharded
+// nodes.
+func (e *Engine) SetTable(t *xshard.Table) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.table = t
+}
+
+// Available reports whether at least one group supports local reads.
+func (e *Engine) Available() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.groups) > 0
+}
+
+func (e *Engine) reader(g int) GroupReader {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.groups[g]
+}
+
+func (e *Engine) currentRouter() shard.Router {
+	e.mu.RLock()
+	fn := e.router
+	e.mu.RUnlock()
+	if fn == nil {
+		return shard.NewRouter(1)
+	}
+	return fn()
+}
+
+func (e *Engine) currentTable() *xshard.Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.table
+}
+
+// Read serves a linearizable local read of key: the returned value is the
+// key's state at the read's timestamp, reflecting every conflicting
+// command this node has seen below it. present is false for an absent
+// key.
+func (e *Engine) Read(ctx context.Context, key string) (val []byte, present bool, err error) {
+	start := time.Now()
+	vals, pres, err := e.do(ctx, []string{key})
+	if err != nil {
+		return nil, false, err
+	}
+	e.observe(start)
+	return vals[0], pres[0], nil
+}
+
+// ReadTx serves a snapshot read of several keys — across consensus groups
+// — at one merged read timestamp: a consistent cut in which cross-shard
+// transactions appear whole or not at all. Values align with keys.
+func (e *Engine) ReadTx(ctx context.Context, keys []string) (vals [][]byte, present []bool, err error) {
+	if len(keys) == 0 {
+		return nil, nil, nil
+	}
+	start := time.Now()
+	vals, present, err = e.do(ctx, keys)
+	if err == nil {
+		e.observe(start)
+	}
+	return vals, present, err
+}
+
+func (e *Engine) observe(start time.Time) {
+	if e.met != nil && e.met.ReadLatency != nil {
+		e.met.ReadLatency.Observe(time.Since(start))
+	}
+}
+
+// do runs the attempt loop: route → stamp → fence → settle → snapshot,
+// retrying under a fresh routing epoch and stamp whenever a resize (or a
+// version-window overrun) invalidates the attempt. One dead-group retry
+// is expected (a shrink retired the group; the re-route heals it); a
+// second consecutive one means the node itself is stopping, which the
+// caller should see as such.
+func (e *Engine) do(ctx context.Context, keys []string) ([][]byte, []bool, error) {
+	stopped := 0
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		vals, present, err := e.attempt(ctx, keys)
+		switch {
+		case errors.Is(err, errRetryStopped):
+			if stopped++; stopped >= 2 {
+				return nil, nil, protocol.ErrStopped
+			}
+			continue
+		case errors.Is(err, errRetry):
+			stopped = 0
+			continue
+		}
+		return vals, present, err
+	}
+	return nil, nil, ErrRetriesExhausted
+}
+
+func (e *Engine) attempt(ctx context.Context, keys []string) ([][]byte, []bool, error) {
+	// Route every key under one router snapshot; the whole attempt is
+	// invalidated together if a resize moves any key (the read-side
+	// analogue of a ProposeTx's single-epoch split).
+	router := e.currentRouter()
+	epoch := router.Epoch()
+	byGroup := make(map[int][]string)
+	for _, k := range keys {
+		g := router.Shard(k)
+		byGroup[g] = append(byGroup[g], k)
+	}
+	readers := make(map[int]GroupReader, len(byGroup))
+	for g := range byGroup {
+		r := e.reader(g)
+		if r == nil {
+			return nil, nil, ErrUnavailable
+		}
+		readers[g] = r
+	}
+
+	// The read point is the max of the groups' stamps (the commit table's
+	// merged-timestamp discipline, applied to the read): each group then
+	// fences at that one point.
+	var ts timestamp.Timestamp
+	for _, r := range readers {
+		ts = timestamp.Max(ts, r.ReadStamp())
+	}
+	fenced := make(chan error, len(readers))
+	for g, r := range readers {
+		r.ReadFence(byGroup[g], ts, func(err error) { fenced <- err })
+	}
+	for range readers {
+		select {
+		case err := <-fenced:
+			if err != nil {
+				// ErrStopped: the group died under the read (a shrink
+				// retired it, or the node is closing). A retry re-routes;
+				// on a closing node the loop surfaces the error via the
+				// next attempt's fence.
+				if errors.Is(err, protocol.ErrStopped) {
+					return nil, nil, e.retryOrStopped(ctx)
+				}
+				return nil, nil, err
+			}
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+
+	// Cross-shard settle: a piece applied below the read point parks its
+	// transaction in the commit table; the snapshot must wait until no
+	// such transaction could still execute at or below the point.
+	if table := e.currentTable(); table != nil {
+		settled := make(chan struct{})
+		table.WaitSettled(keys, ts, func() { close(settled) })
+		select {
+		case <-settled:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+
+	// A resize may have installed a newer epoch while the fences waited.
+	// A key whose home MOVED must re-route (the fence on the new group is
+	// what covers the handed-off traffic). Unmoved keys stayed under the
+	// fenced group — but their newest writes now carry the newer epoch
+	// stamp, so the snapshot must adopt the current epoch or those
+	// (waited-for, acknowledged) writes would be invisible to it.
+	cur := e.currentRouter()
+	if cur.Epoch() != epoch {
+		for _, k := range keys {
+			if cur.Shard(k) != router.Shard(k) {
+				return nil, nil, errRetry
+			}
+		}
+		epoch = cur.Epoch()
+	}
+
+	vals, present, covered := e.store.SnapshotAt(keys, epoch, ts)
+	if !covered {
+		// The read point fell off a key's version-retention window (a
+		// long fence wait under a same-key write burst); a fresh stamp
+		// sits above everything applied and cannot fall off again unless
+		// the race repeats.
+		return nil, nil, errRetry
+	}
+	if after := e.currentRouter(); after.Epoch() != epoch {
+		// Yet another epoch landed between the recheck and the snapshot
+		// cut: a write stamped with it could have applied invisibly to
+		// the adopted epoch. Rare (two installs inside one read); retry.
+		return nil, nil, errRetry
+	}
+	return vals, present, nil
+}
+
+// retryOrStopped turns a dead-group fence into a stopped-flavored retry
+// while the caller's context is live (see do), without spinning on a
+// cancelled caller.
+func (e *Engine) retryOrStopped(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return errRetryStopped
+}

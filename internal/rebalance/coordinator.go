@@ -1,6 +1,8 @@
 package rebalance
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -19,12 +21,16 @@ type Config struct {
 	// Export returns a copy of the locally stored entries whose key
 	// satisfies pred; called while applying a source group's fence, so
 	// the snapshot sits at a replica-deterministic point of the group's
-	// history. May be nil (no state to hand off).
+	// history. May be nil (no state to hand off — the node-shared store
+	// of this repository's stack needs none; see internal/stack).
 	Export func(pred func(key string) bool) map[string][]byte
 	// Import applies a handed-off snapshot before the destination's first
-	// command. With the node-shared store of this repository it re-writes
-	// identical values (the data never left the node); deployments with
-	// per-group stores route each key to its new group's store here.
+	// command; deployments with per-group stores route each key to its
+	// new group's store here. Import must be atomic against the
+	// destination store's other writers: cross-shard commit-table
+	// executions are not gated behind handoffs (their pieces are exempt
+	// from the gate, or the handoff wait-graph would cycle), so a
+	// transaction may write a migrating key between Export and Import.
 	Import func(snap map[string][]byte)
 	// FenceTimeout is how long an installed epoch may wait for a group's
 	// fence before this node re-proposes it (a crashed initiator's
@@ -288,6 +294,39 @@ func (co *Coordinator) QueuedCommands() int {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	return len(co.queue)
+}
+
+// DebugState renders the in-flight transition's progress — per-source
+// fence/import/drain state, the pre-epoch queue check, and a queue
+// breakdown — for tests and stall diagnostics; empty when idle.
+func (co *Coordinator) DebugState() []string {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	var out []string
+	t := co.pending
+	if t == nil {
+		return out
+	}
+	out = append(out, fmt.Sprintf("transition epoch=%d %d→%d shards, started=%s",
+		t.marker.Epoch, t.marker.PrevShards, t.marker.Shards, t.startedAt.Format("15:04:05.000")))
+	for g := 0; g < int(t.marker.PrevShards); g++ {
+		h := t.sources[g]
+		if h == nil {
+			out = append(out, fmt.Sprintf("group %d: fenced=%v (not a source)", g, t.fenced[g]))
+			continue
+		}
+		out = append(out, fmt.Sprintf("group %d: fenced=%v imported=%v drained=%v preEpochQueued=%v",
+			g, t.fenced[g], h.imported, h.drained, co.queueHoldsPreEpochLocked(g, t.marker.Epoch)))
+	}
+	counts := make(map[string]int)
+	for _, q := range co.queue {
+		counts[fmt.Sprintf("group=%d op=%v epoch=%d releasing=%v", q.group, q.cmd.Op, q.cmd.Epoch, q.releasing)]++
+	}
+	for k, n := range counts {
+		out = append(out, fmt.Sprintf("queued %dx %s", n, k))
+	}
+	sort.Strings(out)
+	return out
 }
 
 // start launches the maintenance sweeper.
@@ -577,7 +616,20 @@ func (co *Coordinator) classifyLocked(group int, cmd command.Command) gateVerdic
 		// first fence is still in flight); park until it is.
 		return gateQueue
 	}
-	if t := co.pending; t != nil && cmd.Epoch == t.marker.Epoch && co.awaitsHandoffLocked(t, cmd) {
+	if t := co.pending; t != nil && cmd.Epoch == t.marker.Epoch && !isPiece && co.awaitsHandoffLocked(t, cmd) {
+		// Pieces are exempt from the handoff gate for the same reason
+		// they are exempt from the per-key FIFO: registering a piece
+		// touches only the commit table, never the store, and holding it
+		// would close the wait-graph cycle this gate must stay out of —
+		// a source group's drain waits on held transactions, a held
+		// transaction waits on its queued piece, the queued piece waits
+		// on the handoff, and the handoff waits on the drain. (Seen live:
+		// an old-epoch transaction, complete but execution-deferred
+		// behind new-epoch transactions whose merged bounds start low in
+		// a fresh group's clock, wedged both hot groups' drains forever.)
+		// The transaction's *execution* still orders correctly: the
+		// table runs it at the merged timestamp against the node-shared
+		// store, which a resize never moves.
 		return gateQueue
 	}
 	return gatePass
@@ -968,10 +1020,15 @@ func (co *Coordinator) orderedBehindLocked(i int) bool {
 }
 
 // stillGatedLocked reports whether a queued entry must keep waiting: its
-// epoch is not installed yet, or a handoff it depends on is incomplete.
+// epoch is not installed yet, or — for state-machine commands — a handoff
+// it depends on is incomplete (pieces wait only for their epoch's
+// install; see classifyLocked).
 func (co *Coordinator) stillGatedLocked(q *queuedCmd) bool {
 	if q.cmd.Epoch > co.epoch {
 		return true
+	}
+	if q.cmd.Op == command.OpXCommit {
+		return false
 	}
 	if t := co.pending; t != nil && q.cmd.Epoch == t.marker.Epoch && co.awaitsHandoffLocked(t, q.cmd) {
 		return true

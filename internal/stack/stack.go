@@ -28,6 +28,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/reads"
 	"github.com/caesar-consensus/caesar/internal/rebalance"
 	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/transport"
@@ -85,6 +86,11 @@ type Stack struct {
 	// Resizer is the live-rebalancing engine; nil unless Config.Rebalance
 	// on a sharded node.
 	Resizer *rebalance.Engine
+	// Reads is the node-local read engine (internal/reads): linearizable
+	// single-key reads and cross-shard snapshot reads served from Store
+	// without a proposal. Always constructed; Reads.Available reports
+	// whether any group's engine exposes a read frontier (CAESAR does).
+	Reads *reads.Engine
 	// Table is the cross-shard commit table; nil on unsharded nodes.
 	Table *xshard.Table
 	// Log is the write-ahead log; nil without a data dir.
@@ -119,6 +125,18 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	if s.snapInterval == 0 {
 		s.snapInterval = time.Second
 	}
+	// The read engine attaches each group's read frontier as the group is
+	// built — including groups a live resize adds later, which come
+	// through the same buildGroup closure.
+	rd := reads.New(store, cfg.Metrics)
+	s.Reads = rd
+	buildGroup := func(g int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed) protocol.Engine {
+		eng := cfg.Build(g, sep, app, seed)
+		if gr, ok := reads.AsGroupReader(eng); ok {
+			rd.Attach(g, gr)
+		}
+		return eng
+	}
 
 	sharded := cfg.Shards > 1
 	var log *wal.Log
@@ -129,13 +147,12 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 			opts.Metrics = cfg.Metrics
 		}
 		var err error
-		log, st, err = wal.Open(cfg.DataDir, opts)
+		// OpenInto replays snapshot + log tail directly into the node's
+		// store: no scratch store, no Export, no re-Import — the restart
+		// path carries zero full-state copies.
+		log, st, err = wal.OpenInto(cfg.DataDir, store, opts)
 		if err != nil {
 			return nil, err
-		}
-		if !st.Empty {
-			store.Import(st.KV)
-			store.SetApplied(st.Applied)
 		}
 		if ec, ok := st.CurrentEpoch(); ok {
 			// The durable epoch history marks a sharded deployment even
@@ -173,7 +190,7 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	}
 
 	if !sharded {
-		s.Engine = cfg.Build(0, ep, wrap(0, app), seedFor(0))
+		s.Engine = buildGroup(0, ep, wrap(0, app), seedFor(0))
 		return s, nil
 	}
 
@@ -206,18 +223,27 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	// and marker deliveries are durable — and in the delivered seed —
 	// before the table reacts to them; transaction effects are logged
 	// separately at execution time (TableConfig.ApplyTx).
+	rd.SetTable(table)
 	if !cfg.Rebalance {
 		inner := shard.NewAt(ep, gens, func(g int, sep transport.Endpoint) protocol.Engine {
-			return cfg.Build(g, sep, wrap(g, table.Applier(g, app)), seedFor(g))
+			return buildGroup(g, sep, wrap(g, table.Applier(g, app)), seedFor(g))
 		})
+		rd.SetRouter(inner.Router)
 		s.Engine = xshard.New(inner, table)
 		return s, nil
 	}
 
+	// No Export/Import transfer hooks: the store is node-shared, so a
+	// resize never moves a key's bytes — the "handoff" is purely the
+	// ordering protocol (fences, drains, gated state-machine commands).
+	// Wiring the value-identical store round trip back in would also
+	// reopen a lost-write window: commit-table executions are not gated
+	// behind handoffs (pieces are exempt — see rebalance.classifyLocked),
+	// so an import could overwrite a transaction's write that landed
+	// between the export and the import. Per-group-store deployments
+	// must make Import atomic against their destination store's writers.
 	rcfg := rebalance.Config{
-		Self:   ep.Self(),
-		Export: store.Export,
-		Import: store.Import,
+		Self: ep.Self(),
 	}
 	if log != nil {
 		rcfg.Journal = func(m rebalance.Marker) {
@@ -235,8 +261,9 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	}
 	co := rebalance.NewCoordinatorAt(rcfg, epochs, epoch)
 	inner := shard.NewAt(ep, gens, func(g int, sep transport.Endpoint) protocol.Engine {
-		return cfg.Build(g, sep, co.Applier(g, wrap(g, table.Applier(g, app))), seedFor(g))
+		return buildGroup(g, sep, co.Applier(g, wrap(g, table.Applier(g, app))), seedFor(g))
 	})
+	rd.SetRouter(inner.Router)
 	reng := rebalance.NewEngine(xshard.New(inner, table), co)
 	s.Resizer = reng
 	s.Engine = reng

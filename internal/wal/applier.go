@@ -59,13 +59,7 @@ func (a *groupApplier) ApplyAt(cmd command.Command, ts timestamp.Timestamp) []by
 func (l *Log) TxApplier(exec protocol.Applier) func(xshard.XID, timestamp.Timestamp, []command.Command) {
 	return func(xid xshard.XID, merged timestamp.Timestamp, ops []command.Command) {
 		_ = l.LogTx(xid, merged, ops, func() {
-			if aa, ok := exec.(protocol.AtomicApplier); ok {
-				aa.ApplyAll(ops)
-				return
-			}
-			for _, op := range ops {
-				exec.Apply(op)
-			}
+			xshard.ExecTx(exec, merged, ops)
 		})
 	}
 }

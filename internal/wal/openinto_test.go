@@ -1,0 +1,96 @@
+package wal
+
+import (
+	"testing"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/kvstore"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/xshard"
+)
+
+// TestOpenIntoReplaysDirectly checks the copy-free restart path: OpenInto
+// replays snapshot + tail straight into the caller's store (no scratch
+// store, no Export/Import round trip), leaving State.KV nil and the image
+// plus applied count in the store itself — byte-identical to what Open
+// would have exported.
+func TestOpenIntoReplaysDirectly(t *testing.T) {
+	dir := t.TempDir()
+	l, st := mustOpen(t, dir, Options{})
+	if !st.Empty {
+		t.Fatalf("fresh dir not empty: %+v", st)
+	}
+	logPut(t, l, 0, 1, 1, "a", "va")
+	logPut(t, l, 0, 1, 2, "b", "vb")
+	xid := xshard.XID{Node: 2, Seq: 1}
+	ops := []command.Command{command.Put("t1", []byte("x")), command.Put("t2", []byte("y"))}
+	if err := l.LogTx(xid, timestamp.Timestamp{Seq: 50, Node: 2}, ops, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	// Force a snapshot so the replay exercises both the import path and
+	// the tail path.
+	if err := l.Snapshot(func() (map[string][]byte, int64) {
+		return map[string][]byte{"a": []byte("va"), "b": []byte("vb"), "t1": []byte("x"), "t2": []byte("y")}, 4
+	}); err != nil {
+		t.Fatal(err)
+	}
+	logPut(t, l, 0, 1, 3, "c", "vc")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store := kvstore.New()
+	l2, st2, err := OpenInto(dir, store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st2.Empty {
+		t.Fatal("recovered state empty")
+	}
+	if st2.KV != nil {
+		t.Fatalf("OpenInto must leave State.KV nil (the state lives in the store), got %d keys", len(st2.KV))
+	}
+	want := map[string]string{"a": "va", "b": "vb", "c": "vc", "t1": "x", "t2": "y"}
+	if store.Len() != len(want) {
+		t.Fatalf("store holds %d keys, want %d", store.Len(), len(want))
+	}
+	for k, v := range want {
+		got, ok := store.Get(k)
+		if !ok || string(got) != v {
+			t.Fatalf("store[%q] = %q,%v, want %q", k, got, ok, v)
+		}
+	}
+	// Snapshot applied count (4) + the tail command (1).
+	if store.Applied() != 5 {
+		t.Fatalf("store.Applied = %d, want 5", store.Applied())
+	}
+	if st2.Applied != 5 {
+		t.Fatalf("State.Applied = %d, want 5", st2.Applied)
+	}
+	if !st2.Delivered[0].Has(command.ID{Node: 1, Seq: 3}) {
+		t.Fatal("tail command missing from the delivered set")
+	}
+	if len(st2.ExecutedTx) != 1 || st2.ExecutedTx[0] != xid {
+		t.Fatalf("ExecutedTx = %v", st2.ExecutedTx)
+	}
+}
+
+// TestOpenMatchesOpenInto pins Open's contract on top of OpenInto: same
+// recovery, with the KV image exported for callers that want a map.
+func TestOpenMatchesOpenInto(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	logPut(t, l, 0, 1, 1, "k", "v")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if string(st.KV["k"]) != "v" || st.Applied != 1 {
+		t.Fatalf("Open recovered KV=%q Applied=%d", st.KV["k"], st.Applied)
+	}
+}

@@ -87,7 +87,9 @@ type EpochChange struct {
 // exactly-once application intact.
 type State struct {
 	// KV and Applied are the replayed store contents and its
-	// executed-command count (snapshot plus log tail).
+	// executed-command count (snapshot plus log tail). KV is nil when the
+	// log was opened with OpenInto: the image then lives directly in the
+	// caller's store, with no intermediate copy.
 	KV      map[string][]byte
 	Applied int64
 	// Delivered holds, per consensus group, the set of command IDs this

@@ -17,6 +17,7 @@ import (
 
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/shard"
 )
@@ -41,6 +42,12 @@ type Config struct {
 	// transaction whose keys route to different consensus groups of a
 	// SpanShards-group deployment. Requires SpanShards > 1.
 	CrossShardPct float64
+	// ReadPct in [0,100]: probability an operation is a read (NextOp).
+	// Reads follow the conflict rule — the shared pool with probability
+	// ConflictPct, otherwise the client's most recently written private
+	// key (a read-after-write, the pattern that exercises the local read
+	// path's frontier wait).
+	ReadPct float64
 	// SpanShards is the router size used to pick cross-group key pairs.
 	// Using the scenario's group count here keeps the generated stream
 	// identical across deployments being compared (the same pairs are
@@ -57,6 +64,9 @@ type Generator struct {
 	seq    uint64
 	value  []byte
 	router shard.Router
+	// lastKey is the most recent key this client wrote; reads of private
+	// keys target it.
+	lastKey string
 }
 
 // NewGenerator builds a client generator; prefix namespaces the private
@@ -94,13 +104,38 @@ func (g *Generator) Next() command.Command {
 	return command.Put(g.nextKey(), g.value)
 }
 
+// NextOp returns the client's next operation: with probability ReadPct a
+// read of readKey (read true, zero command), otherwise a command from
+// Next. The read-mix scenarios compare serving these reads locally
+// (internal/reads) against proposing them through consensus.
+func (g *Generator) NextOp() (cmd command.Command, readKey string, read bool) {
+	if g.cfg.ReadPct > 0 && g.rng.Float64()*100 < g.cfg.ReadPct {
+		return command.Command{}, g.readKey(), true
+	}
+	return g.Next(), "", false
+}
+
+// readKey draws a read target: a shared-pool key with probability
+// ConflictPct, otherwise this client's most recent private write (falling
+// back to the shared pool before the first write).
+func (g *Generator) readKey() string {
+	if g.lastKey == "" || g.rng.Float64()*100 < g.cfg.ConflictPct {
+		return "shared-" + strconv.Itoa(g.rng.Intn(g.cfg.SharedPool))
+	}
+	return g.lastKey
+}
+
 // nextKey draws one key per the conflict rule of §VI.
 func (g *Generator) nextKey() string {
 	if g.rng.Float64()*100 < g.cfg.ConflictPct {
-		return "shared-" + strconv.Itoa(g.rng.Intn(g.cfg.SharedPool))
+		k := "shared-" + strconv.Itoa(g.rng.Intn(g.cfg.SharedPool))
+		g.lastKey = k
+		return k
 	}
 	g.seq++
-	return g.prefix + "-" + strconv.FormatUint(g.seq, 36)
+	k := g.prefix + "-" + strconv.FormatUint(g.seq, 36)
+	g.lastKey = k
+	return k
 }
 
 // nextCrossShard builds a two-key transaction whose keys route to
@@ -124,11 +159,16 @@ func (g *Generator) nextCrossShard() (command.Command, bool) {
 	return command.Command{}, false
 }
 
-// ClientStats aggregates one client pool's outcomes.
+// ClientStats aggregates one client pool's outcomes. Reads count toward
+// Completed/Failed like writes and additionally feed a latency histogram
+// (the read-latency percentiles of the read-heavy scenarios), whichever
+// path — local or proposed — served them.
 type ClientStats struct {
 	mu        sync.Mutex
 	completed int64
 	failed    int64
+	reads     int64
+	readLat   *metrics.Histogram
 }
 
 // Completed returns the number of successfully executed commands.
@@ -155,6 +195,48 @@ func (s *ClientStats) add(ok bool) {
 	s.mu.Unlock()
 }
 
+// addRead records one read outcome and its latency.
+func (s *ClientStats) addRead(ok bool, d time.Duration) {
+	s.mu.Lock()
+	if ok {
+		s.completed++
+		s.reads++
+		if s.readLat == nil {
+			s.readLat = metrics.NewHistogram()
+		}
+		s.readLat.Observe(d)
+	} else {
+		s.failed++
+	}
+	s.mu.Unlock()
+}
+
+// Reads returns the number of completed reads.
+func (s *ClientStats) Reads() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads
+}
+
+// ReadLatency returns the completed-read latency histogram; nil before
+// the first read.
+func (s *ClientStats) ReadLatency() *metrics.Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readLat
+}
+
+// ResetReads discards the read-latency samples gathered so far (the
+// harness calls it when the measurement window opens, so warmup samples
+// do not skew the percentiles).
+func (s *ClientStats) ResetReads() {
+	s.mu.Lock()
+	if s.readLat != nil {
+		s.readLat.Reset()
+	}
+	s.mu.Unlock()
+}
+
 // Engines selects a submission target; clients use it to fail over when
 // their node crashes (the Fig 12 scenario: "the clients from that node
 // timeout and reconnect to other nodes").
@@ -165,11 +247,32 @@ type Engines interface {
 	Nodes() int
 }
 
+// Reader serves node-local linearizable reads (internal/reads.Engine
+// satisfies it).
+type Reader interface {
+	Read(ctx context.Context, key string) ([]byte, bool, error)
+}
+
+// Readers resolves a node's local reader; a nil resolver (or a nil Reader
+// for a node) makes that node's clients propose their reads through
+// consensus like any other command.
+type Readers interface {
+	Reader(node int) Reader
+}
+
 // RunClosedLoop drives one client in a closed loop against node home until
 // ctx is cancelled: submit, wait for execution, repeat (the latency
 // experiments place "10 clients co-located with each node"). On timeout or
 // node failure the client reconnects to the next live node.
 func RunClosedLoop(ctx context.Context, engines Engines, home int, gen *Generator, timeout time.Duration, stats *ClientStats) {
+	RunClosedLoopMixed(ctx, engines, nil, home, gen, timeout, stats)
+}
+
+// RunClosedLoopMixed is RunClosedLoop with a read mix: operations the
+// generator draws as reads (Config.ReadPct) are served by the node's
+// local Reader when one is supplied, and proposed as consensus GETs
+// otherwise — the two columns of the read-heavy scenario.
+func RunClosedLoopMixed(ctx context.Context, engines Engines, readers Readers, home int, gen *Generator, timeout time.Duration, stats *ClientStats) {
 	node := home
 	for ctx.Err() == nil {
 		eng := engines.Engine(node)
@@ -177,7 +280,29 @@ func RunClosedLoop(ctx context.Context, engines Engines, home int, gen *Generato
 			node = (node + 1) % engines.Nodes()
 			continue
 		}
-		cmd := gen.Next()
+		cmd, readKey, isRead := gen.NextOp()
+		if isRead {
+			var reader Reader
+			if readers != nil {
+				reader = readers.Reader(node)
+			}
+			if reader != nil {
+				start := time.Now()
+				rctx, cancel := context.WithTimeout(ctx, timeout)
+				_, _, err := reader.Read(rctx, readKey)
+				cancel()
+				if ctx.Err() != nil {
+					return
+				}
+				stats.addRead(err == nil, time.Since(start))
+				if err != nil {
+					node = (node + 1) % engines.Nodes()
+				}
+				continue
+			}
+			cmd = command.Get(readKey)
+		}
+		start := time.Now()
 		ch := make(chan protocol.Result, 1)
 		eng.Submit(cmd, func(res protocol.Result) {
 			select {
@@ -189,12 +314,20 @@ func RunClosedLoop(ctx context.Context, engines Engines, home int, gen *Generato
 		select {
 		case res := <-ch:
 			timer.Stop()
-			stats.add(res.Err == nil)
+			if isRead {
+				stats.addRead(res.Err == nil, time.Since(start))
+			} else {
+				stats.add(res.Err == nil)
+			}
 			if res.Err != nil {
 				node = (node + 1) % engines.Nodes()
 			}
 		case <-timer.C:
-			stats.add(false)
+			if isRead {
+				stats.addRead(false, time.Since(start))
+			} else {
+				stats.add(false)
+			}
 			node = (node + 1) % engines.Nodes()
 		case <-ctx.Done():
 			timer.Stop()

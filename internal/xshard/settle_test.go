@@ -1,0 +1,117 @@
+package xshard
+
+// Tests of WaitSettled, the snapshot-read coordination point: a read at
+// timestamp T must wait exactly for the held transactions on its keys
+// that could still execute at or below T.
+
+import (
+	"testing"
+	"time"
+)
+
+// settled registers a settle waiter and returns a poll helper.
+func settled(tb *Table, keys []string, bound uint64) func() bool {
+	fired := make(chan struct{})
+	tb.WaitSettled(keys, ts(bound, 0), func() { close(fired) })
+	return func() bool {
+		select {
+		case <-fired:
+			return true
+		case <-time.After(20 * time.Millisecond):
+			return false
+		}
+	}
+}
+
+func TestWaitSettledImmediateWithNothingPending(t *testing.T) {
+	tb := newTestTable(&recordingExec{})
+	if !settled(tb, []string{"a"}, 10)() {
+		t.Fatal("empty table must settle immediately")
+	}
+}
+
+func TestWaitSettledBlocksOnHeldTxBelowBound(t *testing.T) {
+	exec := &recordingExec{}
+	tb := newTestTable(exec)
+	xid := XID{Node: 1, Seq: 1}
+	ops := testOps("a", "b")
+	// One piece registered at ts 5: the entry's merged lower bound (5) is
+	// below the read point (10), so the transaction could still execute
+	// below it.
+	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0)
+
+	done := settled(tb, []string{"a"}, 10)
+	if done() {
+		t.Fatal("settled with a held transaction below the bound")
+	}
+	// The second piece completes the transaction; it executes and the
+	// read point settles.
+	tb.registerPiece(1, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(7, 1), 0)
+	if !done() {
+		t.Fatal("not settled after the blocking transaction executed")
+	}
+	if exec.count() != 1 {
+		t.Fatalf("executions = %d", exec.count())
+	}
+}
+
+func TestWaitSettledIgnoresTxAboveBound(t *testing.T) {
+	tb := newTestTable(&recordingExec{})
+	xid := XID{Node: 1, Seq: 1}
+	ops := testOps("a", "b")
+	// Merged lower bound 50 > read point 10: the transaction will execute
+	// above the read point and is invisible to it.
+	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(50, 0), 0)
+	if !settled(tb, []string{"a"}, 10)() {
+		t.Fatal("blocked on a transaction strictly above the bound")
+	}
+}
+
+func TestWaitSettledIgnoresOtherKeys(t *testing.T) {
+	tb := newTestTable(&recordingExec{})
+	xid := XID{Node: 1, Seq: 1}
+	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: testOps("x", "y")}, ts(5, 0), 0)
+	if !settled(tb, []string{"a"}, 10)() {
+		t.Fatal("blocked on a transaction touching different keys")
+	}
+}
+
+func TestWaitSettledReleasedByAbort(t *testing.T) {
+	tb := newTestTable(&recordingExec{})
+	xid := XID{Node: 1, Seq: 1}
+	ops := testOps("a", "b")
+	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0)
+	done := settled(tb, []string{"b"}, 10)
+	if done() {
+		t.Fatal("settled with a held transaction below the bound")
+	}
+	tb.registerAbort(1, &Abort{XID: xid})
+	if !done() {
+		t.Fatal("not settled after the blocking transaction died")
+	}
+}
+
+func TestWaitSettledRechecksForNewBlockers(t *testing.T) {
+	exec := &recordingExec{}
+	tb := newTestTable(exec)
+	first := XID{Node: 1, Seq: 1}
+	second := XID{Node: 2, Seq: 1}
+	ops := testOps("a", "b")
+	tb.registerPiece(0, &Piece{XID: first, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0)
+	done := settled(tb, []string{"a"}, 10)
+
+	// A second transaction on the key lands below the bound while the
+	// waiter is parked; resolving only the first must re-park, not fire.
+	tb.registerPiece(0, &Piece{XID: second, Groups: []int32{0, 1}, Ops: ops}, ts(6, 0), 0)
+	tb.registerPiece(1, &Piece{XID: first, Groups: []int32{0, 1}, Ops: ops}, ts(7, 1), 0)
+	if done() {
+		t.Fatal("settled while a newly arrived transaction still blocks the bound")
+	}
+	tb.registerPiece(1, &Piece{XID: second, Groups: []int32{0, 1}, Ops: ops}, ts(8, 1), 0)
+	if !done() {
+		t.Fatal("not settled after every blocker resolved")
+	}
+	if exec.count() != 2 {
+		t.Fatalf("executions = %d, want 2", exec.count())
+	}
+}

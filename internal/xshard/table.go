@@ -2,6 +2,7 @@ package xshard
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -119,6 +120,20 @@ type drainWaiter struct {
 	fn        func()
 }
 
+// settleWaiter parks a snapshot read (internal/reads) until no held
+// transaction touching its keys could still execute at or below its
+// timestamp bound: an entry's merged timestamp only grows as pieces
+// register, so entries whose running merged value already exceeds the
+// bound are invisible to the read and not waited for. Unlike drainWaiter
+// the blocking set is re-computed when it empties — a transaction whose
+// first piece lands below the bound mid-wait joins it.
+type settleWaiter struct {
+	keys      []string
+	bound     timestamp.Timestamp
+	remaining map[XID]struct{}
+	fn        func()
+}
+
 // Table is one node's cross-shard commit table: it holds each in-flight
 // transaction's delivered pieces until all participating groups have
 // stabilized theirs, then executes the transaction atomically at the
@@ -147,10 +162,11 @@ type Table struct {
 	// pendingByKey indexes the pending entries by every key they touch;
 	// completed holds the pending entries whose pieces have all arrived
 	// (the only drain candidates).
-	pendingByKey map[string]map[*entry]struct{}
-	completed    map[*entry]struct{}
-	drainWaiters []*drainWaiter
-	nextSeq      uint64
+	pendingByKey  map[string]map[*entry]struct{}
+	completed     map[*entry]struct{}
+	drainWaiters  []*drainWaiter
+	settleWaiters []*settleWaiter
+	nextSeq       uint64
 	// queue holds executions and client callbacks decided under mu, to
 	// be run outside it (the applier may sleep, callbacks may re-enter
 	// the table); flushing marks the single goroutine draining it, which
@@ -161,6 +177,9 @@ type Table struct {
 	stop    chan struct{}
 	stopped chan struct{}
 	running bool
+	// halted marks a table shut down by stopAndFail: nothing pending can
+	// resolve anymore, so settle waiters release instead of parking.
+	halted bool
 }
 
 // NewTable builds an empty commit table.
@@ -257,6 +276,56 @@ func (t *Table) SeedPending(xid XID, groups []int32, ops []command.Command, epoc
 	t.drainLocked()
 }
 
+// PendingDetail renders every in-flight entry's state — XID, groups,
+// registered pieces, merged bound, epoch, client callback, deadline —
+// for tests and stall diagnostics.
+func (t *Table) PendingDetail() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for xid, e := range t.entries {
+		if e.state != entryPending {
+			continue
+		}
+		got := make([]int32, 0, len(e.got))
+		for g := range e.got {
+			got = append(got, g)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		out = append(out, fmt.Sprintf(
+			"xid=%v groups=%v got=%v merged=%v epoch=%d complete=%v done=%v deadline=%s",
+			xid, e.groups, got, e.merged, e.epoch, e.complete(), e.done != nil,
+			e.deadline.Format("15:04:05.000")))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DebugDrainWaiters renders each parked handoff-drain waiter's remaining
+// blocking set and those entries' current states, for stall diagnostics.
+func (t *Table) DebugDrainWaiters() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for i, w := range t.drainWaiters {
+		var xids []string
+		n := 0
+		for xid := range w.remaining {
+			state := "GONE"
+			if e := t.entries[xid]; e != nil {
+				state = fmt.Sprintf("state=%d got=%d/%d", e.state, len(e.got), len(e.groups))
+			}
+			xids = append(xids, fmt.Sprintf("%v(%s)", xid, state))
+			if n++; n >= 8 {
+				break
+			}
+		}
+		sort.Strings(xids)
+		out = append(out, fmt.Sprintf("drain[%d]: %d remaining: %v", i, len(w.remaining), xids))
+	}
+	return out
+}
+
 // Pending returns the number of in-flight (non-tombstone) transactions,
 // for tests and introspection.
 func (t *Table) Pending() int {
@@ -293,6 +362,7 @@ func (t *Table) stopAndFail() {
 		return
 	}
 	t.running = false
+	t.halted = true
 	stop, stopped := t.stop, t.stopped
 	var dones []protocol.DoneFunc
 	for _, e := range t.entries {
@@ -301,11 +371,19 @@ func (t *Table) stopAndFail() {
 			e.done = nil
 		}
 	}
+	settles := t.settleWaiters
+	t.settleWaiters = nil
 	t.mu.Unlock()
 	close(stop)
 	<-stopped
 	for _, done := range dones {
 		done(protocol.Result{Err: protocol.ErrStopped})
+	}
+	// Parked snapshot reads are released rather than stranded: their
+	// blocking transactions just failed with ErrStopped above, so nothing
+	// below their read point can execute anymore.
+	for _, w := range settles {
+		w.fn()
 	}
 }
 
@@ -394,9 +472,54 @@ func (t *Table) unindexLocked(e *entry) {
 	delete(t.completed, e)
 }
 
-// noteResolvedLocked settles xid for the parked drain waiters, queueing
-// the callbacks whose snapshot is fully resolved.
+// noteResolvedLocked resolves xid for every waiter class at once — the
+// path for transactions that died (or were seeded dead): nothing of
+// theirs will ever reach the store, so snapshot readers and handoff
+// drains release together. Executed transactions split the two:
+// executeLocked releases drain waiters at decision time but settle
+// waiters only after the apply lands (settleAfterApply) — a reader woken
+// at decision time could cut its snapshot before the transaction's
+// writes reach the store.
 func (t *Table) noteResolvedLocked(xid XID) {
+	t.noteSettledLocked(xid)
+	t.noteDrainedLocked(xid)
+}
+
+// noteSettledLocked resolves xid for the parked snapshot readers.
+func (t *Table) noteSettledLocked(xid XID) {
+	if len(t.settleWaiters) == 0 {
+		return
+	}
+	kept := t.settleWaiters[:0]
+	for _, w := range t.settleWaiters {
+		delete(w.remaining, xid)
+		// Re-check from scratch when the recorded set empties: new
+		// qualifying entries may have registered since the last scan.
+		if len(w.remaining) == 0 && t.settleCheckLocked(w) {
+			t.queue = append(t.queue, w.fn)
+			continue
+		}
+		kept = append(kept, w)
+	}
+	for i := len(kept); i < len(t.settleWaiters); i++ {
+		t.settleWaiters[i] = nil
+	}
+	t.settleWaiters = kept
+}
+
+// settleAfterApply resolves xid for the snapshot readers once its writes
+// are actually in the store; runs on the queue flusher, outside the lock,
+// at the end of the transaction's apply closure. Releases it queues are
+// picked up by the flusher's ongoing drain.
+func (t *Table) settleAfterApply(xid XID) {
+	t.mu.Lock()
+	t.noteSettledLocked(xid)
+	t.mu.Unlock()
+}
+
+// noteDrainedLocked resolves xid for the parked handoff drains, queueing
+// the callbacks whose snapshot is fully resolved.
+func (t *Table) noteDrainedLocked(xid XID) {
 	if len(t.drainWaiters) == 0 {
 		return
 	}
@@ -437,6 +560,46 @@ func (t *Table) AwaitGroupDrain(group int32, fn func()) {
 		t.drainWaiters = append(t.drainWaiters, w)
 	}
 	t.mu.Unlock()
+}
+
+// WaitSettled parks fn until no in-flight transaction touching any of
+// keys could still execute at a merged timestamp at or below bound; fn
+// fires immediately (from the queue, outside the lock) when none can. The
+// local-read engine calls it after its consensus-frontier wait: a piece
+// applied below a read's timestamp sits in this table until its siblings
+// stabilize, and the read must not serve state that is missing a
+// transaction it would have to observe. fn must not re-enter the table
+// synchronously with a blocking call.
+func (t *Table) WaitSettled(keys []string, bound timestamp.Timestamp, fn func()) {
+	t.mu.Lock()
+	defer t.flush()
+	// On a stopped table nothing pending can ever resolve (stopAndFail
+	// already failed the clients and cleared the waiters); release the
+	// read immediately instead of stranding it until its context expires.
+	w := &settleWaiter{keys: keys, bound: bound, fn: fn}
+	if t.halted || t.settleCheckLocked(w) {
+		t.queue = append(t.queue, fn)
+	} else {
+		t.settleWaiters = append(t.settleWaiters, w)
+	}
+	t.mu.Unlock()
+}
+
+// settleCheckLocked recomputes w's blocking set through the key index;
+// true means nothing blocks the read point now.
+func (t *Table) settleCheckLocked(w *settleWaiter) bool {
+	w.remaining = make(map[XID]struct{})
+	for _, k := range w.keys {
+		for e := range t.pendingByKey[k] {
+			if e.state != entryPending {
+				continue
+			}
+			if !w.bound.Less(e.merged) { // lower bound <= read point: could execute below it
+				w.remaining[e.xid] = struct{}{}
+			}
+		}
+	}
+	return len(w.remaining) == 0
 }
 
 // Expect registers the coordinator-side entry before its pieces are
@@ -629,7 +792,7 @@ func (t *Table) blockedLocked(e *entry) bool {
 // decision order.
 func (t *Table) executeLocked(e *entry) {
 	t.unindexLocked(e)
-	t.noteResolvedLocked(e.xid)
+	t.noteDrainedLocked(e.xid)
 	xid, merged, ops, done := e.xid, e.merged, e.ops, e.done
 	e.state = entryExecuted
 	e.ops, e.keys, e.got, e.done = nil, nil, nil, nil
@@ -643,18 +806,34 @@ func (t *Table) executeLocked(e *entry) {
 		case applyTx != nil:
 			applyTx(xid, merged, ops)
 		default:
-			if aa, ok := exec.(protocol.AtomicApplier); ok {
-				aa.ApplyAll(ops)
-			} else {
-				for _, op := range ops {
-					exec.Apply(op)
-				}
-			}
+			ExecTx(exec, merged, ops)
 		}
+		// Only now are the transaction's writes in the store; waking a
+		// parked snapshot reader any earlier would let it cut a snapshot
+		// missing a transaction at or below its read point.
+		t.settleAfterApply(xid)
 		if done != nil {
 			done(protocol.Result{})
 		}
 	})
+}
+
+// ExecTx applies a completed transaction's ops through exec: atomically at
+// the merged timestamp when the applier supports it (every write then
+// carries the transaction's single timestamp, which is what keeps snapshot
+// reads un-torn), atomically without the stamp, or sequentially as a last
+// resort. Shared with the durable layer's ApplyTx hook (internal/wal).
+func ExecTx(exec protocol.Applier, merged timestamp.Timestamp, ops []command.Command) {
+	switch a := exec.(type) {
+	case protocol.TimestampedAtomicApplier:
+		a.ApplyAllAt(ops, merged)
+	case protocol.AtomicApplier:
+		a.ApplyAll(ops)
+	default:
+		for _, op := range ops {
+			exec.Apply(op)
+		}
+	}
 }
 
 // pieceFailed reacts to a participant submission that could not be placed

@@ -1,0 +1,273 @@
+package caesar_test
+
+// Conformance tests of the local read path (internal/reads, Node.Read /
+// Node.ReadTx): concurrent readers and writers — plus one mid-run resize —
+// must observe per-key monotonic, read-your-writes-consistent values, and
+// cross-shard snapshot reads must never observe half of an atomic
+// transaction. Run under -race in CI.
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	caesar "github.com/caesar-consensus/caesar"
+)
+
+func encCounter(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+func decCounter(b []byte) uint64 {
+	if len(b) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// TestReadQuiescent checks the basics on a quiet sharded cluster: local
+// reads see completed writes from any node, absent keys read nil, and a
+// ReadTx snapshot spans groups.
+func TestReadQuiescent(t *testing.T) {
+	cluster, err := caesar.NewLocalCluster(3, caesar.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	for i := 0; i < 20; i++ {
+		if _, err := cluster.Node(i%3).Propose(ctx, caesar.Put(key(i), encCounter(uint64(i)))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	// Every node serves every key locally — the writes above completed,
+	// so each replica's fence covers them.
+	for n := 0; n < 3; n++ {
+		for i := 0; i < 20; i++ {
+			v, err := cluster.Node(n).Read(ctx, key(i))
+			if err != nil {
+				t.Fatalf("node %d read %d: %v", n, i, err)
+			}
+			if decCounter(v) != uint64(i) {
+				t.Fatalf("node %d read %d = %d", n, i, decCounter(v))
+			}
+		}
+	}
+	if v, err := cluster.Node(1).Read(ctx, "never-written"); err != nil || v != nil {
+		t.Fatalf("absent key = %q, %v", v, err)
+	}
+	keys := []string{key(0), key(1), key(2), key(3)}
+	vals, err := cluster.Node(2).ReadTx(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if decCounter(v) != uint64(i) {
+			t.Fatalf("snapshot[%d] = %d", i, decCounter(v))
+		}
+	}
+}
+
+// TestReadConformanceUnderLoad is the linearizability conformance run:
+// per-key single-writer counters with concurrent per-node readers
+// (monotonic reads + read-your-writes), cross-shard transfer transactions
+// with concurrent snapshot readers (conserved sum, never a torn
+// snapshot), and one live resize in the middle of it all.
+func TestReadConformanceUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance run takes seconds; skipped in -short")
+	}
+	cluster, err := caesar.NewLocalCluster(3, caesar.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	const (
+		counterKeys = 6
+		total       = uint64(1000)
+		runFor      = 2500 * time.Millisecond
+	)
+	ckey := func(i int) string { return fmt.Sprintf("mono/%d", i) }
+
+	// The transfer pair must span consensus groups to exercise real
+	// cross-shard transactions.
+	accA, accB := "", ""
+	for i := 0; accB == ""; i++ {
+		k := fmt.Sprintf("acct/%d", i)
+		switch {
+		case accA == "":
+			accA = k
+		case caesar.ShardOf(k, 4) != caesar.ShardOf(accA, 4):
+			accB = k
+		}
+	}
+	if err := cluster.Node(0).ProposeTx(ctx, []caesar.Command{
+		caesar.Put(accA, encCounter(total/2)),
+		caesar.Put(accB, encCounter(total/2)),
+	}); err != nil {
+		t.Fatalf("seed accounts: %v", err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	fail := func(format string, args ...any) {
+		failed.Add(1)
+		t.Errorf(format, args...)
+	}
+
+	// Writers: one per counter key, incrementing through a fixed node and
+	// checking read-your-writes through the same node after each write.
+	for i := 0; i < counterKeys; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			node := cluster.Node(i % 3)
+			var v uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v++
+				if _, err := node.Propose(ctx, caesar.Put(ckey(i), encCounter(v))); err != nil {
+					fail("writer %d: %v", i, err)
+					return
+				}
+				got, err := node.Read(ctx, ckey(i))
+				if err != nil {
+					fail("writer %d read-own-write: %v", i, err)
+					return
+				}
+				if decCounter(got) < v {
+					fail("writer %d: read %d after writing %d (read-your-writes broken)", i, decCounter(got), v)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Readers: one per (node, key), asserting the counter never goes
+	// backwards as observed through one node.
+	for n := 0; n < 3; n++ {
+		for i := 0; i < counterKeys; i++ {
+			wg.Add(1)
+			go func(n, i int) {
+				defer wg.Done()
+				node := cluster.Node(n)
+				var last uint64
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					v, err := node.Read(ctx, ckey(i))
+					if err != nil {
+						fail("reader n%d k%d: %v", n, i, err)
+						return
+					}
+					cur := decCounter(v)
+					if cur < last {
+						fail("reader n%d k%d: counter went backwards %d → %d", n, i, last, cur)
+						return
+					}
+					last = cur
+				}
+			}(n, i)
+		}
+	}
+
+	// Transfer writers: atomic cross-shard transactions moving one unit
+	// between the accounts; the sum is invariant at every merged point.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node := cluster.Node(w + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := []caesar.Command{caesar.Add(accA, -1), caesar.Add(accB, 1)}
+				if w == 1 {
+					tx = []caesar.Command{caesar.Add(accA, 1), caesar.Add(accB, -1)}
+				}
+				if err := node.ProposeTx(ctx, tx); err != nil {
+					fail("transfer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Snapshot readers: a torn snapshot (half a transaction) breaks the
+	// conserved sum.
+	for n := 0; n < 3; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			node := cluster.Node(n)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				vals, err := node.ReadTx(ctx, []string{accA, accB})
+				if err != nil {
+					fail("snapshot n%d: %v", n, err)
+					return
+				}
+				if sum := decCounter(vals[0]) + decCounter(vals[1]); sum != total {
+					a0, b0 := decCounter(vals[0]), decCounter(vals[1])
+					var resum []uint64
+					for r := 0; r < 3; r++ {
+						if v2, err2 := node.ReadTx(ctx, []string{accA, accB}); err2 == nil {
+							resum = append(resum, decCounter(v2[0])+decCounter(v2[1]))
+						}
+					}
+					fail("snapshot n%d: torn cross-shard read, a=%d b=%d sum=%d (want %d); immediate re-reads sum=%v", n, a0, b0, a0+b0, total, resum)
+					return
+				}
+			}
+		}(n)
+	}
+
+	// One live resize in the middle of the run.
+	time.Sleep(runFor / 3)
+	if failed.Load() == 0 {
+		if err := cluster.Node(0).Resize(ctx, 6); err != nil {
+			t.Errorf("mid-run resize: %v", err)
+		}
+	}
+	time.Sleep(2 * runFor / 3)
+	close(stop)
+	wg.Wait()
+
+	if cluster.Node(0).Shards() != 6 {
+		t.Errorf("shards after resize = %d, want 6", cluster.Node(0).Shards())
+	}
+	// Final agreement: a fresh snapshot still conserves the sum.
+	vals, err := cluster.Node(2).ReadTx(ctx, []string{accA, accB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum := decCounter(vals[0]) + decCounter(vals[1]); sum != total {
+		t.Fatalf("final snapshot sum = %d, want %d", sum, total)
+	}
+}
