@@ -154,6 +154,14 @@ type Options struct {
 	// catch-up path a restarted replica relearns missed commands
 	// through. Default 1s; negative disables.
 	RetransmitAfter time.Duration
+	// Trace, when non-nil, records every protocol milestone of this node
+	// — from proposal through fsync to client acknowledgement — into the
+	// given ring buffer. Cheap enough to leave on in production.
+	Trace *Trace
+	// SlowCommandThreshold, when > 0, logs the full traced history of any
+	// command proposed through this node whose submit-to-ack latency
+	// exceeds it (the slow-command log). Most useful together with Trace.
+	SlowCommandThreshold time.Duration
 }
 
 func (o Options) toConfig() caesar.Config {
@@ -162,6 +170,8 @@ func (o Options) toConfig() caesar.Config {
 		HeartbeatInterval: o.HeartbeatInterval,
 		SuspectTimeout:    o.SuspectTimeout,
 		RetransmitAfter:   o.RetransmitAfter,
+		Trace:             o.Trace.inner(),
+		SlowThreshold:     o.SlowCommandThreshold,
 	}
 	if o.DisableGC {
 		cfg.GCInterval = -1
@@ -187,10 +197,14 @@ func newNode(ep transport.Endpoint, opts Options, shards int) (*Node, error) {
 	stk, err := stack.Build(ep, stack.Config{
 		Shards:    shards,
 		Metrics:   met,
+		Trace:     opts.Trace.inner(),
 		DataDir:   opts.DataDir,
 		Rebalance: true,
-		Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed) protocol.Engine {
+		Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder) protocol.Engine {
 			gcfg := cfg
+			if gmet != nil {
+				gcfg.Metrics = gmet
+			}
 			gcfg.Predelivered = seed.Delivered
 			gcfg.SeqFloor = seed.SeqFloor
 			gcfg.ClockSeed = seed.ClockSeed

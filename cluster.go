@@ -73,6 +73,15 @@ func WithDataDir(dir string) ClusterOption {
 	return func(c *clusterConfig) { c.dataDir = dir }
 }
 
+// WithTrace shares one trace buffer across every node of the cluster:
+// each node records its protocol milestones (tagged with its node ID)
+// into t, so t.CommandHistory shows a command's full cross-replica story
+// — proposal on the leader, waits and acks on the acceptors, fsyncs and
+// deliveries everywhere.
+func WithTrace(t *Trace) ClusterOption {
+	return func(c *clusterConfig) { c.opts.Trace = t }
+}
+
 // nodeOpts resolves node i's options (its data subdirectory, when the
 // cluster is durable).
 func (cfg clusterConfig) nodeOpts(i int) Options {

@@ -44,6 +44,7 @@ func run() error {
 		clients  = flag.Int("clients", 10, "closed-loop clients per node (latency figures)")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		shards   = flag.Int("shards", 1, "independent consensus groups per node (keys routed by consistent hashing)")
+		obs      = flag.Bool("obs", false, "attach the full observability registry (internal/obs) to every node, to measure its hot-path overhead against a run without it")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func run() error {
 		ClientsPerNode: *clients,
 		Seed:           *seed,
 		Shards:         *shards,
+		Obs:            *obs,
 	}
 	w := os.Stdout
 	runs := map[string]func(){

@@ -26,6 +26,16 @@
 //	                                deployment's consensus-group count —
 //	                                any replica accepts it; requires
 //	                                -shards > 1 at startup)
+//	STATS                        →  OK k=v ... (admin: one-line snapshot of
+//	                                the replica's protocol counters)
+//	TRACE <cmd-id>               →  the traced milestones of one command
+//	                                (as printed by the slow-command log,
+//	                                e.g. TRACE c0.17), one per line, then
+//	                                OK <n> events; needs -trace-buffer > 0
+//
+// With -metrics-addr the replica additionally serves an observability
+// HTTP endpoint: /metrics (Prometheus text format), /statusz (JSON),
+// /healthz, /readyz and the standard pprof handlers under /debug/pprof/.
 //
 // Unlike PUT — whose value runs to the end of the line — MPUT/MGET keys
 // and values are single whitespace-separated tokens: a value containing a
@@ -39,88 +49,162 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/metrics"
+	"github.com/caesar-consensus/caesar/internal/obs"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/rebalance"
 	"github.com/caesar-consensus/caesar/internal/stack"
 	"github.com/caesar-consensus/caesar/internal/tcpnet"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/trace"
 	"github.com/caesar-consensus/caesar/internal/transport"
 	"github.com/caesar-consensus/caesar/internal/wal"
 )
 
+// options collects the parsed flags.
+type options struct {
+	id          int
+	peers       string
+	clientAddr  string
+	shards      int
+	dataDir     string
+	metricsAddr string
+	traceBuffer int
+	slowCommand time.Duration
+}
+
 func main() {
-	var (
-		id         = flag.Int("id", 0, "this replica's id (index into -peers)")
-		peers      = flag.String("peers", "", "comma-separated replica addresses")
-		clientAddr = flag.String("client", "", "client-facing listen address")
-		shards     = flag.Int("shards", 1, "independent consensus groups per node (keys are routed by consistent hashing)")
-		dataDir    = flag.String("data-dir", "", "durable write-ahead log directory; the replica recovers from it on restart (empty = in-memory only)")
-	)
+	var o options
+	flag.IntVar(&o.id, "id", 0, "this replica's id (index into -peers)")
+	flag.StringVar(&o.peers, "peers", "", "comma-separated replica addresses")
+	flag.StringVar(&o.clientAddr, "client", "", "client-facing listen address")
+	flag.IntVar(&o.shards, "shards", 1, "independent consensus groups per node (keys are routed by consistent hashing)")
+	flag.StringVar(&o.dataDir, "data-dir", "", "durable write-ahead log directory; the replica recovers from it on restart (empty = in-memory only)")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "observability HTTP listen address serving /metrics, /statusz, /healthz, /readyz and /debug/pprof/ (empty = off)")
+	flag.IntVar(&o.traceBuffer, "trace-buffer", 4096, "command-trace ring capacity in events (0 disables tracing)")
+	flag.DurationVar(&o.slowCommand, "slow-command", 0, "log the traced history of commands slower than this submit-to-ack latency (0 disables)")
 	flag.Parse()
-	if err := run(*id, *peers, *clientAddr, *shards, *dataDir); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "caesar-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id int, peerList, clientAddr string, shards int, dataDir string) error {
-	addrs := strings.Split(peerList, ",")
+// node bundles one replica's stack with its observability surfaces for
+// the client-protocol handlers.
+type node struct {
+	stk  *stack.Stack
+	met  *metrics.Recorder
+	ring *trace.Ring
+	tr   *tcpnet.Transport
+}
+
+func run(o options) error {
+	addrs := strings.Split(o.peers, ",")
 	if len(addrs) < 3 {
 		return fmt.Errorf("need at least 3 peers, got %d", len(addrs))
 	}
-	if clientAddr == "" {
+	if o.clientAddr == "" {
 		return fmt.Errorf("missing -client address")
 	}
-	tr, err := tcpnet.Listen(tcpnet.Config{Self: timestamp.NodeID(id), Addrs: addrs})
+	tr, err := tcpnet.Listen(tcpnet.Config{Self: timestamp.NodeID(o.id), Addrs: addrs})
 	if err != nil {
 		return err
+	}
+	met := metrics.NewRecorder()
+	reg := obs.NewRegistry()
+	var ring *trace.Ring
+	if o.traceBuffer > 0 {
+		ring = trace.NewRing(o.traceBuffer)
 	}
 	// One shared stack constructor wires store, commit table, rebalance
 	// coordinator and (with -data-dir) the write-ahead log: every group
 	// shares them, multi-key MPUTs spanning groups commit atomically, the
 	// admin RESIZE changes the group count live, and a replica restarted
 	// on the same -data-dir replays its snapshot + log tail — including
-	// the routing epoch it crashed at — before rejoining.
+	// the routing epoch it crashed at — before rejoining. The registry and
+	// trace ring thread through the same constructor, so every layer a
+	// command crosses is observable.
 	stk, err := stack.Build(tr, stack.Config{
-		Shards:    shards,
-		DataDir:   dataDir,
+		Shards:    o.shards,
+		Metrics:   met,
+		Obs:       reg,
+		Trace:     ring,
+		DataDir:   o.dataDir,
 		Rebalance: true,
-		Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed) protocol.Engine {
+		Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder) protocol.Engine {
 			return caesar.New(sep, app, caesar.Config{
-				Predelivered: seed.Delivered,
-				SeqFloor:     seed.SeqFloor,
-				ClockSeed:    seed.ClockSeed,
-				ReserveSeq:   seed.ReserveSeq,
-				ReserveClock: seed.ReserveClock,
+				Metrics:       gmet,
+				Trace:         ring,
+				SlowThreshold: o.slowCommand,
+				Predelivered:  seed.Delivered,
+				SeqFloor:      seed.SeqFloor,
+				ClockSeed:     seed.ClockSeed,
+				ReserveSeq:    seed.ReserveSeq,
+				ReserveClock:  seed.ReserveClock,
 			})
 		},
 	})
 	if err != nil {
 		return err
 	}
+	// Per-peer transport counters, sampled from the transport at scrape
+	// time.
+	for _, p := range tr.Peers() {
+		p := p
+		ls := obs.Labels{"peer": strconv.Itoa(int(p))}
+		reg.CounterFunc("caesar_net_sent_msgs_total",
+			"Protocol messages sent to the peer.", ls,
+			func() int64 { return tr.PeerStats(p).SentMsgs })
+		reg.CounterFunc("caesar_net_sent_bytes_total",
+			"Protocol bytes sent to the peer.", ls,
+			func() int64 { return tr.PeerStats(p).SentBytes })
+		reg.CounterFunc("caesar_net_recv_msgs_total",
+			"Protocol messages received from the peer.", ls,
+			func() int64 { return tr.PeerStats(p).RecvMsgs })
+		reg.CounterFunc("caesar_net_recv_bytes_total",
+			"Protocol bytes received from the peer.", ls,
+			func() int64 { return tr.PeerStats(p).RecvBytes })
+	}
+	var ready atomic.Bool
+	reg.SetReady(ready.Load)
+	var msrv *http.Server
+	if o.metricsAddr != "" {
+		msrv = &http.Server{Addr: o.metricsAddr, Handler: reg.Handler()}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		log.Printf("replica %d observability on http://%s/metrics (pprof under /debug/pprof/)", o.id, o.metricsAddr)
+	}
 	stk.Start()
 	if recovered := stk.Recovered; recovered != nil && !recovered.Empty {
 		// The replay lands directly in the node's store (wal.OpenInto), so
 		// the store is where the recovered key count lives.
-		log.Printf("replica %d recovered %d keys (%d commands applied) from %s", id, stk.Store.Len(), recovered.Applied, dataDir)
+		log.Printf("replica %d recovered %d keys (%d commands applied) from %s", o.id, stk.Store.Len(), recovered.Applied, o.dataDir)
 	}
-	log.Printf("replica %d up: protocol %s, clients %s, shards %d", id, addrs[id], clientAddr, stk.Shards)
+	log.Printf("replica %d up: protocol %s, clients %s, shards %d", o.id, addrs[o.id], o.clientAddr, stk.Shards)
 
-	ln, err := net.Listen("tcp", clientAddr)
+	ln, err := net.Listen("tcp", o.clientAddr)
 	if err != nil {
 		return err
 	}
-	go serveClients(ln, stk)
+	n := &node{stk: stk, met: met, ring: ring, tr: tr}
+	go serveClients(ln, n)
+	ready.Store(true)
 
 	// Graceful shutdown on the first SIGINT/SIGTERM: stop accepting
 	// clients, quiesce the engines, flush and close the WAL (clean-path
@@ -129,34 +213,97 @@ func run(id int, peerList, clientAddr string, shards int, dataDir string) error 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	log.Printf("replica %d shutting down (signal again to force)", id)
+	log.Printf("replica %d shutting down (signal again to force)", o.id)
+	ready.Store(false)
 	done := make(chan struct{})
 	go func() {
 		ln.Close()
+		if msrv != nil {
+			msrv.Close()
+		}
 		stk.Stop()
 		close(done)
 	}()
 	select {
 	case <-done:
-		log.Printf("replica %d stopped cleanly", id)
+		log.Printf("replica %d stopped cleanly", o.id)
 	case <-sig:
-		log.Printf("replica %d forced exit", id)
+		log.Printf("replica %d forced exit", o.id)
 	case <-time.After(10 * time.Second):
-		log.Printf("replica %d shutdown timed out", id)
+		log.Printf("replica %d shutdown timed out", o.id)
 	}
 	return nil
 }
 
 // serveClients accepts client connections and executes their requests —
 // writes through consensus, reads through the node-local read engine.
-func serveClients(ln net.Listener, stk *stack.Stack) {
+func serveClients(ln net.Listener, n *node) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
-		go handleClient(conn, stk)
+		go handleClient(conn, n)
 	}
+}
+
+// handleStats serves the STATS admin command: a one-line snapshot of the
+// replica's protocol counters, the admin-port complement of /metrics.
+func handleStats(out *bufio.Writer, n *node) {
+	m := n.met
+	shards := n.stk.Shards
+	epoch := uint32(0)
+	if re := n.stk.Resizer; re != nil {
+		shards = re.Shards()
+		epoch = re.Coordinator().Epoch()
+	}
+	fmt.Fprintf(out,
+		"OK shards=%d epoch=%d proposals=%d executed=%d fast=%d slow=%d retries=%d nacks=%d recoveries=%d read_parks=%d xshard_commits=%d xshard_aborts=%d fsyncs=%d mean_latency=%v p99_latency=%v\n",
+		shards, epoch,
+		m.Proposals.Load(), m.Executed.Load(),
+		m.FastDecisions.Load(), m.SlowDecisions.Load(),
+		m.Retries.Load(), m.Nacks.Load(), m.Recoveries.Load(),
+		m.ReadFenceParks.Load(),
+		m.CrossShardCommits.Load(), m.CrossShardAborts.Load(),
+		m.Fsyncs.Load(),
+		m.Latency.Mean(), m.Latency.Quantile(0.99))
+}
+
+// parseCmdID parses a command ID as trace lines print it: c<node>.<seq>
+// (the leading c is optional).
+func parseCmdID(s string) (command.ID, error) {
+	node, seq, ok := strings.Cut(strings.TrimPrefix(s, "c"), ".")
+	if !ok {
+		return command.ID{}, fmt.Errorf("want <node>.<seq>, e.g. c0.17")
+	}
+	nid, err := strconv.ParseUint(node, 10, 8)
+	if err != nil {
+		return command.ID{}, fmt.Errorf("bad node %q", node)
+	}
+	sq, err := strconv.ParseUint(seq, 10, 64)
+	if err != nil {
+		return command.ID{}, fmt.Errorf("bad sequence %q", seq)
+	}
+	return command.ID{Node: timestamp.NodeID(nid), Seq: sq}, nil
+}
+
+// handleTrace serves the TRACE admin command: one command's buffered
+// milestones, oldest first, one per line, terminated by an OK count.
+func handleTrace(out *bufio.Writer, n *node, arg string) {
+	if n.ring == nil {
+		fmt.Fprintf(out, "ERR tracing disabled (start the replica with -trace-buffer > 0)\n")
+		return
+	}
+	id, err := parseCmdID(arg)
+	if err != nil {
+		fmt.Fprintf(out, "ERR usage: TRACE <cmd-id>: %v\n", err)
+		return
+	}
+	events := n.ring.CommandHistory(id)
+	for _, e := range events {
+		fmt.Fprintf(out, "%s\n", e)
+	}
+	fmt.Fprintf(out, "OK %d events\n", len(events))
 }
 
 // handleResize serves the RESIZE admin command: it changes the live
@@ -259,8 +406,9 @@ func handleMGet(out *bufio.Writer, stk *stack.Stack, keys []string) {
 	fmt.Fprintf(out, "OK %s\n", strings.Join(parts, " "))
 }
 
-func handleClient(conn net.Conn, stk *stack.Stack) {
+func handleClient(conn net.Conn, n *node) {
 	defer conn.Close()
+	stk := n.stk
 	rep := stk.Engine
 	sc := bufio.NewScanner(conn)
 	out := bufio.NewWriter(conn)
@@ -295,8 +443,16 @@ func handleClient(conn net.Conn, stk *stack.Stack) {
 			handleResize(out, rep, fields[1])
 			out.Flush()
 			continue
+		case len(fields) == 1 && strings.EqualFold(fields[0], "STATS"):
+			handleStats(out, n)
+			out.Flush()
+			continue
+		case len(fields) == 2 && strings.EqualFold(fields[0], "TRACE"):
+			handleTrace(out, n, fields[1])
+			out.Flush()
+			continue
 		default:
-			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key> | MGET <k> [<k>...] | MPUT <k> <v> [<k> <v>...] | RESIZE <shards>\n")
+			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key> | MGET <k> [<k>...] | MPUT <k> <v> [<k> <v>...] | RESIZE <shards> | STATS | TRACE <cmd-id>\n")
 			out.Flush()
 			continue
 		}

@@ -170,4 +170,42 @@
 // internal/stack for how the layers compose, `caesar-bench -figure
 // durable` for the throughput cost and recovery time, and
 // restart_test.go for the crash-restart conformance run.
+//
+// # Observability
+//
+// Every layer of the stack records into a unified node-wide metrics
+// registry (internal/obs) and, optionally, a bounded protocol-event
+// trace ring:
+//
+//	tr := caesar.NewTrace(8192)
+//	cluster, _ := caesar.NewLocalCluster(3, caesar.WithTrace(tr))
+//	...
+//	fmt.Println(tr.CommandHistory(0, 17)) // propose → … → fsync → ack
+//
+// (Options.Trace for a single node.) A traced command's history spans
+// the whole stack — proposal, acceptor votes, wait condition, retries,
+// stability, WAL fsync, cross-shard hold/execute, read-fence
+// park/release, resize fences, delivery and the client acknowledgement —
+// each event stamped with its node of origin, so one shared ring
+// reconstructs a command's life across a cluster. Recording is one short
+// critical section per event and the ring overwrites its oldest entries,
+// so it is safe to leave on in production. Options.SlowCommandThreshold
+// turns the same machinery into a slow-command log: any locally
+// submitted command whose submit→ack latency exceeds the threshold is
+// dumped with its full traced history.
+//
+// A multi-process replica exports the registry over HTTP:
+//
+//	caesar-server -metrics-addr :9100 -trace-buffer 8192 -slow-command 100ms
+//
+// serves /metrics (Prometheus text format: per-group fast/slow
+// decisions, wait-condition time, latency histograms, commit-table
+// occupancy and held-transaction age, WAL fsync latency and segment
+// stats, read-fence parks, routing epoch and resize state, per-peer
+// transport messages/bytes), /statusz (the same families as JSON with
+// p50/p99), /healthz + /readyz probes, and the net/http/pprof profiler.
+// The client port gains STATS (one-line counter snapshot) and
+// TRACE <cmd-id> (one command's buffered history) admin commands. The
+// registry reads the same lock-free counters the hot path already
+// maintains, so scraping costs the scraper, not the consensus path.
 package caesar

@@ -1,8 +1,12 @@
 package caesar
 
 import (
+	"log"
+	"time"
+
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/protocol"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
 	"github.com/caesar-consensus/caesar/internal/trace"
 )
 
@@ -113,8 +117,10 @@ func (r *Replica) deliverNow(rec *record) {
 		return
 	}
 	r.met.Executed.Inc()
+	var proposedAt time.Time
 	if c := r.proposals[id]; c != nil {
 		now := r.now
+		proposedAt = c.proposedAt
 		r.met.ObserveLatency(now.Sub(c.proposedAt))
 		if !c.stableAt.IsZero() {
 			r.met.DeliverPhase.Add(now.Sub(c.stableAt))
@@ -130,6 +136,7 @@ func (r *Replica) deliverNow(rec *record) {
 	// gate queueing it behind a handoff) could purge a command that a
 	// crash then erases from every replay path.
 	if da, ok := r.app.(protocol.DeferringApplier); ok {
+		ts := rec.ts // rec must not be touched from the completion goroutine
 		da.ApplyDeferred(rec.cmd, rec.ts, func(res protocol.Result) {
 			// Completion may run on any goroutine — including the event
 			// loop itself (the gate's pass path completes synchronously),
@@ -145,6 +152,7 @@ func (r *Replica) deliverNow(rec *record) {
 			}
 			if done != nil {
 				done(res)
+				r.noteClientAck(id, ts, proposedAt, time.Now())
 			}
 		})
 		return
@@ -160,6 +168,34 @@ func (r *Replica) deliverNow(rec *record) {
 	r.queueAck(id)
 	if done != nil {
 		done(protocol.Result{Value: value})
+		r.noteClientAck(id, rec.ts, proposedAt, r.now)
+	}
+}
+
+// noteClientAck records the client-visible acknowledgement of a locally
+// submitted command and, when its submit→ack latency exceeds
+// SlowThreshold, dumps the command's traced history through the
+// slow-command log. Called from the event loop on the synchronous apply
+// path and from whatever goroutine completes a deferred apply, so it only
+// touches concurrency-safe state.
+func (r *Replica) noteClientAck(id command.ID, ts timestamp.Timestamp, proposedAt, now time.Time) {
+	r.cfg.Trace.Record(r.self, trace.KindAck, id, ts)
+	thr := r.cfg.SlowThreshold
+	if thr <= 0 || proposedAt.IsZero() {
+		return
+	}
+	elapsed := now.Sub(proposedAt)
+	if elapsed <= thr {
+		return
+	}
+	logf := r.cfg.SlowLog
+	if logf == nil {
+		logf = log.Printf
+	}
+	if hist := r.cfg.Trace.CommandHistory(id); len(hist) > 0 {
+		logf("caesar: slow command %v took %v (threshold %v)\n%s", id, elapsed, thr, trace.Format(hist))
+	} else {
+		logf("caesar: slow command %v took %v (threshold %v)", id, elapsed, thr)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/trace"
 )
 
 // readWaiter is one parked read fence: remaining counts the conflicting
@@ -88,10 +89,15 @@ func (r *Replica) onReadFence(e evReadFence) {
 		seen[id] = struct{}{}
 		w.remaining++
 		r.readParked[id] = append(r.readParked[id], w)
+		// The event carries the blocking command's ID and the read's
+		// timestamp: the command's history then shows which reads it held.
+		r.cfg.Trace.Record(r.self, trace.KindReadPark, id, e.ts)
 	})
 	if w.remaining == 0 {
 		e.done(nil)
+		return
 	}
+	r.met.ReadFenceParks.Inc()
 }
 
 // releaseReads wakes the read fences parked on a command that has just
@@ -103,6 +109,7 @@ func (r *Replica) releaseReads(id command.ID) {
 		return
 	}
 	delete(r.readParked, id)
+	r.cfg.Trace.Record(r.self, trace.KindReadRelease, id, timestamp.Zero)
 	for _, w := range ws {
 		if w.remaining--; w.remaining == 0 {
 			w.done(nil)

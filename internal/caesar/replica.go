@@ -99,6 +99,14 @@ type Config struct {
 	// Trace, when non-nil, records protocol milestones (propose, waits,
 	// retries, stability, delivery, recovery) for debugging.
 	Trace *trace.Ring
+	// SlowThreshold, when > 0, dumps the traced history of any locally
+	// submitted command whose submit→ack latency exceeds it through
+	// SlowLog — the slow-command log. Most useful with Trace set; without
+	// a ring the dump is just the headline.
+	SlowThreshold time.Duration
+	// SlowLog receives slow-command reports (log.Printf-compatible); nil
+	// uses the standard library logger.
+	SlowLog func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -412,6 +420,7 @@ func (r *Replica) onSubmit(cmd command.Command, done protocol.DoneFunc) {
 		r.cfg.ReserveSeq(r.seqReserved)
 	}
 	cmd.ID = command.ID{Node: r.self, Seq: r.nextSeq}
+	r.met.Proposals.Inc()
 	if done != nil {
 		r.dones[cmd.ID] = done
 	}

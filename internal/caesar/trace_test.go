@@ -1,6 +1,9 @@
 package caesar
 
 import (
+	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -11,7 +14,7 @@ import (
 
 // TestTraceRecordsFastDecisionMilestones checks a fast decision leaves the
 // expected milestone trail on its proposing replica: propose → fast-ok
-// (own acceptor vote) → stable → deliver.
+// (own acceptor vote) → stable → deliver → ack (client callback fired).
 func TestTraceRecordsFastDecisionMilestones(t *testing.T) {
 	ring := trace.NewRing(256)
 	cfg := Config{HeartbeatInterval: -1, Trace: ring}
@@ -29,13 +32,50 @@ func TestTraceRecordsFastDecisionMilestones(t *testing.T) {
 			kinds = append(kinds, e.Kind)
 		}
 	}
-	want := []trace.Kind{trace.KindPropose, trace.KindFastOK, trace.KindStable, trace.KindDeliver}
+	want := []trace.Kind{trace.KindPropose, trace.KindFastOK, trace.KindStable, trace.KindDeliver, trace.KindAck}
 	if len(kinds) != len(want) {
 		t.Fatalf("milestones %v, want %v", kinds, want)
 	}
 	for i := range want {
 		if kinds[i] != want[i] {
 			t.Fatalf("milestones %v, want %v", kinds, want)
+		}
+	}
+}
+
+// TestSlowCommandLog sets a threshold every command exceeds and checks
+// the slow-command log fires with the command's traced history attached.
+func TestSlowCommandLog(t *testing.T) {
+	var mu sync.Mutex
+	var reports []string
+	ring := trace.NewRing(256)
+	cfg := Config{
+		HeartbeatInterval: -1,
+		Trace:             ring,
+		SlowThreshold:     time.Nanosecond,
+		SlowLog: func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			reports = append(reports, fmt.Sprintf(format, args...))
+		},
+	}
+	c := newCluster(t, 3, memnet.Config{}, cfg)
+	res := submitAndWait(t, c.replicas[0], command.Put("k", []byte("v")), 5*time.Second)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reports) != 1 {
+		t.Fatalf("%d slow reports, want 1: %q", len(reports), reports)
+	}
+	rep := reports[0]
+	if !strings.Contains(rep, "slow command c0.1") {
+		t.Errorf("report missing command id:\n%s", rep)
+	}
+	for _, milestone := range []string{"propose", "stable", "deliver"} {
+		if !strings.Contains(rep, " "+milestone+" ") {
+			t.Errorf("report history missing %q:\n%s", milestone, rep)
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/mencius"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/multipaxos"
+	"github.com/caesar-consensus/caesar/internal/obs"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/stack"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
@@ -122,6 +123,11 @@ type Options struct {
 	// (internal/reads): stamped against the group clock, answered once
 	// the delivery frontier passes the stamp — no proposal, no quorum.
 	LocalReads bool
+	// Obs attaches a full observability registry (internal/obs) to every
+	// node, exactly as cmd/caesar-server does: per-group recorders,
+	// node histograms and every scrape-time gauge. Used to measure the
+	// registry's hot-path overhead against an unobserved run.
+	Obs bool
 }
 
 func (o Options) withDefaults() Options {
@@ -342,11 +348,14 @@ func build(o Options, net *memnet.Network, mets []*metrics.Recorder, stores []*k
 			app = pacedApplier{inner: app, cost: o.ApplyCost}
 		}
 		met := mets[i]
-		mk := func(ep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed) protocol.Engine {
+		mk := func(ep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder) protocol.Engine {
+			if gmet == nil {
+				gmet = met
+			}
 			switch o.Protocol {
 			case Caesar, CaesarNoWait:
 				cfg := caesar.Config{
-					Metrics:      met,
+					Metrics:      gmet,
 					DisableWait:  o.Protocol == CaesarNoWait,
 					Predelivered: seed.Delivered,
 					SeqFloor:     seed.SeqFloor,
@@ -363,7 +372,7 @@ func build(o Options, net *memnet.Network, mets []*metrics.Recorder, stores []*k
 				}
 				return caesar.New(ep, app, cfg)
 			case EPaxos:
-				cfg := epaxos.Config{Metrics: met}
+				cfg := epaxos.Config{Metrics: gmet}
 				if crashRun {
 					cfg.HeartbeatInterval = 50 * time.Millisecond
 					cfg.SuspectTimeout = 500 * time.Millisecond
@@ -373,13 +382,13 @@ func build(o Options, net *memnet.Network, mets []*metrics.Recorder, stores []*k
 				}
 				return epaxos.New(ep, app, cfg)
 			case M2Paxos:
-				return m2paxos.New(ep, app, m2paxos.Config{Metrics: met})
+				return m2paxos.New(ep, app, m2paxos.Config{Metrics: gmet})
 			case Mencius:
-				return mencius.New(ep, app, mencius.Config{Metrics: met})
+				return mencius.New(ep, app, mencius.Config{Metrics: gmet})
 			case MultiPaxosIR:
-				return multipaxos.New(ep, app, multipaxos.Config{Leader: 3, Metrics: met})
+				return multipaxos.New(ep, app, multipaxos.Config{Leader: 3, Metrics: gmet})
 			case MultiPaxosIN:
-				return multipaxos.New(ep, app, multipaxos.Config{Leader: 4, Metrics: met})
+				return multipaxos.New(ep, app, multipaxos.Config{Leader: 4, Metrics: gmet})
 			default:
 				panic(fmt.Sprintf("harness: unknown protocol %q", o.Protocol))
 			}
@@ -388,19 +397,24 @@ func build(o Options, net *memnet.Network, mets []*metrics.Recorder, stores []*k
 		if o.DataDir != "" {
 			dataDir = filepath.Join(o.DataDir, fmt.Sprintf("node%d", i))
 		}
+		var ob *obs.Registry
+		if o.Obs {
+			ob = obs.NewRegistry()
+		}
 		stk, err := stack.Build(ep, stack.Config{
 			Shards:    o.Shards,
 			Store:     stores[i],
 			Applier:   app,
 			Metrics:   met,
+			Obs:       ob,
 			DataDir:   dataDir,
 			WAL:       wal.Options{NoSync: o.WALNoSync, Metrics: met},
 			Rebalance: o.Protocol == Caesar || o.Protocol == CaesarNoWait,
-			Build: func(_ int, sep transport.Endpoint, gapp protocol.Applier, seed wal.GroupSeed) protocol.Engine {
+			Build: func(_ int, sep transport.Endpoint, gapp protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder) protocol.Engine {
 				// Batching wraps each group, not the sharded fan-out:
 				// batches form per group, so they never span shards
 				// (cross-shard pieces bypass the batcher entirely).
-				eng := mk(sep, gapp, seed)
+				eng := mk(sep, gapp, seed, gmet)
 				if o.Batching {
 					eng = batch.Wrap(eng, batch.Config{})
 				}

@@ -17,12 +17,15 @@ import (
 const histBuckets = 256
 
 // histGrowth is the per-bucket growth factor. Bucket i covers
-// [histMin·g^i, histMin·g^(i+1)); 256 buckets at 7% growth span
-// 100µs .. ~3.2e6s, far beyond any latency we record.
-const histGrowth = 1.07
+// [histMin·g^i, histMin·g^(i+1)); 256 buckets at 9% growth span
+// 1µs .. ~3.8e3s, far beyond any latency we record.
+const histGrowth = 1.09
 
-// histMin is the lower bound of bucket 0.
-const histMin = 100 * time.Microsecond
+// histMin is the lower bound of bucket 0. Node-local reads
+// (internal/reads) complete in tens of microseconds, so the floor sits
+// at 1µs — a 100µs floor would collapse their whole distribution into
+// bucket 0 and destroy read-quantile resolution.
+const histMin = 1 * time.Microsecond
 
 var logGrowth = math.Log(histGrowth)
 
@@ -96,6 +99,21 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of samples.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Buckets calls fn for every nonempty bucket, ascending, with the
+// bucket's upper bound and its (non-cumulative) sample count. The
+// observability exporter renders these as cumulative Prometheus
+// histogram buckets.
+func (h *Histogram) Buckets(fn func(upper time.Duration, count int64)) {
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			fn(bucketUpper(i), n)
+		}
+	}
+}
+
 // Mean returns the mean sample, or 0 when empty.
 func (h *Histogram) Mean() time.Duration {
 	n := h.count.Load()
@@ -120,7 +138,7 @@ func (h *Histogram) Max() time.Duration {
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the buckets. The
 // estimate is the upper bound of the bucket containing the quantile, so it
-// errs high by at most the 7% bucket width.
+// errs high by at most the 9% bucket width.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	n := h.count.Load()
 	if n == 0 {
@@ -140,14 +158,25 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.Max()
 }
 
-// Counter is an atomic event counter.
-type Counter struct{ v atomic.Int64 }
+// Counter is an atomic event counter. A counter may be linked to a
+// parent (Recorder.Group), in which case every recording is forwarded,
+// so a per-group counter and its node-level aggregate stay in step at
+// the cost of one extra atomic add.
+type Counter struct {
+	v    atomic.Int64
+	link *Counter
+}
 
 // Add increments the counter by n.
-func (c *Counter) Add(n int64) { c.v.Add(n) }
+func (c *Counter) Add(n int64) {
+	c.v.Add(n)
+	if l := c.link; l != nil {
+		l.v.Add(n)
+	}
+}
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() { c.Add(1) }
 
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
@@ -156,10 +185,12 @@ func (c *Counter) Load() int64 { return c.v.Load() }
 func (c *Counter) Reset() { c.v.Store(0) }
 
 // DurationSum accumulates total time spent in some activity together with
-// the number of contributions, for mean-time reporting.
+// the number of contributions, for mean-time reporting. Like Counter it
+// may be linked to a parent aggregate (Recorder.Group).
 type DurationSum struct {
 	total atomic.Int64
 	n     atomic.Int64
+	link  *DurationSum
 }
 
 // Add records one contribution.
@@ -169,6 +200,10 @@ func (s *DurationSum) Add(d time.Duration) {
 	}
 	s.total.Add(int64(d))
 	s.n.Add(1)
+	if l := s.link; l != nil {
+		l.total.Add(int64(d))
+		l.n.Add(1)
+	}
 }
 
 // Total returns the accumulated time.

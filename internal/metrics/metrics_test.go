@@ -31,7 +31,7 @@ func TestHistogramQuantileAccuracy(t *testing.T) {
 	for i := 1; i <= 1000; i++ {
 		h.Observe(time.Duration(i) * time.Millisecond)
 	}
-	// Bucketed quantiles err high by at most one 7% bucket.
+	// Bucketed quantiles err high by at most one 9% bucket.
 	for _, q := range []struct {
 		q    float64
 		want time.Duration
@@ -40,6 +40,29 @@ func TestHistogramQuantileAccuracy(t *testing.T) {
 		if got < q.want || got > q.want*115/100 {
 			t.Errorf("Quantile(%v) = %v, want within [%v, +15%%]", q.q, got, q.want)
 		}
+	}
+}
+
+// Local reads sit around 10–100µs; the histogram floor must resolve
+// quantiles down there instead of collapsing everything into bucket 0
+// (the pre-observability behavior with a 100µs floor).
+func TestHistogramSubMillisecondResolution(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Nanosecond) // 0.1µs .. 100µs
+	}
+	for _, q := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 50 * time.Microsecond}, {0.99, 99 * time.Microsecond}} {
+		got := h.Quantile(q.q)
+		if got < q.want || got > q.want*115/100 {
+			t.Errorf("Quantile(%v) = %v, want within [%v, +15%%]", q.q, got, q.want)
+		}
+	}
+	// Distinct sub-100µs magnitudes must land in distinct buckets.
+	if bucketFor(10*time.Microsecond) == bucketFor(90*time.Microsecond) {
+		t.Error("10µs and 90µs collapsed into one bucket")
 	}
 }
 
@@ -141,6 +164,58 @@ func TestThroughputDelta(t *testing.T) {
 	}
 	if tp.Delta(250) != 150 {
 		t.Fatal("second delta")
+	}
+}
+
+func TestRecorderGroupLinks(t *testing.T) {
+	parent := NewRecorder()
+	g0, g1 := parent.Group(), parent.Group()
+	g0.FastDecisions.Inc()
+	g0.FastDecisions.Inc()
+	g1.FastDecisions.Inc()
+	if g0.FastDecisions.Load() != 2 || g1.FastDecisions.Load() != 1 {
+		t.Fatalf("per-group counts = %d/%d", g0.FastDecisions.Load(), g1.FastDecisions.Load())
+	}
+	if parent.FastDecisions.Load() != 3 {
+		t.Fatalf("aggregate = %d, want 3", parent.FastDecisions.Load())
+	}
+	g0.WaitCondition.Add(2 * time.Second)
+	g1.WaitCondition.Add(time.Second)
+	if parent.WaitCondition.Total() != 3*time.Second || parent.WaitCondition.Count() != 2 {
+		t.Fatalf("aggregate wait = %v/%d", parent.WaitCondition.Total(), parent.WaitCondition.Count())
+	}
+	// Histograms are shared by pointer: a child observation is the
+	// node-wide observation.
+	g0.ObserveLatency(time.Millisecond)
+	if parent.Latency.Count() != 1 {
+		t.Fatal("child latency observation not visible on parent")
+	}
+	// Group of nil stays nil-safe.
+	var nilRec *Recorder
+	if nilRec.Group() != nil {
+		t.Fatal("Group of nil recorder")
+	}
+}
+
+func TestRecorderGroupConcurrent(t *testing.T) {
+	parent := NewRecorder()
+	var wg sync.WaitGroup
+	groups := make([]*Recorder, 4)
+	for i := range groups {
+		groups[i] = parent.Group()
+	}
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *Recorder) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				g.Executed.Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if parent.Executed.Load() != 40000 {
+		t.Fatalf("aggregate = %d, want 40000", parent.Executed.Load())
 	}
 }
 

@@ -22,9 +22,11 @@ type Recorder struct {
 	Executed Counter
 	Decided  Counter
 
-	// FastDecisions / SlowDecisions split decisions taken as this
-	// replica's command leader by path (Fig 10). Retries counts retry
-	// phases, Nacks individual rejections.
+	// Proposals counts commands submitted with this replica as leader;
+	// FastDecisions / SlowDecisions split the decisions among them by
+	// path (Fig 10). Retries counts retry phases, Nacks individual
+	// rejections.
+	Proposals     Counter
 	FastDecisions Counter
 	SlowDecisions Counter
 	Retries       Counter
@@ -47,13 +49,20 @@ type Recorder struct {
 	CrossShardCommits Counter
 	CrossShardAborts  Counter
 
+	// ReadFenceParks counts local reads (internal/reads) whose fence had
+	// to park on at least one in-flight conflicting command before the
+	// store could serve them.
+	ReadFenceParks Counter
+
 	// Durable-log group commit (internal/wal): Fsyncs counts sync
 	// batches, FsyncedRecords the log records they covered (their ratio
 	// is the group-commit batch size), FsyncLatency the time each batch
-	// spent in the file system's sync call.
+	// spent in the file system's sync call. Snapshots counts snapshot
+	// cuts taken (with log truncation behind them).
 	Fsyncs         Counter
 	FsyncedRecords Counter
 	FsyncLatency   DurationSum
+	Snapshots      Counter
 }
 
 // NewRecorder returns a Recorder ready for use.
@@ -71,6 +80,7 @@ func (r *Recorder) Reset() {
 	r.ReadLatency.Reset()
 	r.Executed.Reset()
 	r.Decided.Reset()
+	r.Proposals.Reset()
 	r.FastDecisions.Reset()
 	r.SlowDecisions.Reset()
 	r.Retries.Reset()
@@ -82,9 +92,46 @@ func (r *Recorder) Reset() {
 	r.Recoveries.Reset()
 	r.CrossShardCommits.Reset()
 	r.CrossShardAborts.Reset()
+	r.ReadFenceParks.Reset()
 	r.Fsyncs.Reset()
 	r.FsyncedRecords.Reset()
 	r.FsyncLatency.Reset()
+	r.Snapshots.Reset()
+}
+
+// Group returns a child recorder for one consensus group of a sharded
+// node: every counter and duration sum records into the child and
+// forwards to r, so per-group series and the node-level aggregate stay
+// consistent for the cost of one extra atomic add per event. The latency
+// histograms are shared with the parent (quantiles are reported
+// node-wide). Group of nil is nil — engines treat a nil recorder as
+// "record nothing" only after withDefaults, so the stack always passes a
+// real parent.
+func (r *Recorder) Group() *Recorder {
+	if r == nil {
+		return nil
+	}
+	g := &Recorder{Latency: r.Latency, ReadLatency: r.ReadLatency}
+	g.Executed.link = &r.Executed
+	g.Decided.link = &r.Decided
+	g.Proposals.link = &r.Proposals
+	g.FastDecisions.link = &r.FastDecisions
+	g.SlowDecisions.link = &r.SlowDecisions
+	g.Retries.link = &r.Retries
+	g.Nacks.link = &r.Nacks
+	g.ProposePhase.link = &r.ProposePhase
+	g.RetryPhase.link = &r.RetryPhase
+	g.DeliverPhase.link = &r.DeliverPhase
+	g.WaitCondition.link = &r.WaitCondition
+	g.Recoveries.link = &r.Recoveries
+	g.CrossShardCommits.link = &r.CrossShardCommits
+	g.CrossShardAborts.link = &r.CrossShardAborts
+	g.ReadFenceParks.link = &r.ReadFenceParks
+	g.Fsyncs.link = &r.Fsyncs
+	g.FsyncedRecords.link = &r.FsyncedRecords
+	g.FsyncLatency.link = &r.FsyncLatency
+	g.Snapshots.link = &r.Snapshots
+	return g
 }
 
 // ObserveLatency records one end-to-end command latency.

@@ -1,0 +1,203 @@
+// Package obs is the node-wide observability registry: every subsystem
+// of a built node (consensus groups, the cross-shard commit table, the
+// write-ahead log, the read engine, the rebalance coordinator, the
+// transport) registers its measurements here, and one HTTP surface
+// exports them all — /metrics in Prometheus text exposition format,
+// /statusz as JSON, /healthz + /readyz, and the standard pprof handlers.
+//
+// The registry is strictly read-side: it holds pointers to the
+// subsystems' existing atomic counters, histograms and duration sums
+// (internal/metrics) plus closures sampled at scrape time for gauges, so
+// registering a node for observation adds zero work to any hot path —
+// recording keeps going through the same atomics it always did, and the
+// registry only loads them when something scrapes.
+//
+// Registration is idempotent per (name, labels) pair: re-registering
+// replaces the series' source, which is what a live resize needs when it
+// rebuilds a consensus group and its recorder. All methods are safe for
+// concurrent use with each other and with scrapes, and all are nil-safe
+// on a nil *Registry so wiring code needs no guards.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/caesar-consensus/caesar/internal/metrics"
+)
+
+// Labels is one series' label set; rendered sorted by key.
+type Labels map[string]string
+
+// kind of a metric family.
+type familyKind uint8
+
+const (
+	kindCounter familyKind = iota + 1
+	kindGauge
+	kindHistogram
+	kindSummary
+)
+
+func (k familyKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	case kindSummary:
+		return "summary"
+	}
+	return "untyped"
+}
+
+// series is one labeled member of a family; exactly one source field is
+// set, matching the family's kind.
+type series struct {
+	labels    string // rendered {k="v",...} or ""
+	counter   *metrics.Counter
+	counterFn func() int64
+	gaugeFn   func() float64
+	hist      *metrics.Histogram
+	dsum      *metrics.DurationSum
+}
+
+// family is one named metric with its registered series.
+type family struct {
+	name   string
+	help   string
+	kind   familyKind
+	series []*series
+	byKey  map[string]int
+}
+
+// Registry is the node's metric registry. The zero value is unusable;
+// call NewRegistry. A nil *Registry accepts every call and does nothing.
+type Registry struct {
+	mu       sync.RWMutex
+	families []*family
+	byName   map[string]*family
+	ready    func() bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// renderLabels renders a label set in sorted-key order.
+func renderLabels(ls Labels) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, ls[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register installs (or replaces) one series.
+func (r *Registry) register(name, help string, kind familyKind, ls Labels, s *series) {
+	if r == nil {
+		return
+	}
+	s.labels = renderLabels(ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byKey: make(map[string]int)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	if i, ok := f.byKey[s.labels]; ok {
+		f.series[i] = s
+		return
+	}
+	f.byKey[s.labels] = len(f.series)
+	f.series = append(f.series, s)
+}
+
+// Counter registers a monotonically increasing counter read from c.
+func (r *Registry) Counter(name, help string, ls Labels, c *metrics.Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.register(name, help, kindCounter, ls, &series{counter: c})
+}
+
+// CounterFunc registers a counter sampled from fn at scrape time; fn
+// must be monotone and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, ls Labels, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.register(name, help, kindCounter, ls, &series{counterFn: fn})
+}
+
+// Gauge registers a gauge sampled from fn at scrape time; fn must be
+// safe for concurrent use.
+func (r *Registry) Gauge(name, help string, ls Labels, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.register(name, help, kindGauge, ls, &series{gaugeFn: fn})
+}
+
+// Histogram registers a latency histogram; exported with cumulative le
+// buckets in seconds (only nonempty buckets are rendered, plus +Inf).
+func (r *Registry) Histogram(name, help string, ls Labels, h *metrics.Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.register(name, help, kindHistogram, ls, &series{hist: h})
+}
+
+// Summary registers a duration sum; exported as <name>_sum seconds and
+// <name>_count events (a Prometheus summary with no quantiles).
+func (r *Registry) Summary(name, help string, ls Labels, s *metrics.DurationSum) {
+	if r == nil || s == nil {
+		return
+	}
+	r.register(name, help, kindSummary, ls, &series{dsum: s})
+}
+
+// SetReady installs the readiness probe behind /readyz; nil (or never
+// calling it) reports ready as soon as the process serves.
+func (r *Registry) SetReady(fn func() bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ready = fn
+	r.mu.Unlock()
+}
+
+// Ready evaluates the readiness probe.
+func (r *Registry) Ready() bool {
+	if r == nil {
+		return true
+	}
+	r.mu.RLock()
+	fn := r.ready
+	r.mu.RUnlock()
+	return fn == nil || fn()
+}
+
+func seconds(d time.Duration) float64 { return d.Seconds() }

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): HELP and TYPE lines followed by the
+// family's series. Durations are rendered in seconds. Histogram buckets
+// are cumulative with le bounds; only buckets that hold samples are
+// rendered (Prometheus permits sparse bounds), plus the mandatory +Inf.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		r.mu.RLock()
+		ss := make([]*series, len(f.series))
+		copy(ss, f.series)
+		r.mu.RUnlock()
+		if len(ss) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range ss {
+			writeSeries(&b, f, s)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// fnum renders a float the way Prometheus clients do.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func writeSeries(b *strings.Builder, f *family, s *series) {
+	switch f.kind {
+	case kindCounter:
+		v := int64(0)
+		if s.counter != nil {
+			v = s.counter.Load()
+		} else if s.counterFn != nil {
+			v = s.counterFn()
+		}
+		fmt.Fprintf(b, "%s%s %d\n", f.name, s.labels, v)
+	case kindGauge:
+		fmt.Fprintf(b, "%s%s %s\n", f.name, s.labels, fnum(s.gaugeFn()))
+	case kindSummary:
+		fmt.Fprintf(b, "%s_sum%s %s\n", f.name, s.labels, fnum(seconds(s.dsum.Total())))
+		fmt.Fprintf(b, "%s_count%s %d\n", f.name, s.labels, s.dsum.Count())
+	case kindHistogram:
+		writeHistogram(b, f.name, s)
+	}
+}
+
+// writeHistogram renders one histogram series: cumulative buckets, sum,
+// count. The le label is appended to the series' other labels.
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.hist
+	open, end := "{", "}"
+	if s.labels != "" {
+		open = s.labels[:len(s.labels)-1] + ","
+	}
+	var cum int64
+	h.Buckets(func(upper time.Duration, count int64) {
+		cum += count
+		fmt.Fprintf(b, "%s_bucket%sle=%q%s %d\n", name, open, fnum(seconds(upper)), end, cum)
+	})
+	fmt.Fprintf(b, "%s_bucket%sle=\"+Inf\"%s %d\n", name, open, end, h.Count())
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labels, fnum(seconds(h.Sum())))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, h.Count())
+}
+
+// statusSeries is one series in the /statusz JSON document.
+type statusSeries struct {
+	Labels string  `json:"labels,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Sum    float64 `json:"sum,omitempty"`
+	Count  int64   `json:"count,omitempty"`
+	P50    float64 `json:"p50,omitempty"`
+	P99    float64 `json:"p99,omitempty"`
+	Max    float64 `json:"max,omitempty"`
+}
+
+// statusFamily is one family in the /statusz JSON document.
+type statusFamily struct {
+	Name   string         `json:"name"`
+	Type   string         `json:"type"`
+	Help   string         `json:"help"`
+	Series []statusSeries `json:"series"`
+}
+
+// WriteJSON renders the registry as the /statusz JSON document: the same
+// families as /metrics, with precomputed quantiles for histograms.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	r.mu.RLock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.RUnlock()
+
+	out := make([]statusFamily, 0, len(fams))
+	for _, f := range fams {
+		r.mu.RLock()
+		ss := make([]*series, len(f.series))
+		copy(ss, f.series)
+		r.mu.RUnlock()
+		sf := statusFamily{Name: f.name, Type: f.kind.String(), Help: f.help}
+		for _, s := range ss {
+			var e statusSeries
+			e.Labels = s.labels
+			switch f.kind {
+			case kindCounter:
+				if s.counter != nil {
+					e.Value = float64(s.counter.Load())
+				} else {
+					e.Value = float64(s.counterFn())
+				}
+			case kindGauge:
+				e.Value = s.gaugeFn()
+			case kindSummary:
+				e.Sum = seconds(s.dsum.Total())
+				e.Count = s.dsum.Count()
+			case kindHistogram:
+				e.Sum = seconds(s.hist.Sum())
+				e.Count = s.hist.Count()
+				e.P50 = seconds(s.hist.Quantile(0.5))
+				e.P99 = seconds(s.hist.Quantile(0.99))
+				e.Max = seconds(s.hist.Max())
+			}
+			sf.Series = append(sf.Series, e)
+		}
+		out = append(out, sf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

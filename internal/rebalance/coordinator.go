@@ -10,6 +10,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/trace"
 	"github.com/caesar-consensus/caesar/internal/xshard"
 )
 
@@ -50,6 +51,9 @@ type Config struct {
 	// synchronously (the install is not visible to deliveries until it
 	// returns); it must not call back into the coordinator.
 	Journal func(m Marker)
+	// Trace, when non-nil, records each fence delivery this node applies,
+	// tying resize progress into command histories.
+	Trace *trace.Ring
 }
 
 func (c Config) withDefaults() Config {
@@ -485,6 +489,7 @@ func applyInner(inner protocol.Applier, cmd command.Command, ts timestamp.Timest
 // gate classifies one delivery and carries out the verdict.
 func (co *Coordinator) gate(group int, inner protocol.Applier, cmd command.Command, ts timestamp.Timestamp, done func(protocol.Result)) {
 	if cmd.Op == command.OpFence {
+		co.cfg.Trace.Record(co.cfg.Self, trace.KindFence, cmd.ID, ts)
 		if m, err := DecodeMarker(cmd.Payload); err == nil {
 			co.onFence(group, m)
 		}

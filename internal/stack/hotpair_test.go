@@ -21,6 +21,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/memnet"
+	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/stack"
@@ -39,7 +40,7 @@ func buildTrio(t *testing.T, shards int) (*memnet.Network, []*stack.Stack) {
 			Shards:    shards,
 			Store:     kvstore.New(),
 			Rebalance: true,
-			Build: func(_ int, sep transport.Endpoint, app protocol.Applier, _ wal.GroupSeed) protocol.Engine {
+			Build: func(_ int, sep transport.Endpoint, app protocol.Applier, _ wal.GroupSeed, _ *metrics.Recorder) protocol.Engine {
 				return caesar.New(sep, app, caesar.Config{})
 			},
 		})

@@ -22,15 +22,18 @@ package stack
 
 import (
 	"errors"
+	"strconv"
 	"time"
 
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/metrics"
+	"github.com/caesar-consensus/caesar/internal/obs"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/reads"
 	"github.com/caesar-consensus/caesar/internal/rebalance"
 	"github.com/caesar-consensus/caesar/internal/shard"
+	"github.com/caesar-consensus/caesar/internal/trace"
 	"github.com/caesar-consensus/caesar/internal/transport"
 	"github.com/caesar-consensus/caesar/internal/wal"
 	"github.com/caesar-consensus/caesar/internal/xshard"
@@ -40,8 +43,11 @@ import (
 // channel. app is the group's fully layered applier chain; seed carries
 // the group's crash-recovery inputs (zero without a data dir) — engines
 // that support durable restart (CAESAR) wire it into their config,
-// others may ignore it.
-type BuildEngine func(group int, ep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed) protocol.Engine
+// others may ignore it. met is the group's child recorder
+// (metrics.Recorder.Group of Config.Metrics, already registered with the
+// observability registry under a group label); nil when the node has no
+// recorder — engines treat that as "allocate a private one".
+type BuildEngine func(group int, ep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, met *metrics.Recorder) protocol.Engine
 
 // Config describes the node to build.
 type Config struct {
@@ -57,7 +63,21 @@ type Config struct {
 	// runs wrap it with pacing here.
 	Applier protocol.Applier
 	// Metrics receives commit-table and fsync measurements; may be nil.
+	// Each consensus group gets a child recorder (Metrics.Group) so the
+	// per-group decision counters stay separable while node totals keep
+	// aggregating here.
 	Metrics *metrics.Recorder
+	// Obs, when non-nil, receives every subsystem's metric families as
+	// the stack wires them: per-group consensus counters, node latency
+	// histograms, commit-table occupancy, WAL segment/snapshot gauges and
+	// rebalance epoch state. May be nil (no observability surface).
+	Obs *obs.Registry
+	// Trace, when non-nil, is threaded through the WAL, the cross-shard
+	// commit table and the rebalance coordinator so their milestones
+	// (fsync, tx hold/exec/abort, fences) land in the same ring the
+	// consensus engines record into — Config.Build must hand the same
+	// ring to the engines it constructs for the spine to be complete.
+	Trace *trace.Ring
 	// DataDir enables the durable write-ahead log (internal/wal): every
 	// applied command survives a crash, and a node rebuilt from the same
 	// dir replays snapshot + log tail and rejoins. Empty disables
@@ -130,8 +150,11 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	// through the same buildGroup closure.
 	rd := reads.New(store, cfg.Metrics)
 	s.Reads = rd
+	cfg.Obs.RegisterNodeRecorder(cfg.Metrics)
 	buildGroup := func(g int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed) protocol.Engine {
-		eng := cfg.Build(g, sep, app, seed)
+		gm := cfg.Metrics.Group()
+		cfg.Obs.RegisterRecorder(obs.Labels{"group": strconv.Itoa(g)}, gm)
+		eng := cfg.Build(g, sep, app, seed, gm)
 		if gr, ok := reads.AsGroupReader(eng); ok {
 			rd.Attach(g, gr)
 		}
@@ -146,6 +169,10 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 		if opts.Metrics == nil {
 			opts.Metrics = cfg.Metrics
 		}
+		if opts.Trace == nil {
+			opts.Trace = cfg.Trace
+		}
+		opts.Self = ep.Self()
 		var err error
 		// OpenInto replays snapshot + log tail directly into the node's
 		// store: no scratch store, no Export, no re-Import — the restart
@@ -191,6 +218,7 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 
 	if !sharded {
 		s.Engine = buildGroup(0, ep, wrap(0, app), seedFor(0))
+		s.registerGauges(cfg.Obs, nil)
 		return s, nil
 	}
 
@@ -202,7 +230,7 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 			return nil, err
 		}
 	}
-	tcfg := xshard.TableConfig{Self: ep.Self(), Exec: app, Metrics: cfg.Metrics}
+	tcfg := xshard.TableConfig{Self: ep.Self(), Exec: app, Metrics: cfg.Metrics, Trace: cfg.Trace}
 	if log != nil {
 		tcfg.ApplyTx = log.TxApplier(app)
 		tcfg.XIDFloor = st.XIDFloor()
@@ -230,6 +258,7 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 		})
 		rd.SetRouter(inner.Router)
 		s.Engine = xshard.New(inner, table)
+		s.registerGauges(cfg.Obs, nil)
 		return s, nil
 	}
 
@@ -243,7 +272,8 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	// between the export and the import. Per-group-store deployments
 	// must make Import atomic against their destination store's writers.
 	rcfg := rebalance.Config{
-		Self: ep.Self(),
+		Self:  ep.Self(),
+		Trace: cfg.Trace,
 	}
 	if log != nil {
 		rcfg.Journal = func(m rebalance.Marker) {
@@ -267,7 +297,60 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	reng := rebalance.NewEngine(xshard.New(inner, table), co)
 	s.Resizer = reng
 	s.Engine = reng
+	s.registerGauges(cfg.Obs, co)
 	return s, nil
+}
+
+// registerGauges installs the stack's scrape-time gauges: everything here
+// is sampled from existing accessors only when /metrics or /statusz is
+// hit, so the registry costs the running node nothing.
+func (s *Stack) registerGauges(ob *obs.Registry, co *rebalance.Coordinator) {
+	if ob == nil {
+		return
+	}
+	if co != nil {
+		ob.Gauge("caesar_shards",
+			"Consensus groups in the current routing epoch.", nil,
+			func() float64 { return float64(co.Shards()) })
+		ob.Gauge("caesar_routing_epoch",
+			"Routing epoch currently installed at this node.", nil,
+			func() float64 { return float64(co.Epoch()) })
+		ob.Gauge("caesar_resizing",
+			"1 while an epoch transition is in flight, 0 otherwise.", nil,
+			func() float64 {
+				if co.Resizing() {
+					return 1
+				}
+				return 0
+			})
+	} else {
+		shards := s.Shards
+		ob.Gauge("caesar_shards",
+			"Consensus groups in the current routing epoch.", nil,
+			func() float64 { return float64(shards) })
+	}
+	if t := s.Table; t != nil {
+		ob.Gauge("caesar_xshard_held",
+			"Cross-shard transactions currently held in the commit table.", nil,
+			func() float64 { return float64(t.Pending()) })
+		ob.Gauge("caesar_xshard_oldest_held_seconds",
+			"Age of the oldest transaction still held in the commit table.", nil,
+			func() float64 { return t.OldestHeldAge().Seconds() })
+	}
+	if l := s.Log; l != nil {
+		ob.Gauge("caesar_wal_segment_index",
+			"Index of the write-ahead log's active segment file.", nil,
+			func() float64 { return float64(l.Stats().SegmentIndex) })
+		ob.Gauge("caesar_wal_segment_bytes",
+			"Bytes written to the active write-ahead log segment.", nil,
+			func() float64 { return float64(l.Stats().SegmentBytes) })
+		ob.Gauge("caesar_wal_bytes_since_snapshot",
+			"Log bytes accumulated since the last snapshot cut.", nil,
+			func() float64 { return float64(l.Stats().SinceSnapshot) })
+	}
+	ob.Gauge("caesar_store_keys",
+		"Keys currently resident in the node's store.", nil,
+		func() float64 { return float64(s.Store.Len()) })
 }
 
 // Start launches the engine stack and, with a log, the snapshot loop.

@@ -6,8 +6,10 @@ package tcpnet
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/caesar-consensus/caesar/internal/timestamp"
@@ -32,6 +34,7 @@ type Config struct {
 type Transport struct {
 	cfg      Config
 	listener net.Listener
+	counters []peerCounters // one per peer, indexed by NodeID
 
 	mu      sync.Mutex
 	handler transport.Handler
@@ -39,6 +42,76 @@ type Transport struct {
 	closed  bool
 	done    chan struct{}
 	wg      sync.WaitGroup
+}
+
+// PeerStats is a point-in-time snapshot of one peer link's traffic.
+// Self-sends short-circuit the sockets and count as messages with zero
+// bytes.
+type PeerStats struct {
+	SentMsgs, SentBytes int64
+	RecvMsgs, RecvBytes int64
+}
+
+type peerCounters struct {
+	sentMsgs, sentBytes atomic.Int64
+	recvMsgs, recvBytes atomic.Int64
+}
+
+// PeerStats returns one peer link's traffic counters; out-of-range peers
+// read zero.
+func (t *Transport) PeerStats(peer timestamp.NodeID) PeerStats {
+	if int(peer) < 0 || int(peer) >= len(t.counters) {
+		return PeerStats{}
+	}
+	c := &t.counters[peer]
+	return PeerStats{
+		SentMsgs:  c.sentMsgs.Load(),
+		SentBytes: c.sentBytes.Load(),
+		RecvMsgs:  c.recvMsgs.Load(),
+		RecvBytes: c.recvBytes.Load(),
+	}
+}
+
+// Stats returns per-peer traffic counters, indexed by node ID.
+func (t *Transport) Stats() []PeerStats {
+	out := make([]PeerStats, len(t.counters))
+	for i := range t.counters {
+		c := &t.counters[i]
+		out[i] = PeerStats{
+			SentMsgs:  c.sentMsgs.Load(),
+			SentBytes: c.sentBytes.Load(),
+			RecvMsgs:  c.recvMsgs.Load(),
+			RecvBytes: c.recvBytes.Load(),
+		}
+	}
+	return out
+}
+
+// countingWriter feeds the bytes written through it into a shared
+// counter; gob framing means this sees exactly the wire bytes of the
+// envelopes encoded onto it.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+// countingReader tallies bytes locally; the read loop attributes them to
+// a peer once each decoded envelope reveals its sender.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
 }
 
 var _ transport.Endpoint = (*Transport)(nil)
@@ -62,6 +135,7 @@ func Listen(cfg Config) (*Transport, error) {
 	t := &Transport{
 		cfg:      cfg,
 		listener: ln,
+		counters: make([]peerCounters, len(cfg.Addrs)),
 		sends:    make([]chan any, len(cfg.Addrs)),
 		done:     make(chan struct{}),
 	}
@@ -164,12 +238,19 @@ func (t *Transport) readLoop(conn net.Conn) {
 		<-t.done
 		conn.Close()
 	}()
-	dec := wire.NewDecoder(conn)
+	cr := &countingReader{r: conn}
+	dec := wire.NewDecoder(cr)
+	var seen int64
 	for {
 		var env wire.Envelope
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
+		if i := int(env.From); i >= 0 && i < len(t.counters) {
+			t.counters[i].recvMsgs.Add(1)
+			t.counters[i].recvBytes.Add(cr.n - seen)
+		}
+		seen = cr.n
 		if h := t.getHandler(); h != nil {
 			h(env.From, env.Payload)
 		}
@@ -181,12 +262,15 @@ func (t *Transport) readLoop(conn net.Conn) {
 // handler to keep local message order tight.
 func (t *Transport) sendLoop(peer timestamp.NodeID) {
 	defer t.wg.Done()
+	ctr := &t.counters[peer]
 	if peer == t.cfg.Self {
 		for {
 			select {
 			case <-t.done:
 				return
 			case payload := <-t.sends[peer]:
+				ctr.sentMsgs.Add(1)
+				ctr.recvMsgs.Add(1)
 				if h := t.getHandler(); h != nil {
 					h(t.cfg.Self, payload)
 				}
@@ -200,7 +284,7 @@ func (t *Transport) sendLoop(peer timestamp.NodeID) {
 			var err error
 			conn, err = net.DialTimeout("tcp", t.cfg.Addrs[peer], 2*time.Second)
 			if err == nil {
-				enc = wire.NewEncoder(conn)
+				enc = wire.NewEncoder(&countingWriter{w: conn, n: &ctr.sentBytes})
 				return true
 			}
 			select {
@@ -226,6 +310,7 @@ func (t *Transport) sendLoop(peer timestamp.NodeID) {
 				}
 				err := enc.Encode(&wire.Envelope{From: t.cfg.Self, Payload: payload})
 				if err == nil {
+					ctr.sentMsgs.Add(1)
 					break
 				}
 				// Reconnect and retry this message once per new

@@ -40,6 +40,29 @@ const (
 	KindRecover
 	// KindPurge: the command's metadata was garbage collected.
 	KindPurge
+	// KindFsync: the command's write-ahead log record became durable
+	// (its group-commit batch fsynced) before its apply ran
+	// (internal/wal).
+	KindFsync
+	// KindAck: the command's client callback fired on the submitting
+	// node — the end of the client-visible lifecycle.
+	KindAck
+	// KindTxHold / KindTxExec / KindTxAbort: a cross-shard transaction
+	// piece registered in the commit table, and the transaction then
+	// executed atomically or was killed (internal/xshard). Exec/abort
+	// events are recorded against each piece's command ID so a piece's
+	// CommandHistory carries its transaction's outcome.
+	KindTxHold
+	KindTxExec
+	KindTxAbort
+	// KindReadPark / KindReadRelease: a local read fence parked on this
+	// command, and the command's apply released it (internal/reads).
+	KindReadPark
+	KindReadRelease
+	// KindFence: a resize fence marker was applied by a consensus group
+	// (internal/rebalance); the event's timestamp sequence carries the
+	// target epoch.
+	KindFence
 )
 
 // String implements fmt.Stringer.
@@ -67,6 +90,22 @@ func (k Kind) String() string {
 		return "recover"
 	case KindPurge:
 		return "purge"
+	case KindFsync:
+		return "fsync"
+	case KindAck:
+		return "ack"
+	case KindTxHold:
+		return "tx-hold"
+	case KindTxExec:
+		return "tx-exec"
+	case KindTxAbort:
+		return "tx-abort"
+	case KindReadPark:
+		return "read-park"
+	case KindReadRelease:
+		return "read-release"
+	case KindFence:
+		return "fence"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

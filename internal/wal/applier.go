@@ -4,6 +4,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/trace"
 	"github.com/caesar-consensus/caesar/internal/xshard"
 )
 
@@ -36,6 +37,9 @@ func (a *groupApplier) Apply(cmd command.Command) []byte {
 
 func (a *groupApplier) ApplyAt(cmd command.Command, ts timestamp.Timestamp) []byte {
 	v, err := a.l.LogCommand(a.group, cmd, ts, func() []byte {
+		// The record is durable here (the group-commit batch covering it
+		// has synced); the apply is about to run.
+		a.l.opts.Trace.Record(a.l.opts.Self, trace.KindFsync, cmd.ID, ts)
 		if ta, ok := a.inner.(protocol.TimestampedApplier); ok {
 			return ta.ApplyAt(cmd, ts)
 		}

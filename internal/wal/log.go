@@ -355,6 +355,23 @@ func (l *Log) SizeSinceSnapshot() int64 {
 	return l.sinceSnap
 }
 
+// Stats is a point-in-time view of the log's file state, for the
+// observability gauges.
+type Stats struct {
+	// SegmentIndex is the active segment's index; SegmentBytes its size.
+	SegmentIndex uint64
+	SegmentBytes int64
+	// SinceSnapshot is the log growth since the last snapshot cut.
+	SinceSnapshot int64
+}
+
+// Stats snapshots the log's file-state gauges.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{SegmentIndex: l.segIndex, SegmentBytes: l.segBytes, SinceSnapshot: l.sinceSnap}
+}
+
 // Close flushes and syncs the tail, stops the group-commit goroutine and
 // closes the active segment. In-flight appenders complete first (their
 // waiters are answered by the syncer's final pass); appends after Close

@@ -133,6 +133,9 @@ func (l *Log) Snapshot(export func() (map[string][]byte, int64)) error {
 	l.mu.Lock()
 	l.sinceSnap = 0
 	l.mu.Unlock()
+	if m := l.opts.Metrics; m != nil {
+		m.Snapshots.Inc()
+	}
 	l.removeCovered(cut)
 	return nil
 }

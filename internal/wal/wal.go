@@ -45,6 +45,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/idset"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/trace"
 	"github.com/caesar-consensus/caesar/internal/xshard"
 )
 
@@ -62,6 +63,12 @@ type Options struct {
 	NoSync bool
 	// Metrics receives fsync batch measurements; may be nil.
 	Metrics *metrics.Recorder
+	// Trace, when non-nil, records a KindFsync event (attributed to
+	// Self) for every command whose log record became durable, extending
+	// the consensus trace spine through the durability layer.
+	Trace *trace.Ring
+	// Self is the node ID trace events are attributed to.
+	Self timestamp.NodeID
 }
 
 func (o Options) withDefaults() Options {

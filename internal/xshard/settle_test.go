@@ -7,6 +7,8 @@ package xshard
 import (
 	"testing"
 	"time"
+
+	"github.com/caesar-consensus/caesar/internal/command"
 )
 
 // settled registers a settle waiter and returns a poll helper.
@@ -38,7 +40,7 @@ func TestWaitSettledBlocksOnHeldTxBelowBound(t *testing.T) {
 	// One piece registered at ts 5: the entry's merged lower bound (5) is
 	// below the read point (10), so the transaction could still execute
 	// below it.
-	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0)
+	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0, command.ID{})
 
 	done := settled(tb, []string{"a"}, 10)
 	if done() {
@@ -46,7 +48,7 @@ func TestWaitSettledBlocksOnHeldTxBelowBound(t *testing.T) {
 	}
 	// The second piece completes the transaction; it executes and the
 	// read point settles.
-	tb.registerPiece(1, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(7, 1), 0)
+	tb.registerPiece(1, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(7, 1), 0, command.ID{})
 	if !done() {
 		t.Fatal("not settled after the blocking transaction executed")
 	}
@@ -61,7 +63,7 @@ func TestWaitSettledIgnoresTxAboveBound(t *testing.T) {
 	ops := testOps("a", "b")
 	// Merged lower bound 50 > read point 10: the transaction will execute
 	// above the read point and is invisible to it.
-	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(50, 0), 0)
+	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(50, 0), 0, command.ID{})
 	if !settled(tb, []string{"a"}, 10)() {
 		t.Fatal("blocked on a transaction strictly above the bound")
 	}
@@ -70,7 +72,7 @@ func TestWaitSettledIgnoresTxAboveBound(t *testing.T) {
 func TestWaitSettledIgnoresOtherKeys(t *testing.T) {
 	tb := newTestTable(&recordingExec{})
 	xid := XID{Node: 1, Seq: 1}
-	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: testOps("x", "y")}, ts(5, 0), 0)
+	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: testOps("x", "y")}, ts(5, 0), 0, command.ID{})
 	if !settled(tb, []string{"a"}, 10)() {
 		t.Fatal("blocked on a transaction touching different keys")
 	}
@@ -80,7 +82,7 @@ func TestWaitSettledReleasedByAbort(t *testing.T) {
 	tb := newTestTable(&recordingExec{})
 	xid := XID{Node: 1, Seq: 1}
 	ops := testOps("a", "b")
-	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0)
+	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0, command.ID{})
 	done := settled(tb, []string{"b"}, 10)
 	if done() {
 		t.Fatal("settled with a held transaction below the bound")
@@ -97,17 +99,17 @@ func TestWaitSettledRechecksForNewBlockers(t *testing.T) {
 	first := XID{Node: 1, Seq: 1}
 	second := XID{Node: 2, Seq: 1}
 	ops := testOps("a", "b")
-	tb.registerPiece(0, &Piece{XID: first, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0)
+	tb.registerPiece(0, &Piece{XID: first, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0, command.ID{})
 	done := settled(tb, []string{"a"}, 10)
 
 	// A second transaction on the key lands below the bound while the
 	// waiter is parked; resolving only the first must re-park, not fire.
-	tb.registerPiece(0, &Piece{XID: second, Groups: []int32{0, 1}, Ops: ops}, ts(6, 0), 0)
-	tb.registerPiece(1, &Piece{XID: first, Groups: []int32{0, 1}, Ops: ops}, ts(7, 1), 0)
+	tb.registerPiece(0, &Piece{XID: second, Groups: []int32{0, 1}, Ops: ops}, ts(6, 0), 0, command.ID{})
+	tb.registerPiece(1, &Piece{XID: first, Groups: []int32{0, 1}, Ops: ops}, ts(7, 1), 0, command.ID{})
 	if done() {
 		t.Fatal("settled while a newly arrived transaction still blocks the bound")
 	}
-	tb.registerPiece(1, &Piece{XID: second, Groups: []int32{0, 1}, Ops: ops}, ts(8, 1), 0)
+	tb.registerPiece(1, &Piece{XID: second, Groups: []int32{0, 1}, Ops: ops}, ts(8, 1), 0, command.ID{})
 	if !done() {
 		t.Fatal("not settled after every blocker resolved")
 	}

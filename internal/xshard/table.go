@@ -12,6 +12,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/trace"
 )
 
 // TableConfig tunes one node's commit table.
@@ -43,6 +44,11 @@ type TableConfig struct {
 	ReserveXID func(upto uint64)
 	// Metrics receives CrossShardCommits/CrossShardAborts; may be nil.
 	Metrics *metrics.Recorder
+	// Trace, when non-nil, records the cross-shard lifecycle of each
+	// transaction piece — hold (registered in the table), exec and abort
+	// — against the piece's command ID, extending the consensus trace
+	// spine through the commit layer.
+	Trace *trace.Ring
 	// ResolveTimeout is how long a transaction may sit incomplete in the
 	// table before this node proposes abort markers to the groups whose
 	// pieces are missing. Default 3s.
@@ -104,6 +110,13 @@ type entry struct {
 	// deadline is the next resolution attempt while pending, the sweep
 	// expiry once executed or dead.
 	deadline time.Time
+	// regAt is when this node first learned of the transaction; the
+	// held-transaction-age gauge (OldestHeldAge) reads it.
+	regAt time.Time
+	// pieceIDs are the consensus command IDs of the pieces registered
+	// here, so the trace spine can record the transaction's outcome
+	// against each piece's CommandHistory.
+	pieceIDs []command.ID
 }
 
 // complete reports whether every participating group delivered its piece.
@@ -340,6 +353,30 @@ func (t *Table) Pending() int {
 	return n
 }
 
+// OldestHeldAge returns the age of the oldest in-flight transaction held
+// in the table, or 0 when none is pending. A growing value on a live
+// node means some transaction's pieces (or abort markers) are not
+// landing — the commit-table stall signal the observability endpoint
+// exposes as a gauge.
+func (t *Table) OldestHeldAge() time.Duration {
+	now := t.cfg.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var oldest time.Time
+	for _, e := range t.entries {
+		if e.state != entryPending || e.regAt.IsZero() {
+			continue
+		}
+		if oldest.IsZero() || e.regAt.Before(oldest) {
+			oldest = e.regAt
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return now.Sub(oldest)
+}
+
 // start launches the resolution sweeper.
 func (t *Table) start() {
 	t.mu.Lock()
@@ -446,6 +483,7 @@ func (t *Table) fillLocked(e *entry, groups []int32, ops []command.Command, epoc
 	e.groups = groups
 	e.ops = ops
 	e.epoch = epoch
+	e.regAt = t.cfg.Now()
 	e.keys = make(map[string]struct{})
 	for _, k := range keyUnion(ops) {
 		e.keys[k] = struct{}{}
@@ -619,8 +657,13 @@ func (t *Table) Expect(xid XID, groups []int32, ops []command.Command, epoch uin
 // registerPiece records one group's delivered piece; called from that
 // group's delivery goroutine via the group applier. ts is the piece's
 // stable timestamp within its group (zero for engines without timestamps);
-// epoch is the routing epoch the piece was submitted under.
-func (t *Table) registerPiece(group int32, p *Piece, ts timestamp.Timestamp, epoch uint32) {
+// epoch is the routing epoch the piece was submitted under; cmdID is the
+// piece's consensus command ID (zero when unknown), kept for the trace
+// spine.
+func (t *Table) registerPiece(group int32, p *Piece, ts timestamp.Timestamp, epoch uint32, cmdID command.ID) {
+	if !cmdID.IsZero() {
+		t.cfg.Trace.Record(t.cfg.Self, trace.KindTxHold, cmdID, ts)
+	}
 	t.mu.Lock()
 	defer t.flush()
 	defer t.mu.Unlock()
@@ -640,6 +683,9 @@ func (t *Table) registerPiece(group int32, p *Piece, ts timestamp.Timestamp, epo
 		return
 	}
 	e.got[group] = true
+	if !cmdID.IsZero() {
+		e.pieceIDs = append(e.pieceIDs, cmdID)
+	}
 	if e.merged.Less(ts) {
 		e.merged = ts
 	}
@@ -690,7 +736,10 @@ func (t *Table) killLocked(e *entry, reason error) {
 	t.unindexLocked(e)
 	t.noteResolvedLocked(e.xid)
 	e.state = entryDead
-	e.ops, e.keys, e.got = nil, nil, nil
+	for _, id := range e.pieceIDs {
+		t.cfg.Trace.Record(t.cfg.Self, trace.KindTxAbort, id, e.merged)
+	}
+	e.ops, e.keys, e.got, e.pieceIDs = nil, nil, nil, nil
 	e.deadline = t.cfg.Now().Add(4 * t.cfg.ResolveTimeout)
 	if t.cfg.Metrics != nil {
 		t.cfg.Metrics.CrossShardAborts.Inc()
@@ -795,7 +844,10 @@ func (t *Table) executeLocked(e *entry) {
 	t.noteDrainedLocked(e.xid)
 	xid, merged, ops, done := e.xid, e.merged, e.ops, e.done
 	e.state = entryExecuted
-	e.ops, e.keys, e.got, e.done = nil, nil, nil, nil
+	for _, id := range e.pieceIDs {
+		t.cfg.Trace.Record(t.cfg.Self, trace.KindTxExec, id, merged)
+	}
+	e.ops, e.keys, e.got, e.done, e.pieceIDs = nil, nil, nil, nil, nil
 	e.deadline = t.cfg.Now().Add(4 * t.cfg.ResolveTimeout)
 	if t.cfg.Metrics != nil {
 		t.cfg.Metrics.CrossShardCommits.Inc()
@@ -972,7 +1024,7 @@ func (a *groupApplier) ApplyAt(cmd command.Command, ts timestamp.Timestamp) []by
 	switch cmd.Op {
 	case command.OpXCommit:
 		if p, err := DecodePiece(cmd.Payload); err == nil {
-			a.t.registerPiece(a.group, p, ts, cmd.Epoch)
+			a.t.registerPiece(a.group, p, ts, cmd.Epoch, cmd.ID)
 		}
 		return nil
 	case command.OpXAbort:

@@ -21,9 +21,9 @@ func TestTableAwaitGroupDrain(t *testing.T) {
 	// Two transactions holding a group-0 piece, one of them also complete
 	// later; a third never touches group 0.
 	x1, x2, x3 := XID{Node: 1, Seq: 1}, XID{Node: 1, Seq: 2}, XID{Node: 1, Seq: 3}
-	tb.registerPiece(0, &Piece{XID: x1, Groups: []int32{0, 1}, Ops: testOps("a", "b")}, ts(1, 0), 0)
-	tb.registerPiece(0, &Piece{XID: x2, Groups: []int32{0, 1}, Ops: testOps("c", "d")}, ts(2, 0), 0)
-	tb.registerPiece(1, &Piece{XID: x3, Groups: []int32{1, 2}, Ops: testOps("e", "f")}, ts(3, 1), 0)
+	tb.registerPiece(0, &Piece{XID: x1, Groups: []int32{0, 1}, Ops: testOps("a", "b")}, ts(1, 0), 0, command.ID{})
+	tb.registerPiece(0, &Piece{XID: x2, Groups: []int32{0, 1}, Ops: testOps("c", "d")}, ts(2, 0), 0, command.ID{})
+	tb.registerPiece(1, &Piece{XID: x3, Groups: []int32{1, 2}, Ops: testOps("e", "f")}, ts(3, 1), 0, command.ID{})
 
 	fired := make(chan struct{})
 	tb.AwaitGroupDrain(0, func() { close(fired) })
@@ -34,7 +34,7 @@ func TestTableAwaitGroupDrain(t *testing.T) {
 	}
 
 	// x1 completes and executes.
-	tb.registerPiece(1, &Piece{XID: x1, Groups: []int32{0, 1}, Ops: testOps("a", "b")}, ts(4, 1), 0)
+	tb.registerPiece(1, &Piece{XID: x1, Groups: []int32{0, 1}, Ops: testOps("a", "b")}, ts(4, 1), 0, command.ID{})
 	select {
 	case <-fired:
 		t.Fatal("drain fired with x2 still pending")
@@ -60,14 +60,14 @@ func TestTableKillStale(t *testing.T) {
 	ops := testOps("a", "b")
 	var got error
 	tb.Expect(xid, []int32{0, 1}, ops, 5, func(r protocol.Result) { got = r.Err })
-	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(1, 0), 5)
+	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(1, 0), 5, command.ID{})
 
 	tb.KillStale(1, xid)
 	if !errors.Is(got, ErrEpochRetry) {
 		t.Fatalf("client callback got %v, want ErrEpochRetry", got)
 	}
 	// The straggler piece must not resurrect the transaction.
-	tb.registerPiece(1, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(2, 1), 5)
+	tb.registerPiece(1, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(2, 1), 5, command.ID{})
 	if exec.count() != 0 {
 		t.Fatalf("killed transaction executed %d times", exec.count())
 	}
@@ -87,7 +87,7 @@ func BenchmarkTableRegister(b *testing.B) {
 			for i := 0; i < inflight; i++ {
 				xid := XID{Node: 1, Seq: uint64(i + 1)}
 				ops := testOps(fmt.Sprintf("held-a-%d", i), fmt.Sprintf("held-b-%d", i))
-				tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(uint64(i+1), 0), 0)
+				tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(uint64(i+1), 0), 0, command.ID{})
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -96,8 +96,8 @@ func BenchmarkTableRegister(b *testing.B) {
 				xid := XID{Node: 2, Seq: uint64(i + 1)}
 				ops := testOps(fmt.Sprintf("bench-a-%d", i), fmt.Sprintf("bench-b-%d", i))
 				p := &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}
-				tb.registerPiece(0, p, ts(uint64(inflight+2*i+1), 0), 0)
-				tb.registerPiece(1, p, ts(uint64(2*i+1), 1), 0)
+				tb.registerPiece(0, p, ts(uint64(inflight+2*i+1), 0), 0, command.ID{})
+				tb.registerPiece(1, p, ts(uint64(2*i+1), 1), 0, command.ID{})
 			}
 		})
 	}
@@ -142,14 +142,14 @@ func TestResolveKillsTransactionOfRetiredGroup(t *testing.T) {
 	}
 	xid := XID{Node: 1, Seq: 1}
 	ops := []command.Command{command.Put(k1, nil), command.Put(k3, nil)}
-	tb.registerPiece(1, &Piece{XID: xid, Groups: []int32{1, 3}, Ops: ops}, ts(1, 1), 0)
+	tb.registerPiece(1, &Piece{XID: xid, Groups: []int32{1, 3}, Ops: ops}, ts(1, 1), 0, command.ID{})
 
 	// A later conflicting transaction completes but is blocked by the
 	// stuck entry.
 	x2 := XID{Node: 2, Seq: 1}
 	ops2 := []command.Command{command.Put(k1, nil), command.Put(k3, nil)}
-	tb.registerPiece(1, &Piece{XID: x2, Groups: []int32{1, 3}, Ops: ops2}, ts(5, 1), 0)
-	tb.registerPiece(3, &Piece{XID: x2, Groups: []int32{1, 3}, Ops: ops2}, ts(6, 3), 0)
+	tb.registerPiece(1, &Piece{XID: x2, Groups: []int32{1, 3}, Ops: ops2}, ts(5, 1), 0, command.ID{})
+	tb.registerPiece(3, &Piece{XID: x2, Groups: []int32{1, 3}, Ops: ops2}, ts(6, 3), 0, command.ID{})
 	if exec.count() != 0 {
 		t.Fatal("x2 executed past a lower-bounded conflicting incomplete entry")
 	}

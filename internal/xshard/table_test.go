@@ -59,14 +59,14 @@ func TestTableExecutesWhenAllPiecesRegistered(t *testing.T) {
 	var res *protocol.Result
 	tb.Expect(xid, []int32{0, 1}, ops, 0, func(r protocol.Result) { res = &r })
 
-	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0)
+	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0, command.ID{})
 	if exec.count() != 0 {
 		t.Fatal("executed before all groups registered")
 	}
 	if res != nil {
 		t.Fatal("done fired early")
 	}
-	tb.registerPiece(1, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(9, 2), 0)
+	tb.registerPiece(1, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(9, 2), 0, command.ID{})
 	if exec.count() != 1 || len(exec.calls[0]) != 2 {
 		t.Fatalf("expected one atomic execution of 2 ops, got %v", exec.calls)
 	}
@@ -84,11 +84,11 @@ func TestTableMarkerAfterPieceIsNoOp(t *testing.T) {
 	xid := XID{Node: 1, Seq: 7}
 	ops := testOps("a", "b")
 
-	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0)
+	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0, command.ID{})
 	// The marker lost the race in group 0 (its piece was delivered first):
 	// it must not kill the transaction.
 	tb.registerAbort(0, &Abort{XID: xid, Group: 0})
-	tb.registerPiece(1, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(6, 1), 0)
+	tb.registerPiece(1, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(6, 1), 0, command.ID{})
 	if exec.count() != 1 {
 		t.Fatalf("transaction executed %d times, want 1 (marker lost the race)", exec.count())
 	}
@@ -103,14 +103,14 @@ func TestTableMarkerBeforePieceKills(t *testing.T) {
 	gotSet := false
 	tb.Expect(xid, []int32{0, 1}, ops, 0, func(r protocol.Result) { got, gotSet = r.Err, true })
 
-	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0)
+	tb.registerPiece(0, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(5, 0), 0, command.ID{})
 	// Group 1 delivered the marker before its piece: dead everywhere.
 	tb.registerAbort(1, &Abort{XID: xid, Group: 1})
 	if !gotSet || !errors.Is(got, ErrAborted) {
 		t.Fatalf("done = %v (set=%v), want ErrAborted", got, gotSet)
 	}
 	// The late piece must be dropped, not resurrect the transaction.
-	tb.registerPiece(1, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(9, 1), 0)
+	tb.registerPiece(1, &Piece{XID: xid, Groups: []int32{0, 1}, Ops: ops}, ts(9, 1), 0, command.ID{})
 	if exec.count() != 0 {
 		t.Fatalf("dead transaction executed %d times, want 0", exec.count())
 	}
@@ -129,14 +129,14 @@ func TestTableOrdersConflictingTransactionsByMergedTimestamp(t *testing.T) {
 	ops1 := testOps("shared", "x1-only")
 	ops2 := testOps("shared", "x2-only")
 
-	tb.registerPiece(0, &Piece{XID: x1, Groups: []int32{0, 1}, Ops: ops1}, ts(2, 0), 0)
-	tb.registerPiece(0, &Piece{XID: x2, Groups: []int32{0, 1}, Ops: ops2}, ts(3, 0), 0)
-	tb.registerPiece(1, &Piece{XID: x2, Groups: []int32{0, 1}, Ops: ops2}, ts(10, 1), 0)
+	tb.registerPiece(0, &Piece{XID: x1, Groups: []int32{0, 1}, Ops: ops1}, ts(2, 0), 0, command.ID{})
+	tb.registerPiece(0, &Piece{XID: x2, Groups: []int32{0, 1}, Ops: ops2}, ts(3, 0), 0, command.ID{})
+	tb.registerPiece(1, &Piece{XID: x2, Groups: []int32{0, 1}, Ops: ops2}, ts(10, 1), 0, command.ID{})
 	if exec.count() != 0 {
 		t.Fatal("X2 executed while conflicting X1 could still merge below it")
 	}
 	// X1 completes at merged ⟨20,1⟩ > X2's ⟨10,1⟩: X2 runs first, then X1.
-	tb.registerPiece(1, &Piece{XID: x1, Groups: []int32{0, 1}, Ops: ops1}, ts(20, 1), 0)
+	tb.registerPiece(1, &Piece{XID: x1, Groups: []int32{0, 1}, Ops: ops1}, ts(20, 1), 0, command.ID{})
 	if exec.count() != 2 {
 		t.Fatalf("executed %d transactions, want 2", exec.count())
 	}
@@ -153,9 +153,9 @@ func TestTableNonConflictingCompletionsDoNotBlock(t *testing.T) {
 	ops1 := testOps("a1", "b1")
 	ops2 := testOps("a2", "b2")
 
-	tb.registerPiece(0, &Piece{XID: x1, Groups: []int32{0, 1}, Ops: ops1}, ts(2, 0), 0)
-	tb.registerPiece(0, &Piece{XID: x2, Groups: []int32{0, 1}, Ops: ops2}, ts(3, 0), 0)
-	tb.registerPiece(1, &Piece{XID: x2, Groups: []int32{0, 1}, Ops: ops2}, ts(10, 1), 0)
+	tb.registerPiece(0, &Piece{XID: x1, Groups: []int32{0, 1}, Ops: ops1}, ts(2, 0), 0, command.ID{})
+	tb.registerPiece(0, &Piece{XID: x2, Groups: []int32{0, 1}, Ops: ops2}, ts(3, 0), 0, command.ID{})
+	tb.registerPiece(1, &Piece{XID: x2, Groups: []int32{0, 1}, Ops: ops2}, ts(10, 1), 0, command.ID{})
 	if exec.count() != 1 {
 		t.Fatalf("disjoint X2 executed %d times, want 1 (no spurious deferral)", exec.count())
 	}
@@ -176,16 +176,16 @@ func TestTableBlockingIsTransitive(t *testing.T) {
 	ops1 := testOps("a", "b")
 	ops2 := testOps("a", "c")
 
-	tb.registerPiece(0, &Piece{XID: o, Groups: []int32{0, 1}, Ops: opsO}, ts(3, 0), 0)
-	tb.registerPiece(0, &Piece{XID: e1, Groups: []int32{0, 1}, Ops: ops1}, ts(4, 0), 0)
-	tb.registerPiece(1, &Piece{XID: e1, Groups: []int32{0, 1}, Ops: ops1}, ts(5, 1), 0)
-	tb.registerPiece(0, &Piece{XID: e2, Groups: []int32{0, 1}, Ops: ops2}, ts(6, 0), 0)
-	tb.registerPiece(1, &Piece{XID: e2, Groups: []int32{0, 1}, Ops: ops2}, ts(7, 1), 0)
+	tb.registerPiece(0, &Piece{XID: o, Groups: []int32{0, 1}, Ops: opsO}, ts(3, 0), 0, command.ID{})
+	tb.registerPiece(0, &Piece{XID: e1, Groups: []int32{0, 1}, Ops: ops1}, ts(4, 0), 0, command.ID{})
+	tb.registerPiece(1, &Piece{XID: e1, Groups: []int32{0, 1}, Ops: ops1}, ts(5, 1), 0, command.ID{})
+	tb.registerPiece(0, &Piece{XID: e2, Groups: []int32{0, 1}, Ops: ops2}, ts(6, 0), 0, command.ID{})
+	tb.registerPiece(1, &Piece{XID: e2, Groups: []int32{0, 1}, Ops: ops2}, ts(7, 1), 0, command.ID{})
 	if exec.count() != 0 {
 		t.Fatalf("executed %d transactions while O could still merge below both, want 0", exec.count())
 	}
 	// O completes above everyone: the whole chain drains in merged order.
-	tb.registerPiece(1, &Piece{XID: o, Groups: []int32{0, 1}, Ops: opsO}, ts(9, 1), 0)
+	tb.registerPiece(1, &Piece{XID: o, Groups: []int32{0, 1}, Ops: opsO}, ts(9, 1), 0, command.ID{})
 	if exec.count() != 3 {
 		t.Fatalf("executed %d transactions after O completed, want 3", exec.count())
 	}

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Observability smoke test: start a three-replica caesar-server cluster
+# with the metrics endpoint enabled, drive real traffic, and assert that
+# the live scrape exposes the key metric families — with a nonzero
+# fast-decision count — and that the STATS/TRACE admin commands answer.
+#
+# Run from the repository root: ./scripts/obs-smoke.sh
+set -euo pipefail
+
+workdir=$(mktemp -d)
+cleanup() {
+    kill $(jobs -p) 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/caesar-server" ./cmd/caesar-server
+go build -o "$workdir/caesar-client" ./cmd/caesar-client
+
+peers=127.0.0.1:7480,127.0.0.1:7481,127.0.0.1:7482
+for id in 0 1 2; do
+    "$workdir/caesar-server" -id "$id" -peers "$peers" \
+        -client "127.0.0.1:848$id" -shards 2 \
+        -metrics-addr "127.0.0.1:918$id" -trace-buffer 4096 \
+        >"$workdir/server$id.log" 2>&1 &
+done
+
+# Wait for every replica's readiness probe.
+for id in 0 1 2; do
+    ok=0
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://127.0.0.1:918$id/readyz" >/dev/null 2>&1; then
+            ok=1
+            break
+        fi
+        sleep 0.2
+    done
+    if [ "$ok" != 1 ]; then
+        echo "replica $id never became ready" >&2
+        cat "$workdir/server$id.log" >&2
+        exit 1
+    fi
+done
+
+# Drive traffic: consensus writes through node 0, a local read elsewhere.
+for i in $(seq 1 30); do
+    "$workdir/caesar-client" -server 127.0.0.1:8480 put "key$i" "val$i" >/dev/null
+done
+"$workdir/caesar-client" -server 127.0.0.1:8481 get key7 | grep -q "OK val7"
+
+health=$(curl -fsS http://127.0.0.1:9180/healthz)
+echo "$health" | grep -q ok
+metrics=$(curl -fsS http://127.0.0.1:9180/metrics)
+
+for fam in \
+    caesar_proposals_total \
+    caesar_fast_decisions_total \
+    caesar_slow_decisions_total \
+    caesar_wait_condition_seconds \
+    caesar_latency_seconds_bucket \
+    caesar_wal_fsyncs_total \
+    caesar_wal_fsync_seconds \
+    caesar_xshard_held \
+    caesar_routing_epoch \
+    caesar_shards \
+    caesar_read_fence_parks_total \
+    caesar_net_sent_bytes_total \
+    caesar_net_recv_msgs_total; do
+    if ! echo "$metrics" | grep -q "^$fam"; then
+        echo "scrape missing family $fam:" >&2
+        echo "$metrics" >&2
+        exit 1
+    fi
+done
+
+fast=$(echo "$metrics" | awk '/^caesar_fast_decisions_total/{s+=$2} END{print s+0}')
+if [ "$fast" -le 0 ]; then
+    echo "fast decisions = $fast after 30 writes, want > 0" >&2
+    echo "$metrics" >&2
+    exit 1
+fi
+
+# /statusz carries the same families as JSON.
+statusz=$(curl -fsS http://127.0.0.1:9180/statusz)
+echo "$statusz" | grep -q '"caesar_fast_decisions_total"'
+
+# Admin commands over the client port.
+exec 3<>/dev/tcp/127.0.0.1/8480
+printf 'STATS\n' >&3
+IFS= read -r stats <&3
+echo "$stats" | grep -q '^OK shards=' || { echo "STATS answered: $stats" >&2; exit 1; }
+printf 'TRACE c0.1\n' >&3
+trace_ok=""
+while IFS= read -r line <&3; do
+    case "$line" in
+    OK\ *) trace_ok=$line; break ;;
+    ERR*) echo "TRACE answered: $line" >&2; exit 1 ;;
+    esac
+done
+exec 3<&-
+echo "$trace_ok" | grep -Eq '^OK [1-9][0-9]* events' || {
+    echo "TRACE c0.1 found no events: $trace_ok" >&2
+    exit 1
+}
+
+echo "observability smoke OK: fast_decisions=$fast, $(echo "$stats" | cut -c1-120)"

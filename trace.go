@@ -1,0 +1,53 @@
+package caesar
+
+import (
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+	"github.com/caesar-consensus/caesar/internal/trace"
+)
+
+// Trace is a bounded in-memory ring of protocol events. Attach one to a
+// node (Options.Trace) or a whole cluster (WithTrace) and every layer of
+// the stack records its milestones into it: proposal, acceptor waits,
+// retries, stability, delivery, WAL fsync, cross-shard hold/execute/
+// abort, read-fence park/release, resize fences and the final client
+// acknowledgement. The ring is fixed-size and overwrites its oldest
+// events, so it is safe to leave enabled in production; recording is a
+// single short critical section per event.
+//
+// A shared Trace across a cluster's nodes is fine — every event carries
+// its node of origin.
+type Trace struct {
+	ring *trace.Ring
+}
+
+// NewTrace returns a trace buffer holding up to capacity events;
+// capacity <= 0 selects the default (4096).
+func NewTrace(capacity int) *Trace {
+	return &Trace{ring: trace.NewRing(capacity)}
+}
+
+// inner unwraps the ring; nil-safe so option plumbing needs no guards.
+func (t *Trace) inner() *trace.Ring {
+	if t == nil {
+		return nil
+	}
+	return t.ring
+}
+
+// Len returns the number of events currently buffered.
+func (t *Trace) Len() int { return t.inner().Len() }
+
+// Dump renders every buffered event oldest-first, one per line.
+func (t *Trace) Dump() string {
+	return trace.Format(t.inner().Snapshot())
+}
+
+// CommandHistory renders the buffered events of one command — identified
+// by its proposing node and per-node sequence number, as printed in trace
+// lines and the slow-command log — oldest-first, one per line. The result
+// is empty when no event of that command is (still) buffered.
+func (t *Trace) CommandHistory(node int, seq uint64) string {
+	id := command.ID{Node: timestamp.NodeID(node), Seq: seq}
+	return trace.Format(t.inner().CommandHistory(id))
+}

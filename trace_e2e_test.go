@@ -1,0 +1,56 @@
+package caesar_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	caesar "github.com/caesar-consensus/caesar"
+)
+
+// TestTraceEndToEnd attaches a trace ring to a durable cluster through the
+// public API and checks one command's reconstructed history crosses the
+// whole stack: consensus (propose, stable), the write-ahead log (fsync),
+// execution (deliver) and the client acknowledgement (ack) — plus the
+// cross-shard table's hold/execute events for a multi-group transaction.
+func TestTraceEndToEnd(t *testing.T) {
+	tr := caesar.NewTrace(8192)
+	cluster, err := caesar.NewLocalCluster(3,
+		caesar.WithShards(2),
+		caesar.WithDataDir(t.TempDir()),
+		caesar.WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// First command submitted through node 0 gets ID c0.1.
+	if _, err := cluster.Node(0).Propose(ctx, caesar.Put("trace-key", []byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	hist := tr.CommandHistory(0, 1)
+	for _, milestone := range []string{"propose", "stable", "fsync", "deliver", "ack"} {
+		if !strings.Contains(hist, " "+milestone+" ") {
+			t.Errorf("history of c0.1 missing %q:\n%s", milestone, hist)
+		}
+	}
+
+	// A cross-group transaction additionally leaves the cross-shard
+	// table's hold/execute trail somewhere in the ring.
+	if err := cluster.Node(1).ProposeTx(ctx, []caesar.Command{
+		caesar.Add("acct-a", 1),
+		caesar.Add("acct-b", -1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dump := tr.Dump()
+	if !strings.Contains(dump, " tx-hold ") || !strings.Contains(dump, " tx-exec ") {
+		t.Errorf("trace dump missing cross-shard tx events:\n%s", dump)
+	}
+	if tr.Len() == 0 {
+		t.Error("Len() = 0 after traced traffic")
+	}
+}
