@@ -208,4 +208,15 @@
 // TRACE <cmd-id> (one command's buffered history) admin commands. The
 // registry reads the same lock-free counters the hot path already
 // maintains, so scraping costs the scraper, not the consensus path.
+//
+// # Linting
+//
+// The repo's concurrency and determinism invariants — injected clocks on
+// the consensus path, nothing blocking on a group's event loop, declared
+// mutex nesting orders, no mixed atomic/plain field access — are
+// machine-checked by the caesarlint analyzer suite (tools/caesarlint, a
+// separate zero-dependency module). Run ./scripts/lint.sh, or
+// `go vet -vettool=` with the built binary; see LINTING.md for each
+// invariant, the incident that motivated it, and the
+// //caesarlint:allow suppression syntax.
 package caesar

@@ -136,7 +136,8 @@ func (r *Replica) deliverNow(rec *record) {
 	// gate queueing it behind a handoff) could purge a command that a
 	// crash then erases from every replay path.
 	if da, ok := r.app.(protocol.DeferringApplier); ok {
-		ts := rec.ts // rec must not be touched from the completion goroutine
+		ts := rec.ts       // rec must not be touched from the completion goroutine
+		nowFn := r.cfg.Now // r.now is loop-owned state; the callback is not
 		da.ApplyDeferred(rec.cmd, rec.ts, func(res protocol.Result) {
 			// Completion may run on any goroutine — including the event
 			// loop itself (the gate's pass path completes synchronously),
@@ -152,7 +153,11 @@ func (r *Replica) deliverNow(rec *record) {
 			}
 			if done != nil {
 				done(res)
-				r.noteClientAck(id, ts, proposedAt, time.Now())
+				// Stamp from the injected clock: under the fake-clock
+				// harness a wall-clock stamp here is compared against
+				// proposedAt instants nothing else advances, inventing
+				// (or hiding) slow-command latency.
+				r.noteClientAck(id, ts, proposedAt, nowFn())
 			}
 		})
 		return

@@ -1,0 +1,14 @@
+package caesar
+
+import (
+	"testing"
+
+	"github.com/caesar-consensus/caesar/internal/leakcheck"
+)
+
+// TestMain fails the package if replica goroutines outlive the tests:
+// every Stop must join its event loop, its ticker and any recovery
+// helpers it spawned.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

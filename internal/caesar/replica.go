@@ -306,6 +306,11 @@ func (r *Replica) Start() {
 // runTicker posts periodic evTick events into the loop.
 func (r *Replica) runTicker() {
 	defer close(r.tickerDone)
+	// The cadence is real time by design — it only decides how often the
+	// loop samples the injected clock; every instant the protocol
+	// compares comes from cfg.Now. Fake-clock tests bypass this goroutine
+	// and post evTick directly.
+	//caesarlint:allow wallclock -- liveness cadence only; all compared instants come from cfg.Now
 	t := time.NewTicker(r.cfg.TickInterval)
 	defer t.Stop()
 	for {

@@ -59,6 +59,9 @@ func (v version) visibleAt(epoch uint32, ts timestamp.Timestamp) bool {
 // Apply is invoked from a single goroutine per replica, but reads (Get,
 // GetAt, Len) may come from other goroutines, so access is guarded.
 type Store struct {
+	// Innermost rank in the node's declared lock order (see
+	// rebalance.Coordinator.mu): nothing may be acquired under it.
+	//caesarlint:lockorder store
 	mu   sync.RWMutex
 	data map[string][]byte
 	// vers holds each written key's recent versions, oldest first; base is

@@ -112,6 +112,7 @@ const maxAttempts = 8
 type Engine struct {
 	store *kvstore.Store
 	met   *metrics.Recorder
+	now   func() time.Time
 
 	mu     sync.RWMutex
 	groups map[int]GroupReader
@@ -122,7 +123,17 @@ type Engine struct {
 // New builds the engine over the node's store. Groups are attached as the
 // node stack constructs them; SetRouter/SetTable bind the sharded layers.
 func New(store *kvstore.Store, met *metrics.Recorder) *Engine {
-	return &Engine{store: store, met: met, groups: make(map[int]GroupReader)}
+	return &Engine{store: store, met: met, now: time.Now, groups: make(map[int]GroupReader)}
+}
+
+// SetNow installs the clock read-latency measurements are stamped from,
+// aligning them with a node stack's injected clock. Call before serving
+// reads; nil restores the wall clock.
+func (e *Engine) SetNow(now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	e.now = now
 }
 
 // Attach registers (or replaces, after a resize revives a slot) group g's
@@ -184,7 +195,7 @@ func (e *Engine) currentTable() *xshard.Table {
 // command this node has seen below it. present is false for an absent
 // key.
 func (e *Engine) Read(ctx context.Context, key string) (val []byte, present bool, err error) {
-	start := time.Now()
+	start := e.now()
 	vals, pres, err := e.do(ctx, []string{key})
 	if err != nil {
 		return nil, false, err
@@ -200,7 +211,7 @@ func (e *Engine) ReadTx(ctx context.Context, keys []string) (vals [][]byte, pres
 	if len(keys) == 0 {
 		return nil, nil, nil
 	}
-	start := time.Now()
+	start := e.now()
 	vals, present, err = e.do(ctx, keys)
 	if err == nil {
 		e.observe(start)
@@ -210,7 +221,7 @@ func (e *Engine) ReadTx(ctx context.Context, keys []string) (vals [][]byte, pres
 
 func (e *Engine) observe(start time.Time) {
 	if e.met != nil && e.met.ReadLatency != nil {
-		e.met.ReadLatency.Observe(time.Since(start))
+		e.met.ReadLatency.Observe(e.now().Sub(start))
 	}
 }
 

@@ -156,6 +156,13 @@ type fenceEvent struct {
 type Coordinator struct {
 	cfg Config
 
+	// The declared node-wide nesting order (enforced by caesarlint):
+	// the rebalance gate is the outermost lock, the commit table below
+	// it, the store innermost. The PR-5 four-arm deadlock came from the
+	// gate and the table waiting on each other through callbacks; both
+	// now run callbacks outside their locks, and any future nesting must
+	// follow this order. The chain lives on the first-acquired lock.
+	//caesarlint:lockorder gate < table < store
 	mu sync.Mutex
 	// Wired by bind (Engine construction).
 	inner    *shard.Engine
@@ -379,6 +386,9 @@ func (co *Coordinator) stop() {
 // retirements.
 func (co *Coordinator) sweeper(stopCh, doneCh chan struct{}) {
 	defer close(doneCh)
+	// Real-time cadence by design: fence/retire deadlines inside Sweep
+	// read cfg.Now; deterministic tests call Sweep directly.
+	//caesarlint:allow wallclock -- sweep cadence only; deadlines compare cfg.Now instants
 	tick := time.NewTicker(co.cfg.SweepInterval)
 	defer tick.Stop()
 	for {

@@ -1,0 +1,14 @@
+package rebalance
+
+import (
+	"testing"
+
+	"github.com/caesar-consensus/caesar/internal/leakcheck"
+)
+
+// TestMain fails the package if coordinator goroutines outlive the
+// tests: the sweeper, handoff workers and deferred-delivery reposters
+// must all be joined by Stop.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -93,6 +93,13 @@ type Config struct {
 	// engines that deliver OpFence markers (CAESAR); plain sharded
 	// deployments of other protocols leave it false.
 	Rebalance bool
+	// Now is the clock every stack-built layer measures and times out
+	// against: the read engine's latency stamps, the WAL's fsync
+	// measurements, the commit table's and the rebalance coordinator's
+	// deadlines. Default time.Now; inject a fake to drive the whole node
+	// under simulated time. Engines built by Build must be given the
+	// same clock for the node's timeline to be coherent.
+	Now func() time.Time
 	// Build constructs each group's engine. Required.
 	Build BuildEngine
 }
@@ -149,6 +156,7 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	// built — including groups a live resize adds later, which come
 	// through the same buildGroup closure.
 	rd := reads.New(store, cfg.Metrics)
+	rd.SetNow(cfg.Now)
 	s.Reads = rd
 	cfg.Obs.RegisterNodeRecorder(cfg.Metrics)
 	buildGroup := func(g int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed) protocol.Engine {
@@ -171,6 +179,9 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 		}
 		if opts.Trace == nil {
 			opts.Trace = cfg.Trace
+		}
+		if opts.Now == nil {
+			opts.Now = cfg.Now
 		}
 		opts.Self = ep.Self()
 		var err error
@@ -230,7 +241,7 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 			return nil, err
 		}
 	}
-	tcfg := xshard.TableConfig{Self: ep.Self(), Exec: app, Metrics: cfg.Metrics, Trace: cfg.Trace}
+	tcfg := xshard.TableConfig{Self: ep.Self(), Exec: app, Metrics: cfg.Metrics, Trace: cfg.Trace, Now: cfg.Now}
 	if log != nil {
 		tcfg.ApplyTx = log.TxApplier(app)
 		tcfg.XIDFloor = st.XIDFloor()
@@ -274,6 +285,7 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	rcfg := rebalance.Config{
 		Self:  ep.Self(),
 		Trace: cfg.Trace,
+		Now:   cfg.Now,
 	}
 	if log != nil {
 		rcfg.Journal = func(m rebalance.Marker) {

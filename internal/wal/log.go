@@ -9,7 +9,6 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"time"
 
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
@@ -51,6 +50,7 @@ type Log struct {
 	// cycle (the commit table executes a completed transaction while its
 	// last piece is being applied), and a nested RLock would deadlock
 	// against a waiting Snapshot writer.
+	//caesarlint:lockorder wal-snap-gate
 	snapMu sync.RWMutex
 	// txActive counts in-flight LogTx cycles; snapshotting (guarded by
 	// mu, waited on via snapCond) gates new top-level ones out while a
@@ -62,9 +62,13 @@ type Log struct {
 	snapCond     *sync.Cond
 
 	// snapSerial serializes whole Snapshot invocations (the pause is
-	// brief; the file write runs outside it).
+	// brief; the file write runs outside it). It is the log's outermost
+	// lock; Snapshot acquires the snapshot gate and the file lock under
+	// it, in that order (the chain lives on the first-acquired lock).
+	//caesarlint:lockorder wal-snap-serial < wal-snap-gate < wal-file
 	snapSerial sync.Mutex
 
+	//caesarlint:lockorder wal-file
 	mu        sync.Mutex // file/buffer/aggregate state
 	f         *os.File
 	w         *bufio.Writer
@@ -130,12 +134,12 @@ func (l *Log) syncBatch() {
 	l.mu.Unlock()
 
 	if err == nil && !l.opts.NoSync {
-		start := time.Now()
+		start := l.opts.Now()
 		err = f.Sync()
 		if m := l.opts.Metrics; m != nil {
 			m.Fsyncs.Inc()
 			m.FsyncedRecords.Add(int64(len(waiters)))
-			m.FsyncLatency.Add(time.Since(start))
+			m.FsyncLatency.Add(l.opts.Now().Sub(start))
 		}
 	} else if m := l.opts.Metrics; m != nil && err == nil {
 		m.Fsyncs.Inc()

@@ -41,6 +41,8 @@
 package wal
 
 import (
+	"time"
+
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/idset"
 	"github.com/caesar-consensus/caesar/internal/metrics"
@@ -69,6 +71,11 @@ type Options struct {
 	Trace *trace.Ring
 	// Self is the node ID trace events are attributed to.
 	Self timestamp.NodeID
+	// Now supplies the clock fsync-latency measurements are stamped
+	// from, so a node stack running under an injected clock measures
+	// durability on the same timeline as everything else. Default
+	// time.Now.
+	Now func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -77,6 +84,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SnapshotBytes == 0 {
 		o.SnapshotBytes = 4 << 20
+	}
+	if o.Now == nil {
+		o.Now = time.Now
 	}
 	return o
 }

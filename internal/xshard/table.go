@@ -169,6 +169,10 @@ type Table struct {
 	// submit proposes a command on one group; bound by Engine.
 	submit func(group int, cmd command.Command, done protocol.DoneFunc)
 
+	// Ranked "table" in the node's declared lock order (see
+	// rebalance.Coordinator.mu): may be taken under the rebalance gate,
+	// never above it, and never while holding the store lock.
+	//caesarlint:lockorder table
 	mu          sync.Mutex
 	xidReserved uint64
 	entries     map[XID]*entry
@@ -427,6 +431,9 @@ func (t *Table) stopAndFail() {
 // sweeper periodically resolves stuck transactions and sweeps tombstones.
 func (t *Table) sweeper(stop, stopped chan struct{}) {
 	defer close(stopped)
+	// Real-time cadence by design: deadlines inside Resolve read
+	// cfg.Now; tests needing determinism call Resolve directly.
+	//caesarlint:allow wallclock -- sweep cadence only; deadlines compare cfg.Now instants
 	tick := time.NewTicker(t.cfg.SweepInterval)
 	defer tick.Stop()
 	for {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo lint: run the caesarlint analyzer suite over the whole tree.
+#
+# Two sweeps run. The standalone sweep is authoritative: it loads the
+# repo into one process, so facts (lock orders, acquires/blocks sets,
+# atomically-accessed fields) flow across package boundaries. The
+# `go vet -vettool` sweep exercises the cmd/go integration path; its
+# per-unit findings are a strict subset of the standalone ones, so a
+# clean standalone sweep implies a clean vet sweep — running both guards
+# the protocol shim itself.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== caesarlint self-tests"
+(cd tools/caesarlint && go test ./...)
+
+echo "== building caesarlint"
+bindir="$(mktemp -d)"
+trap 'rm -rf "$bindir"' EXIT
+(cd tools/caesarlint && go build -o "$bindir/caesarlint" ./cmd/caesarlint)
+
+echo "== standalone sweep (whole repo, cross-package facts)"
+"$bindir/caesarlint" ./...
+
+echo "== go vet -vettool sweep"
+go vet -vettool="$bindir/caesarlint" ./...
+
+echo "lint: clean"

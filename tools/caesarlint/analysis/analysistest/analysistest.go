@@ -1,0 +1,138 @@
+// Package analysistest runs an analyzer over golden packages under a
+// testdata/src tree and checks its diagnostics against `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest (which
+// this module cannot depend on — the build environment has no module
+// proxy). A want comment asserts one diagnostic on its own line:
+//
+//	time.Sleep(d) // want `time\.Sleep called on the consensus path`
+//
+// Multiple quoted (or backquoted) regexps assert multiple diagnostics on
+// the same line. Every diagnostic must be wanted and every want must be
+// matched, in every loaded package — including testdata dependencies
+// pulled in by imports, so cross-package fact flow is testable.
+package analysistest
+
+import (
+	"fmt"
+	"go/scanner"
+	"go/token"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/caesar-consensus/caesar/tools/caesarlint/analysis"
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the pattern packages from testdata/src, applies the analyzer
+// (sharing one fact store across all loaded packages, dependency-first),
+// and reports unmatched wants and unwanted diagnostics through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := analysis.LoadTestdata(fset, testdata+"/src", patterns)
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	findings, err := analysis.RunAll(fset, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	var wants []*expectation
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := fset.Position(f.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			ws, err := parseWants(fset, name)
+			if err != nil {
+				t.Fatalf("parsing wants in %s: %v", name, err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+finding:
+	for _, fd := range findings {
+		for _, w := range wants {
+			if !w.hit && w.file == fd.Pos.Filename && w.line == fd.Pos.Line && w.re.MatchString(fd.Message) {
+				w.hit = true
+				continue finding
+			}
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", fd.Pos, fd.Message)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants tokenizes one file and extracts its `// want` expectations.
+func parseWants(fset *token.FileSet, filename string) ([]*expectation, error) {
+	src, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	var out []*expectation
+	var sc scanner.Scanner
+	file := fset.AddFile(filename+" [wants]", -1, len(src))
+	sc.Init(file, src, nil, scanner.ScanComments)
+	for {
+		pos, tok, lit := sc.Scan()
+		if tok == token.EOF {
+			break
+		}
+		if tok != token.COMMENT || !strings.HasPrefix(lit, "//") {
+			continue
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(lit, "//"))
+		if !strings.HasPrefix(body, "want ") && body != "want" {
+			continue
+		}
+		position := file.Position(pos)
+		rest := strings.TrimSpace(strings.TrimPrefix(body, "want"))
+		for rest != "" {
+			var quoted string
+			switch rest[0] {
+			case '"':
+				end := strings.Index(rest[1:], `"`)
+				if end < 0 {
+					return nil, fmt.Errorf("%s:%d: unterminated want pattern", filename, position.Line)
+				}
+				quoted = rest[:end+2]
+				rest = strings.TrimSpace(rest[end+2:])
+			case '`':
+				end := strings.Index(rest[1:], "`")
+				if end < 0 {
+					return nil, fmt.Errorf("%s:%d: unterminated want pattern", filename, position.Line)
+				}
+				quoted = rest[:end+2]
+				rest = strings.TrimSpace(rest[end+2:])
+			default:
+				return nil, fmt.Errorf("%s:%d: malformed want comment near %q", filename, position.Line, rest)
+			}
+			pat, err := strconv.Unquote(quoted)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", filename, position.Line, quoted, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want regexp: %v", filename, position.Line, err)
+			}
+			out = append(out, &expectation{file: filename, line: position.Line, re: re})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// LoadTestdata loads GOPATH-style golden packages for the analyzer tests:
+// each pattern names a directory under srcdir holding one package, whose
+// imports resolve first against sibling directories under srcdir (loaded
+// recursively, dependency-first, so facts flow) and then against the
+// standard library. The returned slice is in dependency order and
+// includes the transitively loaded testdata dependencies.
+func LoadTestdata(fset *token.FileSet, srcdir string, patterns []string) ([]*Package, error) {
+	std := importer.ForCompiler(fset, "source", nil)
+	checked := make(map[string]*types.Package)
+	imp := &mapImporter{base: std, pkgs: checked}
+	var out []*Package
+	loading := make(map[string]bool)
+
+	var load func(path string) error
+	load = func(path string) error {
+		if _, done := checked[path]; done {
+			return nil
+		}
+		if loading[path] {
+			return fmt.Errorf("import cycle through testdata package %s", path)
+		}
+		loading[path] = true
+		defer delete(loading, path)
+
+		dir := filepath.Join(srcdir, filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		var files []*ast.File
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("no Go files in testdata package %s", path)
+		}
+		// Load testdata-local imports first so the type checker finds
+		// them in the map importer.
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				ipath, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if st, err := os.Stat(filepath.Join(srcdir, filepath.FromSlash(ipath))); err == nil && st.IsDir() {
+					if err := load(ipath); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return fmt.Errorf("typecheck testdata %s: %w", path, err)
+		}
+		checked[path] = tpkg
+		out = append(out, &Package{Path: path, Files: files, Types: tpkg, Info: info})
+		return nil
+	}
+	for _, p := range patterns {
+		if err := load(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

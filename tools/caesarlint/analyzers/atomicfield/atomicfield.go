@@ -1,0 +1,154 @@
+// Package atomicfield enforces the all-or-nothing contract of sync/atomic:
+// a struct field that is read or written through the sync/atomic functions
+// anywhere must be accessed that way everywhere (construction excepted).
+// The internal/obs registry depends on exactly this — scrapes walk the
+// hot-path counters lock-free, so one plain `s.n++` next to an
+// atomic.AddInt64(&s.n, 1) is a data race the race detector only catches
+// if a test happens to interleave a scrape with that line.
+//
+// A field passed as &x.f to a sync/atomic function is recorded (and
+// exported as a fact, so importing packages are checked against exported
+// fields too). Every other mention of the field is then flagged unless it
+// is (a) another atomic call argument, (b) a composite-literal key —
+// initialization before the value is shared, (c) inside a constructor
+// (func init or a name starting with New/new), or (d) annotated
+// `//caesarlint:allow atomicfield -- <why>`. Typed atomics (atomic.Int64
+// and friends) are safe by construction and outside this check's scope —
+// misuse of those is copying the struct, which `go vet -copylocks`
+// already catches.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/caesar-consensus/caesar/tools/caesarlint/analysis"
+)
+
+// Analyzer is the atomicfield check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "flags non-atomic access to struct fields that are accessed via sync/atomic elsewhere",
+	Run:  run,
+}
+
+// Fact marks a field as atomically accessed; exported so importing
+// packages inherit the constraint (standalone runs only — the vettool
+// shim has no cross-process fact files, see LINTING.md).
+type Fact struct{ FieldName string }
+
+func run(pass *analysis.Pass) error {
+	// Phase 1: collect the fields whose address feeds a sync/atomic call,
+	// and remember those sanctioned selector nodes.
+	atomicFields := make(map[types.Object]bool)
+	sanctioned := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				if fld := fieldObject(pass, un.X); fld != nil {
+					atomicFields[fld] = true
+					sanctioned[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+	for fld := range atomicFields {
+		pass.ExportObjectFact(fld, &Fact{FieldName: fld.Name()})
+	}
+	isAtomic := func(obj types.Object) bool {
+		if atomicFields[obj] {
+			return true
+		}
+		var fact Fact
+		return pass.ImportObjectFact(obj, &fact)
+	}
+
+	// Phase 2: every other mention of such a field must be constructor
+	// context or annotated.
+	for _, f := range pass.Files {
+		compositeKeys := make(map[ast.Node]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if cl, ok := n.(*ast.CompositeLit); ok {
+				for _, elt := range cl.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						compositeKeys[kv.Key] = true
+					}
+				}
+			}
+			return true
+		})
+		var funcStack []string
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				funcStack = append(funcStack, n.Name.Name)
+				if n.Body != nil {
+					ast.Inspect(n.Body, walk)
+				}
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.SelectorExpr:
+				if sanctioned[n] || compositeKeys[n] {
+					return true
+				}
+				obj := fieldObject(pass, n)
+				if obj == nil || !isAtomic(obj) {
+					return true
+				}
+				if inConstructor(funcStack) {
+					return true
+				}
+				pass.Reportf(n.Sel.Pos(),
+					"field %s is accessed via sync/atomic elsewhere; this plain access races the lock-free path — use sync/atomic here, move it into construction, or annotate //caesarlint:allow atomicfield -- <why>",
+					obj.Name())
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a function of sync/atomic.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldObject resolves expr to a struct-field object, or nil.
+func fieldObject(pass *analysis.Pass, expr ast.Expr) types.Object {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	// Qualified references (pkg.Var) land in Uses, not Selections; those
+	// are package vars, not fields.
+	return nil
+}
+
+func inConstructor(funcStack []string) bool {
+	for _, name := range funcStack {
+		if name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") {
+			return true
+		}
+	}
+	return false
+}

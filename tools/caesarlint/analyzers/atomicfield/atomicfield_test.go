@@ -1,0 +1,16 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"github.com/caesar-consensus/caesar/tools/caesarlint/analysis/analysistest"
+	"github.com/caesar-consensus/caesar/tools/caesarlint/analyzers/atomicfield"
+)
+
+func TestMixedAccess(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer, "atomicdata")
+}
+
+func TestCrossPackageFact(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer, "atomicuser")
+}

@@ -1,0 +1,48 @@
+// Package atomicdata is golden input for the atomicfield analyzer.
+package atomicdata
+
+import "sync/atomic"
+
+// Counter mixes atomic and plain access to n — the race the analyzer
+// exists to catch.
+type Counter struct {
+	n     int64
+	clean int64 // never touched atomically; plain access is fine
+}
+
+// NewCounter is construction: plain writes are allowed here.
+func NewCounter() *Counter {
+	c := &Counter{n: 0}
+	c.n = 1 // constructor context, exempt
+	return c
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) Racy() int64 {
+	c.n++      // want `field n is accessed via sync/atomic elsewhere`
+	return c.n // want `field n is accessed via sync/atomic elsewhere`
+}
+
+func (c *Counter) Fine() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *Counter) PlainField() int64 {
+	c.clean++ // no atomic access anywhere: fine
+	return c.clean
+}
+
+func (c *Counter) Annotated() int64 {
+	// The value is only read after the writers are joined.
+	return c.n //caesarlint:allow atomicfield -- read post-join, no concurrent writers
+}
+
+// Typed atomics are safe by construction and out of scope.
+type Typed struct {
+	v atomic.Int64
+}
+
+func (t *Typed) Inc() { t.v.Add(1) }

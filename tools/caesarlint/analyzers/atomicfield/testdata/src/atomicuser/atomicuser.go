@@ -1,0 +1,10 @@
+// Package atomicuser is golden input for the atomicfield analyzer's
+// cross-package fact flow: Stat.N is accessed atomically in atomicxport,
+// so a plain access here must be flagged too.
+package atomicuser
+
+import "atomicxport"
+
+func Peek(s *atomicxport.Stat) int64 {
+	return s.N // want `field N is accessed via sync/atomic elsewhere`
+}

@@ -1,0 +1,11 @@
+// Package atomicxport exports a field accessed atomically, for the
+// cross-package golden test.
+package atomicxport
+
+import "sync/atomic"
+
+type Stat struct {
+	N int64
+}
+
+func (s *Stat) Inc() { atomic.AddInt64(&s.N, 1) }

@@ -1,0 +1,387 @@
+// Package lockorder is an annotation-driven partial-order checker for
+// mutex acquisition, encoding the lesson of the PR-5 four-arm
+// rebalance-gate×commit-table deadlock: when independent subsystems may
+// nest their locks, the safe nesting order is an invariant worth
+// declaring once and machine-checking forever, instead of re-deriving it
+// from four goroutine dumps.
+//
+// Annotations:
+//
+//	//caesarlint:lockorder gate            — labels the annotated mutex
+//	                                         field (or package-level var)
+//	//caesarlint:lockorder gate < table    — declares order edges; when
+//	                                         attached to a mutex field it
+//	                                         also labels that field with
+//	                                         the chain's first element
+//
+// Order declarations are global: every declared edge, in any package, is
+// published as a fact, and the transitive closure is enforced everywhere
+// (standalone runs — the vettool shim sees only the current package's
+// declarations). A function that acquires a labeled lock exports an
+// "acquires" fact, so a call made while holding lock H into a function
+// that takes lock L is checked against the declared order even across
+// packages.
+//
+// The per-function tracking is deliberately simple: statements are
+// walked in source order, Lock/RLock on a labeled mutex pushes its
+// label, Unlock/RUnlock pops it, `defer x.Unlock()` is a no-op (the lock
+// is held to return), `go` bodies and func literals run on other
+// stacks/contexts and are analyzed separately from an empty held-set.
+// Acquiring label L while holding H is reported when the declared order
+// requires L before H, and when L == H (self-deadlock / writer-starved
+// recursive read lock). Branch-insensitive linear tracking can misfire
+// on lock/unlock splits across if/else arms; annotate those rare sites
+// with //caesarlint:allow lockorder -- <why>.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/caesar-consensus/caesar/tools/caesarlint/analysis"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "checks nested mutex acquisitions against //caesarlint:lockorder declarations",
+	Run:  run,
+}
+
+// OrderFact is one declared edge (From must be acquired before To),
+// published globally.
+type OrderFact struct{ From, To string }
+
+// AcquiresFact marks a function that acquires the listed lock labels,
+// directly or through same-package calls.
+type AcquiresFact struct{ Labels []string }
+
+const directive = "//caesarlint:lockorder"
+
+func run(pass *analysis.Pass) error {
+	labels := collectLabels(pass)
+	edges := collectEdges(pass)
+	for _, e := range edges {
+		pass.ExportPackageFact(&OrderFact{From: e[0], To: e[1]})
+	}
+	// The enforced relation is the transitive closure of every edge
+	// declared anywhere in the load.
+	before := closure(pass.AllPackageFacts(&OrderFact{}))
+
+	// Pass A: each function's acquired-label set, to a same-package
+	// fixpoint, exported as facts for callers here and elsewhere.
+	acquires := make(map[*types.Func]map[string]bool)
+	bodies := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			bodies[fn] = fd
+			set := make(map[string]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt, *ast.FuncLit:
+					// Literals run in their own context (queued
+					// callbacks, goroutine bodies) — their acquisitions
+					// are not the enclosing function's.
+					return false
+				case *ast.CallExpr:
+					if label, unlock, ok := lockCall(pass, n, labels); ok && !unlock {
+						set[label] = true
+					}
+				}
+				return true
+			})
+			acquires[fn] = set
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range bodies {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n.(type) {
+				case *ast.GoStmt, *ast.FuncLit:
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass, call)
+				if callee == nil {
+					return true
+				}
+				for l := range acquires[callee] {
+					if !acquires[fn][l] {
+						acquires[fn][l] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	for fn, set := range acquires {
+		if len(set) > 0 {
+			pass.ExportObjectFact(fn, &AcquiresFact{Labels: keys(set)})
+		}
+	}
+	calleeLabels := func(callee *types.Func) []string {
+		if set, ok := acquires[callee]; ok {
+			return keys(set)
+		}
+		var fact AcquiresFact
+		if pass.ImportObjectFact(callee, &fact) {
+			return fact.Labels
+		}
+		return nil
+	}
+
+	// Pass B: linear held-set tracking with violations.
+	for _, fd := range bodies {
+		checkBody(pass, fd.Body, labels, before, calleeLabels)
+	}
+	// Func literals get their own empty-held context.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkBody(pass, lit.Body, labels, before, calleeLabels)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody walks one function body in source order, tracking held labels
+// and reporting order violations.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, labels map[types.Object]string,
+	before map[string]map[string]bool, calleeLabels func(*types.Func) []string) {
+
+	var held []string
+	check := func(pos ast.Node, l string) {
+		for _, h := range held {
+			switch {
+			case h == l:
+				pass.Reportf(pos.Pos(), "nested acquisition of %q while already held — self-deadlock, or a recursive read lock a pending writer turns into one", l)
+			case before[l][h]:
+				pass.Reportf(pos.Pos(), "acquires %q while holding %q; the declared lock order is %s < %s", l, h, l, h)
+			}
+		}
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			// Other goroutine / other invocation context.
+			return false
+		case *ast.DeferStmt:
+			// defer x.Unlock() releases at return; defer of anything
+			// else is out of linear order — skip both.
+			return false
+		case *ast.CallExpr:
+			if label, unlock, ok := lockCall(pass, n, labels); ok {
+				if unlock {
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == label {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				} else {
+					check(n, label)
+					held = append(held, label)
+				}
+				return true
+			}
+			if callee := calleeFunc(pass, n); callee != nil && len(held) > 0 {
+				for _, l := range calleeLabels(callee) {
+					check(n, l)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// lockCall matches `expr.Lock/RLock/Unlock/RUnlock()` on a labeled
+// sync.Mutex/RWMutex field or variable, returning the label and whether
+// it releases.
+func lockCall(pass *analysis.Pass, call *ast.CallExpr, labels map[types.Object]string) (label string, unlock bool, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		unlock = false
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return "", false, false
+	}
+	var obj types.Object
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		if s, okSel := pass.TypesInfo.Selections[x]; okSel && s.Kind() == types.FieldVal {
+			obj = s.Obj()
+		}
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[x]
+	}
+	if obj == nil {
+		return "", false, false
+	}
+	label, ok = labels[obj]
+	return label, unlock, ok
+}
+
+// calleeFunc statically resolves a call's target function or method.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// collectLabels maps labeled mutex fields/vars to their declared label.
+func collectLabels(pass *analysis.Pass) map[types.Object]string {
+	labels := make(map[types.Object]string)
+	noteNames := func(names []*ast.Ident, groups ...*ast.CommentGroup) {
+		chain := chainFrom(groups...)
+		if len(chain) == 0 {
+			return
+		}
+		for _, name := range names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				labels[obj] = chain[0]
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					noteNames(field.Names, field.Doc, field.Comment)
+				}
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						noteNames(vs.Names, n.Doc, vs.Doc, vs.Comment)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return labels
+}
+
+// collectEdges gathers every a<b pair declared in any comment of the
+// package.
+func collectEdges(pass *analysis.Pass) [][2]string {
+	var edges [][2]string
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				chain := parseChain(c.Text)
+				for i := 0; i+1 < len(chain); i++ {
+					edges = append(edges, [2]string{chain[i], chain[i+1]})
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// chainFrom extracts the first lockorder chain in the given comment
+// groups.
+func chainFrom(groups ...*ast.CommentGroup) []string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if chain := parseChain(c.Text); len(chain) > 0 {
+				return chain
+			}
+		}
+	}
+	return nil
+}
+
+// parseChain parses `//caesarlint:lockorder a < b < c` into its labels;
+// a single label (no '<') is a pure field label.
+func parseChain(text string) []string {
+	idx := strings.Index(text, directive)
+	if idx < 0 {
+		return nil
+	}
+	rest := text[idx+len(directive):]
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	var chain []string
+	for _, part := range strings.Split(rest, "<") {
+		if part = strings.TrimSpace(part); part != "" {
+			chain = append(chain, part)
+		}
+	}
+	return chain
+}
+
+// closure computes the transitive must-come-before relation from the
+// declared edges: before[a][b] means a must be acquired before b.
+func closure(facts []any) map[string]map[string]bool {
+	before := make(map[string]map[string]bool)
+	add := func(a, b string) {
+		if before[a] == nil {
+			before[a] = make(map[string]bool)
+		}
+		before[a][b] = true
+	}
+	for _, f := range facts {
+		of := f.(*OrderFact)
+		add(of.From, of.To)
+	}
+	for changed := true; changed; {
+		changed = false
+		for a, bs := range before {
+			for b := range bs {
+				for c := range before[b] {
+					if !before[a][c] {
+						add(a, c)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return before
+}
+
+func keys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}

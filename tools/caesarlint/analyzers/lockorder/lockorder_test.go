@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/caesar-consensus/caesar/tools/caesarlint/analysis/analysistest"
+	"github.com/caesar-consensus/caesar/tools/caesarlint/analyzers/lockorder"
+)
+
+func TestSinglePackage(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockdata")
+}
+
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "locka")
+}

@@ -1,0 +1,54 @@
+// Package locka is the caller side of the cross-package lockorder test:
+// the table < store order is declared in lockb, and lockb's methods
+// carry acquires-facts, so violations here are only visible if both
+// kinds of fact crossed the package boundary.
+package locka
+
+import (
+	"sync"
+
+	"lockb"
+)
+
+// holder carries a store-ranked lock of its own; the label binds it into
+// the order lockb declared.
+type holder struct {
+	//caesarlint:lockorder store
+	mu sync.Mutex
+}
+
+// mine is a local table-ranked lock.
+type mine struct {
+	//caesarlint:lockorder table
+	mu sync.Mutex
+}
+
+// DeclaredDirection nests table over store — the declared order; the
+// store acquisition arrives via lockb.Store.Get's fact.
+func DeclaredDirection(t *lockb.Tbl, s *lockb.Store) {
+	m := &mine{}
+	m.mu.Lock()
+	s.Get()
+	m.mu.Unlock()
+}
+
+// ReversedViaFact holds a store-ranked lock and calls lockb.Tbl.Grab,
+// whose acquires-fact says it takes a table-ranked lock — the reverse
+// of the order declared in lockb.
+func ReversedViaFact(t *lockb.Tbl) {
+	h := &holder{}
+	h.mu.Lock()
+	t.Grab() // want `acquires "table" while holding "store"`
+	h.mu.Unlock()
+}
+
+// ReversedViaEdge violates the imported order with purely local locks:
+// the edge itself was declared in lockb.
+func ReversedViaEdge() {
+	h := &holder{}
+	m := &mine{}
+	h.mu.Lock()
+	m.mu.Lock() // want `acquires "table" while holding "store"`
+	m.mu.Unlock()
+	h.mu.Unlock()
+}

@@ -1,0 +1,33 @@
+// Package lockb declares the table < store order and exports methods
+// whose lock acquisitions flow to callers as facts, for the
+// cross-package lockorder test.
+package lockb
+
+import "sync"
+
+// Store guards shared state at the bottom of the declared order.
+type Store struct {
+	//caesarlint:lockorder store
+	mu sync.Mutex
+}
+
+// Get acquires the store lock (and releases it; the fact records the
+// acquisition).
+func (s *Store) Get() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// Tbl carries the table-ranked lock; a chain attached to a field labels
+// the field with the chain's head, so the order declaration lives on the
+// first-acquired lock.
+type Tbl struct {
+	//caesarlint:lockorder table < store
+	mu sync.Mutex
+}
+
+// Grab acquires the table lock.
+func (t *Tbl) Grab() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+}

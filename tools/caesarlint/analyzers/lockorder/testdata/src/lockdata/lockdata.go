@@ -1,0 +1,123 @@
+// Package lockdata is golden input for the lockorder analyzer.
+package lockdata
+
+import "sync"
+
+// Node carries two subsystem locks with a declared nesting order.
+type Node struct {
+	//caesarlint:lockorder gate < table
+	gateMu sync.Mutex
+	//caesarlint:lockorder table
+	tableMu sync.Mutex
+	// plain is unlabeled: never tracked.
+	plain sync.Mutex
+}
+
+// GoodOrder nests in the declared direction: gate, then table.
+func (n *Node) GoodOrder() {
+	n.gateMu.Lock()
+	n.tableMu.Lock()
+	n.tableMu.Unlock()
+	n.gateMu.Unlock()
+}
+
+// BadOrder nests against the declared direction.
+func (n *Node) BadOrder() {
+	n.tableMu.Lock()
+	n.gateMu.Lock() // want `acquires "gate" while holding "table"`
+	n.gateMu.Unlock()
+	n.tableMu.Unlock()
+}
+
+// Sequential acquisition (release before re-acquire) is not nesting.
+func (n *Node) Sequential() {
+	n.tableMu.Lock()
+	n.tableMu.Unlock()
+	n.gateMu.Lock()
+	n.gateMu.Unlock()
+}
+
+// SelfDeadlock re-acquires a held lock.
+func (n *Node) SelfDeadlock() {
+	n.gateMu.Lock()
+	n.gateMu.Lock() // want `nested acquisition of "gate"`
+	n.gateMu.Unlock()
+	n.gateMu.Unlock()
+}
+
+// DeferRelease holds gate to return; taking table under it is the
+// declared order.
+func (n *Node) DeferRelease() {
+	n.gateMu.Lock()
+	defer n.gateMu.Unlock()
+	n.tableMu.Lock()
+	n.tableMu.Unlock()
+}
+
+// lockTable is a helper whose acquisition propagates to callers.
+func (n *Node) lockTable() {
+	n.tableMu.Lock()
+}
+
+// ViaHelper acquires table through the helper while holding it already —
+// the transitive same-package check.
+func (n *Node) ViaHelper() {
+	n.tableMu.Lock()
+	n.lockTable() // want `nested acquisition of "table"`
+	n.tableMu.Unlock()
+	n.tableMu.Unlock()
+}
+
+// helperBad acquires gate through a helper while holding table.
+func (n *Node) helperBad() {
+	n.tableMu.Lock()
+	n.lockGate() // want `acquires "gate" while holding "table"`
+	n.gateMu.Unlock()
+	n.tableMu.Unlock()
+}
+
+func (n *Node) lockGate() { n.gateMu.Lock() }
+
+// Annotated sites are suppressed.
+func (n *Node) Annotated() {
+	n.tableMu.Lock()
+	//caesarlint:allow lockorder -- test-only reverse nesting, single-threaded caller
+	n.gateMu.Lock()
+	n.gateMu.Unlock()
+	n.tableMu.Unlock()
+}
+
+// OtherGoroutine: a go body starts from an empty held-set.
+func (n *Node) OtherGoroutine() {
+	n.tableMu.Lock()
+	go func() {
+		n.gateMu.Lock()
+		n.gateMu.Unlock()
+	}()
+	n.tableMu.Unlock()
+}
+
+// Unlabeled locks are never tracked.
+func (n *Node) Unlabeled() {
+	n.plain.Lock()
+	n.plain.Unlock()
+}
+
+// makeCallback returns a literal that re-locks table; the literal runs in
+// its own context (a flush queue, a completion), so the acquisition is
+// neither makeCallback's nor its callers' — the commit-table queue
+// pattern.
+func (n *Node) makeCallback() func() {
+	return func() {
+		n.tableMu.Lock()
+		n.tableMu.Unlock()
+	}
+}
+
+// QueuesWhileHolding holds table while building the callback: no nesting
+// happens until the queue drains it after release.
+func (n *Node) QueuesWhileHolding() {
+	n.tableMu.Lock()
+	_ = n.makeCallback()
+	n.tableMu.Unlock()
+}

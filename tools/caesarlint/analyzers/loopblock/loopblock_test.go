@@ -1,0 +1,27 @@
+package loopblock_test
+
+import (
+	"testing"
+
+	"github.com/caesar-consensus/caesar/tools/caesarlint/analysis/analysistest"
+	"github.com/caesar-consensus/caesar/tools/caesarlint/analyzers/loopblock"
+)
+
+// withFakeLoop retargets the analyzer at the golden stand-in loop type
+// for the duration of one test.
+func withFakeLoop(t *testing.T) {
+	t.Helper()
+	saved := loopblock.LoopTypes
+	loopblock.LoopTypes = []string{"fakeloop.Loop"}
+	t.Cleanup(func() { loopblock.LoopTypes = saved })
+}
+
+func TestHandlerReachability(t *testing.T) {
+	withFakeLoop(t)
+	analysistest.Run(t, "testdata", loopblock.Analyzer, "loopdata")
+}
+
+func TestCrossPackageBlocksFacts(t *testing.T) {
+	withFakeLoop(t)
+	analysistest.Run(t, "testdata", loopblock.Analyzer, "loopuser")
+}

@@ -1,0 +1,31 @@
+// Package loopio exports helpers that block — directly or one call deep
+// — so their "blocks" facts must cross the package boundary to be seen
+// by loopuser's handler.
+package loopio
+
+import "os"
+
+// Flush fsyncs and therefore blocks.
+func Flush(f *os.File) error {
+	return f.Sync()
+}
+
+// Enqueue sends on ch and therefore blocks.
+func Enqueue(ch chan int, v int) {
+	ch <- v
+}
+
+// Persist blocks transitively through Flush.
+func Persist(f *os.File) {
+	_ = Flush(f)
+}
+
+// Peek is non-blocking: the select has a default.
+func Peek(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}

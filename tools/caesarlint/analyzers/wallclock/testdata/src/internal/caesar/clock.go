@@ -1,0 +1,65 @@
+// Package caesar is golden input for the wallclock analyzer: its import
+// path ends in internal/caesar, so it is on the consensus path.
+package caesar
+
+import "time"
+
+// Config mimics the injectable-clock idiom.
+type Config struct {
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Now == nil {
+		// Referencing time.Now as a value is the sanctioned injection
+		// default; only calls are flagged.
+		c.Now = time.Now
+	}
+	return c
+}
+
+func stampsFromWallClock(c Config) time.Duration {
+	start := time.Now()          // want `time\.Now called on the consensus path`
+	time.Sleep(time.Millisecond) // want `time\.Sleep called on the consensus path`
+	return time.Since(start)     // want `time\.Since called on the consensus path`
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep called on the consensus path`
+}
+
+func timers() {
+	t := time.NewTimer(time.Second) // want `time\.NewTimer called on the consensus path`
+	defer t.Stop()
+	tick := time.NewTicker(time.Second) // want `time\.NewTicker called on the consensus path`
+	defer tick.Stop()
+	<-time.After(time.Second) // want `time\.After called on the consensus path`
+}
+
+func annotated() {
+	// The real-time ticker drives liveness, not correctness; tests tick
+	// the fake clock by posting events directly.
+	//caesarlint:allow wallclock -- liveness ticker runs on real time by design
+	t := time.NewTicker(time.Second)
+	t.Stop()
+	_ = time.Now() //caesarlint:allow wallclock -- trailing form, also fine
+}
+
+func annotatedWithoutRationale() {
+	//caesarlint:allow wallclock
+	time.Sleep(time.Millisecond) // want `needs a rationale`
+}
+
+func injected(c Config) time.Time {
+	return c.Now() // the sanctioned path: never flagged
+}
+
+func arithmetic(c Config, deadline time.Time) bool {
+	// Methods named like forbidden functions (After, Sub) on time.Time
+	// values are pure arithmetic on an already-obtained instant.
+	now := c.Now()
+	if deadline.After(now) {
+		return false
+	}
+	return now.Sub(deadline) > time.Second
+}

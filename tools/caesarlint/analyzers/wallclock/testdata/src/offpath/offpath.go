@@ -1,0 +1,11 @@
+// Package offpath is golden input for the wallclock analyzer: its import
+// path matches no consensus-path suffix, so wall-clock calls are fine.
+package offpath
+
+import "time"
+
+func measure() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Microsecond)
+	return time.Since(start)
+}

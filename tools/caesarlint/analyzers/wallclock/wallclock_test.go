@@ -1,0 +1,16 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"github.com/caesar-consensus/caesar/tools/caesarlint/analysis/analysistest"
+	"github.com/caesar-consensus/caesar/tools/caesarlint/analyzers/wallclock"
+)
+
+func TestConsensusPathFindings(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "internal/caesar")
+}
+
+func TestOffPathIsClean(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "offpath")
+}

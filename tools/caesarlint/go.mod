@@ -1,0 +1,3 @@
+module github.com/caesar-consensus/caesar/tools/caesarlint
+
+go 1.21
