@@ -11,6 +11,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/protocol"
@@ -162,6 +163,24 @@ type Options struct {
 	// command proposed through this node whose submit-to-ack latency
 	// exceeds it (the slow-command log). Most useful together with Trace.
 	SlowCommandThreshold time.Duration
+	// FlightBuffer caps the node's always-on flight recorder — the bounded
+	// journal of node-level events (recovery, suspects, retransmits,
+	// resizes, snapshots, watchdog trips) behind Node.FlightLog and the
+	// watchdog's bundles. <= 0 selects the default (1024 events).
+	FlightBuffer int
+	// StallThreshold arms the node's stall watchdog: when positive, a
+	// background scanner samples the oldest held cross-shard transaction,
+	// the oldest parked read fence and the oldest unacknowledged command
+	// against this threshold, and on a trip assembles a diagnosis bundle
+	// (Node.Diagnose, OnStall, the server's /debugz). Zero disables the
+	// watchdog; Diagnose then reports only the flight log.
+	StallThreshold time.Duration
+	// WatchdogInterval paces the watchdog's scans. Default 1s.
+	WatchdogInterval time.Duration
+	// OnStall fires once per healthy→stalled transition with the
+	// watchdog's diagnosis. It runs on the scanning goroutine and must
+	// not block; hand the bundle off if handling is slow.
+	OnStall func(Diagnosis)
 }
 
 func (o Options) toConfig() caesar.Config {
@@ -194,17 +213,23 @@ func newNode(ep transport.Endpoint, opts Options, shards int) (*Node, error) {
 	met := metrics.NewRecorder()
 	cfg := opts.toConfig()
 	cfg.Metrics = met
-	stk, err := stack.Build(ep, stack.Config{
-		Shards:    shards,
-		Metrics:   met,
-		Trace:     opts.Trace.inner(),
-		DataDir:   opts.DataDir,
-		Rebalance: true,
-		Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder) protocol.Engine {
+	rec := flight.New(ep.Self(), opts.FlightBuffer)
+	cfg.Flight = rec
+	scfg := stack.Config{
+		Shards:           shards,
+		Metrics:          met,
+		Trace:            opts.Trace.inner(),
+		DataDir:          opts.DataDir,
+		Rebalance:        true,
+		Flight:           rec,
+		StallThreshold:   opts.StallThreshold,
+		WatchdogInterval: opts.WatchdogInterval,
+		Build: func(g int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder) protocol.Engine {
 			gcfg := cfg
 			if gmet != nil {
 				gcfg.Metrics = gmet
 			}
+			gcfg.FlightGroup = int32(g)
 			gcfg.Predelivered = seed.Delivered
 			gcfg.SeqFloor = seed.SeqFloor
 			gcfg.ClockSeed = seed.ClockSeed
@@ -212,7 +237,12 @@ func newNode(ep transport.Endpoint, opts Options, shards int) (*Node, error) {
 			gcfg.ReserveClock = seed.ReserveClock
 			return caesar.New(sep, app, gcfg)
 		},
-	})
+	}
+	if opts.OnStall != nil {
+		onStall := opts.OnStall
+		scfg.OnStall = func(d *flight.Diagnosis) { onStall(Diagnosis{inner: d}) }
+	}
+	stk, err := stack.Build(ep, scfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,10 @@
 // Command caesar-bench regenerates the paper's evaluation (Figures 6–12)
 // on the simulated five-site WAN. Each figure prints the same rows/series
-// the paper plots.
+// the paper plots, and (unless -out "") also writes a machine-readable
+// BENCH_<figure>.json next to it — throughput, latency percentiles, the
+// key protocol counters, the git revision and a timestamp — so two
+// checkouts' results can be diffed with scripts/bench-compare.sh (or
+// caesar-bench -compare a.json b.json directly).
 //
 // Usage:
 //
@@ -13,6 +17,8 @@
 //	caesar-bench -figure durable      # write-ahead-log cost + crash-recovery time
 //	caesar-bench -figure readheavy    # local linearizable reads vs proposed reads
 //	caesar-bench -figure 9 -shards 4  # any figure on a sharded deployment
+//	caesar-bench -figure sharding -out results/   # JSON into a directory
+//	caesar-bench -compare old.json new.json       # diff two result files
 //
 // Scale 1.0 reproduces the paper's real WAN latencies (slow); the default
 // 0.05 keeps delay ratios while running 20× faster. Reported latencies are
@@ -20,9 +26,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"github.com/caesar-consensus/caesar/internal/harness"
@@ -35,6 +46,171 @@ func main() {
 	}
 }
 
+// benchFile is the schema of BENCH_<figure>.json.
+type benchFile struct {
+	Figure    string        `json:"figure"`
+	GitSHA    string        `json:"git_sha,omitempty"`
+	Timestamp string        `json:"timestamp"`
+	Scale     float64       `json:"scale"`
+	Duration  string        `json:"duration"`
+	Seed      int64         `json:"seed"`
+	Results   []benchResult `json:"results"`
+}
+
+// benchResult is one run's machine-readable row. The label is the row
+// key: it encodes the run's configuration, so identical invocations of
+// two builds produce matching labels for bench-compare to pair up.
+type benchResult struct {
+	Label       string  `json:"label"`
+	Protocol    string  `json:"protocol"`
+	ConflictPct float64 `json:"conflict_pct"`
+	Shards      int     `json:"shards"`
+	Throughput  float64 `json:"throughput_cmds_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	Fast        int64   `json:"fast_decisions"`
+	Slow        int64   `json:"slow_decisions"`
+	Failed      int64   `json:"failed"`
+	Reads       int64   `json:"reads,omitempty"`
+	ReadP50Ms   float64 `json:"read_p50_ms,omitempty"`
+	ReadP99Ms   float64 `json:"read_p99_ms,omitempty"`
+	Fsyncs      int64   `json:"fsyncs,omitempty"`
+}
+
+func msf(d time.Duration) float64 {
+	return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000
+}
+
+// toRow flattens one harness result: p50 is the count-weighted mean of
+// the sites' medians, p99 the worst site's tail (the number an operator
+// cares about).
+func toRow(r harness.Result) benchResult {
+	row := benchResult{
+		Label:       r.Label,
+		Protocol:    string(r.Protocol),
+		ConflictPct: r.ConflictPct,
+		Shards:      r.Shards,
+		Throughput:  math.Round(r.Throughput*100) / 100,
+		Fast:        r.FastDecisions,
+		Slow:        r.SlowDecisions,
+		Failed:      r.Failed,
+		Reads:       r.Reads,
+		ReadP50Ms:   msf(r.ReadP50),
+		ReadP99Ms:   msf(r.ReadP99),
+		Fsyncs:      r.FsyncCount,
+	}
+	var p50Weighted float64
+	var count int64
+	var p99 time.Duration
+	for _, s := range r.Sites {
+		p50Weighted += float64(s.P50) * float64(s.Count)
+		count += s.Count
+		if s.P99 > p99 {
+			p99 = s.P99
+		}
+	}
+	if count > 0 {
+		row.P50Ms = msf(time.Duration(p50Weighted / float64(count)))
+	}
+	row.P99Ms = msf(p99)
+	return row
+}
+
+// gitSHA best-effort resolves the working tree's revision; empty when
+// git (or a repository) is unavailable.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// writeJSON writes BENCH_<figure>.json into dir.
+func writeJSON(dir, figure string, base harness.Options, results []harness.Result) error {
+	bf := benchFile{
+		Figure:    figure,
+		GitSHA:    gitSHA(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Scale:     base.Scale,
+		Duration:  base.Duration.String(),
+		Seed:      base.Seed,
+	}
+	for _, r := range results {
+		bf.Results = append(bf.Results, toRow(r))
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+figure+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (%d result rows)\n", path, len(bf.Results))
+	return nil
+}
+
+// compare diffs two BENCH_*.json files row by row, matched on label.
+func compare(pathA, pathB string) error {
+	load := func(path string) (benchFile, error) {
+		var bf benchFile
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return bf, err
+		}
+		return bf, json.Unmarshal(data, &bf)
+	}
+	a, err := load(pathA)
+	if err != nil {
+		return fmt.Errorf("%s: %w", pathA, err)
+	}
+	b, err := load(pathB)
+	if err != nil {
+		return fmt.Errorf("%s: %w", pathB, err)
+	}
+	fmt.Printf("A: %s  figure=%s sha=%.12s at %s\n", pathA, a.Figure, a.GitSHA, a.Timestamp)
+	fmt.Printf("B: %s  figure=%s sha=%.12s at %s\n\n", pathB, b.Figure, b.GitSHA, b.Timestamp)
+	byLabel := make(map[string]benchResult, len(b.Results))
+	for _, r := range b.Results {
+		byLabel[r.Label] = r
+	}
+	pct := func(from, to float64) string {
+		if from == 0 {
+			return "     n/a"
+		}
+		return fmt.Sprintf("%+7.1f%%", (to-from)/from*100)
+	}
+	fmt.Printf("%-44s %22s %20s %20s\n", "label", "cmds/s A→B", "p50ms A→B", "p99ms A→B")
+	matched := 0
+	for _, ra := range a.Results {
+		rb, ok := byLabel[ra.Label]
+		if !ok {
+			fmt.Printf("%-44s only in A\n", ra.Label)
+			continue
+		}
+		matched++
+		delete(byLabel, ra.Label)
+		fmt.Printf("%-44s %7.0f→%-7.0f %s %6.1f→%-6.1f %s %6.1f→%-6.1f %s\n",
+			ra.Label,
+			ra.Throughput, rb.Throughput, pct(ra.Throughput, rb.Throughput),
+			ra.P50Ms, rb.P50Ms, pct(ra.P50Ms, rb.P50Ms),
+			ra.P99Ms, rb.P99Ms, pct(ra.P99Ms, rb.P99Ms))
+	}
+	for _, rb := range b.Results {
+		if _, ok := byLabel[rb.Label]; ok {
+			fmt.Printf("%-44s only in B\n", rb.Label)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no matching labels between %s and %s", pathA, pathB)
+	}
+	return nil
+}
+
 func run() error {
 	var (
 		figure   = flag.String("figure", "all", "figure to regenerate: 6, 7, 8, 9, 10, 11a, 11b, 12, sharding, crossshard, elastic, durable, readheavy, or all (the paper's figures)")
@@ -45,8 +221,16 @@ func run() error {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		shards   = flag.Int("shards", 1, "independent consensus groups per node (keys routed by consistent hashing)")
 		obs      = flag.Bool("obs", false, "attach the full observability registry (internal/obs) to every node, to measure its hot-path overhead against a run without it")
+		out      = flag.String("out", ".", "directory for machine-readable BENCH_<figure>.json result files (empty disables)")
+		cmp      = flag.Bool("compare", false, "diff two BENCH_*.json result files given as arguments, matched row-by-row on label")
 	)
 	flag.Parse()
+	if *cmp {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("usage: caesar-bench -compare <a.json> <b.json>")
+		}
+		return compare(flag.Arg(0), flag.Arg(1))
+	}
 
 	base := harness.Options{
 		Scale:          *scale,
@@ -58,33 +242,45 @@ func run() error {
 		Obs:            *obs,
 	}
 	w := os.Stdout
-	runs := map[string]func(){
-		"6":   func() { harness.Figure6(w, base) },
-		"7":   func() { harness.Figure7(w, base) },
-		"8":   func() { harness.Figure8(w, base) },
-		"9":   func() { harness.Figure9(w, base, false); fmt.Fprintln(w); harness.Figure9(w, base, true) },
-		"10":  func() { harness.Figure10(w, base) },
-		"11a": func() { harness.Figure11a(w, base) },
-		"11b": func() { harness.Figure11b(w, base) },
-		"12":  func() { harness.Figure12(w, base) },
+	runs := map[string]func() []harness.Result{
+		"6": func() []harness.Result { return harness.Figure6(w, base) },
+		"7": func() []harness.Result { return harness.Figure7(w, base) },
+		"8": func() []harness.Result { return harness.Figure8(w, base) },
+		"9": func() []harness.Result {
+			rs := harness.Figure9(w, base, false)
+			fmt.Fprintln(w)
+			return append(rs, harness.Figure9(w, base, true)...)
+		},
+		"10":  func() []harness.Result { return harness.Figure10(w, base) },
+		"11a": func() []harness.Result { return harness.Figure11a(w, base) },
+		"11b": func() []harness.Result { return harness.Figure11b(w, base) },
+		"12":  func() []harness.Result { return harness.Figure12(w, base) },
 		// Beyond the paper: throughput scaling of the sharded deployment,
 		// the cost of the atomic cross-group commit layer as the
 		// cross-shard transaction mix grows, and throughput through a
 		// live mid-run shard-count resize.
-		"sharding":   func() { harness.Sharding(w, base) },
-		"crossshard": func() { harness.CrossShard(w, base) },
-		"elastic":    func() { harness.Elastic(w, base) },
+		"sharding":   func() []harness.Result { return harness.Sharding(w, base) },
+		"crossshard": func() []harness.Result { return harness.CrossShard(w, base) },
+		"elastic":    func() []harness.Result { return harness.Elastic(w, base) },
 		// Durable: throughput with the write-ahead log (group-commit
 		// fsync batching) vs in-memory, plus cold crash-recovery time.
-		"durable": func() { harness.Durable(w, base) },
+		"durable": func() []harness.Result { return harness.Durable(w, base) },
 		// ReadHeavy: local linearizable reads (internal/reads) vs
 		// propose-based reads across 50/90/99% read mixes, with read
 		// latency percentiles.
-		"readheavy": func() { harness.ReadHeavy(w, base) },
+		"readheavy": func() []harness.Result { return harness.ReadHeavy(w, base) },
+	}
+	emit := func(figure string, results []harness.Result) error {
+		if *out == "" {
+			return nil
+		}
+		return writeJSON(*out, figure, base, results)
 	}
 	if *figure == "all" {
 		for _, f := range []string{"6", "7", "8", "9", "10", "11a", "11b", "12"} {
-			runs[f]()
+			if err := emit(f, runs[f]()); err != nil {
+				return err
+			}
 			fmt.Fprintln(w)
 		}
 		return nil
@@ -93,6 +289,5 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("unknown figure %q", *figure)
 	}
-	f()
-	return nil
+	return emit(*figure, f())
 }

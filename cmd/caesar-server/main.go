@@ -31,11 +31,25 @@
 //	TRACE <cmd-id>               →  the traced milestones of one command
 //	                                (as printed by the slow-command log,
 //	                                e.g. TRACE c0.17), one per line, then
-//	                                OK <n> events; needs -trace-buffer > 0
+//	                                OK <n> events; needs -trace-buffer > 0.
+//	                                A miss distinguishes "never traced
+//	                                here" from "ring may have evicted it"
+//	                                and points at caesar-trace for the
+//	                                cluster-wide view.
+//	DIAGNOSE                     →  the stall watchdog's on-demand
+//	                                diagnosis bundle (admin: tripped
+//	                                probes, commit-table detail, flight-
+//	                                recorder tail), then OK
+//	FLIGHT [<n>]                 →  the newest n (default 32) flight-
+//	                                recorder events, then OK <n> events
 //
 // With -metrics-addr the replica additionally serves an observability
 // HTTP endpoint: /metrics (Prometheus text format), /statusz (JSON),
-// /healthz, /readyz and the standard pprof handlers under /debug/pprof/.
+// /healthz, /readyz, the standard pprof handlers under /debug/pprof/,
+// /debugz (the stall watchdog's diagnosis bundle; ?last=1 for the most
+// recent trip) and /tracez (the command-trace ring as JSON; ?cmd=c0.17
+// filters to one command — the per-node endpoint cmd/caesar-trace merges
+// across replicas).
 //
 // Unlike PUT — whose value runs to the end of the line — MPUT/MGET keys
 // and values are single whitespace-separated tokens: a value containing a
@@ -61,6 +75,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/obs"
 	"github.com/caesar-consensus/caesar/internal/protocol"
@@ -75,14 +90,17 @@ import (
 
 // options collects the parsed flags.
 type options struct {
-	id          int
-	peers       string
-	clientAddr  string
-	shards      int
-	dataDir     string
-	metricsAddr string
-	traceBuffer int
-	slowCommand time.Duration
+	id           int
+	peers        string
+	clientAddr   string
+	shards       int
+	dataDir      string
+	metricsAddr  string
+	traceBuffer  int
+	slowCommand  time.Duration
+	flightBuffer int
+	stallAfter   time.Duration
+	scanEvery    time.Duration
 }
 
 func main() {
@@ -95,6 +113,9 @@ func main() {
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "observability HTTP listen address serving /metrics, /statusz, /healthz, /readyz and /debug/pprof/ (empty = off)")
 	flag.IntVar(&o.traceBuffer, "trace-buffer", 4096, "command-trace ring capacity in events (0 disables tracing)")
 	flag.DurationVar(&o.slowCommand, "slow-command", 0, "log the traced history of commands slower than this submit-to-ack latency (0 disables)")
+	flag.IntVar(&o.flightBuffer, "flight-buffer", 1024, "flight-recorder ring capacity in node-level events")
+	flag.DurationVar(&o.stallAfter, "stall-threshold", 10*time.Second, "stall-watchdog trip threshold for wedged work (0 disables the watchdog)")
+	flag.DurationVar(&o.scanEvery, "watchdog-interval", time.Second, "stall-watchdog scan cadence")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "caesar-server:", err)
@@ -108,6 +129,7 @@ type node struct {
 	stk  *stack.Stack
 	met  *metrics.Recorder
 	ring *trace.Ring
+	rec  *flight.Recorder
 	tr   *tcpnet.Transport
 }
 
@@ -129,6 +151,7 @@ func run(o options) error {
 	if o.traceBuffer > 0 {
 		ring = trace.NewRing(o.traceBuffer)
 	}
+	rec := flight.New(timestamp.NodeID(o.id), o.flightBuffer)
 	// One shared stack constructor wires store, commit table, rebalance
 	// coordinator and (with -data-dir) the write-ahead log: every group
 	// shares them, multi-key MPUTs spanning groups commit atomically, the
@@ -138,16 +161,26 @@ func run(o options) error {
 	// trace ring thread through the same constructor, so every layer a
 	// command crosses is observable.
 	stk, err := stack.Build(tr, stack.Config{
-		Shards:    o.shards,
-		Metrics:   met,
-		Obs:       reg,
-		Trace:     ring,
-		DataDir:   o.dataDir,
-		Rebalance: true,
-		Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder) protocol.Engine {
+		Shards:           o.shards,
+		Metrics:          met,
+		Obs:              reg,
+		Trace:            ring,
+		DataDir:          o.dataDir,
+		Rebalance:        true,
+		Flight:           rec,
+		StallThreshold:   o.stallAfter,
+		WatchdogInterval: o.scanEvery,
+		OnStall: func(d *flight.Diagnosis) {
+			for _, s := range d.Stalls {
+				log.Printf("replica %d STALL %s", o.id, s)
+			}
+		},
+		Build: func(g int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder) protocol.Engine {
 			return caesar.New(sep, app, caesar.Config{
 				Metrics:       gmet,
 				Trace:         ring,
+				Flight:        rec,
+				FlightGroup:   int32(g),
 				SlowThreshold: o.slowCommand,
 				Predelivered:  seed.Delivered,
 				SeqFloor:      seed.SeqFloor,
@@ -177,7 +210,20 @@ func run(o options) error {
 		reg.CounterFunc("caesar_net_recv_bytes_total",
 			"Protocol bytes received from the peer.", ls,
 			func() int64 { return tr.PeerStats(p).RecvBytes })
+		if p != tr.Self() {
+			reg.Gauge("caesar_net_peer_connected",
+				"1 while the outbound link to the peer is dialed, 0 otherwise.", ls,
+				func() float64 {
+					if tr.PeerConnected(p) {
+						return 1
+					}
+					return 0
+				})
+		}
 	}
+	reg.Gauge("caesar_net_open_connections",
+		"Open transport sockets: accepted inbound plus dialed outbound links.", nil,
+		func() float64 { return float64(tr.OpenConns()) })
 	var ready atomic.Bool
 	reg.SetReady(ready.Load)
 	var msrv *http.Server
@@ -202,7 +248,7 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	n := &node{stk: stk, met: met, ring: ring, tr: tr}
+	n := &node{stk: stk, met: met, ring: ring, rec: rec, tr: tr}
 	go serveClients(ln, n)
 	ready.Store(true)
 
@@ -269,37 +315,66 @@ func handleStats(out *bufio.Writer, n *node) {
 		m.Latency.Mean(), m.Latency.Quantile(0.99))
 }
 
-// parseCmdID parses a command ID as trace lines print it: c<node>.<seq>
-// (the leading c is optional).
-func parseCmdID(s string) (command.ID, error) {
-	node, seq, ok := strings.Cut(strings.TrimPrefix(s, "c"), ".")
-	if !ok {
-		return command.ID{}, fmt.Errorf("want <node>.<seq>, e.g. c0.17")
-	}
-	nid, err := strconv.ParseUint(node, 10, 8)
-	if err != nil {
-		return command.ID{}, fmt.Errorf("bad node %q", node)
-	}
-	sq, err := strconv.ParseUint(seq, 10, 64)
-	if err != nil {
-		return command.ID{}, fmt.Errorf("bad sequence %q", seq)
-	}
-	return command.ID{Node: timestamp.NodeID(nid), Seq: sq}, nil
-}
-
 // handleTrace serves the TRACE admin command: one command's buffered
-// milestones, oldest first, one per line, terminated by an OK count.
+// milestones, oldest first, one per line, terminated by an OK count. A
+// miss says whether the command was never traced on this replica (the
+// ring has not wrapped, so absence is authoritative) or may have been
+// evicted — and points at caesar-trace either way, since another
+// replica's ring often still holds the history.
 func handleTrace(out *bufio.Writer, n *node, arg string) {
 	if n.ring == nil {
 		fmt.Fprintf(out, "ERR tracing disabled (start the replica with -trace-buffer > 0)\n")
 		return
 	}
-	id, err := parseCmdID(arg)
+	id, err := command.ParseID(arg)
 	if err != nil {
 		fmt.Fprintf(out, "ERR usage: TRACE <cmd-id>: %v\n", err)
 		return
 	}
 	events := n.ring.CommandHistory(id)
+	if len(events) == 0 {
+		if _, wrapped := n.ring.Stats(); wrapped {
+			fmt.Fprintf(out, "# %v not found: ring wrapped, so its history may have been evicted here (try caesar-trace to query every replica)\n", id)
+		} else {
+			fmt.Fprintf(out, "# %v not found: not in local ring (never traced on this replica; caesar-trace queries the others)\n", id)
+		}
+	}
+	for _, e := range events {
+		fmt.Fprintf(out, "%s\n", e)
+	}
+	fmt.Fprintf(out, "OK %d events\n", len(events))
+}
+
+// handleDiagnose serves the DIAGNOSE admin command: the stall watchdog's
+// on-demand bundle (or, without a watchdog, the flight-recorder tail),
+// one line per bundle line, terminated by OK.
+func handleDiagnose(out *bufio.Writer, n *node) {
+	var body string
+	if wd := n.stk.Watchdog; wd != nil {
+		body = wd.Diagnose().Render()
+	} else {
+		body = "watchdog disabled (start the replica with -stall-threshold > 0)\n" +
+			flight.Format(n.rec.Tail(32))
+	}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		fmt.Fprintf(out, "%s\n", line)
+	}
+	fmt.Fprintf(out, "OK\n")
+}
+
+// handleFlight serves the FLIGHT admin command: the newest n events of
+// the node's flight recorder, oldest-first.
+func handleFlight(out *bufio.Writer, n *node, args []string) {
+	max := 32
+	if len(args) == 1 {
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 1 {
+			fmt.Fprintf(out, "ERR usage: FLIGHT [<max-events>]\n")
+			return
+		}
+		max = v
+	}
+	events := n.rec.Tail(max)
 	for _, e := range events {
 		fmt.Fprintf(out, "%s\n", e)
 	}
@@ -451,8 +526,16 @@ func handleClient(conn net.Conn, n *node) {
 			handleTrace(out, n, fields[1])
 			out.Flush()
 			continue
+		case len(fields) == 1 && strings.EqualFold(fields[0], "DIAGNOSE"):
+			handleDiagnose(out, n)
+			out.Flush()
+			continue
+		case strings.EqualFold(fields[0], "FLIGHT"):
+			handleFlight(out, n, strings.Fields(line)[1:])
+			out.Flush()
+			continue
 		default:
-			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key> | MGET <k> [<k>...] | MPUT <k> <v> [<k> <v>...] | RESIZE <shards> | STATS | TRACE <cmd-id>\n")
+			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key> | MGET <k> [<k>...] | MPUT <k> <v> [<k> <v>...] | RESIZE <shards> | STATS | TRACE <cmd-id> | DIAGNOSE | FLIGHT [<n>]\n")
 			out.Flush()
 			continue
 		}

@@ -209,6 +209,47 @@
 // registry reads the same lock-free counters the hot path already
 // maintains, so scraping costs the scraper, not the consensus path.
 //
+// # Diagnosis
+//
+// Beyond metrics and per-command traces, every node keeps a flight
+// recorder and a stall watchdog (internal/flight) for the questions an
+// operator asks at 3am: "what happened on this node recently?" and "why
+// is nothing making progress?".
+//
+// The flight recorder is an always-on, bounded, lock-cheap journal of
+// structured rare events — node start/stop, leadership recoveries,
+// suspected peers, retransmissions, shard resizes, routing-epoch
+// installs, WAL snapshots, watchdog stalls — each stamped with a
+// monotonic sequence number. Options.FlightBuffer sizes it;
+// Node.FlightLog dumps the tail, and `FLIGHT [<n>]` does the same over
+// a server's admin port.
+//
+// The watchdog (Options.StallThreshold to enable) periodically scans
+// the node's own progress indicators — the oldest transaction held in
+// the cross-shard commit table, the oldest read parked at its delivery
+// fence, the oldest locally submitted command still missing its client
+// acknowledgement — entirely from the injected clock. When any age
+// crosses the threshold it assembles a diagnosis bundle: the wedged
+// items oldest-first, each wedged command's full traced history, the
+// commit table's held-transaction detail, the rebalance coordinator's
+// state, the flight-recorder tail and a goroutine profile. The bundle
+// fires Options.OnStall once per healthy→stalled transition, is
+// journaled, and is always available on demand: Node.Diagnose /
+// Node.LastStall in process, `DIAGNOSE` on the admin port, /debugz
+// (current) and /debugz?last=1 (last trip) on the metrics listener.
+//
+// Each caesar-server node traces into its own ring, so one replica's
+// TRACE shows one view. The /tracez endpoint serves a command's local
+// events as JSON, and cmd/caesar-trace fetches it from every node and
+// merges the per-node histories into a single causally ordered cluster
+// timeline — ordered by logical timestamp and per-node sequence, never
+// by wall clock:
+//
+//	caesar-trace -nodes http://h1:9100,http://h2:9100,http://h3:9100 -cmd c0.17
+//
+// See DIAGNOSING.md for the runbook: which surface to reach for first
+// and a worked stall diagnosis.
+//
 // # Linting
 //
 // The repo's concurrency and determinism invariants — injected clocks on

@@ -184,6 +184,9 @@ func (r *Replica) deliverNow(rec *record) {
 // path and from whatever goroutine completes a deferred apply, so it only
 // touches concurrency-safe state.
 func (r *Replica) noteClientAck(id command.ID, ts timestamp.Timestamp, proposedAt, now time.Time) {
+	r.unackedMu.Lock()
+	delete(r.unacked, id)
+	r.unackedMu.Unlock()
 	r.cfg.Trace.Record(r.self, trace.KindAck, id, ts)
 	thr := r.cfg.SlowThreshold
 	if thr <= 0 || proposedAt.IsZero() {

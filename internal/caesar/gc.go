@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 	"github.com/caesar-consensus/caesar/internal/trace"
 )
@@ -73,6 +74,7 @@ func (r *Replica) onStableAckBatch(from timestamp.NodeID, m *StableAckBatch) {
 //     and the acks the re-broadcast triggers flow to the restarted
 //     leader, which resumes purge duty for its predecessor's commands.
 func (r *Replica) retransmitStables(now time.Time) {
+	resent := 0
 	for id, c := range r.proposals {
 		if c.phase != phaseStable {
 			continue
@@ -104,6 +106,7 @@ func (r *Replica) retransmitStables(now time.Time) {
 			}
 			if _, ok := acks[p]; !ok {
 				r.echoStable(p, rec)
+				resent++
 			}
 		}
 	}
@@ -128,12 +131,17 @@ func (r *Replica) retransmitStables(now time.Time) {
 			continue
 		}
 		rec.resentAt = now
+		resent++
 		r.ep.Broadcast(&Stable{
 			Ballot: rec.ballot,
 			Cmd:    rec.cmd,
 			Time:   rec.ts,
 			Pred:   rec.pred.Slice(),
 		})
+	}
+	if resent > 0 {
+		r.cfg.Flight.Record(flight.KindRetransmit, r.cfg.FlightGroup, command.ID{},
+			"re-sent %d stable decision(s) still awaiting delivery acks", resent)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/quorum"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 	"github.com/caesar-consensus/caesar/internal/trace"
@@ -41,16 +42,21 @@ func (r *Replica) onSuspect(q timestamp.NodeID, now time.Time) {
 		}
 		r.scheduledRecovery[id] = startAt
 	}
+	scheduled := 0
 	for id, rec := range r.hist.recs {
 		if id.Node == q && rec.status != StatusStable && !rec.delivered {
 			schedule(id)
+			scheduled++
 		}
 	}
 	for id := range r.awaited {
 		if id.Node == q && !r.delivered.Has(id) && r.hist.get(id) == nil {
 			schedule(id)
+			scheduled++
 		}
 	}
+	r.cfg.Flight.Record(flight.KindSuspect, r.cfg.FlightGroup, command.ID{},
+		"peer %v suspected; %d unfinished command(s) scheduled for takeover in %v", q, scheduled, delay)
 }
 
 // checkRecoveryDeadlines fires scheduled recoveries that are due and
@@ -104,6 +110,8 @@ func (r *Replica) startRecovery(id command.ID) {
 	r.recoveries[id] = rc
 	r.met.Recoveries.Inc()
 	r.cfg.Trace.Record(r.self, trace.KindRecover, id, timestamp.Timestamp{})
+	r.cfg.Flight.Record(flight.KindRecovery, r.cfg.FlightGroup, id,
+		"recovery prepare at ballot %d", ballot)
 	// The ballot is not pre-promised locally: our own reply arrives via
 	// the transport loopback like everyone else's (Fig 5, line 28 needs
 	// Ballot > Ballots[c] to hold at the receiver, self included).

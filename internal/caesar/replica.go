@@ -1,10 +1,12 @@
 package caesar
 
 import (
+	"sync"
 	"time"
 
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/failure"
+	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/idset"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/protocol"
@@ -107,6 +109,16 @@ type Config struct {
 	// SlowLog receives slow-command reports (log.Printf-compatible); nil
 	// uses the standard library logger.
 	SlowLog func(format string, args ...any)
+	// Flight, when non-nil, journals this replica's node-level milestones
+	// — peer suspicions, recovery prepares, stuck-command takeovers,
+	// Stable retransmissions — into the node's flight recorder
+	// (internal/flight). These are the rare events the per-command trace
+	// ring does not keep across wraps.
+	Flight *flight.Recorder
+	// FlightGroup labels flight events with this replica's consensus
+	// group index on a sharded node; leave zero for single-group
+	// deployments.
+	FlightGroup int32
 }
 
 func (c Config) withDefaults() Config {
@@ -193,6 +205,13 @@ type Replica struct {
 	// (leader side); a full set queues the purge, missing members drive
 	// Stable retransmission.
 	acked map[command.ID]map[timestamp.NodeID]struct{}
+	// unacked tracks locally submitted commands whose client callback
+	// has not fired yet, with their submit instants. Deliberately NOT
+	// event-loop state: the stall watchdog reads it through
+	// OldestUnacked from its own goroutine, so a wedged event loop
+	// cannot hide its oldest victim. Guarded by unackedMu.
+	unackedMu sync.Mutex
+	unacked   map[command.ID]time.Time
 	// purgePending accumulates fully acknowledged IDs to purge.
 	purgePending []command.ID
 
@@ -264,6 +283,7 @@ func New(ep transport.Endpoint, app protocol.Applier, cfg Config) *Replica {
 		readParked:        make(map[command.ID][]*readWaiter),
 		ackPending:        make(map[timestamp.NodeID][]command.ID),
 		acked:             make(map[command.ID]map[timestamp.NodeID]struct{}),
+		unacked:           make(map[command.ID]time.Time),
 		nextSeq:           cfg.SeqFloor,
 		seqReserved:       cfg.SeqFloor,
 	}
@@ -340,7 +360,27 @@ func (r *Replica) Stop() {
 			done(protocol.Result{Err: protocol.ErrStopped})
 		}
 	}
+	r.unackedMu.Lock()
+	r.unacked = make(map[command.ID]time.Time)
+	r.unackedMu.Unlock()
 	r.failReadWaiters()
+}
+
+// OldestUnacked reports the locally submitted command whose client
+// callback has been outstanding the longest, and since when. It reads a
+// side table guarded by its own mutex — not event-loop state — so the
+// stall watchdog can observe a replica whose loop is wedged.
+func (r *Replica) OldestUnacked() (command.ID, time.Time, bool) {
+	r.unackedMu.Lock()
+	defer r.unackedMu.Unlock()
+	var oldest command.ID
+	var at time.Time
+	for id, t := range r.unacked {
+		if at.IsZero() || t.Before(at) {
+			oldest, at = id, t
+		}
+	}
+	return oldest, at, !at.IsZero()
 }
 
 // Submit proposes cmd on this replica. The replica becomes the command's
@@ -428,6 +468,9 @@ func (r *Replica) onSubmit(cmd command.Command, done protocol.DoneFunc) {
 	r.met.Proposals.Inc()
 	if done != nil {
 		r.dones[cmd.ID] = done
+		r.unackedMu.Lock()
+		r.unacked[cmd.ID] = r.now
+		r.unackedMu.Unlock()
 	}
 	c := &coordinator{
 		cmd:        cmd,
@@ -511,6 +554,8 @@ func (r *Replica) recoverStuck(now time.Time) {
 		// always recovers with zero delay even when low-ID nodes are the
 		// crashed ones. recoverStuck only runs with the detector on.
 		r.scheduledRecovery[id] = now.Add(time.Duration(r.fd.Rank()) * r.cfg.RecoveryBackoff)
+		r.cfg.Flight.Record(flight.KindStuck, r.cfg.FlightGroup, id,
+			"unfinished past %v with a live leader; ballot-protected takeover scheduled", r.cfg.StuckTimeout)
 	}
 	for id, rec := range r.hist.recs {
 		if rec.status == StatusStable || rec.delivered {

@@ -12,6 +12,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 )
@@ -92,6 +94,25 @@ func (id ID) String() string { return fmt.Sprintf("c%d.%d", id.Node, id.Seq) }
 
 // IsZero reports whether the ID is unset.
 func (id ID) IsZero() bool { return id == ID{} }
+
+// ParseID parses an ID as String prints it: c<node>.<seq>, leading "c"
+// optional. The canonical parser for every operator surface (TRACE,
+// /tracez, caesar-trace).
+func ParseID(s string) (ID, error) {
+	node, seq, ok := strings.Cut(strings.TrimPrefix(s, "c"), ".")
+	if !ok {
+		return ID{}, fmt.Errorf("want <node>.<seq>, e.g. c0.17")
+	}
+	nid, err := strconv.ParseInt(node, 10, 32)
+	if err != nil || nid < 0 {
+		return ID{}, fmt.Errorf("bad node %q", node)
+	}
+	sq, err := strconv.ParseUint(seq, 10, 64)
+	if err != nil {
+		return ID{}, fmt.Errorf("bad sequence %q", seq)
+	}
+	return ID{Node: timestamp.NodeID(nid), Seq: sq}, nil
+}
 
 // Command is a deterministic state-machine command.
 type Command struct {

@@ -1,0 +1,19 @@
+package flight
+
+import "net/http"
+
+// Handler serves the watchdog's diagnosis bundle over HTTP — mounted at
+// /debugz on the node's observability surface. Every GET assembles a
+// fresh on-demand bundle (Diagnose); ?last=1 returns the most recent
+// trip's bundle instead, which survives the stall clearing and is what a
+// post-mortem wants.
+func (w *Watchdog) Handler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if req.URL.Query().Get("last") != "" {
+			_, _ = rw.Write([]byte(w.Last().Render()))
+			return
+		}
+		_, _ = rw.Write([]byte(w.Diagnose().Render()))
+	})
+}

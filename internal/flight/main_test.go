@@ -1,0 +1,12 @@
+package flight
+
+import (
+	"testing"
+
+	"github.com/caesar-consensus/caesar/internal/leakcheck"
+)
+
+// TestMain fails the package if watchdog goroutines outlive the tests —
+// a missed Stop join would leave a scanner polling a clock nothing
+// advances.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

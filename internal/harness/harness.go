@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -167,6 +168,47 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// label renders the run's identifying configuration: protocol, conflict
+// percentage and every knob that departs from the defaults. Two runs of
+// the same figure produce identical labels, which is what lets
+// bench-compare match rows across result files.
+func (o Options) label() string {
+	parts := []string{string(o.Protocol), fmt.Sprintf("conflict=%g", o.ConflictPct)}
+	if o.Shards > 1 {
+		parts = append(parts, fmt.Sprintf("shards=%d", o.Shards))
+	}
+	if o.CrossShardPct > 0 {
+		parts = append(parts, fmt.Sprintf("cross=%g", o.CrossShardPct))
+	}
+	if o.ReadPct > 0 {
+		mode := "proposed"
+		if o.LocalReads {
+			mode = "local"
+		}
+		parts = append(parts, fmt.Sprintf("reads=%g/%s", o.ReadPct, mode))
+	}
+	if o.Batching {
+		parts = append(parts, "batching")
+	}
+	if o.DataDir != "" {
+		if o.WALNoSync {
+			parts = append(parts, "durable-nosync")
+		} else {
+			parts = append(parts, "durable")
+		}
+	}
+	if o.ResizeTo > 0 {
+		parts = append(parts, fmt.Sprintf("resize=%d", o.ResizeTo))
+	}
+	if o.CrashNode >= 0 {
+		parts = append(parts, fmt.Sprintf("crash=n%d", o.CrashNode))
+	}
+	if o.Obs {
+		parts = append(parts, "obs")
+	}
+	return strings.Join(parts, " ")
+}
+
 // SiteResult is one site's column in the latency figures, rescaled to
 // paper units.
 type SiteResult struct {
@@ -189,7 +231,13 @@ type TimelinePoint struct {
 type Result struct {
 	Protocol    Protocol
 	ConflictPct float64
-	Sites       []SiteResult
+	// Label compactly identifies the run's configuration (protocol,
+	// conflict %, every non-default knob) for machine-readable output —
+	// the row key BENCH_<figure>.json files are diffed on.
+	Label string
+	// Shards echoes the run's consensus-group count (minimum 1).
+	Shards int
+	Sites  []SiteResult
 	// Throughput is completed commands per second over the window.
 	Throughput float64
 	// Fast/slow decision split (Fig 10).
@@ -565,7 +613,13 @@ func Run(o Options) Result {
 	<-sampleDone
 
 	// Collect.
-	res := Result{Protocol: o.Protocol, ConflictPct: o.ConflictPct, Failed: stats.Failed()}
+	res := Result{
+		Protocol:    o.Protocol,
+		ConflictPct: o.ConflictPct,
+		Label:       o.label(),
+		Shards:      o.Shards,
+		Failed:      stats.Failed(),
+	}
 	rescale := func(d time.Duration) time.Duration {
 		return time.Duration(float64(d) / o.Scale)
 	}

@@ -5,6 +5,23 @@ import (
 	"net/http/pprof"
 )
 
+// httpHandler aliases http.Handler so obs.go's Registry definition does
+// not need the net/http import spelled there.
+type httpHandler = http.Handler
+
+// Handle mounts an extra endpoint on the observability surface — the
+// diagnosis layer adds /debugz (stall bundles) and /tracez (ring dumps)
+// this way. Call before Handler; later registrations of the same
+// pattern replace earlier ones. Nil-safe like every Registry method.
+func (r *Registry) Handle(pattern string, h http.Handler) {
+	if r == nil || pattern == "" || h == nil {
+		return
+	}
+	r.mu.Lock()
+	r.handlers[pattern] = h
+	r.mu.Unlock()
+}
+
 // Handler returns the node's observability HTTP surface:
 //
 //	/metrics       Prometheus text exposition
@@ -13,11 +30,17 @@ import (
 //	/readyz        readiness: 200 once the SetReady probe passes
 //	/debug/pprof/  the standard runtime profiles
 //
+// plus whatever Handle mounted (/debugz, /tracez on a full node).
 // The handler holds no state beyond the registry; serving it on a
 // dedicated listener (caesar-server -metrics-addr) keeps the scrape
 // surface off the client port.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
+	r.mu.RLock()
+	for pattern, h := range r.handlers {
+		mux.Handle(pattern, h)
+	}
+	r.mu.RUnlock()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)

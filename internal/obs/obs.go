@@ -83,11 +83,17 @@ type Registry struct {
 	families []*family
 	byName   map[string]*family
 	ready    func() bool
+	// handlers are extra HTTP endpoints subsystems mount on the
+	// observability surface (Handle): /debugz, /tracez.
+	handlers map[string]httpHandler
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*family)}
+	return &Registry{
+		byName:   make(map[string]*family),
+		handlers: make(map[string]httpHandler),
+	}
 }
 
 // renderLabels renders a label set in sorted-key order.

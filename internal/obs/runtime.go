@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+// RegisterRuntime adds process-level runtime gauges, so /metrics covers
+// the node process and not just the protocol:
+//
+//	caesar_process_goroutines        live goroutines
+//	caesar_process_heap_bytes        bytes of allocated heap objects
+//	caesar_process_gc_pause_seconds_total  cumulative stop-the-world pause
+//
+// All are sampled at scrape time from the runtime/metrics package (one
+// batched Read per scrape would be marginally cheaper, but scrapes are
+// rare and per-sample reads keep each gauge self-contained).
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge("caesar_process_goroutines",
+		"Live goroutines in the node process.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.Gauge("caesar_process_heap_bytes",
+		"Bytes of allocated heap objects.", nil,
+		func() float64 { return sampleUint64("/memory/classes/heap/objects:bytes") })
+	r.Gauge("caesar_process_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause in seconds (monotone; gauge-typed to keep the fractional value).", nil,
+		func() float64 { return sampleFloatHistSum("/gc/pauses:seconds") })
+}
+
+// sampleUint64 reads one uint64 runtime metric; 0 when unavailable.
+func sampleUint64(name string) float64 {
+	sample := []metrics.Sample{{Name: name}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return float64(sample[0].Value.Uint64())
+}
+
+// sampleFloatHistSum reads a float64-histogram runtime metric and
+// returns the observations' sum approximated from bucket midpoints —
+// exact enough for a pause-time trend line.
+func sampleFloatHistSum(name string) float64 {
+	sample := []metrics.Sample{{Name: name}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := sample[0].Value.Float64Histogram()
+	var sum float64
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := lo
+		if hi > lo && !isInf(hi) && !isInf(-lo) {
+			mid = (lo + hi) / 2
+		}
+		sum += float64(count) * mid
+	}
+	return sum
+}
+
+// isInf avoids importing math for one check.
+func isInf(f float64) bool { return f > 1e308 || f < -1e308 }

@@ -118,12 +118,33 @@ type Engine struct {
 	groups map[int]GroupReader
 	router func() shard.Router
 	table  *xshard.Table
+
+	// pending tracks in-flight reads from registration in the attempt
+	// loop until they return, under their own mutex: the stall
+	// watchdog's read-fence-park-age probe reads it from outside the
+	// fence machinery, so a read parked on a wedged group is still
+	// observable.
+	pendingMu  sync.Mutex
+	pendingSeq uint64
+	pending    map[uint64]pendingRead
+}
+
+// pendingRead is one in-flight read the watchdog can observe.
+type pendingRead struct {
+	keys  []string
+	since time.Time
 }
 
 // New builds the engine over the node's store. Groups are attached as the
 // node stack constructs them; SetRouter/SetTable bind the sharded layers.
 func New(store *kvstore.Store, met *metrics.Recorder) *Engine {
-	return &Engine{store: store, met: met, now: time.Now, groups: make(map[int]GroupReader)}
+	return &Engine{
+		store:   store,
+		met:     met,
+		now:     time.Now,
+		groups:  make(map[int]GroupReader),
+		pending: make(map[uint64]pendingRead),
+	}
 }
 
 // SetNow installs the clock read-latency measurements are stamped from,
@@ -232,6 +253,16 @@ func (e *Engine) observe(start time.Time) {
 // second consecutive one means the node itself is stopping, which the
 // caller should see as such.
 func (e *Engine) do(ctx context.Context, keys []string) ([][]byte, []bool, error) {
+	e.pendingMu.Lock()
+	e.pendingSeq++
+	token := e.pendingSeq
+	e.pending[token] = pendingRead{keys: keys, since: e.now()}
+	e.pendingMu.Unlock()
+	defer func() {
+		e.pendingMu.Lock()
+		delete(e.pending, token)
+		e.pendingMu.Unlock()
+	}()
 	stopped := 0
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		vals, present, err := e.attempt(ctx, keys)
@@ -343,6 +374,26 @@ func (e *Engine) attempt(ctx context.Context, keys []string) ([][]byte, []bool, 
 		return nil, nil, errRetry
 	}
 	return vals, present, nil
+}
+
+// OldestPending reports the keys and start instant of the
+// longest-running in-flight read — the watchdog's read-fence-park-age
+// signal. A read fence parked behind an unapplied command (or a commit
+// table that never settles) shows up here long before any client
+// timeout fires.
+func (e *Engine) OldestPending() ([]string, time.Time, bool) {
+	e.pendingMu.Lock()
+	defer e.pendingMu.Unlock()
+	var (
+		keys   []string
+		oldest time.Time
+	)
+	for _, p := range e.pending {
+		if oldest.IsZero() || p.since.Before(oldest) {
+			keys, oldest = p.keys, p.since
+		}
+	}
+	return keys, oldest, !oldest.IsZero()
 }
 
 // retryOrStopped turns a dead-group fence into a stopped-flavored retry

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
@@ -54,6 +55,9 @@ type Config struct {
 	// Trace, when non-nil, records each fence delivery this node applies,
 	// tying resize progress into command histories.
 	Trace *trace.Ring
+	// Flight, when non-nil, journals resize initiations and epoch
+	// installs into the node's flight recorder (internal/flight).
+	Flight *flight.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -862,6 +866,8 @@ func (co *Coordinator) installLocked(m Marker) bool {
 		// unlocked window below).
 		co.cfg.Journal(m)
 	}
+	co.cfg.Flight.Eventf(flight.KindEpoch,
+		"epoch %d installed: %d -> %d group(s)", m.Epoch, m.PrevShards, m.Shards)
 	inner := co.inner
 	if inner != nil {
 		co.mu.Unlock()

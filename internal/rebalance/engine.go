@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/shard"
 	"github.com/caesar-consensus/caesar/internal/xshard"
@@ -121,6 +122,8 @@ func (e *Engine) Resize(ctx context.Context, shards int) error {
 	}
 	m := Marker{Epoch: co.epoch + 1, Shards: int32(shards), PrevShards: int32(co.shards)}
 	co.mu.Unlock()
+	co.cfg.Flight.Eventf(flight.KindResize,
+		"resize initiated here: epoch %d, %d -> %d group(s)", m.Epoch, m.PrevShards, m.Shards)
 
 	fence, err := FenceCommand(m)
 	if err != nil {

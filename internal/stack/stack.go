@@ -22,10 +22,15 @@ package stack
 
 import (
 	"errors"
+	"fmt"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"github.com/caesar-consensus/caesar/internal/batch"
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/obs"
@@ -38,6 +43,14 @@ import (
 	"github.com/caesar-consensus/caesar/internal/wal"
 	"github.com/caesar-consensus/caesar/internal/xshard"
 )
+
+// ackProber is the optional engine facet the watchdog's "unacked" probe
+// samples: the oldest locally submitted command whose client callback
+// has not fired. CAESAR replicas implement it; engines that don't are
+// simply not probed.
+type ackProber interface {
+	OldestUnacked() (command.ID, time.Time, bool)
+}
 
 // BuildEngine constructs one consensus group's engine on its transport
 // channel. app is the group's fully layered applier chain; seed carries
@@ -93,6 +106,28 @@ type Config struct {
 	// engines that deliver OpFence markers (CAESAR); plain sharded
 	// deployments of other protocols leave it false.
 	Rebalance bool
+	// Flight, when non-nil, is the node's flight recorder: the stack
+	// threads it into the write-ahead log (snapshot events) and the
+	// rebalance coordinator (resize/epoch events), aligns its clock with
+	// Now, and hands it to the stall watchdog. Config.Build must thread
+	// the same recorder into the engines it constructs (like Trace) for
+	// recovery/suspect/retransmit events to land in the same journal.
+	Flight *flight.Recorder
+	// StallThreshold arms the stall watchdog: when positive, Build
+	// constructs one that scans the commit table's oldest held
+	// transaction, the read engine's oldest parked fence and each group
+	// engine's oldest unacknowledged command against this threshold, and
+	// Start launches its scan loop. Zero leaves the node without a
+	// watchdog.
+	StallThreshold time.Duration
+	// WatchdogInterval paces the watchdog's background scans. Default 1s.
+	WatchdogInterval time.Duration
+	// WatchdogTicks, when non-nil, replaces the watchdog's internal
+	// ticker as its scan pacing — fake-clock tests feed it.
+	WatchdogTicks <-chan time.Time
+	// OnStall fires once per healthy→stalled transition with the
+	// watchdog's assembled diagnosis; it must not block.
+	OnStall func(*flight.Diagnosis)
 	// Now is the clock every stack-built layer measures and times out
 	// against: the read engine's latency stamps, the WAL's fsync
 	// measurements, the commit table's and the rebalance coordinator's
@@ -126,10 +161,19 @@ type Stack struct {
 	Recovered *wal.State
 	// Shards is the group count actually built (after epoch recovery).
 	Shards int
+	// Flight is the node's flight recorder (Config.Flight, echoed for
+	// callers that build through opaque wiring); nil when none was given.
+	Flight *flight.Recorder
+	// Watchdog is the node's stall watchdog; nil unless
+	// Config.StallThreshold was set. Start/Stop manage its scan loop.
+	Watchdog *flight.Watchdog
 
 	snapInterval time.Duration
 	snapStop     chan struct{}
 	snapDone     chan struct{}
+
+	ackMu  sync.Mutex
+	ackers []ackProber
 }
 
 // Build constructs the node stack. Nothing is started; call Start.
@@ -148,9 +192,12 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	if app == nil {
 		app = batch.NewApplier(store)
 	}
-	s := &Stack{Store: store, snapInterval: cfg.SnapshotInterval}
+	s := &Stack{Store: store, Flight: cfg.Flight, snapInterval: cfg.SnapshotInterval}
 	if s.snapInterval == 0 {
 		s.snapInterval = time.Second
+	}
+	if cfg.Now != nil {
+		cfg.Flight.SetNow(cfg.Now)
 	}
 	// The read engine attaches each group's read frontier as the group is
 	// built — including groups a live resize adds later, which come
@@ -165,6 +212,11 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 		eng := cfg.Build(g, sep, app, seed, gm)
 		if gr, ok := reads.AsGroupReader(eng); ok {
 			rd.Attach(g, gr)
+		}
+		if ap, ok := eng.(ackProber); ok {
+			s.ackMu.Lock()
+			s.ackers = append(s.ackers, ap)
+			s.ackMu.Unlock()
 		}
 		return eng
 	}
@@ -182,6 +234,9 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 		}
 		if opts.Now == nil {
 			opts.Now = cfg.Now
+		}
+		if opts.Flight == nil {
+			opts.Flight = cfg.Flight
 		}
 		opts.Self = ep.Self()
 		var err error
@@ -229,7 +284,7 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 
 	if !sharded {
 		s.Engine = buildGroup(0, ep, wrap(0, app), seedFor(0))
-		s.registerGauges(cfg.Obs, nil)
+		s.finish(ep, cfg, nil)
 		return s, nil
 	}
 
@@ -269,7 +324,7 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 		})
 		rd.SetRouter(inner.Router)
 		s.Engine = xshard.New(inner, table)
-		s.registerGauges(cfg.Obs, nil)
+		s.finish(ep, cfg, nil)
 		return s, nil
 	}
 
@@ -283,9 +338,10 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	// between the export and the import. Per-group-store deployments
 	// must make Import atomic against their destination store's writers.
 	rcfg := rebalance.Config{
-		Self:  ep.Self(),
-		Trace: cfg.Trace,
-		Now:   cfg.Now,
+		Self:   ep.Self(),
+		Trace:  cfg.Trace,
+		Flight: cfg.Flight,
+		Now:    cfg.Now,
 	}
 	if log != nil {
 		rcfg.Journal = func(m rebalance.Marker) {
@@ -309,8 +365,102 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	reng := rebalance.NewEngine(xshard.New(inner, table), co)
 	s.Resizer = reng
 	s.Engine = reng
-	s.registerGauges(cfg.Obs, co)
+	s.finish(ep, cfg, co)
 	return s, nil
+}
+
+// finish completes a built stack along every construction path: the
+// scrape-time gauges, the process runtime gauges, the /tracez collection
+// endpoint and — when Config.StallThreshold arms it — the stall watchdog
+// with its probes, sections, counters and /debugz endpoint.
+func (s *Stack) finish(ep transport.Endpoint, cfg Config, co *rebalance.Coordinator) {
+	s.registerGauges(cfg.Obs, co)
+	obs.RegisterRuntime(cfg.Obs)
+	if cfg.Trace != nil {
+		cfg.Obs.Handle("/tracez", trace.Handler(ep.Self(), cfg.Trace))
+	}
+	if cfg.StallThreshold <= 0 {
+		return
+	}
+	wd := flight.NewWatchdog(flight.Config{
+		Self:       ep.Self(),
+		Now:        cfg.Now,
+		Interval:   cfg.WatchdogInterval,
+		Threshold:  cfg.StallThreshold,
+		Recorder:   cfg.Flight,
+		Trace:      cfg.Trace,
+		OnStall:    cfg.OnStall,
+		Ticks:      cfg.WatchdogTicks,
+		Goroutines: true,
+	})
+	if t := s.Table; t != nil {
+		wd.AddProbe(flight.Probe{Name: "held-tx", Sample: func(now time.Time) (flight.Sample, bool) {
+			xid, since, cmd, ok := t.OldestHeld()
+			if !ok {
+				return flight.Sample{}, false
+			}
+			return flight.Sample{
+				Detail: fmt.Sprintf("transaction %v held in commit table", xid),
+				Age:    now.Sub(since),
+				Cmd:    cmd,
+			}, true
+		}})
+		wd.AddSection("commit table", func() string { return strings.Join(t.PendingDetail(), "\n") })
+		wd.AddSection("drain waiters", func() string { return strings.Join(t.DebugDrainWaiters(), "\n") })
+	}
+	if rd := s.Reads; rd != nil {
+		wd.AddProbe(flight.Probe{Name: "read-fence", Sample: func(now time.Time) (flight.Sample, bool) {
+			keys, since, ok := rd.OldestPending()
+			if !ok {
+				return flight.Sample{}, false
+			}
+			return flight.Sample{
+				Detail: fmt.Sprintf("read of %v parked at its fence", keys),
+				Age:    now.Sub(since),
+			}, true
+		}})
+	}
+	// The unacked probe spans every group engine, including groups a live
+	// resize adds after Build — buildGroup keeps appending to s.ackers.
+	wd.AddProbe(flight.Probe{Name: "unacked", Sample: func(now time.Time) (flight.Sample, bool) {
+		s.ackMu.Lock()
+		ackers := append([]ackProber(nil), s.ackers...)
+		s.ackMu.Unlock()
+		var best flight.Sample
+		found := false
+		for _, ap := range ackers {
+			id, since, ok := ap.OldestUnacked()
+			if !ok {
+				continue
+			}
+			if age := now.Sub(since); !found || age > best.Age {
+				best = flight.Sample{
+					Detail: fmt.Sprintf("command %v submitted here, no client ack", id),
+					Age:    age,
+					Cmd:    id,
+				}
+				found = true
+			}
+		}
+		return best, found
+	}})
+	if co != nil {
+		wd.AddSection("rebalance", func() string { return strings.Join(co.DebugState(), "\n") })
+	}
+	s.Watchdog = wd
+	cfg.Obs.Handle("/debugz", wd.Handler())
+	cfg.Obs.CounterFunc("caesar_watchdog_scans_total",
+		"Stall-watchdog scan passes run.", nil, wd.Scans)
+	cfg.Obs.CounterFunc("caesar_watchdog_trips_total",
+		"Stall-watchdog healthy-to-stalled transitions.", nil, wd.Trips)
+	cfg.Obs.Gauge("caesar_watchdog_stalled",
+		"1 while at least one stall probe is above threshold, 0 otherwise.", nil,
+		func() float64 {
+			if wd.Stalled() {
+				return 1
+			}
+			return 0
+		})
 }
 
 // registerGauges installs the stack's scrape-time gauges: everything here
@@ -365,9 +515,16 @@ func (s *Stack) registerGauges(ob *obs.Registry, co *rebalance.Coordinator) {
 		func() float64 { return float64(s.Store.Len()) })
 }
 
-// Start launches the engine stack and, with a log, the snapshot loop.
+// Start launches the engine stack, the stall watchdog's scan loop and,
+// with a log, the snapshot loop.
 func (s *Stack) Start() {
 	s.Engine.Start()
+	if s.Recovered != nil {
+		s.Flight.Eventf(flight.KindNode, "node started: %d group(s), state recovered from data dir", s.Shards)
+	} else {
+		s.Flight.Eventf(flight.KindNode, "node started: %d group(s)", s.Shards)
+	}
+	s.Watchdog.Start()
 	if s.Log != nil && s.snapInterval > 0 {
 		s.snapStop = make(chan struct{})
 		s.snapDone = make(chan struct{})
@@ -407,6 +564,8 @@ func (s *Stack) Snapshot() error {
 // deliveries), then the log — every acknowledged command is already
 // durable, so the close is just a tail flush.
 func (s *Stack) Stop() {
+	s.Flight.Eventf(flight.KindNode, "node stopping")
+	s.Watchdog.Stop()
 	if s.snapStop != nil {
 		close(s.snapStop)
 		<-s.snapDone

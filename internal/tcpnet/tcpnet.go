@@ -42,6 +42,11 @@ type Transport struct {
 	closed  bool
 	done    chan struct{}
 	wg      sync.WaitGroup
+
+	// inboundOpen counts currently accepted inbound connections; with
+	// the per-peer outbound connected flags it feeds the node's
+	// open-connections gauge.
+	inboundOpen atomic.Int64
 }
 
 // PeerStats is a point-in-time snapshot of one peer link's traffic.
@@ -55,6 +60,9 @@ type PeerStats struct {
 type peerCounters struct {
 	sentMsgs, sentBytes atomic.Int64
 	recvMsgs, recvBytes atomic.Int64
+	// connected reports the outbound link to this peer as currently
+	// dialed; the open-connections gauge samples it.
+	connected atomic.Bool
 }
 
 // PeerStats returns one peer link's traffic counters; out-of-range peers
@@ -70,6 +78,31 @@ func (t *Transport) PeerStats(peer timestamp.NodeID) PeerStats {
 		RecvMsgs:  c.recvMsgs.Load(),
 		RecvBytes: c.recvBytes.Load(),
 	}
+}
+
+// OpenConns returns the number of currently open transport connections:
+// accepted inbound links plus dialed outbound peer links. The process
+// connection gauge samples it at scrape time.
+func (t *Transport) OpenConns() int64 {
+	n := t.inboundOpen.Load()
+	for i := range t.counters {
+		if timestamp.NodeID(i) == t.cfg.Self {
+			continue
+		}
+		if t.counters[i].connected.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// PeerConnected reports whether the outbound link to peer is currently
+// dialed; out-of-range peers read false.
+func (t *Transport) PeerConnected(peer timestamp.NodeID) bool {
+	if int(peer) < 0 || int(peer) >= len(t.counters) {
+		return false
+	}
+	return t.counters[peer].connected.Load()
 }
 
 // Stats returns per-peer traffic counters, indexed by node ID.
@@ -234,6 +267,8 @@ func (t *Transport) acceptLoop() {
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
+	t.inboundOpen.Add(1)
+	defer t.inboundOpen.Add(-1)
 	go func() {
 		<-t.done
 		conn.Close()
@@ -285,6 +320,7 @@ func (t *Transport) sendLoop(peer timestamp.NodeID) {
 			conn, err = net.DialTimeout("tcp", t.cfg.Addrs[peer], 2*time.Second)
 			if err == nil {
 				enc = wire.NewEncoder(&countingWriter{w: conn, n: &ctr.sentBytes})
+				ctr.connected.Store(true)
 				return true
 			}
 			select {
@@ -295,6 +331,7 @@ func (t *Transport) sendLoop(peer timestamp.NodeID) {
 		}
 	}
 	defer func() {
+		ctr.connected.Store(false)
 		if conn != nil {
 			conn.Close()
 		}
@@ -317,6 +354,7 @@ func (t *Transport) sendLoop(peer timestamp.NodeID) {
 				// connection.
 				conn.Close()
 				conn, enc = nil, nil
+				ctr.connected.Store(false)
 				select {
 				case <-t.done:
 					return

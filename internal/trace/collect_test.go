@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+func ts(seq uint64, node timestamp.NodeID) timestamp.Timestamp {
+	return timestamp.Timestamp{Seq: seq, Node: node}
+}
+
+func TestMergeTimelinesCausalOrder(t *testing.T) {
+	cmd := command.ID{Node: 0, Seq: 1}
+	// Node 0 (the leader): propose at ts 5, retry raises it to 9, stable,
+	// deliver. Node 1: fast-ok at 5, then a zero-ts recover prepare that
+	// must inherit ts 5 (not sort before everything), then stable at 9.
+	n0 := []Event{
+		{Seq: 1, Node: 0, Kind: KindPropose, Cmd: cmd, Time: ts(5, 0)},
+		{Seq: 2, Node: 0, Kind: KindRetry, Cmd: cmd, Time: ts(9, 0)},
+		{Seq: 3, Node: 0, Kind: KindStable, Cmd: cmd, Time: ts(9, 0)},
+		{Seq: 4, Node: 0, Kind: KindDeliver, Cmd: cmd, Time: ts(9, 0)},
+	}
+	n1 := []Event{
+		{Seq: 7, Node: 1, Kind: KindFastOK, Cmd: cmd, Time: ts(5, 0)},
+		{Seq: 8, Node: 1, Kind: KindRecover, Cmd: cmd}, // zero ts
+		{Seq: 9, Node: 1, Kind: KindStable, Cmd: cmd, Time: ts(9, 0)},
+	}
+	// Feed the queues in reverse node order: the merge must not care.
+	merged := MergeTimelines([][]Event{n1, n0})
+	if len(merged) != 7 {
+		t.Fatalf("merged %d events, want 7", len(merged))
+	}
+	var order []string
+	for _, e := range merged {
+		order = append(order, e.Node.String()+":"+e.Kind.String())
+	}
+	got := strings.Join(order, " ")
+	want := "p0:propose p1:fast-ok p1:recover p0:retry p0:stable p0:deliver p1:stable"
+	if got != want {
+		t.Fatalf("merge order\n got %s\nwant %s", got, want)
+	}
+	// Per-node ring order is preserved.
+	var lastSeq uint64
+	for _, e := range merged {
+		if e.Node != 1 {
+			continue
+		}
+		if e.Seq <= lastSeq {
+			t.Fatalf("node 1 order broken: seq %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+	}
+}
+
+func TestMergeTimelinesTimestampTieBreaksByNode(t *testing.T) {
+	cmd := command.ID{Node: 2, Seq: 4}
+	a := []Event{{Seq: 1, Node: 2, Kind: KindStable, Cmd: cmd, Time: ts(7, 2)}}
+	b := []Event{{Seq: 1, Node: 0, Kind: KindStable, Cmd: cmd, Time: ts(7, 2)}}
+	merged := MergeTimelines([][]Event{a, b})
+	if merged[0].Node != 0 || merged[1].Node != 2 {
+		t.Fatalf("equal timestamps should tie-break by node: %v", merged)
+	}
+}
+
+func TestHandlerAndCollectRoundTrip(t *testing.T) {
+	cmd := command.ID{Node: 0, Seq: 3}
+	other := command.ID{Node: 1, Seq: 8}
+
+	ring0 := NewRing(16)
+	ring0.Record(0, KindPropose, cmd, ts(4, 0))
+	ring0.Record(0, KindStable, cmd, ts(4, 0))
+	ring0.Record(0, KindDeliver, cmd, ts(4, 0))
+	ring1 := NewRing(16)
+	ring1.Record(1, KindFastOK, cmd, ts(4, 0))
+	ring1.Record(1, KindStable, cmd, ts(4, 0))
+	ring1.Record(1, KindStable, other, ts(6, 1))
+
+	srv0 := httptest.NewServer(Handler(0, ring0))
+	defer srv0.Close()
+	srv1 := httptest.NewServer(Handler(1, ring1))
+	defer srv1.Close()
+
+	dumps := Collect(context.Background(), nil, []string{srv0.URL, srv1.URL}, cmd)
+	if len(dumps) != 2 {
+		t.Fatalf("collected %d dumps", len(dumps))
+	}
+	if dumps[0].Node != 0 || dumps[1].Node != 1 {
+		t.Fatalf("dump nodes: %v / %v", dumps[0].Node, dumps[1].Node)
+	}
+	if len(dumps[0].Events) != 3 || len(dumps[1].Events) != 2 {
+		t.Fatalf("event counts: %d / %d (want 3 / 2: the other command is filtered)",
+			len(dumps[0].Events), len(dumps[1].Events))
+	}
+	if dumps[0].Err != "" || dumps[1].Err != "" {
+		t.Fatalf("unexpected errors: %q %q", dumps[0].Err, dumps[1].Err)
+	}
+
+	merged := MergeDumps(dumps)
+	if len(merged) != 5 {
+		t.Fatalf("merged %d events, want 5", len(merged))
+	}
+	// With every event at the same logical timestamp the tie-break puts
+	// the leader (node 0) first, so the timeline opens with the propose.
+	if merged[0].Kind != KindPropose {
+		t.Fatalf("timeline does not open with the propose:\n%s", FormatTimeline(merged))
+	}
+	body := FormatTimeline(merged)
+	if !strings.Contains(body, "p0#") || !strings.Contains(body, "p1#") {
+		t.Fatalf("timeline missing node attribution:\n%s", body)
+	}
+}
+
+func TestCollectUnreachableNode(t *testing.T) {
+	ring := NewRing(4)
+	cmd := command.ID{Node: 0, Seq: 1}
+	ring.Record(1, KindStable, cmd, ts(2, 0))
+	srv := httptest.NewServer(Handler(1, ring))
+	defer srv.Close()
+
+	dumps := Collect(context.Background(), nil, []string{"http://127.0.0.1:1", srv.URL}, cmd)
+	if dumps[0].Err == "" {
+		t.Fatal("unreachable node produced no error")
+	}
+	if len(dumps[1].Events) != 1 {
+		t.Fatal("reachable node's events lost")
+	}
+	if miss := dumps[0].Miss(cmd); !strings.Contains(miss, "unreachable") {
+		t.Fatalf("Miss = %q", miss)
+	}
+}
+
+func TestNodeDumpMissWording(t *testing.T) {
+	cmd := command.ID{Node: 0, Seq: 9}
+	fresh := NodeDump{Node: 2, Appended: 10, Wrapped: false}
+	if miss := fresh.Miss(cmd); !strings.Contains(miss, "never traced") {
+		t.Fatalf("unwrapped miss = %q, want authoritative wording", miss)
+	}
+	wrapped := NodeDump{Node: 2, Appended: 9000, Wrapped: true}
+	if miss := wrapped.Miss(cmd); !strings.Contains(miss, "evicted") {
+		t.Fatalf("wrapped miss = %q, want eviction wording", miss)
+	}
+	hit := NodeDump{Node: 2, Events: []Event{{}}}
+	if hit.Miss(cmd) != "" {
+		t.Fatal("dump with events reported a miss")
+	}
+}
+
+func TestHandlerBadCmd(t *testing.T) {
+	srv := httptest.NewServer(Handler(0, NewRing(4)))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/tracez?cmd=garbage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad cmd status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -113,6 +113,12 @@ func (k Kind) String() string {
 
 // Event is one protocol milestone.
 type Event struct {
+	// Seq is the recording ring's append sequence number, assigned by
+	// Append. It totally orders one node's events even when several share
+	// a wall-clock instant, which is what the cross-node merge
+	// (MergeTimelines) relies on instead of comparing clocks across
+	// machines.
+	Seq  uint64
 	At   time.Time
 	Node timestamp.NodeID
 	Kind Kind
@@ -133,6 +139,7 @@ type Ring struct {
 	buf  []Event
 	next int
 	full bool
+	seq  uint64
 }
 
 // NewRing returns a recorder holding up to capacity events.
@@ -143,13 +150,16 @@ func NewRing(capacity int) *Ring {
 	return &Ring{buf: make([]Event, capacity)}
 }
 
-// Append records one event. Safe for concurrent use; nil rings drop
-// everything so call sites need no guards.
+// Append records one event, stamping its per-ring Seq. Safe for
+// concurrent use; nil rings drop everything so call sites need no
+// guards.
 func (r *Ring) Append(e Event) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
+	r.seq++
+	e.Seq = r.seq
 	r.buf[r.next] = e
 	r.next++
 	if r.next == len(r.buf) {
@@ -197,6 +207,19 @@ func (r *Ring) Len() int {
 		return len(r.buf)
 	}
 	return r.next
+}
+
+// Stats reports how many events were ever appended and whether the ring
+// has wrapped (overwritten its oldest events). A TRACE miss on a wrapped
+// ring is ambiguous — the command may have been evicted — while a miss on
+// an unwrapped ring proves the command was never traced here.
+func (r *Ring) Stats() (appended uint64, wrapped bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq, r.full
 }
 
 // CommandHistory extracts one command's events, oldest-first.

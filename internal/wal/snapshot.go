@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/idset"
 	"github.com/caesar-consensus/caesar/internal/xshard"
 )
@@ -136,6 +137,8 @@ func (l *Log) Snapshot(export func() (map[string][]byte, int64)) error {
 	if m := l.opts.Metrics; m != nil {
 		m.Snapshots.Inc()
 	}
+	l.opts.Flight.Eventf(flight.KindSnapshot,
+		"snapshot cut at %d applied command(s); segments through %d truncated", data.Applied, cut)
 	l.removeCovered(cut)
 	return nil
 }

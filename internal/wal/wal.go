@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/idset"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
@@ -69,6 +70,9 @@ type Options struct {
 	// Self) for every command whose log record became durable, extending
 	// the consensus trace spine through the durability layer.
 	Trace *trace.Ring
+	// Flight, when non-nil, journals each snapshot cut into the node's
+	// flight recorder (internal/flight).
+	Flight *flight.Recorder
 	// Self is the node ID trace events are attributed to.
 	Self timestamp.NodeID
 	// Now supplies the clock fsync-latency measurements are stamped

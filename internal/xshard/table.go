@@ -381,6 +381,34 @@ func (t *Table) OldestHeldAge() time.Duration {
 	return now.Sub(oldest)
 }
 
+// OldestHeld identifies the oldest in-flight transaction: its XID, when
+// this node first learned of it, and a representative registered piece
+// command (zero until any piece lands). The stall watchdog's held-tx
+// probe uses it to name the wedged transaction — and, through the piece
+// ID, to pull its traced CommandHistory into the diagnosis bundle.
+func (t *Table) OldestHeld() (XID, time.Time, command.ID, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var (
+		xid    XID
+		oldest time.Time
+		piece  command.ID
+	)
+	for _, e := range t.entries {
+		if e.state != entryPending || e.regAt.IsZero() {
+			continue
+		}
+		if oldest.IsZero() || e.regAt.Before(oldest) {
+			xid, oldest = e.xid, e.regAt
+			piece = command.ID{}
+			if len(e.pieceIDs) > 0 {
+				piece = e.pieceIDs[0]
+			}
+		}
+	}
+	return xid, oldest, piece, !oldest.IsZero()
+}
+
 // start launches the resolution sweeper.
 func (t *Table) start() {
 	t.mu.Lock()

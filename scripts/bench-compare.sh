@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# bench-compare.sh — diff two caesar-bench result files.
+#
+# Usage:
+#   scripts/bench-compare.sh BENCH_sharding.old.json BENCH_sharding.json
+#
+# Rows are matched on their configuration label; throughput, p50 and p99
+# deltas print as percentages. The comparison logic lives in caesar-bench
+# itself (-compare), so this wrapper works from any checkout with a go
+# toolchain and needs no jq/python.
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <a.json> <b.json>" >&2
+    exit 2
+fi
+
+cd "$(dirname "$0")/.."
+exec go run ./cmd/caesar-bench -compare "$1" "$2"

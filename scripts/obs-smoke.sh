@@ -2,7 +2,10 @@
 # Observability smoke test: start a three-replica caesar-server cluster
 # with the metrics endpoint enabled, drive real traffic, and assert that
 # the live scrape exposes the key metric families — with a nonzero
-# fast-decision count — and that the STATS/TRACE admin commands answer.
+# fast-decision count — that the STATS/TRACE/DIAGNOSE/FLIGHT admin
+# commands answer, that /debugz serves the watchdog diagnosis, and that
+# caesar-trace merges a cluster-wide timeline from the live /tracez
+# endpoints.
 #
 # Run from the repository root: ./scripts/obs-smoke.sh
 set -euo pipefail
@@ -17,6 +20,7 @@ trap cleanup EXIT
 
 go build -o "$workdir/caesar-server" ./cmd/caesar-server
 go build -o "$workdir/caesar-client" ./cmd/caesar-client
+go build -o "$workdir/caesar-trace" ./cmd/caesar-trace
 
 peers=127.0.0.1:7480,127.0.0.1:7481,127.0.0.1:7482
 for id in 0 1 2; do
@@ -104,4 +108,69 @@ echo "$trace_ok" | grep -Eq '^OK [1-9][0-9]* events' || {
     exit 1
 }
 
-echo "observability smoke OK: fast_decisions=$fast, $(echo "$stats" | cut -c1-120)"
+# DIAGNOSE: the watchdog's on-demand bundle over the admin port. The
+# cluster is healthy, so the header must say so and still carry the
+# commit-table section.
+exec 3<>/dev/tcp/127.0.0.1/8480
+printf 'DIAGNOSE\n' >&3
+diagnose=""
+while IFS= read -r line <&3; do
+    case "$line" in
+    OK*) break ;;
+    ERR*) echo "DIAGNOSE answered: $line" >&2; exit 1 ;;
+    *) diagnose="$diagnose$line"$'\n' ;;
+    esac
+done
+echo "$diagnose" | grep -q 'healthy' || {
+    echo "DIAGNOSE on a healthy cluster did not report healthy:" >&2
+    echo "$diagnose" >&2
+    exit 1
+}
+echo "$diagnose" | grep -q 'commit table' || {
+    echo "DIAGNOSE bundle missing the commit-table section:" >&2
+    echo "$diagnose" >&2
+    exit 1
+}
+
+# FLIGHT: the structured journal must hold the node-start event.
+printf 'FLIGHT 8\n' >&3
+flight_out=""
+while IFS= read -r line <&3; do
+    case "$line" in
+    OK*) break ;;
+    ERR*) echo "FLIGHT answered: $line" >&2; exit 1 ;;
+    *) flight_out="$flight_out$line"$'\n' ;;
+    esac
+done
+exec 3<&-
+echo "$flight_out" | grep -q 'node started' || {
+    echo "FLIGHT journal missing the node-start event:" >&2
+    echo "$flight_out" >&2
+    exit 1
+}
+
+# /debugz serves the same watchdog diagnosis over the metrics listener.
+debugz=$(curl -fsS http://127.0.0.1:9181/debugz)
+echo "$debugz" | grep -q 'healthy' || {
+    echo "/debugz on a healthy replica did not report healthy:" >&2
+    echo "$debugz" >&2
+    exit 1
+}
+
+# caesar-trace: collect c0.1 from every replica's /tracez and merge the
+# views into one cluster timeline — it must span at least two nodes.
+traceout=$("$workdir/caesar-trace" \
+    -nodes http://127.0.0.1:9180,http://127.0.0.1:9181,http://127.0.0.1:9182 \
+    -cmd c0.1)
+echo "$traceout" | head -1 | grep -Eq '^== c0\.1: [1-9][0-9]* events from [2-3]/3 nodes' || {
+    echo "caesar-trace did not merge a multi-node timeline:" >&2
+    echo "$traceout" >&2
+    exit 1
+}
+echo "$traceout" | grep -q 'propose' || {
+    echo "caesar-trace timeline missing the propose milestone:" >&2
+    echo "$traceout" >&2
+    exit 1
+}
+
+echo "observability smoke OK: fast_decisions=$fast, $(echo "$traceout" | head -1), $(echo "$stats" | cut -c1-120)"

@@ -36,6 +36,7 @@ var PathSuffixes = []string{
 	"internal/wal",
 	"internal/reads",
 	"internal/protocol",
+	"internal/flight",
 }
 
 // forbidden is the set of time-package functions that read or schedule
