@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/caesar-consensus/caesar/internal/audit"
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
@@ -181,6 +182,14 @@ type Options struct {
 	// watchdog's diagnosis. It runs on the scanning goroutine and must
 	// not block; hand the bundle off if handling is slow.
 	OnStall func(Diagnosis)
+	// OnDivergence fires when a cross-replica audit (Cluster.Audit, a
+	// background auditor enabled with WithAuditInterval, or an external
+	// caesar-audit feeding a server's collector) proves this node is
+	// involved in an applied-state divergence. The bundle names the
+	// group, epoch, frontier and both digests. It runs on the auditing
+	// goroutine and must not block. The flight-journal event and the
+	// caesar_audit_divergence_total counter fire regardless.
+	OnDivergence func(Divergence)
 }
 
 func (o Options) toConfig() caesar.Config {
@@ -241,6 +250,10 @@ func newNode(ep transport.Endpoint, opts Options, shards int) (*Node, error) {
 	if opts.OnStall != nil {
 		onStall := opts.OnStall
 		scfg.OnStall = func(d *flight.Diagnosis) { onStall(Diagnosis{inner: d}) }
+	}
+	if opts.OnDivergence != nil {
+		onDiv := opts.OnDivergence
+		scfg.OnDivergence = func(d audit.Divergence) { onDiv(fromDivergence(d)) }
 	}
 	stk, err := stack.Build(ep, scfg)
 	if err != nil {

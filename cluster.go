@@ -3,8 +3,10 @@ package caesar
 import (
 	"fmt"
 	"path/filepath"
+	"sync"
 	"time"
 
+	"github.com/caesar-consensus/caesar/internal/audit"
 	"github.com/caesar-consensus/caesar/internal/memnet"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 )
@@ -17,17 +19,27 @@ type Cluster struct {
 	net   *memnet.Network
 	cfg   clusterConfig
 	nodes []*Node
+
+	// nodeMu guards the nodes slice against the audit collector's
+	// background reads racing Restart's node swap; the other accessors
+	// keep their historical unguarded semantics (callers already
+	// serialize Crash/Restart against their own use).
+	nodeMu sync.RWMutex
+	// auditMu guards the lazily built cross-replica audit collector.
+	auditMu   sync.Mutex
+	collector *audit.Collector
 }
 
 // ClusterOption customises NewLocalCluster.
 type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
-	delay   memnet.DelayFunc
-	jitter  time.Duration
-	opts    Options
-	shards  int
-	dataDir string
+	delay         memnet.DelayFunc
+	jitter        time.Duration
+	opts          Options
+	shards        int
+	dataDir       string
+	auditInterval time.Duration
 }
 
 // WithGeoLatency injects the paper's five-site EC2 round-trip times
@@ -115,6 +127,9 @@ func NewLocalCluster(n int, options ...ClusterOption) (*Cluster, error) {
 		}
 		c.nodes = append(c.nodes, node)
 	}
+	if cfg.auditInterval > 0 {
+		c.auditor().Start()
+	}
 	return c, nil
 }
 
@@ -154,12 +169,21 @@ func (c *Cluster) Restart(i int) error {
 	if err != nil {
 		return err
 	}
+	c.nodeMu.Lock()
 	c.nodes[i] = node
+	c.nodeMu.Unlock()
 	return nil
 }
 
-// Close stops every node and the network.
+// Close stops the background auditor (if any), every node and the
+// network.
 func (c *Cluster) Close() {
+	c.auditMu.Lock()
+	col := c.collector
+	c.auditMu.Unlock()
+	if col != nil {
+		col.Stop()
+	}
 	for _, n := range c.nodes {
 		n.Close()
 	}

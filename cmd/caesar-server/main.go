@@ -42,14 +42,30 @@
 //	                                recorder tail), then OK
 //	FLIGHT [<n>]                 →  the newest n (default 32) flight-
 //	                                recorder events, then OK <n> events
+//	AUDIT                        →  the replica's applied-state audit
+//	                                quote: one line per consensus group
+//	                                (routing epoch, write frontier, state
+//	                                digest, identity fold) plus recent
+//	                                cut-point stamps, then OK <n> groups —
+//	                                the admin-port complement of /auditz
+//	                                (cmd/caesar-audit compares these
+//	                                across replicas)
 //
 // With -metrics-addr the replica additionally serves an observability
 // HTTP endpoint: /metrics (Prometheus text format), /statusz (JSON),
 // /healthz, /readyz, the standard pprof handlers under /debug/pprof/,
 // /debugz (the stall watchdog's diagnosis bundle; ?last=1 for the most
-// recent trip) and /tracez (the command-trace ring as JSON; ?cmd=c0.17
+// recent trip), /tracez (the command-trace ring as JSON; ?cmd=c0.17
 // filters to one command — the per-node endpoint cmd/caesar-trace merges
-// across replicas).
+// across replicas) and /auditz (the replica's applied-state digests as
+// JSON, the endpoint cmd/caesar-audit diffs across replicas).
+//
+// With -audit-peers (a comma-separated list of every replica's metrics
+// base URL) the replica additionally runs the cross-replica auditor
+// in-process: every -audit-interval it gathers all replicas' /auditz
+// quotes and, on a proven divergence, records a flight event, bumps
+// caesar_audit_divergence_total and logs the proof bundle — the always-on
+// alternative to running cmd/caesar-audit out-of-process.
 //
 // Unlike PUT — whose value runs to the end of the line — MPUT/MGET keys
 // and values are single whitespace-separated tokens: a value containing a
@@ -72,6 +88,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/caesar-consensus/caesar/internal/audit"
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
@@ -101,6 +118,8 @@ type options struct {
 	flightBuffer int
 	stallAfter   time.Duration
 	scanEvery    time.Duration
+	auditPeers   string
+	auditEvery   time.Duration
 }
 
 func main() {
@@ -116,6 +135,8 @@ func main() {
 	flag.IntVar(&o.flightBuffer, "flight-buffer", 1024, "flight-recorder ring capacity in node-level events")
 	flag.DurationVar(&o.stallAfter, "stall-threshold", 10*time.Second, "stall-watchdog trip threshold for wedged work (0 disables the watchdog)")
 	flag.DurationVar(&o.scanEvery, "watchdog-interval", time.Second, "stall-watchdog scan cadence")
+	flag.StringVar(&o.auditPeers, "audit-peers", "", "comma-separated metrics base URLs of every replica (e.g. http://127.0.0.1:9000,...); runs the cross-replica state auditor in-process (empty = off)")
+	flag.DurationVar(&o.auditEvery, "audit-interval", 2*time.Second, "cadence of the in-process cross-replica auditor (needs -audit-peers)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "caesar-server:", err)
@@ -252,6 +273,29 @@ func run(o options) error {
 	go serveClients(ln, n)
 	ready.Store(true)
 
+	// In-process cross-replica auditor: gather every replica's /auditz
+	// quotes each interval and raise proven divergences on this node's
+	// flight journal and divergence counter. Any replica (or all of them)
+	// may run it — raised divergences dedupe per collector, and the check
+	// itself is read-only.
+	var auditor *audit.Collector
+	if o.auditPeers != "" {
+		var sources []audit.Source
+		for _, base := range strings.Split(o.auditPeers, ",") {
+			sources = append(sources, audit.HTTPSource(nil, strings.TrimSpace(base)))
+		}
+		auditor = &audit.Collector{
+			Sources:  sources,
+			Interval: o.auditEvery,
+			OnDivergence: func(d audit.Divergence) {
+				log.Printf("replica %d AUDIT %s", o.id, d)
+				stk.NoteDivergence(d)
+			},
+		}
+		auditor.Start()
+		log.Printf("replica %d auditing %d peers every %v", o.id, len(sources), o.auditEvery)
+	}
+
 	// Graceful shutdown on the first SIGINT/SIGTERM: stop accepting
 	// clients, quiesce the engines, flush and close the WAL (clean-path
 	// restarts recover from it just like hard kills — kill -9 exercises
@@ -266,6 +310,9 @@ func run(o options) error {
 		ln.Close()
 		if msrv != nil {
 			msrv.Close()
+		}
+		if auditor != nil {
+			auditor.Stop()
 		}
 		stk.Stop()
 		close(done)
@@ -379,6 +426,26 @@ func handleFlight(out *bufio.Writer, n *node, args []string) {
 		fmt.Fprintf(out, "%s\n", e)
 	}
 	fmt.Fprintf(out, "OK %d events\n", len(events))
+}
+
+// handleAudit serves the AUDIT admin command: the replica's applied-state
+// audit quote, the admin-port complement of /auditz. One comment line of
+// node context, one line per consensus group (epoch, write frontier,
+// state digest, identity fold), the recent cut-point stamps, then an OK
+// count. cmd/caesar-audit compares the same quotes across replicas.
+func handleAudit(out *bufio.Writer, n *node) {
+	rep := n.stk.AuditReport()
+	fmt.Fprintf(out, "# node=%s epoch=%d resizing=%v applied=%d divergences=%d\n",
+		rep.Node, rep.Epoch, rep.Resizing, rep.Applied, n.stk.AuditDivergences())
+	for _, g := range rep.Groups {
+		fmt.Fprintf(out, "group=%d epoch=%d frontier=%d digest=%s idfold=%s\n",
+			g.Group, g.Epoch, g.Frontier, g.Digest, g.IDFold)
+	}
+	for _, s := range rep.Stamps {
+		fmt.Fprintf(out, "stamp kind=%s seq=%d group=%d epoch=%d frontier=%d digest=%s\n",
+			s.Kind, s.Seq, s.Group, s.Epoch, s.Frontier, s.Digest)
+	}
+	fmt.Fprintf(out, "OK %d groups\n", len(rep.Groups))
 }
 
 // handleResize serves the RESIZE admin command: it changes the live
@@ -534,8 +601,12 @@ func handleClient(conn net.Conn, n *node) {
 			handleFlight(out, n, strings.Fields(line)[1:])
 			out.Flush()
 			continue
+		case len(fields) == 1 && strings.EqualFold(fields[0], "AUDIT"):
+			handleAudit(out, n)
+			out.Flush()
+			continue
 		default:
-			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key> | MGET <k> [<k>...] | MPUT <k> <v> [<k> <v>...] | RESIZE <shards> | STATS | TRACE <cmd-id> | DIAGNOSE | FLIGHT [<n>]\n")
+			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key> | MGET <k> [<k>...] | MPUT <k> <v> [<k> <v>...] | RESIZE <shards> | STATS | TRACE <cmd-id> | DIAGNOSE | FLIGHT [<n>] | AUDIT\n")
 			out.Flush()
 			continue
 		}

@@ -1,0 +1,275 @@
+// Command caesar-top is a live terminal console for a running cluster:
+// one row per replica, refreshed in place, built from each node's
+// /statusz JSON (served on the metrics listener). It shows the numbers an
+// operator watches during an incident — throughput (differenced between
+// scrapes), client-latency p50/p99, the fast-decision ratio (the
+// protocol's health signal: CAESAR's whole point is deciding on the fast
+// path), commit-table occupancy, the stall watchdog's state, the state
+// auditor's verdict — and the latency histogram's exemplar: the concrete
+// command ID behind the worst latency bucket, ready to paste into
+// caesar-trace when the tail spikes.
+//
+// Usage:
+//
+//	caesar-top -nodes http://127.0.0.1:9180,http://127.0.0.1:9181,http://127.0.0.1:9182
+//
+// -once renders a single frame without clearing the screen (for scripts
+// and smoke tests); -frames n stops after n refreshes. Unreachable nodes
+// render as a "down" row; the console keeps going.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// statusSeries / statusFamily mirror the /statusz document shape
+// (internal/obs). Decoded locally so the binary stays a pure HTTP client.
+type statusSeries struct {
+	Labels          string  `json:"labels"`
+	Value           float64 `json:"value"`
+	Sum             float64 `json:"sum"`
+	Count           int64   `json:"count"`
+	P50             float64 `json:"p50"`
+	P99             float64 `json:"p99"`
+	Max             float64 `json:"max"`
+	Exemplar        string  `json:"exemplar"`
+	ExemplarSeconds float64 `json:"exemplar_seconds"`
+}
+
+type statusFamily struct {
+	Name   string         `json:"name"`
+	Series []statusSeries `json:"series"`
+}
+
+// sample is one node's scrape, reduced to the console's columns.
+type sample struct {
+	when        time.Time
+	executed    float64
+	p50, p99    float64
+	fast, slow  float64
+	xshardHeld  float64
+	shards      float64
+	epoch       float64
+	stalled     bool
+	trips       float64
+	divergences float64
+	auditWrites float64
+	exemplar    string
+	exemplarSec float64
+	err         error
+}
+
+// nodeSeries returns the family's node-level series (empty label set);
+// sharded nodes also export per-group labeled series, which the console
+// ignores in favour of the aggregate.
+func nodeSeries(fams []statusFamily, name string) (statusSeries, bool) {
+	for _, f := range fams {
+		if f.Name != name {
+			continue
+		}
+		for _, s := range f.Series {
+			if s.Labels == "" {
+				return s, true
+			}
+		}
+	}
+	return statusSeries{}, false
+}
+
+func scrape(ctx context.Context, client *http.Client, base string) sample {
+	smp := sample{when: time.Now()}
+	url := strings.TrimRight(base, "/") + "/statusz"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		smp.err = err
+		return smp
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		smp.err = err
+		return smp
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		smp.err = err
+		return smp
+	}
+	if resp.StatusCode != http.StatusOK {
+		smp.err = fmt.Errorf("HTTP %d", resp.StatusCode)
+		return smp
+	}
+	var fams []statusFamily
+	if err := json.Unmarshal(body, &fams); err != nil {
+		smp.err = fmt.Errorf("bad JSON: %v", err)
+		return smp
+	}
+	if s, ok := nodeSeries(fams, "caesar_executed_total"); ok {
+		smp.executed = s.Value
+	}
+	if s, ok := nodeSeries(fams, "caesar_latency_seconds"); ok {
+		smp.p50, smp.p99 = s.P50, s.P99
+		smp.exemplar, smp.exemplarSec = s.Exemplar, s.ExemplarSeconds
+	}
+	if s, ok := nodeSeries(fams, "caesar_fast_decisions_total"); ok {
+		smp.fast = s.Value
+	}
+	if s, ok := nodeSeries(fams, "caesar_slow_decisions_total"); ok {
+		smp.slow = s.Value
+	}
+	if s, ok := nodeSeries(fams, "caesar_xshard_held"); ok {
+		smp.xshardHeld = s.Value
+	}
+	if s, ok := nodeSeries(fams, "caesar_shards"); ok {
+		smp.shards = s.Value
+	}
+	if s, ok := nodeSeries(fams, "caesar_routing_epoch"); ok {
+		smp.epoch = s.Value
+	}
+	if s, ok := nodeSeries(fams, "caesar_watchdog_stalled"); ok {
+		smp.stalled = s.Value > 0
+	}
+	if s, ok := nodeSeries(fams, "caesar_watchdog_trips_total"); ok {
+		smp.trips = s.Value
+	}
+	if s, ok := nodeSeries(fams, "caesar_audit_divergence_total"); ok {
+		smp.divergences = s.Value
+	}
+	if s, ok := nodeSeries(fams, "caesar_audit_writes_total"); ok {
+		smp.auditWrites = s.Value
+	}
+	return smp
+}
+
+// fmtDur renders a seconds value compactly (µs/ms/s).
+func fmtDur(sec float64) string {
+	switch {
+	case sec <= 0:
+		return "-"
+	case sec < 1e-3:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.1fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", sec)
+	}
+}
+
+func render(w io.Writer, urls []string, cur, prev []sample, frame int) {
+	fmt.Fprintf(w, "caesar-top  %s  frame %d\n", time.Now().Format("15:04:05"), frame)
+	fmt.Fprintf(w, "%-28s %9s %8s %8s %6s %7s %6s %9s %10s  %s\n",
+		"NODE", "OPS/S", "P50", "P99", "FAST%", "XSHARD", "EPOCH", "WATCHDOG", "AUDIT", "SLOWEST")
+	for i, u := range urls {
+		name := strings.TrimPrefix(strings.TrimPrefix(u, "http://"), "https://")
+		c := cur[i]
+		if c.err != nil {
+			fmt.Fprintf(w, "%-28s down: %v\n", name, c.err)
+			continue
+		}
+		ops := "-"
+		if prev != nil && prev[i].err == nil {
+			dt := c.when.Sub(prev[i].when).Seconds()
+			if dt > 0 {
+				ops = fmt.Sprintf("%.0f", (c.executed-prev[i].executed)/dt)
+			}
+		}
+		fastPct := "-"
+		if total := c.fast + c.slow; total > 0 {
+			fastPct = fmt.Sprintf("%.1f", 100*c.fast/total)
+		}
+		wd := "ok"
+		if c.trips > 0 {
+			wd = fmt.Sprintf("%d trips", int64(c.trips))
+		}
+		if c.stalled {
+			wd = "STALLED"
+		}
+		auditCol := "-"
+		if c.auditWrites > 0 || c.divergences > 0 {
+			auditCol = "ok"
+		}
+		if c.divergences > 0 {
+			auditCol = fmt.Sprintf("DIVERGED:%d", int64(c.divergences))
+		}
+		slowest := "-"
+		if c.exemplar != "" {
+			slowest = fmt.Sprintf("%s (%s)", c.exemplar, fmtDur(c.exemplarSec))
+		}
+		fmt.Fprintf(w, "%-28s %9s %8s %8s %6s %7.0f %6.0f %9s %10s  %s\n",
+			name, ops, fmtDur(c.p50), fmtDur(c.p99), fastPct,
+			c.xshardHeld, c.epoch, wd, auditCol, slowest)
+	}
+}
+
+func main() {
+	var (
+		nodes    = flag.String("nodes", "", "comma-separated metrics base URLs, one per replica (e.g. http://h1:9180,http://h2:9180)")
+		interval = flag.Duration("interval", 2*time.Second, "refresh cadence")
+		frames   = flag.Int("frames", 0, "stop after this many refreshes (0 = until interrupted)")
+		once     = flag.Bool("once", false, "render a single frame without clearing the screen and exit")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-node scrape timeout")
+	)
+	flag.Parse()
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "usage: caesar-top -nodes <url,url,...> [-interval 2s] [-once]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	var urls []string
+	for _, u := range strings.Split(*nodes, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "caesar-top: -nodes named no URLs")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: *timeout}
+	scrapeAll := func() []sample {
+		out := make([]sample, len(urls))
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		for i, u := range urls {
+			out[i] = scrape(ctx, client, u)
+		}
+		return out
+	}
+
+	if *once {
+		render(os.Stdout, urls, scrapeAll(), nil, 1)
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	var prev []sample
+	for frame := 1; ; frame++ {
+		cur := scrapeAll()
+		// Clear screen + home; a full repaint per frame keeps the code
+		// trivial and the flicker invisible at 2s cadence.
+		fmt.Print("\x1b[2J\x1b[H")
+		render(os.Stdout, urls, cur, prev, frame)
+		prev = cur
+		if *frames > 0 && frame >= *frames {
+			return
+		}
+		select {
+		case <-sig:
+			return
+		case <-ticker.C:
+		}
+	}
+}

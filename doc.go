@@ -250,6 +250,44 @@
 // See DIAGNOSING.md for the runbook: which surface to reach for first
 // and a worked stall diagnosis.
 //
+// # Auditing
+//
+// The fourth observability leg answers "do the replicas still agree?".
+// Every replica folds, per consensus group, a pair of 64-bit digests
+// over the state it applies (internal/audit): an order-insensitive XOR
+// fold, one XOR per write, because CAESAR only orders conflicting
+// commands and correct replicas may interleave non-conflicting writes
+// differently. The digest folds each write's effect (key, stored value,
+// decided timestamp, epoch); a companion idfold folds each command's
+// identity (ID, op, key, input value, epoch). Two replicas are compared
+// only at a matching cut — same group, epoch, write frontier and idfold
+// — so a mismatched digest there proves, in a single gather with no
+// settling, that identical inputs produced different states. Lagging
+// replicas are skipped, never flagged; a persistent idfold mismatch at
+// equal frontiers is reported separately as an apply-set divergence.
+//
+// In process, Cluster.Audit runs one gather-and-compare round and
+// Options.OnDivergence receives a proof bundle (group, epoch, frontier,
+// both nodes, both digest pairs) the moment any round proves a
+// divergence; the event is also journaled in the involved nodes' flight
+// recorders and counted in caesar_audit_divergence_total. Digests are
+// stamped at cut points (resize fences, WAL snapshots), persisted in
+// snapshots and restored on restart, so a restarted replica re-proves
+// agreement instead of starting blind.
+//
+// Multi-process, each caesar-server serves its audit report at /auditz
+// (JSON) and the admin command AUDIT, and can audit its peers
+// continuously with -audit-peers. cmd/caesar-audit is the standalone
+// checker — one round, a monitor loop, or a JSON proof bundle:
+//
+//	caesar-audit -nodes http://h1:9100,http://h2:9100,http://h3:9100
+//
+// and cmd/caesar-top is a live cluster console over /statusz:
+// per-node throughput, p50/p99 latency with slowest-command exemplars,
+// fast-path share, cross-shard holds, watchdog and audit status in one
+// repainting table. See DIAGNOSING.md ("Is the cluster diverged?") for
+// the divergence runbook.
+//
 // # Linting
 //
 // The repo's concurrency and determinism invariants — injected clocks on

@@ -1,0 +1,74 @@
+package audit
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/caesar-consensus/caesar/internal/shard"
+)
+
+// Epochs tracks the routing-epoch history (epoch -> shard count) so
+// writes can be attributed to consensus groups deterministically: a
+// command stamped with routing epoch E lands in the group E's router
+// assigns its key, on every replica, regardless of which epoch is
+// installed locally when the write applies.
+//
+// Lookups are lock-free (copy-on-write map behind an atomic.Value): the
+// kvstore consults the tracker on every write while holding its own
+// innermost lock, so the tracker must never block or call out. Install
+// is rare (epoch changes and recovery replay) and takes a private leaf
+// mutex only to serialise the copy.
+type Epochs struct {
+	mu      sync.Mutex   // serialises Install copies; leaf lock, no callouts
+	current atomic.Value // map[uint32]int32, epoch -> shard count
+}
+
+// NewEpochs returns an empty tracker.
+func NewEpochs() *Epochs {
+	e := &Epochs{}
+	e.current.Store(map[uint32]int32{})
+	return e
+}
+
+// Install records that routing epoch carries the given shard count.
+// First write wins: an epoch's shard count is consensus-fixed, so the
+// recovery replay, the live coordinator hook and the epoch-0 seed can
+// each install the same epoch without racing to different attributions —
+// and a buggy late installer cannot silently re-home every past fold.
+func (e *Epochs) Install(epoch uint32, shards int32) {
+	if shards <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.current.Load().(map[uint32]int32)
+	if _, ok := old[epoch]; ok {
+		return
+	}
+	next := make(map[uint32]int32, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[epoch] = shards
+	e.current.Store(next)
+}
+
+// Shards returns the shard count installed for epoch, or 0 if unknown.
+func (e *Epochs) Shards(epoch uint32) int32 {
+	return e.current.Load().(map[uint32]int32)[epoch]
+}
+
+// GroupOf attributes key to a consensus group under the given routing
+// epoch. Unknown epochs fall back to group 0; by the install-before-
+// delivery invariant (a fence installs epoch E on a node before any
+// epoch-E command is delivered there, and recovery replays epoch records
+// in log order) the fallback is not reachable on a correctly routed
+// write, but it keeps the fold total rather than panicking in the apply
+// path.
+func (e *Epochs) GroupOf(key string, epoch uint32) int32 {
+	shards := e.current.Load().(map[uint32]int32)[epoch]
+	if shards <= 0 {
+		return 0
+	}
+	return int32(shard.NewRouterAt(epoch, int(shards)).Shard(key))
+}

@@ -121,7 +121,10 @@ func (r *Replica) deliverNow(rec *record) {
 	if c := r.proposals[id]; c != nil {
 		now := r.now
 		proposedAt = c.proposedAt
-		r.met.ObserveLatency(now.Sub(c.proposedAt))
+		// The command's ID rides along as the latency histogram's
+		// exemplar: a /statusz p99 spike then names a command an
+		// operator can hand straight to TRACE / caesar-trace.
+		r.met.ObserveLatencyRef(now.Sub(c.proposedAt), id.String())
 		if !c.stableAt.IsZero() {
 			r.met.DeliverPhase.Add(now.Sub(c.stableAt))
 		}

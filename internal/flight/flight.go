@@ -66,6 +66,9 @@ const (
 	KindClear
 	// KindNode: node lifecycle (started, recovered, stopping).
 	KindNode
+	// KindAudit: the cross-replica auditor proved a divergence involving
+	// this node (internal/audit).
+	KindAudit
 )
 
 // String implements fmt.Stringer.
@@ -91,6 +94,8 @@ func (k Kind) String() string {
 		return "stall-clear"
 	case KindNode:
 		return "node"
+	case KindAudit:
+		return "audit"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

@@ -1,0 +1,254 @@
+package kvstore
+
+import (
+	"testing"
+
+	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/timestamp"
+)
+
+// stamped builds a command with an identity, the way replicated commands
+// arrive at the store.
+func stamped(cmd command.Command, node int32, seq uint64) command.Command {
+	cmd.ID = command.ID{Node: timestamp.NodeID(node), Seq: seq}
+	return cmd
+}
+
+func ats(node int32, seq uint64) timestamp.Timestamp {
+	return timestamp.Timestamp{Node: timestamp.NodeID(node), Seq: seq}
+}
+
+// TestAuditFoldOrderInsensitive is the core soundness property: two
+// replicas applying the same non-conflicting writes in different orders
+// must quote identical digests, frontiers and idfolds — CAESAR only
+// orders conflicting commands, so the audit would false-positive on
+// every healthy sharded cluster otherwise.
+func TestAuditFoldOrderInsensitive(t *testing.T) {
+	cmds := []command.Command{
+		stamped(command.Put("a", []byte("1")), 0, 1),
+		stamped(command.Put("b", []byte("2")), 1, 1),
+		stamped(command.Put("c", []byte("3")), 2, 1),
+		stamped(command.Add("n", 5), 0, 2),
+	}
+	stamps := []timestamp.Timestamp{ats(0, 10), ats(1, 11), ats(2, 12), ats(0, 13)}
+
+	forward, reverse := New(), New()
+	for i, cmd := range cmds {
+		forward.ApplyAt(cmd, stamps[i])
+	}
+	for i := len(cmds) - 1; i >= 0; i-- {
+		reverse.ApplyAt(cmds[i], stamps[i])
+	}
+	a, b := forward.AuditState(), reverse.AuditState()
+	if len(a.Groups) != 1 || len(b.Groups) != 1 {
+		t.Fatalf("groups: %v vs %v", a.Groups, b.Groups)
+	}
+	ga, gb := a.Groups[0], b.Groups[0]
+	if ga != gb {
+		t.Errorf("order changed the quote:\nforward %+v\nreverse %+v", ga, gb)
+	}
+	if ga.Frontier != 4 {
+		t.Errorf("frontier = %d, want 4 (one per write)", ga.Frontier)
+	}
+}
+
+// TestAuditFoldSensitivity checks the digest (and only the digest) moves
+// when the same commands produce different state, and that a different
+// command multiset moves the idfold.
+func TestAuditFoldSensitivity(t *testing.T) {
+	base := func() *Store {
+		s := New()
+		s.ApplyAt(stamped(command.Put("k", []byte("v")), 0, 1), ats(0, 1))
+		return s
+	}
+	want := base().AuditState().Groups[0]
+
+	// Same command, same timestamp: identical quote.
+	if got := base().AuditState().Groups[0]; got != want {
+		t.Errorf("deterministic fold broken: %+v vs %+v", got, want)
+	}
+
+	// Different decided timestamp: different digest (the stamp is part of
+	// the applied state via the MVCC ring), same idfold (same command).
+	s := New()
+	s.ApplyAt(stamped(command.Put("k", []byte("v")), 0, 1), ats(0, 2))
+	got := s.AuditState().Groups[0]
+	if got.Digest == want.Digest {
+		t.Error("digest blind to the version stamp")
+	}
+	if got.IDFold != want.IDFold {
+		t.Error("idfold moved with the timestamp; it must fold only replicated inputs")
+	}
+
+	// Different command ID, identical effect: only the idfold moves — the
+	// digest folds what the write did, the idfold which command did it.
+	s = New()
+	s.ApplyAt(stamped(command.Put("k", []byte("v")), 0, 2), ats(0, 1))
+	got = s.AuditState().Groups[0]
+	if got.Digest != want.Digest {
+		t.Error("digest moved with the command ID; it must fold only effects")
+	}
+	if got.IDFold == want.IDFold {
+		t.Error("idfold blind to the command ID")
+	}
+
+	// Different written value: the digest moves.
+	s = New()
+	s.ApplyAt(stamped(command.Put("k", []byte("w")), 0, 1), ats(0, 1))
+	if got := s.AuditState().Groups[0]; got.Digest == want.Digest {
+		t.Error("digest blind to the written value")
+	}
+}
+
+// TestAuditReadsAndFencesDoNotFold: only writes advance the frontier —
+// reads, noops and fences must not, or replicas serving different read
+// traffic would never be comparable.
+func TestAuditReadsAndFencesDoNotFold(t *testing.T) {
+	s := New()
+	s.ApplyAt(stamped(command.Put("k", []byte("v")), 0, 1), ats(0, 1))
+	s.ApplyAt(stamped(command.Get("k"), 1, 1), ats(1, 2))
+	s.ApplyAt(stamped(command.Noop(), 1, 2), ats(1, 3))
+	fence := stamped(command.Fence(nil), 2, 1)
+	s.ApplyAt(fence, ats(2, 4))
+	st := s.AuditState()
+	if w := st.Writes(); w != 1 {
+		t.Errorf("writes folded = %d, want 1", w)
+	}
+	// The fence did stamp a cut point — once, even if every group's
+	// engine delivers the same fence command.
+	s.ApplyAt(fence, ats(2, 4))
+	st = s.AuditState()
+	var fences int
+	for _, stamp := range st.Stamps {
+		if stamp.Kind == "fence" {
+			fences++
+		}
+	}
+	if fences != 1 {
+		t.Errorf("fence stamps = %d, want 1 (dedup by fence ID)", fences)
+	}
+}
+
+// TestAuditRestoreContinuesFold: restoring a snapshot's audit state and
+// replaying the tail must land on the same quote as having applied
+// everything live — the WAL recovery equivalence.
+func TestAuditRestoreContinuesFold(t *testing.T) {
+	live := New()
+	cmds := []command.Command{
+		stamped(command.Put("a", []byte("1")), 0, 1),
+		stamped(command.Put("b", []byte("2")), 0, 2),
+		stamped(command.Put("c", []byte("3")), 0, 3),
+	}
+	for i, cmd := range cmds {
+		live.ApplyAt(cmd, ats(0, uint64(i+1)))
+	}
+
+	// Snapshot after two writes, restore into a fresh store, replay the
+	// tail.
+	cut := New()
+	cut.ApplyAt(cmds[0], ats(0, 1))
+	cut.ApplyAt(cmds[1], ats(0, 2))
+	snap := cut.AuditSnapshot()
+	restored := New()
+	restored.RestoreAudit(snap)
+	restored.ApplyAt(cmds[2], ats(0, 3))
+
+	lg, rg := live.AuditState().Groups[0], restored.AuditState().Groups[0]
+	if lg != rg {
+		t.Errorf("restore+replay diverged from live:\nlive     %+v\nrestored %+v", lg, rg)
+	}
+	// The snapshot stamp survived the restore.
+	var snaps int
+	for _, stamp := range restored.AuditState().Stamps {
+		if stamp.Kind == "snapshot" {
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Errorf("snapshot stamps after restore = %d, want 1", snaps)
+	}
+}
+
+// TestAuditImportDoesNotFold: a shard-handoff import is the same bytes on
+// every replica (exported at a consensus-fixed point) and must not
+// perturb the destination's digests.
+func TestAuditImportDoesNotFold(t *testing.T) {
+	s := New()
+	s.ApplyAt(stamped(command.Put("k", []byte("v")), 0, 1), ats(0, 1))
+	before := s.AuditState().Groups[0]
+	s.Import(map[string][]byte{"x": []byte("1"), "y": []byte("2")})
+	after := s.AuditState().Groups[0]
+	if before != after {
+		t.Errorf("import moved the quote: %+v vs %+v", before, after)
+	}
+}
+
+// TestInjectDivergence checks the test hook behaves like the bug it
+// simulates: the digest moves, the frontier and idfold do not (the
+// corrupted replica still quotes the same applied command multiset), so
+// the quotes stay comparable and the auditor can prove the divergence.
+func TestInjectDivergence(t *testing.T) {
+	healthy, corrupt := New(), New()
+	cmd := stamped(command.Put("k", []byte("v")), 0, 1)
+	healthy.ApplyAt(cmd, ats(0, 1))
+	corrupt.ApplyAt(cmd, ats(0, 1))
+	g := corrupt.InjectDivergence("k")
+	if g != 0 {
+		t.Errorf("group = %d, want 0", g)
+	}
+	h, c := healthy.AuditState().Groups[0], corrupt.AuditState().Groups[0]
+	if h.Digest == c.Digest {
+		t.Error("digest unchanged after corruption")
+	}
+	if h.Frontier != c.Frontier || h.IDFold != c.IDFold || h.Epoch != c.Epoch {
+		t.Errorf("quotes no longer comparable: %+v vs %+v", h, c)
+	}
+	hv, _ := healthy.Get("k")
+	cv, _ := corrupt.Get("k")
+	if string(hv) == string(cv) {
+		t.Error("stored value not actually corrupted")
+	}
+}
+
+// TestAuditGroupAttribution: with a group function installed, writes land
+// in their key's group and the accessors see every group.
+func TestAuditGroupAttribution(t *testing.T) {
+	s := New()
+	s.SetGroupFn(func(key string, epoch uint32) int32 {
+		if key >= "m" {
+			return 1
+		}
+		return 0
+	})
+	s.ApplyAt(stamped(command.Put("alpha", []byte("1")), 0, 1), ats(0, 1))
+	s.ApplyAt(stamped(command.Put("zulu", []byte("2")), 0, 2), ats(0, 2))
+	st := s.AuditState()
+	if len(st.Groups) != 2 || s.AuditGroups() != 2 {
+		t.Fatalf("groups: %+v", st.Groups)
+	}
+	for _, g := range st.Groups {
+		if g.Frontier != 1 {
+			t.Errorf("group %d frontier = %d, want 1", g.Group, g.Frontier)
+		}
+	}
+	if s.AuditWrites() != 2 {
+		t.Errorf("AuditWrites = %d, want 2", s.AuditWrites())
+	}
+}
+
+// BenchmarkAuditFold isolates the digest-fold cost added to every
+// applied write, for comparison against BenchmarkApplyPut (the full
+// apply path the fold rides on). The fold must stay a small fraction
+// of even this in-memory apply — the end-to-end consensus path adds
+// network rounds and fsyncs on top.
+func BenchmarkAuditFold(b *testing.B) {
+	s := New()
+	cmd := stamped(command.Put("hot", make([]byte, 16)), 0, 1)
+	ts := ats(0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.mu.Lock()
+		s.foldLocked(cmd, ts, cmd.Value)
+		s.mu.Unlock()
+	}
+}

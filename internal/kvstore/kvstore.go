@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"sync"
 
+	"github.com/caesar-consensus/caesar/internal/audit"
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
@@ -71,6 +72,14 @@ type Store struct {
 	base map[string]version
 	// applied counts executed commands, for test assertions.
 	applied int64
+	// Applied-state auditing (see audit.go): per-group digest folds, the
+	// attribution function, recent cut-point stamps, and the last fence
+	// stamped (each group delivers the same fence once; one stamp set
+	// per fence is enough).
+	groupFn   GroupFn
+	audits    map[int32]*groupAudit
+	stamps    []audit.Stamp
+	lastFence command.ID
 }
 
 var (
@@ -83,9 +92,10 @@ var (
 // New returns an empty store.
 func New() *Store {
 	return &Store{
-		data: make(map[string][]byte),
-		vers: make(map[string][]version),
-		base: make(map[string]version),
+		data:   make(map[string][]byte),
+		vers:   make(map[string][]version),
+		base:   make(map[string]version),
+		audits: make(map[int32]*groupAudit),
 	}
 }
 
@@ -111,7 +121,13 @@ func (s *Store) applyLocked(cmd command.Command, ts timestamp.Timestamp) []byte 
 		// rebalancing gate interprets them and the durable log records
 		// them; by the time one reaches a store there is nothing to do,
 		// and it must not count as an applied command (crash replay
-		// skips control commands, and the two counts must agree).
+		// skips control commands, and the two counts must agree). It is,
+		// however, a natural audit cut point: stamp every group's digest
+		// once per fence (each group delivers the same fence command).
+		if cmd.ID != s.lastFence {
+			s.lastFence = cmd.ID
+			s.stampAllLocked("fence")
+		}
 		return nil
 	}
 	s.applied++
@@ -123,6 +139,7 @@ func (s *Store) applyLocked(cmd command.Command, ts timestamp.Timestamp) []byte 
 		copy(v, cmd.Value)
 		s.recordVersionLocked(cmd.Key, cmd.Epoch, ts, v)
 		s.data[cmd.Key] = v
+		s.foldLocked(cmd, ts, v)
 		return nil
 	case command.OpGet:
 		return s.data[cmd.Key]
@@ -133,6 +150,7 @@ func (s *Store) applyLocked(cmd command.Command, ts timestamp.Timestamp) []byte 
 		binary.BigEndian.PutUint64(buf, uint64(next))
 		s.recordVersionLocked(cmd.Key, cmd.Epoch, ts, buf)
 		s.data[cmd.Key] = buf
+		s.foldLocked(cmd, ts, buf)
 		return buf
 	default:
 		return nil

@@ -9,6 +9,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -29,19 +30,33 @@ const histMin = 1 * time.Microsecond
 
 var logGrowth = math.Log(histGrowth)
 
-// Histogram is a lock-free exponential-bucket latency histogram.
+// Histogram is a lock-free exponential-bucket latency histogram. It also
+// keeps one exemplar: the reference (a command ID, a key) attached to the
+// last observation that landed in the highest bucket seen so far, so a
+// tail-latency spike in a scrape links directly to a traceable command.
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64 // nanoseconds
 	min     atomic.Int64 // nanoseconds; math.MaxInt64 when empty
 	max     atomic.Int64
 	buckets [histBuckets]atomic.Int64
+
+	// exIdx is the highest bucket index an exemplar-carrying observation
+	// has hit (-1 when none); the slot behind exMu holds that
+	// observation's duration and reference. Off the lock-free Observe
+	// path: only ObserveRef touches it, and only for observations at or
+	// above the current top bucket.
+	exIdx atomic.Int32
+	exMu  sync.Mutex
+	exDur time.Duration
+	exRef string
 }
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
 	h := &Histogram{}
 	h.min.Store(math.MaxInt64)
+	h.exIdx.Store(-1)
 	return h
 }
 
@@ -72,6 +87,10 @@ func (h *Histogram) Reset() {
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
 	}
+	h.exIdx.Store(-1)
+	h.exMu.Lock()
+	h.exDur, h.exRef = 0, ""
+	h.exMu.Unlock()
 }
 
 // Observe records one sample.
@@ -94,6 +113,44 @@ func (h *Histogram) Observe(d time.Duration) {
 		}
 	}
 	h.buckets[bucketFor(d)].Add(1)
+}
+
+// ObserveRef records one sample carrying a reference (a command ID, a
+// read key). When the sample lands in the highest bucket seen so far it
+// becomes the histogram's exemplar — the concrete thing an operator can
+// feed to TRACE / caesar-trace when the tail spikes. Same cost as
+// Observe except at a new top bucket.
+func (h *Histogram) ObserveRef(d time.Duration, ref string) {
+	h.Observe(d)
+	if ref == "" {
+		return
+	}
+	idx := int32(bucketFor(d))
+	for {
+		cur := h.exIdx.Load()
+		if idx < cur {
+			return
+		}
+		if h.exIdx.CompareAndSwap(cur, idx) {
+			break
+		}
+	}
+	h.exMu.Lock()
+	h.exDur, h.exRef = d, ref
+	h.exMu.Unlock()
+}
+
+// Exemplar returns the reference and duration of the last observation
+// that landed in the histogram's highest exemplar-carrying bucket; ok is
+// false when no referenced observation was recorded.
+func (h *Histogram) Exemplar() (d time.Duration, ref string, ok bool) {
+	if h.exIdx.Load() < 0 {
+		return 0, "", false
+	}
+	h.exMu.Lock()
+	d, ref = h.exDur, h.exRef
+	h.exMu.Unlock()
+	return d, ref, ref != ""
 }
 
 // Count returns the number of samples.

@@ -142,6 +142,16 @@ func (r *Recorder) ObserveLatency(d time.Duration) {
 	r.Latency.Observe(d)
 }
 
+// ObserveLatencyRef is ObserveLatency carrying the command's ID as a
+// histogram exemplar: a /statusz scrape showing a p99 spike also names a
+// command that landed in the top bucket, ready for TRACE / caesar-trace.
+func (r *Recorder) ObserveLatencyRef(d time.Duration, ref string) {
+	if r == nil {
+		return
+	}
+	r.Latency.ObserveRef(d, ref)
+}
+
 // SlowRatio returns the fraction of this leader's decisions that took the
 // slow path, as plotted in Fig 10.
 func (r *Recorder) SlowRatio() float64 {

@@ -301,6 +301,87 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 }
 
+// TestExpositionDeterministicOrder is the golden-ordering test: no matter
+// what order series are registered (or re-registered) in, /metrics and
+// /statusz render families sorted by name and series sorted by label set,
+// so scrapes from two nodes — or the same node across a resize — are
+// line-diffable.
+func TestExpositionDeterministicOrder(t *testing.T) {
+	build := func(order []int) string {
+		r := NewRegistry()
+		var cs [4]metrics.Counter
+		regs := []func(){
+			func() { r.Counter("test_z_total", "Z.", nil, &cs[0]) },
+			func() { r.Counter("test_a_total", "A.", Labels{"group": "1"}, &cs[1]) },
+			func() { r.Counter("test_a_total", "A.", Labels{"group": "0"}, &cs[2]) },
+			func() { r.Counter("test_m_total", "M.", Labels{"group": "2", "kind": "x"}, &cs[3]) },
+		}
+		for _, i := range order {
+			regs[i]()
+		}
+		text, _ := scrape(t, r)
+		return text
+	}
+	want := build([]int{0, 1, 2, 3})
+	for _, order := range [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}} {
+		if got := build(order); got != want {
+			t.Fatalf("exposition depends on registration order %v:\ngot:\n%swant:\n%s", order, got, want)
+		}
+	}
+
+	// Families must come out name-sorted and the a-family's series
+	// label-sorted.
+	var names []string
+	for _, line := range strings.Split(want, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			names = append(names, strings.Fields(line)[2])
+		}
+	}
+	if len(names) != 3 || names[0] != "test_a_total" || names[1] != "test_m_total" || names[2] != "test_z_total" {
+		t.Errorf("families not name-sorted: %v", names)
+	}
+	if g0 := strings.Index(want, `test_a_total{group="0"}`); g0 < 0 || g0 > strings.Index(want, `test_a_total{group="1"}`) {
+		t.Errorf("series not label-sorted:\n%s", want)
+	}
+}
+
+// TestStatuszHistogramExemplar checks a histogram's top-bucket exemplar
+// survives into the /statusz JSON, naming the worst observation's
+// reference and duration.
+func TestStatuszHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := metrics.NewHistogram()
+	h.ObserveRef(2*time.Millisecond, "p0.4")
+	h.ObserveRef(90*time.Millisecond, "p1.7") // top bucket → exemplar
+	h.ObserveRef(5*time.Millisecond, "p2.9")
+	r.Histogram("test_latency_seconds", "L.", nil, h)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var fams []struct {
+		Name   string `json:"name"`
+		Series []struct {
+			Exemplar        string  `json:"exemplar"`
+			ExemplarSeconds float64 `json:"exemplar_seconds"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &fams); err != nil {
+		t.Fatalf("statusz not JSON: %v\n%s", err, buf.String())
+	}
+	if len(fams) != 1 || len(fams[0].Series) != 1 {
+		t.Fatalf("unexpected statusz shape: %s", buf.String())
+	}
+	s := fams[0].Series[0]
+	if s.Exemplar != "p1.7" {
+		t.Errorf("exemplar = %q, want p1.7", s.Exemplar)
+	}
+	if s.ExemplarSeconds < 0.089 || s.ExemplarSeconds > 0.091 {
+		t.Errorf("exemplar seconds = %v, want ~0.09", s.ExemplarSeconds)
+	}
+}
+
 // TestRecorderFamilies checks the canonical family names the rest of the
 // system (dashboards, the CI smoke test) depend on.
 func TestRecorderFamilies(t *testing.T) {

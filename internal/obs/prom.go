@@ -4,38 +4,62 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 )
+
+// snapshot copies the registry's families and their series in canonical
+// exposition order: families sorted by name, series within a family by
+// rendered label string. Registration order depends on wiring order (and
+// on resize-time re-registration), so sorting here is what makes two
+// scrapes — or two nodes — byte-comparable: diffing /metrics across
+// replicas, golden tests, and caesar-top's column alignment all rely on
+// it.
+func (r *Registry) snapshot() []famSnap {
+	r.mu.RLock()
+	out := make([]famSnap, 0, len(r.families))
+	for _, f := range r.families {
+		fs := famSnap{family: f, series: make([]*series, len(f.series))}
+		copy(fs.series, f.series)
+		out = append(out, fs)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	for _, fs := range out {
+		ss := fs.series
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+	}
+	return out
+}
+
+// famSnap is one family plus a private copy of its series slice, safe to
+// sort and read outside the registry lock (series sources are atomic).
+type famSnap struct {
+	*family
+	series []*series
+}
 
 // WritePrometheus renders every registered family in the Prometheus text
 // exposition format (version 0.0.4): HELP and TYPE lines followed by the
 // family's series. Durations are rendered in seconds. Histogram buckets
 // are cumulative with le bounds; only buckets that hold samples are
 // rendered (Prometheus permits sparse bounds), plus the mandatory +Inf.
+// Output order is deterministic: families by name, series by label set.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	fams := make([]*family, len(r.families))
-	copy(fams, r.families)
-	r.mu.RUnlock()
-
 	var b strings.Builder
-	for _, f := range fams {
-		r.mu.RLock()
-		ss := make([]*series, len(f.series))
-		copy(ss, f.series)
-		r.mu.RUnlock()
-		if len(ss) == 0 {
+	for _, f := range r.snapshot() {
+		if len(f.series) == 0 {
 			continue
 		}
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
-		for _, s := range ss {
-			writeSeries(&b, f, s)
+		for _, s := range f.series {
+			writeSeries(&b, f.family, s)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -92,6 +116,12 @@ type statusSeries struct {
 	P50    float64 `json:"p50,omitempty"`
 	P99    float64 `json:"p99,omitempty"`
 	Max    float64 `json:"max,omitempty"`
+	// Exemplar names the observation behind the histogram's worst bucket
+	// (a command ID for the latency histogram, a key for reads) with its
+	// duration in seconds — the handle an operator feeds to TRACE /
+	// caesar-trace when the tail spikes.
+	Exemplar        string  `json:"exemplar,omitempty"`
+	ExemplarSeconds float64 `json:"exemplar_seconds,omitempty"`
 }
 
 // statusFamily is one family in the /statusz JSON document.
@@ -103,25 +133,18 @@ type statusFamily struct {
 }
 
 // WriteJSON renders the registry as the /statusz JSON document: the same
-// families as /metrics, with precomputed quantiles for histograms.
+// families as /metrics (same deterministic order), with precomputed
+// quantiles and the top-bucket exemplar for histograms.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	if r == nil {
 		_, err := io.WriteString(w, "[]\n")
 		return err
 	}
-	r.mu.RLock()
-	fams := make([]*family, len(r.families))
-	copy(fams, r.families)
-	r.mu.RUnlock()
-
+	fams := r.snapshot()
 	out := make([]statusFamily, 0, len(fams))
 	for _, f := range fams {
-		r.mu.RLock()
-		ss := make([]*series, len(f.series))
-		copy(ss, f.series)
-		r.mu.RUnlock()
 		sf := statusFamily{Name: f.name, Type: f.kind.String(), Help: f.help}
-		for _, s := range ss {
+		for _, s := range f.series {
 			var e statusSeries
 			e.Labels = s.labels
 			switch f.kind {
@@ -142,6 +165,10 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				e.P50 = seconds(s.hist.Quantile(0.5))
 				e.P99 = seconds(s.hist.Quantile(0.99))
 				e.Max = seconds(s.hist.Max())
+				if d, ref, ok := s.hist.Exemplar(); ok {
+					e.Exemplar = ref
+					e.ExemplarSeconds = seconds(d)
+				}
 			}
 			sf.Series = append(sf.Series, e)
 		}

@@ -221,7 +221,7 @@ func (e *Engine) Read(ctx context.Context, key string) (val []byte, present bool
 	if err != nil {
 		return nil, false, err
 	}
-	e.observe(start)
+	e.observe(start, key)
 	return vals[0], pres[0], nil
 }
 
@@ -235,14 +235,17 @@ func (e *Engine) ReadTx(ctx context.Context, keys []string) (vals [][]byte, pres
 	start := e.now()
 	vals, present, err = e.do(ctx, keys)
 	if err == nil {
-		e.observe(start)
+		e.observe(start, keys[0])
 	}
 	return vals, present, err
 }
 
-func (e *Engine) observe(start time.Time) {
+// observe records the read's latency with the (first) key as exemplar
+// reference: a read-latency tail spike in /statusz then names a concrete
+// key whose fence was slow.
+func (e *Engine) observe(start time.Time, ref string) {
 	if e.met != nil && e.met.ReadLatency != nil {
-		e.met.ReadLatency.Observe(e.now().Sub(start))
+		e.met.ReadLatency.ObserveRef(e.now().Sub(start), ref)
 	}
 }
 

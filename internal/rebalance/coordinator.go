@@ -52,6 +52,13 @@ type Config struct {
 	// synchronously (the install is not visible to deliveries until it
 	// returns); it must not call back into the coordinator.
 	Journal func(m Marker)
+	// OnInstall, when non-nil, observes each epoch this node installs,
+	// with the same discipline as Journal: called once per installed
+	// epoch, synchronously before any delivery can observe the new epoch,
+	// and it must not call back into the coordinator or block. The node
+	// stack feeds its audit epoch tracker (internal/audit) from it so
+	// writes stamped with the new epoch attribute to the right groups.
+	OnInstall func(m Marker)
 	// Trace, when non-nil, records each fence delivery this node applies,
 	// tying resize progress into command histories.
 	Trace *trace.Ring
@@ -865,6 +872,9 @@ func (co *Coordinator) installLocked(m Marker) bool {
 		// classify under co.mu, which we hold until the install's own
 		// unlocked window below).
 		co.cfg.Journal(m)
+	}
+	if co.cfg.OnInstall != nil {
+		co.cfg.OnInstall(m)
 	}
 	co.cfg.Flight.Eventf(flight.KindEpoch,
 		"epoch %d installed: %d -> %d group(s)", m.Epoch, m.PrevShards, m.Shards)

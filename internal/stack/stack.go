@@ -26,8 +26,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/caesar-consensus/caesar/internal/audit"
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/flight"
@@ -128,6 +130,11 @@ type Config struct {
 	// OnStall fires once per healthy→stalled transition with the
 	// watchdog's assembled diagnosis; it must not block.
 	OnStall func(*flight.Diagnosis)
+	// OnDivergence fires when a cross-replica auditor proves this node is
+	// involved in an applied-state divergence (NoteDivergence); it must
+	// not block. The flight journal entry and the
+	// caesar_audit_divergence_total counter fire regardless.
+	OnDivergence func(audit.Divergence)
 	// Now is the clock every stack-built layer measures and times out
 	// against: the read engine's latency stamps, the WAL's fsync
 	// measurements, the commit table's and the rebalance coordinator's
@@ -174,6 +181,14 @@ type Stack struct {
 
 	ackMu  sync.Mutex
 	ackers []ackProber
+
+	// Audit surface: the node's identity for /auditz reports, the
+	// coordinator the report quotes routing state from, the divergence
+	// sink's counter and the configured callback.
+	self         string
+	co           *rebalance.Coordinator
+	onDivergence func(audit.Divergence)
+	divergences  atomic.Uint64
 }
 
 // Build constructs the node stack. Nothing is started; call Start.
@@ -196,6 +211,16 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	if s.snapInterval == 0 {
 		s.snapInterval = time.Second
 	}
+	s.self = ep.Self().String()
+	s.onDivergence = cfg.OnDivergence
+	// Audit epoch tracker: digest folds attribute each write to a group
+	// via (key, routing epoch), so the tracker must know the epoch
+	// history before recovery replays any command. It is fed from three
+	// places: the WAL's recovered history (OnEpoch below), live installs
+	// (rebalance.Config.OnInstall), and the initial-epoch seed after the
+	// final shard count is known.
+	epochTracker := audit.NewEpochs()
+	store.SetGroupFn(epochTracker.GroupOf)
 	if cfg.Now != nil {
 		cfg.Flight.SetNow(cfg.Now)
 	}
@@ -239,6 +264,16 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 			opts.Flight = cfg.Flight
 		}
 		opts.Self = ep.Self()
+		if user := opts.OnEpoch; user != nil {
+			opts.OnEpoch = func(ec wal.EpochChange) {
+				epochTracker.Install(ec.Epoch, ec.Shards)
+				user(ec)
+			}
+		} else {
+			opts.OnEpoch = func(ec wal.EpochChange) {
+				epochTracker.Install(ec.Epoch, ec.Shards)
+			}
+		}
 		var err error
 		// OpenInto replays snapshot + log tail directly into the node's
 		// store: no scratch store, no Export, no re-Import — the restart
@@ -262,6 +297,13 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	}
 	shards := cfg.Shards
 	s.Shards = shards
+	// Fresh deployments (and non-durable ones) never see an epoch-0
+	// record; seed the tracker once the final shard count is known. A
+	// recovered history already installed the true epoch-0 count above —
+	// never overwrite it with the post-resize count.
+	if epochTracker.Shards(0) == 0 {
+		epochTracker.Install(0, int32(shards))
+	}
 
 	wrap := func(g int, inner protocol.Applier) protocol.Applier {
 		if log == nil {
@@ -342,6 +384,12 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 		Trace:  cfg.Trace,
 		Flight: cfg.Flight,
 		Now:    cfg.Now,
+		// Live epoch installs reach the audit tracker before any delivery
+		// can observe the new epoch (same discipline as Journal), so an
+		// epoch-stamped write never misses its attribution.
+		OnInstall: func(m rebalance.Marker) {
+			epochTracker.Install(m.Epoch, m.Shards)
+		},
 	}
 	if log != nil {
 		rcfg.Journal = func(m rebalance.Marker) {
@@ -374,10 +422,14 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 // endpoint and — when Config.StallThreshold arms it — the stall watchdog
 // with its probes, sections, counters and /debugz endpoint.
 func (s *Stack) finish(ep transport.Endpoint, cfg Config, co *rebalance.Coordinator) {
+	s.co = co
 	s.registerGauges(cfg.Obs, co)
 	obs.RegisterRuntime(cfg.Obs)
 	if cfg.Trace != nil {
 		cfg.Obs.Handle("/tracez", trace.Handler(ep.Self(), cfg.Trace))
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.Handle("/auditz", audit.Handler(s.AuditReport))
 	}
 	if cfg.StallThreshold <= 0 {
 		return
@@ -513,7 +565,47 @@ func (s *Stack) registerGauges(ob *obs.Registry, co *rebalance.Coordinator) {
 	ob.Gauge("caesar_store_keys",
 		"Keys currently resident in the node's store.", nil,
 		func() float64 { return float64(s.Store.Len()) })
+	ob.Gauge("caesar_audit_groups",
+		"Consensus groups with applied-state digest folds.", nil,
+		func() float64 { return float64(s.Store.AuditGroups()) })
+	ob.CounterFunc("caesar_audit_writes_total",
+		"Writes folded into the applied-state audit digests.", nil,
+		func() int64 { return int64(s.Store.AuditWrites()) })
+	ob.CounterFunc("caesar_audit_divergence_total",
+		"Cross-replica applied-state divergences proven against this node.", nil,
+		func() int64 { return int64(s.divergences.Load()) })
 }
+
+// AuditReport assembles the node's /auditz answer: every group's digest
+// quote plus the routing context the cross-node auditor aligns on.
+func (s *Stack) AuditReport() audit.Report {
+	rep := audit.Report{
+		Node:    s.self,
+		Applied: s.Store.Applied(),
+		State:   s.Store.AuditState(),
+	}
+	if s.co != nil {
+		rep.Epoch = s.co.Epoch()
+		rep.Resizing = s.co.Resizing()
+	}
+	return rep
+}
+
+// NoteDivergence is the node-side divergence sink: the auditor (in
+// process or cmd/caesar-audit feeding caesar-server's collector) calls
+// it on each node a proven divergence involves. It journals a flight
+// event, bumps caesar_audit_divergence_total, and invokes
+// Config.OnDivergence.
+func (s *Stack) NoteDivergence(d audit.Divergence) {
+	s.divergences.Add(1)
+	s.Flight.Record(flight.KindAudit, d.Group, command.ID{}, "%s", d.String())
+	if s.onDivergence != nil {
+		s.onDivergence(d)
+	}
+}
+
+// AuditDivergences returns how many divergences were noted at this node.
+func (s *Stack) AuditDivergences() uint64 { return s.divergences.Load() }
 
 // Start launches the engine stack, the stall watchdog's scan loop and,
 // with a log, the snapshot loop.

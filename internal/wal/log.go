@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
 	"github.com/caesar-consensus/caesar/internal/xshard"
 )
@@ -42,6 +43,10 @@ func snapName(index uint64) string { return fmt.Sprintf("snap-%016d.snap", index
 type Log struct {
 	dir  string
 	opts Options
+	// store is the application store the log replays into and snapshots
+	// from; Snapshot captures the store's audit digests next to the KV
+	// cut through it. Set once by OpenInto, before any concurrency.
+	store *kvstore.Store
 
 	// snapMu: record cycles (append → sync → apply) hold it shared;
 	// Snapshot holds it exclusively, so the exported store state sits at

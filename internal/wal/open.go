@@ -45,7 +45,7 @@ func OpenInto(dir string, store *kvstore.Store, opts Options) (*Log, *State, err
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, err
 	}
-	l := &Log{dir: dir, opts: opts, agg: newAggregates()}
+	l := &Log{dir: dir, opts: opts, agg: newAggregates(), store: store}
 	l.snapCond = sync.NewCond(&l.mu)
 
 	segs, snaps, err := scanDir(dir)
@@ -68,6 +68,11 @@ func OpenInto(dir string, store *kvstore.Store, opts Options) (*Log, *State, err
 		}
 		store.Import(data.KV)
 		store.SetApplied(data.Applied)
+		// Restore the audit digests captured at the cut before the tail
+		// replays: the tail's folds then continue the exact pre-crash
+		// sequence and the restarted node re-proves its recovered state
+		// against live peers.
+		store.RestoreAudit(data.Audit)
 		for g, d := range data.Delivered {
 			l.agg.delivered[g] = idset.FromDump(d)
 		}
@@ -84,6 +89,11 @@ func OpenInto(dir string, store *kvstore.Store, opts Options) (*Log, *State, err
 			l.agg.txs[p.XID] = e
 		}
 		l.agg.epochs = append(l.agg.epochs, data.Epochs...)
+		if opts.OnEpoch != nil {
+			for _, ec := range data.Epochs {
+				opts.OnEpoch(ec)
+			}
+		}
 		for g, v := range data.SeqFloor {
 			l.agg.seqFloor[g] = v
 		}
@@ -231,15 +241,21 @@ func (l *Log) applyRecord(rec decoded, app batch.Applier) {
 		// fences) are logged for their delivery facts — the delivered
 		// sets and the pending-transaction reconstruction — but carry no
 		// store mutation themselves: pieces take effect through recTx,
-		// fences through recEpoch.
+		// fences through recEpoch. Replay applies at the recorded decided
+		// timestamp, like the live path did: the MVCC version stamps — and
+		// with them the audit digests, which fold the stamp — come out
+		// identical to the pre-crash incarnation's.
 		if !rec.cmd.Op.IsControl() {
-			app.Apply(rec.cmd)
+			app.ApplyAt(rec.cmd, rec.ts)
 		}
 	case recTx:
 		l.agg.noteTx(rec.xid, rec.merged)
-		app.ApplyAll(rec.ops)
+		app.ApplyAllAt(rec.ops, rec.merged)
 	case recEpoch:
 		l.agg.noteEpoch(rec.epoch)
+		if l.opts.OnEpoch != nil {
+			l.opts.OnEpoch(rec.epoch)
+		}
 	case recSeq:
 		l.agg.noteSeq(rec.group, rec.seq)
 	case recClock:

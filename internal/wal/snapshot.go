@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"github.com/caesar-consensus/caesar/internal/audit"
 	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/idset"
 	"github.com/caesar-consensus/caesar/internal/xshard"
@@ -31,6 +32,10 @@ type snapshotData struct {
 	SeqFloor   map[int32]uint64
 	ClockFloor map[int32]uint64
 	MaxTS      uint64
+	// Audit carries the store's per-group applied-state digests captured
+	// at the cut (internal/audit). Snapshots written before auditing
+	// existed decode it as the zero State; gob tolerates the added field.
+	Audit audit.State
 }
 
 const snapMagic = "CAESNAP1"
@@ -185,6 +190,13 @@ func (l *Log) pauseAndCut(export func() (map[string][]byte, int64)) (uint64, sna
 	l.mu.Unlock()
 
 	data.KV, data.Applied = export()
+	// Record cycles are still excluded (snapMu held exclusively), so no
+	// apply can run between the export above and this capture: the audit
+	// digests correspond exactly to the KV cut persisted next to them.
+	// AuditSnapshot also stamps every group with a "snapshot" cut point.
+	if l.store != nil {
+		data.Audit = l.store.AuditSnapshot()
+	}
 	return cut, data, nil
 }
 

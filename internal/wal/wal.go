@@ -75,6 +75,12 @@ type Options struct {
 	Flight *flight.Recorder
 	// Self is the node ID trace events are attributed to.
 	Self timestamp.NodeID
+	// OnEpoch, when non-nil, observes every routing-epoch installation
+	// recovered from the log (snapshot history first, then replayed
+	// epoch records, in install order). The node stack feeds its audit
+	// epoch tracker from it so digest folds during tail replay attribute
+	// writes to the same groups the pre-crash incarnation did.
+	OnEpoch func(EpochChange)
 	// Now supplies the clock fsync-latency measurements are stamped
 	// from, so a node stack running under an injected clock measures
 	// durability on the same timeline as everything else. Default

@@ -35,7 +35,10 @@ func decCounter(b []byte) uint64 {
 // reads see completed writes from any node, absent keys read nil, and a
 // ReadTx snapshot spans groups.
 func TestReadQuiescent(t *testing.T) {
-	cluster, err := caesar.NewLocalCluster(3, caesar.WithShards(4))
+	var fp falsePositives
+	cluster, err := caesar.NewLocalCluster(3, caesar.WithShards(4),
+		caesar.WithAuditInterval(auditEvery),
+		caesar.WithNodeOptions(fp.guard(caesar.Options{})))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,6 +77,7 @@ func TestReadQuiescent(t *testing.T) {
 			t.Fatalf("snapshot[%d] = %d", i, decCounter(v))
 		}
 	}
+	requireCleanAudit(t, cluster, &fp)
 }
 
 // TestReadConformanceUnderLoad is the linearizability conformance run:
@@ -85,7 +89,10 @@ func TestReadConformanceUnderLoad(t *testing.T) {
 	if testing.Short() {
 		t.Skip("conformance run takes seconds; skipped in -short")
 	}
-	cluster, err := caesar.NewLocalCluster(3, caesar.WithShards(4))
+	var fp falsePositives
+	cluster, err := caesar.NewLocalCluster(3, caesar.WithShards(4),
+		caesar.WithAuditInterval(auditEvery),
+		caesar.WithNodeOptions(fp.guard(caesar.Options{})))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,4 +277,5 @@ func TestReadConformanceUnderLoad(t *testing.T) {
 	if sum := decCounter(vals[0]) + decCounter(vals[1]); sum != total {
 		t.Fatalf("final snapshot sum = %d, want %d", sum, total)
 	}
+	requireCleanAudit(t, cluster, &fp)
 }

@@ -13,9 +13,14 @@ import (
 )
 
 // TestResizeQuiescent grows and shrinks a quiet cluster and checks that
-// every key stays readable through consensus from every node afterwards.
+// every key stays readable through consensus from every node afterwards
+// — with the background state auditor running across both epoch
+// transitions, which must prove equality and never a false divergence.
 func TestResizeQuiescent(t *testing.T) {
-	cluster, err := caesar.NewLocalCluster(3, caesar.WithShards(2))
+	var fp falsePositives
+	cluster, err := caesar.NewLocalCluster(3, caesar.WithShards(2),
+		caesar.WithAuditInterval(auditEvery),
+		caesar.WithNodeOptions(fp.guard(caesar.Options{})))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,6 +61,7 @@ func TestResizeQuiescent(t *testing.T) {
 			t.Fatalf("key %d after shrink = %q, want %q", i, v, fmt.Sprintf("w%d", i))
 		}
 	}
+	requireCleanAudit(t, cluster, &fp)
 }
 
 func key(i int) string { return fmt.Sprintf("user/%d", i) }
@@ -94,7 +100,10 @@ func TestShrinkUnderLoad(t *testing.T) {
 }
 
 func testResizeUnderLoad(t *testing.T, from, to int) {
-	cluster, err := caesar.NewLocalCluster(3, caesar.WithShards(from))
+	var fp falsePositives
+	cluster, err := caesar.NewLocalCluster(3, caesar.WithShards(from),
+		caesar.WithAuditInterval(auditEvery),
+		caesar.WithNodeOptions(fp.guard(caesar.Options{})))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,6 +214,7 @@ func testResizeUnderLoad(t *testing.T, from, to int) {
 	if got := cluster.Node(2).Shards(); got != to {
 		t.Fatalf("shards = %d, want %d", got, to)
 	}
+	requireCleanAudit(t, cluster, &fp)
 }
 
 func cnt(i int) string { return fmt.Sprintf("counter/%d", i) }

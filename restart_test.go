@@ -27,10 +27,12 @@ var restartOpts = caesar.Options{
 // key — including those written during the outage — to be readable
 // through consensus on the restarted node.
 func TestRestartQuiescent(t *testing.T) {
+	var fp falsePositives
 	cluster, err := caesar.NewLocalCluster(3,
 		caesar.WithShards(2),
 		caesar.WithDataDir(t.TempDir()),
-		caesar.WithNodeOptions(restartOpts))
+		caesar.WithAuditInterval(auditEvery),
+		caesar.WithNodeOptions(fp.guard(restartOpts)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,6 +71,10 @@ func TestRestartQuiescent(t *testing.T) {
 			t.Fatalf("key %d on restarted node = %q, want v%d", i, v, i)
 		}
 	}
+	// The restarted node restored its digests from the WAL snapshot and
+	// re-folded the log tail; it must now re-prove equality with the
+	// replicas that never crashed.
+	requireCleanAudit(t, cluster, &fp)
 }
 
 // TestRestartUnderLoad is the acceptance conformance run: a replica is
@@ -80,10 +86,12 @@ func TestRestartUnderLoad(t *testing.T) {
 	if testing.Short() {
 		t.Skip("restart conformance is a long test")
 	}
+	var fp falsePositives
 	cluster, err := caesar.NewLocalCluster(3,
 		caesar.WithShards(2),
 		caesar.WithDataDir(t.TempDir()),
-		caesar.WithNodeOptions(restartOpts))
+		caesar.WithAuditInterval(auditEvery),
+		caesar.WithNodeOptions(fp.guard(restartOpts)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,6 +232,7 @@ func TestRestartUnderLoad(t *testing.T) {
 	if got := cluster.Node(1).Shards(); got != 2 {
 		t.Fatalf("restarted node shards = %d, want 2", got)
 	}
+	requireCleanAudit(t, cluster, &fp)
 }
 
 // TestRestartAfterResize crashes and restarts a node after a live resize:
@@ -233,10 +242,12 @@ func TestRestartAfterResize(t *testing.T) {
 	if testing.Short() {
 		t.Skip("restart conformance is a long test")
 	}
+	var fp falsePositives
 	cluster, err := caesar.NewLocalCluster(3,
 		caesar.WithShards(2),
 		caesar.WithDataDir(t.TempDir()),
-		caesar.WithNodeOptions(restartOpts))
+		caesar.WithAuditInterval(auditEvery),
+		caesar.WithNodeOptions(fp.guard(restartOpts)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,4 +293,7 @@ func TestRestartAfterResize(t *testing.T) {
 			t.Fatalf("post-restart put %d: %v", i, err)
 		}
 	}
+	// Crash + restart across a resize: the restored node rebuilt both
+	// epochs' digests and must still prove equality with its peers.
+	requireCleanAudit(t, cluster, &fp)
 }

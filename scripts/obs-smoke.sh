@@ -2,10 +2,12 @@
 # Observability smoke test: start a three-replica caesar-server cluster
 # with the metrics endpoint enabled, drive real traffic, and assert that
 # the live scrape exposes the key metric families — with a nonzero
-# fast-decision count — that the STATS/TRACE/DIAGNOSE/FLIGHT admin
-# commands answer, that /debugz serves the watchdog diagnosis, and that
-# caesar-trace merges a cluster-wide timeline from the live /tracez
-# endpoints.
+# fast-decision count — that the STATS/TRACE/DIAGNOSE/FLIGHT/AUDIT
+# admin commands answer, that /debugz serves the watchdog diagnosis,
+# that caesar-trace merges a cluster-wide timeline from the live
+# /tracez endpoints, and that the state auditor — /auditz, the
+# in-process -audit-peers loop and the standalone caesar-audit checker
+# — proves "no divergence" on the healthy cluster.
 #
 # Run from the repository root: ./scripts/obs-smoke.sh
 set -euo pipefail
@@ -21,12 +23,16 @@ trap cleanup EXIT
 go build -o "$workdir/caesar-server" ./cmd/caesar-server
 go build -o "$workdir/caesar-client" ./cmd/caesar-client
 go build -o "$workdir/caesar-trace" ./cmd/caesar-trace
+go build -o "$workdir/caesar-audit" ./cmd/caesar-audit
+go build -o "$workdir/caesar-top" ./cmd/caesar-top
 
 peers=127.0.0.1:7480,127.0.0.1:7481,127.0.0.1:7482
+audit_peers=http://127.0.0.1:9180,http://127.0.0.1:9181,http://127.0.0.1:9182
 for id in 0 1 2; do
     "$workdir/caesar-server" -id "$id" -peers "$peers" \
         -client "127.0.0.1:848$id" -shards 2 \
         -metrics-addr "127.0.0.1:918$id" -trace-buffer 4096 \
+        -audit-peers "$audit_peers" -audit-interval 500ms \
         >"$workdir/server$id.log" 2>&1 &
 done
 
@@ -70,7 +76,10 @@ for fam in \
     caesar_shards \
     caesar_read_fence_parks_total \
     caesar_net_sent_bytes_total \
-    caesar_net_recv_msgs_total; do
+    caesar_net_recv_msgs_total \
+    caesar_audit_writes_total \
+    caesar_audit_groups \
+    caesar_audit_divergence_total; do
     if ! echo "$metrics" | grep -q "^$fam"; then
         echo "scrape missing family $fam:" >&2
         echo "$metrics" >&2
@@ -173,4 +182,80 @@ echo "$traceout" | grep -q 'propose' || {
     exit 1
 }
 
-echo "observability smoke OK: fast_decisions=$fast, $(echo "$traceout" | head -1), $(echo "$stats" | cut -c1-120)"
+# /auditz: one node's audit report as JSON — per-group digest quotes
+# with the digests rendered as hex strings, not JSON numbers.
+auditz=$(curl -fsS http://127.0.0.1:9180/auditz)
+echo "$auditz" | grep -q '"digest"' || {
+    echo "/auditz missing digest quotes:" >&2
+    echo "$auditz" >&2
+    exit 1
+}
+echo "$auditz" | grep -q '"frontier"' || {
+    echo "/auditz missing frontier:" >&2
+    echo "$auditz" >&2
+    exit 1
+}
+
+# AUDIT admin command: per-group digest lines over the client port.
+exec 3<>/dev/tcp/127.0.0.1/8481
+printf 'AUDIT\n' >&3
+audit_out=""
+while IFS= read -r line <&3; do
+    case "$line" in
+    OK\ *) audit_out="$audit_out$line"$'\n'; break ;;
+    ERR*) echo "AUDIT answered: $line" >&2; exit 1 ;;
+    *) audit_out="$audit_out$line"$'\n' ;;
+    esac
+done
+exec 3<&-
+echo "$audit_out" | grep -q '^group=.*digest=' || {
+    echo "AUDIT missing per-group digest lines:" >&2
+    echo "$audit_out" >&2
+    exit 1
+}
+echo "$audit_out" | grep -q 'divergences=0' || {
+    echo "AUDIT on a healthy cluster reports divergences:" >&2
+    echo "$audit_out" >&2
+    exit 1
+}
+
+# caesar-audit: the standalone cross-replica checker must gather all
+# three live replicas and prove a non-vacuous "no divergence".
+auditrun=$("$workdir/caesar-audit" -nodes "$audit_peers")
+echo "$auditrun" | grep -q '^no divergence: ' || {
+    echo "caesar-audit did not prove no-divergence:" >&2
+    echo "$auditrun" >&2
+    exit 1
+}
+echo "$auditrun" | grep -q 'across 3 nodes' || {
+    echo "caesar-audit gathered fewer than 3 nodes:" >&2
+    echo "$auditrun" >&2
+    exit 1
+}
+
+# The in-process -audit-peers loop has been running since startup on
+# every replica: no replica may have counted a divergence.
+for id in 0 1 2; do
+    div=$(curl -fsS "http://127.0.0.1:918$id/metrics" |
+        awk '/^caesar_audit_divergence_total/{s+=$2} END{print s+0}')
+    if [ "$div" != 0 ]; then
+        echo "replica $id background auditor counted $div divergences on a healthy cluster" >&2
+        cat "$workdir/server$id.log" >&2
+        exit 1
+    fi
+done
+
+# caesar-top: one frame of the live console, audit column clean.
+topout=$("$workdir/caesar-top" -nodes "$audit_peers" -once)
+echo "$topout" | grep -q 'NODE' || {
+    echo "caesar-top printed no table:" >&2
+    echo "$topout" >&2
+    exit 1
+}
+echo "$topout" | grep -q 'DIVERGED' && {
+    echo "caesar-top shows divergence on a healthy cluster:" >&2
+    echo "$topout" >&2
+    exit 1
+}
+
+echo "observability smoke OK: fast_decisions=$fast, $(echo "$traceout" | head -1), $(echo "$auditrun" | head -1), $(echo "$stats" | cut -c1-120)"
