@@ -12,6 +12,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/contend"
 	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/metrics"
@@ -233,11 +234,12 @@ func newNode(ep transport.Endpoint, opts Options, shards int) (*Node, error) {
 		Flight:           rec,
 		StallThreshold:   opts.StallThreshold,
 		WatchdogInterval: opts.WatchdogInterval,
-		Build: func(g int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder) protocol.Engine {
+		Build: func(g int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder, ctd *contend.Group) protocol.Engine {
 			gcfg := cfg
 			if gmet != nil {
 				gcfg.Metrics = gmet
 			}
+			gcfg.Contend = ctd
 			gcfg.FlightGroup = int32(g)
 			gcfg.Predelivered = seed.Delivered
 			gcfg.SeqFloor = seed.SeqFloor

@@ -75,6 +75,17 @@ type benchResult struct {
 	ReadP50Ms   float64 `json:"read_p50_ms,omitempty"`
 	ReadP99Ms   float64 `json:"read_p99_ms,omitempty"`
 	Fsyncs      int64   `json:"fsyncs,omitempty"`
+	// Contention profile (internal/contend): the fast-decision share,
+	// acceptor-observed conflict events per completed command, the
+	// fast-path-loss decomposition by cause, and the run's hottest key.
+	FastShare    float64 `json:"fast_share"`
+	ConflictRate float64 `json:"conflict_rate"`
+	LossNack     int64   `json:"loss_nack,omitempty"`
+	LossBlocked  int64   `json:"loss_blocked,omitempty"`
+	LossRetry    int64   `json:"loss_retry,omitempty"`
+	LossRecovery int64   `json:"loss_recovery,omitempty"`
+	HotKey       string  `json:"hot_key,omitempty"`
+	HotKeyEvents int64   `json:"hot_key_events,omitempty"`
 }
 
 func msf(d time.Duration) float64 {
@@ -98,6 +109,15 @@ func toRow(r harness.Result) benchResult {
 		ReadP50Ms:   msf(r.ReadP50),
 		ReadP99Ms:   msf(r.ReadP99),
 		Fsyncs:      r.FsyncCount,
+
+		FastShare:    math.Round(r.FastShare*10000) / 10000,
+		ConflictRate: math.Round(r.ConflictRate*10000) / 10000,
+		LossNack:     r.LossNack,
+		LossBlocked:  r.LossBlocked,
+		LossRetry:    r.LossRetry,
+		LossRecovery: r.LossRecovery,
+		HotKey:       r.HotKey,
+		HotKeyEvents: r.HotKeyEvents,
 	}
 	var p50Weighted float64
 	var count int64
@@ -184,7 +204,19 @@ func compare(pathA, pathB string) error {
 		}
 		return fmt.Sprintf("%+7.1f%%", (to-from)/from*100)
 	}
-	fmt.Printf("%-44s %22s %20s %20s\n", "label", "cmds/s A→B", "p50ms A→B", "p99ms A→B")
+	// fastShare tolerates result files from builds that predate the
+	// fast_share field by recomputing it from the decision split.
+	fastShare := func(r benchResult) float64 {
+		if r.FastShare > 0 {
+			return r.FastShare
+		}
+		if t := r.Fast + r.Slow; t > 0 {
+			return float64(r.Fast) / float64(t)
+		}
+		return 0
+	}
+	fmt.Printf("%-44s %22s %20s %20s %19s %18s\n",
+		"label", "cmds/s A→B", "p50ms A→B", "p99ms A→B", "fast% A→B", "conflict/cmd A→B")
 	matched := 0
 	for _, ra := range a.Results {
 		rb, ok := byLabel[ra.Label]
@@ -194,11 +226,14 @@ func compare(pathA, pathB string) error {
 		}
 		matched++
 		delete(byLabel, ra.Label)
-		fmt.Printf("%-44s %7.0f→%-7.0f %s %6.1f→%-6.1f %s %6.1f→%-6.1f %s\n",
+		fa, fb := 100*fastShare(ra), 100*fastShare(rb)
+		fmt.Printf("%-44s %7.0f→%-7.0f %s %6.1f→%-6.1f %s %6.1f→%-6.1f %s %5.1f→%-5.1f %+5.1fpp %5.2f→%-5.2f %+6.2f\n",
 			ra.Label,
 			ra.Throughput, rb.Throughput, pct(ra.Throughput, rb.Throughput),
 			ra.P50Ms, rb.P50Ms, pct(ra.P50Ms, rb.P50Ms),
-			ra.P99Ms, rb.P99Ms, pct(ra.P99Ms, rb.P99Ms))
+			ra.P99Ms, rb.P99Ms, pct(ra.P99Ms, rb.P99Ms),
+			fa, fb, fb-fa,
+			ra.ConflictRate, rb.ConflictRate, rb.ConflictRate-ra.ConflictRate)
 	}
 	for _, rb := range b.Results {
 		if _, ok := byLabel[rb.Label]; ok {
@@ -221,6 +256,7 @@ func run() error {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		shards   = flag.Int("shards", 1, "independent consensus groups per node (keys routed by consistent hashing)")
 		obs      = flag.Bool("obs", false, "attach the full observability registry (internal/obs) to every node, to measure its hot-path overhead against a run without it")
+		zipf     = flag.Float64("zipf", 0, "skew the workload's shared-pool key draw zipfian with this exponent (> 1 enables; the contention profile then surfaces the heavy hitters). 0 keeps the paper's uniform draw")
 		out      = flag.String("out", ".", "directory for machine-readable BENCH_<figure>.json result files (empty disables)")
 		cmp      = flag.Bool("compare", false, "diff two BENCH_*.json result files given as arguments, matched row-by-row on label")
 	)
@@ -240,6 +276,7 @@ func run() error {
 		Seed:           *seed,
 		Shards:         *shards,
 		Obs:            *obs,
+		ZipfS:          *zipf,
 	}
 	w := os.Stdout
 	runs := map[string]func() []harness.Result{

@@ -50,6 +50,13 @@
 //	                                the admin-port complement of /auditz
 //	                                (cmd/caesar-audit compares these
 //	                                across replicas)
+//	WORKLOAD [<n>]               →  the replica's contention profile
+//	                                (admin): the fast-path-loss
+//	                                decomposition by cause (total, then per
+//	                                consensus group) and the n hottest keys
+//	                                (default 10) with their per-cause
+//	                                attribution, then OK <n> keys — the
+//	                                admin-port complement of /workloadz
 //
 // With -metrics-addr the replica additionally serves an observability
 // HTTP endpoint: /metrics (Prometheus text format), /statusz (JSON),
@@ -57,8 +64,10 @@
 // /debugz (the stall watchdog's diagnosis bundle; ?last=1 for the most
 // recent trip), /tracez (the command-trace ring as JSON; ?cmd=c0.17
 // filters to one command — the per-node endpoint cmd/caesar-trace merges
-// across replicas) and /auditz (the replica's applied-state digests as
-// JSON, the endpoint cmd/caesar-audit diffs across replicas).
+// across replicas), /auditz (the replica's applied-state digests as
+// JSON, the endpoint cmd/caesar-audit diffs across replicas) and
+// /workloadz (the contention profile: hot keys and per-group fast-path
+// losses as JSON; ?top=N caps the key list).
 //
 // With -audit-peers (a comma-separated list of every replica's metrics
 // base URL) the replica additionally runs the cross-replica auditor
@@ -92,6 +101,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/contend"
 	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/obs"
@@ -196,9 +206,10 @@ func run(o options) error {
 				log.Printf("replica %d STALL %s", o.id, s)
 			}
 		},
-		Build: func(g int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder) protocol.Engine {
+		Build: func(g int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder, ctd *contend.Group) protocol.Engine {
 			return caesar.New(sep, app, caesar.Config{
 				Metrics:       gmet,
+				Contend:       ctd,
 				Trace:         ring,
 				Flight:        rec,
 				FlightGroup:   int32(g),
@@ -448,6 +459,37 @@ func handleAudit(out *bufio.Writer, n *node) {
 	fmt.Fprintf(out, "OK %d groups\n", len(rep.Groups))
 }
 
+// handleWorkload serves the WORKLOAD admin command: the node's contention
+// profile — the fast-path-loss decomposition (total, then per consensus
+// group) followed by the hottest keys with their per-cause attribution —
+// the admin-port complement of /workloadz.
+func handleWorkload(out *bufio.Writer, n *node, args []string) {
+	max := 10
+	if len(args) == 1 {
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 1 {
+			fmt.Fprintf(out, "ERR usage: WORKLOAD [<max-keys>]\n")
+			return
+		}
+		max = v
+	}
+	p := n.stk.Contend
+	tot := p.TotalLosses()
+	fmt.Fprintf(out, "# fast-path losses: nack=%d blocked=%d retry=%d recovery=%d\n",
+		tot.Nack, tot.Blocked, tot.Retry, tot.Recovery)
+	for _, gl := range p.GroupLossTable() {
+		fmt.Fprintf(out, "group=%d nack=%d blocked=%d retry=%d recovery=%d\n",
+			gl.Group, gl.Losses.Nack, gl.Losses.Blocked, gl.Losses.Retry, gl.Losses.Recovery)
+	}
+	keys := p.TopKeys(max)
+	for _, ks := range keys {
+		fmt.Fprintf(out, "key=%s group=%d events=%d touches=%d nacks=%d waits=%d parks=%d retries=%d recoveries=%d holds=%d wait=%s\n",
+			ks.Key, ks.Group, ks.Events, ks.Touches, ks.Nacks, ks.Waits,
+			ks.Parks, ks.Retries, ks.Recoveries, ks.Holds, ks.WaitTime)
+	}
+	fmt.Fprintf(out, "OK %d keys\n", len(keys))
+}
+
 // handleResize serves the RESIZE admin command: it changes the live
 // deployment's consensus-group count through the rebalance layer and
 // replies once the transition completed on this replica (the peers finish
@@ -605,8 +647,12 @@ func handleClient(conn net.Conn, n *node) {
 			handleAudit(out, n)
 			out.Flush()
 			continue
+		case strings.EqualFold(fields[0], "WORKLOAD"):
+			handleWorkload(out, n, strings.Fields(line)[1:])
+			out.Flush()
+			continue
 		default:
-			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key> | MGET <k> [<k>...] | MPUT <k> <v> [<k> <v>...] | RESIZE <shards> | STATS | TRACE <cmd-id> | DIAGNOSE | FLIGHT [<n>] | AUDIT\n")
+			fmt.Fprintf(out, "ERR usage: PUT <key> <value> | GET <key> | MGET <k> [<k>...] | MPUT <k> <v> [<k> <v>...] | RESIZE <shards> | STATS | TRACE <cmd-id> | DIAGNOSE | FLIGHT [<n>] | AUDIT | WORKLOAD [<n>]\n")
 			out.Flush()
 			continue
 		}

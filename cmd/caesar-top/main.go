@@ -9,6 +9,12 @@
 // command ID behind the worst latency bucket, ready to paste into
 // caesar-trace when the tail spikes.
 //
+// Below the replica table a hot-keys panel merges every node's /workloadz
+// contention profile: the cluster's hottest keys ranked by attributed
+// events, with the nack/wait/park/retry decomposition and total wait time
+// each key cost. A fast-ratio drop then comes with the keys responsible.
+// -hotkeys caps the panel (0 hides it).
+//
 // Usage:
 //
 //	caesar-top -nodes http://127.0.0.1:9180,http://127.0.0.1:9181,http://127.0.0.1:9182
@@ -27,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -66,7 +73,53 @@ type sample struct {
 	auditWrites float64
 	exemplar    string
 	exemplarSec float64
+	hot         []workloadKey
 	err         error
+}
+
+// workloadKey mirrors one /workloadz row (internal/contend.KeyStats).
+type workloadKey struct {
+	Key         string  `json:"key"`
+	Group       int     `json:"group"`
+	Events      int64   `json:"events"`
+	Touches     int64   `json:"touches"`
+	Nacks       int64   `json:"nacks"`
+	Waits       int64   `json:"waits"`
+	Parks       int64   `json:"parks"`
+	Retries     int64   `json:"retries"`
+	Recoveries  int64   `json:"recoveries"`
+	Holds       int64   `json:"holds"`
+	WaitSeconds float64 `json:"wait_seconds"`
+}
+
+// workloadDoc mirrors the /workloadz document shape.
+type workloadDoc struct {
+	TopKeys []workloadKey `json:"top_keys"`
+}
+
+// scrapeWorkload fetches one node's contention profile; a miss (older
+// node, endpoint disabled) just leaves the panel without that node's
+// contribution.
+func scrapeWorkload(ctx context.Context, client *http.Client, base string, top int) []workloadKey {
+	url := fmt.Sprintf("%s/workloadz?top=%d", strings.TrimRight(base, "/"), top)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var doc workloadDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil
+	}
+	return doc.TopKeys
 }
 
 // nodeSeries returns the family's node-level series (empty label set);
@@ -165,7 +218,56 @@ func fmtDur(sec float64) string {
 	}
 }
 
-func render(w io.Writer, urls []string, cur, prev []sample, frame int) {
+// renderHotKeys merges the nodes' contention profiles and prints the
+// cluster-wide hot-key panel: keys ranked by total attributed events,
+// with the loss decomposition and the wait time each key cost.
+func renderHotKeys(w io.Writer, cur []sample, top int) {
+	merged := make(map[string]*workloadKey)
+	for _, c := range cur {
+		for _, k := range c.hot {
+			m := merged[k.Key]
+			if m == nil {
+				cp := k
+				merged[k.Key] = &cp
+				continue
+			}
+			m.Events += k.Events
+			m.Touches += k.Touches
+			m.Nacks += k.Nacks
+			m.Waits += k.Waits
+			m.Parks += k.Parks
+			m.Retries += k.Retries
+			m.Recoveries += k.Recoveries
+			m.Holds += k.Holds
+			m.WaitSeconds += k.WaitSeconds
+		}
+	}
+	if len(merged) == 0 {
+		return
+	}
+	keys := make([]*workloadKey, 0, len(merged))
+	for _, m := range merged {
+		keys = append(keys, m)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Events != keys[j].Events {
+			return keys[i].Events > keys[j].Events
+		}
+		return keys[i].Key < keys[j].Key
+	})
+	if len(keys) > top {
+		keys = keys[:top]
+	}
+	fmt.Fprintf(w, "\n%-24s %5s %8s %8s %6s %6s %6s %7s %8s\n",
+		"HOT KEY", "GRP", "EVENTS", "TOUCHES", "NACKS", "WAITS", "PARKS", "RETRY", "WAIT")
+	for _, k := range keys {
+		fmt.Fprintf(w, "%-24s %5d %8d %8d %6d %6d %6d %7d %8s\n",
+			k.Key, k.Group, k.Events, k.Touches, k.Nacks, k.Waits, k.Parks,
+			k.Retries, fmtDur(k.WaitSeconds))
+	}
+}
+
+func render(w io.Writer, urls []string, cur, prev []sample, frame, hotTop int) {
 	fmt.Fprintf(w, "caesar-top  %s  frame %d\n", time.Now().Format("15:04:05"), frame)
 	fmt.Fprintf(w, "%-28s %9s %8s %8s %6s %7s %6s %9s %10s  %s\n",
 		"NODE", "OPS/S", "P50", "P99", "FAST%", "XSHARD", "EPOCH", "WATCHDOG", "AUDIT", "SLOWEST")
@@ -209,6 +311,9 @@ func render(w io.Writer, urls []string, cur, prev []sample, frame int) {
 			name, ops, fmtDur(c.p50), fmtDur(c.p99), fastPct,
 			c.xshardHeld, c.epoch, wd, auditCol, slowest)
 	}
+	if hotTop > 0 {
+		renderHotKeys(w, cur, hotTop)
+	}
 }
 
 func main() {
@@ -218,6 +323,7 @@ func main() {
 		frames   = flag.Int("frames", 0, "stop after this many refreshes (0 = until interrupted)")
 		once     = flag.Bool("once", false, "render a single frame without clearing the screen and exit")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-node scrape timeout")
+		hotkeys  = flag.Int("hotkeys", 5, "hot-key panel size, merged across the nodes' /workloadz profiles (0 hides the panel)")
 	)
 	flag.Parse()
 	if *nodes == "" {
@@ -242,12 +348,15 @@ func main() {
 		defer cancel()
 		for i, u := range urls {
 			out[i] = scrape(ctx, client, u)
+			if *hotkeys > 0 && out[i].err == nil {
+				out[i].hot = scrapeWorkload(ctx, client, u, *hotkeys)
+			}
 		}
 		return out
 	}
 
 	if *once {
-		render(os.Stdout, urls, scrapeAll(), nil, 1)
+		render(os.Stdout, urls, scrapeAll(), nil, 1, *hotkeys)
 		return
 	}
 
@@ -261,7 +370,7 @@ func main() {
 		// Clear screen + home; a full repaint per frame keeps the code
 		// trivial and the flicker invisible at 2s cadence.
 		fmt.Print("\x1b[2J\x1b[H")
-		render(os.Stdout, urls, cur, prev, frame)
+		render(os.Stdout, urls, cur, prev, frame, *hotkeys)
 		prev = cur
 		if *frames > 0 && frame >= *frames {
 			return

@@ -288,6 +288,36 @@
 // repainting table. See DIAGNOSING.md ("Is the cluster diverged?") for
 // the divergence runbook.
 //
+// # Contention
+//
+// The fifth observability leg answers "which keys are costing me the
+// fast path?". CAESAR's performance story is the fast-decision ratio,
+// and it erodes exactly where collisions concentrate: a proposal on a
+// contended key draws a NACK and retries at a higher timestamp, or
+// blocks in the acceptor's §IV-A wait condition, or parks a local read
+// fence behind an in-flight writer, or holds a cross-shard transaction
+// open while its groups drain. Every node attributes each such event to
+// the offending key (internal/contend): per consensus group, a bounded
+// space-saving heavy-hitter sketch tracks the top keys with per-cause
+// counts and total attributed wait time — O(K) memory regardless of
+// keyspace, one short critical section per touch — while per-group
+// atomic counters decompose the fast-path losses by cause (nack,
+// blocked, retry, recovery). The sketches aggregate into a node-wide
+// contention profile, wired by the stack into every deployment shape,
+// resize-created groups included.
+//
+// The profile surfaces everywhere the other legs do: /workloadz on the
+// metrics listener (JSON: top keys and the per-group loss table;
+// ?top=N caps the list), the admin command `WORKLOAD [<n>]`, the
+// caesar_contention_losses_total{group,cause} counter family and the
+// caesar_hotkey_* per-key gauges on /metrics, a merged cluster-wide
+// hot-keys panel in cmd/caesar-top, and per-run conflict and fast-share
+// fields in caesar-bench's BENCH_<figure>.json rows (compare two builds'
+// fast-path health with -compare). caesar-bench -zipf skews the
+// workload's shared pool zipfian to reproduce a heavy-hitter profile on
+// demand. See DIAGNOSING.md ("Why is my fast-path ratio low?") for the
+// runbook.
+//
 // # Linting
 //
 // The repo's concurrency and determinism invariants — injected clocks on

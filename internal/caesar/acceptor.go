@@ -21,6 +21,9 @@ type waiter struct {
 	slow   bool // answering a SlowPropose rather than a FastPropose
 	from   timestamp.NodeID
 	start  time.Time
+	// key is the blocking key the park was attributed to; the eventual
+	// wait duration is charged to the same key.
+	key string
 }
 
 // blockState classifies the conflicting commands above a proposal's
@@ -34,15 +37,50 @@ type blockState struct {
 	// listing the command as predecessor, is already accepted/stable —
 	// the timestamp must be rejected.
 	nack bool
+	// blockKey / nackKey name the shared key of the first blocker of
+	// each class — the contention profile's attribution target.
+	blockKey string
+	nackKey  string
+}
+
+// offendingKey names the key a conflict is attributed to: the first key
+// the two commands share, or — when the blocker carries no keys (a
+// fence orders against everything) — the proposal's own first key.
+func offendingKey(cmd, other command.Command) string {
+	ck, ok := cmd.Keys(), other.Keys()
+	for _, k := range ok {
+		for _, c := range ck {
+			if k == c {
+				return k
+			}
+		}
+	}
+	if len(ck) > 0 {
+		return ck[0]
+	}
+	if len(ok) > 0 {
+		return ok[0]
+	}
+	return ""
 }
 
 // evalBlocking scans the conflict index above ts and classifies blockers.
+// With a contention sketch attached it also names the offending key of
+// the first blocker of each class, so the verdict can be attributed.
 func (r *Replica) evalBlocking(cmd command.Command, ts timestamp.Timestamp) blockState {
 	var st blockState
+	attr := r.ctd != nil
 	if r.hist.fencedAbove(cmd, ts) {
 		// A purged (hence globally delivered) conflicting command had
-		// a higher timestamp: this proposal must be rejected.
+		// a higher timestamp: this proposal must be rejected. The
+		// conflicting record is gone, so the rejection is charged to
+		// the proposal's own key.
 		st.nack = true
+		if attr {
+			if ks := cmd.Keys(); len(ks) > 0 {
+				st.nackKey = ks[0]
+			}
+		}
 	}
 	r.hist.conflictsAbove(cmd, ts, func(other *record) bool {
 		if other.pred.Has(cmd.ID) {
@@ -51,8 +89,14 @@ func (r *Replica) evalBlocking(cmd command.Command, ts timestamp.Timestamp) bloc
 		switch other.status {
 		case StatusAccepted, StatusStable:
 			st.nack = true
+			if attr && st.nackKey == "" {
+				st.nackKey = offendingKey(cmd, other.cmd)
+			}
 		case StatusFastPending, StatusSlowPending, StatusRejected:
 			st.blocked = true
+			if attr && st.blockKey == "" {
+				st.blockKey = offendingKey(cmd, other.cmd)
+			}
 		}
 		// Keep scanning until both facts are known (blocked wins, but
 		// nack matters once blockers resolve).
@@ -70,6 +114,7 @@ func (r *Replica) onFastPropose(from timestamp.NodeID, m *FastPropose) {
 	}
 	r.ballots[id] = m.Ballot
 	r.clock.Observe(m.Time)
+	r.touchKeys(m.Cmd)
 	rec := r.hist.ensure(m.Cmd)
 	if rec.status == StatusStable || rec.delivered {
 		r.echoStable(from, rec)
@@ -101,6 +146,7 @@ func (r *Replica) onSlowPropose(from timestamp.NodeID, m *SlowPropose) {
 	}
 	r.ballots[id] = m.Ballot
 	r.clock.Observe(m.Time)
+	r.touchKeys(m.Cmd)
 	rec := r.hist.ensure(m.Cmd)
 	if rec.status == StatusStable || rec.delivered {
 		r.echoStable(from, rec)
@@ -128,6 +174,7 @@ func (r *Replica) answerProposal(from timestamp.NodeID, rec *record, ts timestam
 	switch {
 	case st.blocked && !r.cfg.DisableWait:
 		r.cfg.Trace.Record(r.self, trace.KindWaitStart, rec.cmd.ID, ts)
+		r.ctd.Blocked(st.blockKey)
 		r.waiters = append(r.waiters, &waiter{
 			cmd:    rec.cmd,
 			ts:     ts,
@@ -136,9 +183,14 @@ func (r *Replica) answerProposal(from timestamp.NodeID, rec *record, ts timestam
 			slow:   slow,
 			from:   from,
 			start:  r.now,
+			key:    st.blockKey,
 		})
 	case st.nack || st.blocked: // blocked && DisableWait ⇒ reject (ablation)
-		r.rejectProposal(from, rec, ballot, slow)
+		offender := st.nackKey
+		if offender == "" {
+			offender = st.blockKey
+		}
+		r.rejectProposal(from, rec, ballot, slow, offender)
 	default:
 		r.cfg.Trace.Record(r.self, trace.KindFastOK, rec.cmd.ID, ts)
 		r.replyOK(from, rec.cmd.ID, ts, pred, ballot, slow)
@@ -147,8 +199,11 @@ func (r *Replica) answerProposal(from timestamp.NodeID, rec *record, ts timestam
 
 // rejectProposal implements the NACK path (Fig 4, lines P16–P19): suggest
 // the current clock value as a new timestamp, recompute the predecessors
-// for it and mark the command rejected at the suggestion.
-func (r *Replica) rejectProposal(from timestamp.NodeID, rec *record, ballot uint32, slow bool) {
+// for it and mark the command rejected at the suggestion. offender is
+// the conflicting key the rejection is attributed to in the contention
+// profile (may be empty when unknown).
+func (r *Replica) rejectProposal(from timestamp.NodeID, rec *record, ballot uint32, slow bool, offender string) {
+	r.ctd.Nack(offender)
 	suggestion := r.clock.Next()
 	pred := r.hist.predecessorsBelow(rec.cmd, suggestion)
 	rec.status = StatusRejected
@@ -310,13 +365,26 @@ func (r *Replica) resolveWaiter(w *waiter) waiterVerdict {
 		return waiterKeep
 	}
 	r.met.WaitCondition.Add(r.now.Sub(w.start))
+	r.ctd.WaitDone(w.key, r.now.Sub(w.start))
 	r.cfg.Trace.Record(r.self, trace.KindWaitEnd, w.cmd.ID, w.ts)
 	if st.nack {
-		r.rejectProposal(w.from, rec, w.ballot, w.slow)
+		r.rejectProposal(w.from, rec, w.ballot, w.slow, st.nackKey)
 	} else {
 		r.replyOK(w.from, w.cmd.ID, w.ts, w.pred, w.ballot, w.slow)
 	}
 	return waiterAnswered
+}
+
+// touchKeys records a proposed command's keys in the contention sketch —
+// the touch baseline the attribution counters are read against. Guarded
+// so the no-sketch configuration pays nothing (Keys allocates).
+func (r *Replica) touchKeys(cmd command.Command) {
+	if r.ctd == nil {
+		return
+	}
+	for _, k := range cmd.Keys() {
+		r.ctd.Touch(k)
+	}
 }
 
 // send delivers a protocol message, self included (the transport loops it

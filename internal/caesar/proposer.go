@@ -171,6 +171,14 @@ func (r *Replica) startRetry(c *coordinator, ts timestamp.Timestamp, pred comman
 	c.votes = quorum.NewTracker(r.cq)
 	c.retryStart = r.now
 	r.met.Retries.Inc()
+	if r.ctd != nil {
+		// Charge the retry to the command's own keys: they are the
+		// contended ones (some acceptor held a conflicting record above
+		// the proposed timestamp on one of them).
+		for _, k := range c.cmd.Keys() {
+			r.ctd.Retry(k)
+		}
+	}
 	r.cfg.Trace.Record(r.self, trace.KindRetry, c.cmd.ID, ts)
 	r.ep.Broadcast(&Retry{Ballot: c.ballot, Cmd: c.cmd, Time: ts, Pred: pred.Slice()})
 }

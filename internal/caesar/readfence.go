@@ -20,6 +20,8 @@ package caesar
 // documentation of internal/reads for the precise guarantee.
 
 import (
+	"time"
+
 	"github.com/caesar-consensus/caesar/internal/command"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/timestamp"
@@ -28,10 +30,13 @@ import (
 
 // readWaiter is one parked read fence: remaining counts the conflicting
 // commands still unapplied; done fires (from the event loop — it must not
-// block) when the count reaches zero.
+// block) when the count reaches zero. parkedAt lets the full park
+// duration be attributed to the last blocker's key in the contention
+// profile.
 type readWaiter struct {
 	remaining int
 	done      func(error)
+	parkedAt  time.Time
 }
 
 // evReadFence registers a read point inside the event loop.
@@ -89,6 +94,11 @@ func (r *Replica) onReadFence(e evReadFence) {
 		seen[id] = struct{}{}
 		w.remaining++
 		r.readParked[id] = append(r.readParked[id], w)
+		if r.ctd != nil {
+			// Attribute the park to the blocking command's key shared
+			// with the read.
+			r.ctd.Park(offendingKey(phantom, rec.cmd))
+		}
 		// The event carries the blocking command's ID and the read's
 		// timestamp: the command's history then shows which reads it held.
 		r.cfg.Trace.Record(r.self, trace.KindReadPark, id, e.ts)
@@ -97,6 +107,7 @@ func (r *Replica) onReadFence(e evReadFence) {
 		e.done(nil)
 		return
 	}
+	w.parkedAt = r.now
 	r.met.ReadFenceParks.Inc()
 }
 
@@ -110,8 +121,21 @@ func (r *Replica) releaseReads(id command.ID) {
 	}
 	delete(r.readParked, id)
 	r.cfg.Trace.Record(r.self, trace.KindReadRelease, id, timestamp.Zero)
+	// The command that fully unparks a fence is the one that held it
+	// last: charge the whole park duration to its key.
+	var lastKey string
+	if r.ctd != nil {
+		if rec := r.hist.get(id); rec != nil {
+			if ks := rec.cmd.Keys(); len(ks) > 0 {
+				lastKey = ks[0]
+			}
+		}
+	}
 	for _, w := range ws {
 		if w.remaining--; w.remaining == 0 {
+			if r.ctd != nil && !w.parkedAt.IsZero() {
+				r.ctd.ParkDone(lastKey, r.now.Sub(w.parkedAt))
+			}
 			w.done(nil)
 		}
 	}

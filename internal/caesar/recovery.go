@@ -109,6 +109,11 @@ func (r *Replica) startRecovery(id command.ID) {
 	}
 	r.recoveries[id] = rc
 	r.met.Recoveries.Inc()
+	if r.ctd != nil && rec != nil {
+		for _, k := range rec.cmd.Keys() {
+			r.ctd.Recovery(k)
+		}
+	}
 	r.cfg.Trace.Record(r.self, trace.KindRecover, id, timestamp.Timestamp{})
 	r.cfg.Flight.Record(flight.KindRecovery, r.cfg.FlightGroup, id,
 		"recovery prepare at ballot %d", ballot)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/contend"
 	"github.com/caesar-consensus/caesar/internal/failure"
 	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/idset"
@@ -98,6 +99,11 @@ type Config struct {
 	StuckTimeout time.Duration
 	// Metrics receives measurements; nil allocates a private recorder.
 	Metrics *metrics.Recorder
+	// Contend, when non-nil, receives this replica's contention
+	// attribution (internal/contend): which key each nack, wait-condition
+	// block, retry and recovery is charged to. A nil sketch records
+	// nothing.
+	Contend *contend.Group
 	// Trace, when non-nil, records protocol milestones (propose, waits,
 	// retries, stability, delivery, recovery) for debugging.
 	Trace *trace.Ring
@@ -172,6 +178,7 @@ type Replica struct {
 	cfg   Config
 	app   protocol.Applier
 	met   *metrics.Recorder
+	ctd   *contend.Group
 	clock *timestamp.Clock
 	loop  *protocol.Loop
 
@@ -269,6 +276,7 @@ func New(ep transport.Endpoint, app protocol.Applier, cfg Config) *Replica {
 		cfg:               cfg,
 		app:               app,
 		met:               cfg.Metrics,
+		ctd:               cfg.Contend,
 		clock:             timestamp.NewClock(ep.Self()),
 		loop:              protocol.NewLoop(cfg.InboxSize),
 		hist:              newHistory(),

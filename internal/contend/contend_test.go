@@ -1,0 +1,322 @@
+package contend
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpaceSavingRecall feeds a zipfian stream over a keyspace far
+// larger than the sketch and asserts the space-saving guarantees: the
+// true heaviest keys are all tracked, every estimate is an
+// overestimate, and the error floor bounds the overestimation.
+func TestSpaceSavingRecall(t *testing.T) {
+	const (
+		k        = 32
+		keyspace = 10000
+		draws    = 200000
+	)
+	p := NewProfile(k)
+	g := p.Group(0)
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.2, 1, keyspace-1)
+	truth := make(map[string]int64)
+	for i := 0; i < draws; i++ {
+		key := "key" + strconv.FormatUint(zipf.Uint64(), 10)
+		truth[key]++
+		g.Touch(key)
+	}
+
+	top := p.TopKeys(0)
+	if len(top) > k {
+		t.Fatalf("sketch tracks %d keys, capacity %d", len(top), k)
+	}
+	tracked := make(map[string]KeyStats, len(top))
+	for _, ks := range top {
+		tracked[ks.Key] = ks
+	}
+
+	// Any key whose true count exceeds every possible floor (draws/k is
+	// the maximum possible minimum weight) must be tracked. The head of
+	// a 1.2-zipfian easily clears it; require at least the top 5.
+	type kc struct {
+		key string
+		n   int64
+	}
+	var all []kc
+	for key, n := range truth {
+		all = append(all, kc{key, n})
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].n > all[i].n {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	floor := int64(draws / k)
+	for i := 0; i < 5; i++ {
+		if all[i].n <= floor {
+			t.Skipf("stream not skewed enough: true #%d count %d under floor %d", i, all[i].n, floor)
+		}
+		ks, ok := tracked[all[i].key]
+		if !ok {
+			t.Fatalf("true top-%d key %q (count %d) not tracked", i+1, all[i].key, all[i].n)
+		}
+		if ks.Events < all[i].n {
+			t.Errorf("key %q estimate %d underestimates true count %d", all[i].key, ks.Events, all[i].n)
+		}
+		if ks.Events-ks.ErrFloor > all[i].n {
+			t.Errorf("key %q estimate %d - floor %d exceeds true count %d",
+				all[i].key, ks.Events, ks.ErrFloor, all[i].n)
+		}
+	}
+
+	// Every tracked estimate overestimates within its floor.
+	for _, ks := range top {
+		n := truth[ks.Key]
+		if ks.Events < n {
+			t.Errorf("key %q estimate %d < true %d", ks.Key, ks.Events, n)
+		}
+		if ks.Events-ks.ErrFloor > n {
+			t.Errorf("key %q estimate %d - floor %d > true %d", ks.Key, ks.Events, ks.ErrFloor, n)
+		}
+	}
+}
+
+// TestBoundedMemory streams many distinct keys through every recording
+// method and asserts the sketch never exceeds its capacity.
+func TestBoundedMemory(t *testing.T) {
+	const k = 16
+	p := NewProfile(k)
+	g := p.Group(3)
+	for i := 0; i < 5000; i++ {
+		key := "k" + strconv.Itoa(i)
+		g.Touch(key)
+		g.Nack(key)
+		g.Blocked(key)
+		g.WaitDone(key, time.Millisecond)
+		g.Park(key)
+		g.ParkDone(key, time.Millisecond)
+		g.Retry(key)
+		g.Recovery(key)
+		g.Hold(key, time.Millisecond)
+	}
+	if got := len(p.TopKeys(0)); got > k {
+		t.Fatalf("sketch holds %d keys, capacity %d", got, k)
+	}
+	losses := g.Losses()
+	if losses.Nack != 5000 || losses.Blocked != 5000 || losses.Retry != 5000 || losses.Recovery != 5000 {
+		t.Fatalf("loss decomposition lost events: %+v", losses)
+	}
+}
+
+// TestAttribution checks each recording method lands in its column and
+// durations accumulate into WaitTime.
+func TestAttribution(t *testing.T) {
+	p := NewProfile(8)
+	g := p.Group(1)
+	g.Touch("hot")
+	g.Touch("hot")
+	g.Nack("hot")
+	g.Blocked("hot")
+	g.WaitDone("hot", 2*time.Millisecond)
+	g.Park("hot")
+	g.ParkDone("hot", 3*time.Millisecond)
+	g.Retry("hot")
+	g.Recovery("hot")
+	g.Hold("hot", 5*time.Millisecond)
+
+	top := p.TopKeys(1)
+	if len(top) != 1 || top[0].Key != "hot" {
+		t.Fatalf("TopKeys = %+v, want the hot key", top)
+	}
+	ks := top[0]
+	if ks.Touches != 2 || ks.Nacks != 1 || ks.Waits != 1 || ks.Parks != 1 ||
+		ks.Retries != 1 || ks.Recoveries != 1 || ks.Holds != 1 {
+		t.Fatalf("misattributed counters: %+v", ks)
+	}
+	if want := 10 * time.Millisecond; ks.WaitTime != want {
+		t.Fatalf("WaitTime = %v, want %v", ks.WaitTime, want)
+	}
+	if ks.Group != 1 {
+		t.Fatalf("Group = %d, want recording group 1", ks.Group)
+	}
+}
+
+// TestMergeAcrossGroups records one key in two group sketches (a key's
+// history spans groups after a resize) and checks TopKeys merges the
+// rows, annotating the current home group via SetGroupOf.
+func TestMergeAcrossGroups(t *testing.T) {
+	p := NewProfile(8)
+	p.Group(0).Touch("moved")
+	p.Group(0).Nack("moved")
+	p.Group(2).Touch("moved")
+	p.SetGroupOf(func(string) int { return 2 })
+
+	top := p.TopKeys(0)
+	if len(top) != 1 {
+		t.Fatalf("merged rows = %d, want 1", len(top))
+	}
+	ks := top[0]
+	if ks.Touches != 2 || ks.Nacks != 1 || ks.Events != 3 {
+		t.Fatalf("merge lost events: %+v", ks)
+	}
+	if ks.Group != 2 {
+		t.Fatalf("Group = %d, want routed home 2", ks.Group)
+	}
+}
+
+// TestNilSafety exercises every method on nil receivers; recording
+// sites rely on this to skip guards.
+func TestNilSafety(t *testing.T) {
+	var p *Profile
+	g := p.Group(0)
+	if g != nil {
+		t.Fatal("nil profile returned a non-nil group")
+	}
+	g.Touch("k")
+	g.Nack("k")
+	g.Blocked("k")
+	g.WaitDone("k", time.Second)
+	g.Park("k")
+	g.ParkDone("k", time.Second)
+	g.Retry("k")
+	g.Recovery("k")
+	g.Hold("k", time.Second)
+	_ = g.Losses()
+	p.SetGroupOf(func(string) int { return 0 })
+	p.Reset()
+	if got := p.TopKeys(5); got != nil {
+		t.Fatalf("nil profile TopKeys = %v", got)
+	}
+	if s := p.Snapshot(5); s.TopKeys != nil || s.Groups != nil {
+		t.Fatalf("nil profile Snapshot = %+v", s)
+	}
+}
+
+// TestReset clears sketches and loss counters between measurement
+// windows.
+func TestReset(t *testing.T) {
+	p := NewProfile(4)
+	p.Group(0).Nack("warm")
+	p.Reset()
+	if got := p.TopKeys(0); len(got) != 0 {
+		t.Fatalf("after Reset TopKeys = %+v", got)
+	}
+	if l := p.TotalLosses(); l != (Losses{}) {
+		t.Fatalf("after Reset losses = %+v", l)
+	}
+}
+
+// TestHandlerJSON asserts the /workloadz document shape: top keys with
+// attribution columns and the per-group loss decomposition.
+func TestHandlerJSON(t *testing.T) {
+	p := NewProfile(8)
+	g := p.Group(0)
+	for i := 0; i < 9; i++ {
+		g.Touch("hot")
+	}
+	g.Nack("hot")
+	g.Blocked("hot")
+	g.WaitDone("hot", 250*time.Millisecond)
+	g.Touch("cold")
+
+	rr := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/workloadz?top=1", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var snap struct {
+		K       int `json:"k"`
+		TopKeys []struct {
+			Key         string  `json:"key"`
+			Events      int64   `json:"events"`
+			Nacks       int64   `json:"nacks"`
+			Waits       int64   `json:"waits"`
+			WaitSeconds float64 `json:"wait_seconds"`
+		} `json:"top_keys"`
+		Groups []struct {
+			Group int   `json:"group"`
+			Nack  int64 `json:"nack"`
+		} `json:"groups"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	if snap.K != 8 {
+		t.Fatalf("k = %d, want 8", snap.K)
+	}
+	if len(snap.TopKeys) != 1 || snap.TopKeys[0].Key != "hot" {
+		t.Fatalf("top_keys = %+v, want just the hot key", snap.TopKeys)
+	}
+	if snap.TopKeys[0].Nacks != 1 || snap.TopKeys[0].Waits != 1 {
+		t.Fatalf("attribution columns missing: %+v", snap.TopKeys[0])
+	}
+	if snap.TopKeys[0].WaitSeconds != 0.25 {
+		t.Fatalf("wait_seconds = %v, want 0.25", snap.TopKeys[0].WaitSeconds)
+	}
+	if len(snap.Groups) != 1 || snap.Groups[0].Group != 0 || snap.Groups[0].Nack != 1 {
+		t.Fatalf("groups = %+v", snap.Groups)
+	}
+}
+
+// TestConcurrentRecordScrape hammers one profile from recording,
+// scraping and resetting goroutines; the -race run is the assertion.
+func TestConcurrentRecordScrape(t *testing.T) {
+	p := NewProfile(16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := p.Group(w % 2)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := "k" + strconv.Itoa(i%100)
+				g.Touch(key)
+				g.Nack(key)
+				g.Blocked(key)
+				g.WaitDone(key, time.Microsecond)
+				g.Park(key)
+				g.Retry(key)
+				g.Hold(key, time.Microsecond)
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = p.Snapshot(10)
+				_ = p.TotalLosses()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			p.Reset()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,14 @@
+package contend
+
+import (
+	"testing"
+
+	"github.com/caesar-consensus/caesar/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine: the
+// profile itself owns none, so the concurrent record/scrape tests must
+// join every worker they start.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

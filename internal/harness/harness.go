@@ -19,6 +19,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/contend"
 	"github.com/caesar-consensus/caesar/internal/epaxos"
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/m2paxos"
@@ -129,6 +130,12 @@ type Options struct {
 	// node histograms and every scrape-time gauge. Used to measure the
 	// registry's hot-path overhead against an unobserved run.
 	Obs bool
+	// ZipfS > 1 skews the workload's shared-pool key draw zipfian with
+	// that exponent (workload.Config.ZipfS): conflicts concentrate on a
+	// few heavy-hitter keys instead of spreading uniformly, the
+	// distribution the contention profile attributes. <= 1 keeps the
+	// paper's uniform draw.
+	ZipfS float64
 }
 
 func (o Options) withDefaults() Options {
@@ -206,6 +213,9 @@ func (o Options) label() string {
 	if o.Obs {
 		parts = append(parts, "obs")
 	}
+	if o.ZipfS > 1 {
+		parts = append(parts, fmt.Sprintf("zipf=%g", o.ZipfS))
+	}
 	return strings.Join(parts, " ")
 }
 
@@ -259,6 +269,20 @@ type Result struct {
 	FsyncCount       int64
 	FsyncBatchMean   float64
 	FsyncLatencyMean time.Duration
+	// Contention measurements (internal/contend), aggregated across the
+	// cluster over the measurement window. FastShare is the fast-decision
+	// fraction; ConflictRate is acceptor-observed contention events
+	// (nacks + wait-condition blocks) per completed command; the Loss*
+	// counters decompose the fast-path losses by cause; HotKey is the
+	// run's heaviest key with its attributed event weight.
+	FastShare    float64
+	ConflictRate float64
+	LossNack     int64
+	LossBlocked  int64
+	LossRetry    int64
+	LossRecovery int64
+	HotKey       string
+	HotKeyEvents int64
 }
 
 // SlowRatio returns the slow-decision fraction.
@@ -396,7 +420,7 @@ func build(o Options, net *memnet.Network, mets []*metrics.Recorder, stores []*k
 			app = pacedApplier{inner: app, cost: o.ApplyCost}
 		}
 		met := mets[i]
-		mk := func(ep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder) protocol.Engine {
+		mk := func(ep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder, ctd *contend.Group) protocol.Engine {
 			if gmet == nil {
 				gmet = met
 			}
@@ -404,6 +428,7 @@ func build(o Options, net *memnet.Network, mets []*metrics.Recorder, stores []*k
 			case Caesar, CaesarNoWait:
 				cfg := caesar.Config{
 					Metrics:      gmet,
+					Contend:      ctd,
 					DisableWait:  o.Protocol == CaesarNoWait,
 					Predelivered: seed.Delivered,
 					SeqFloor:     seed.SeqFloor,
@@ -458,11 +483,11 @@ func build(o Options, net *memnet.Network, mets []*metrics.Recorder, stores []*k
 			DataDir:   dataDir,
 			WAL:       wal.Options{NoSync: o.WALNoSync, Metrics: met},
 			Rebalance: o.Protocol == Caesar || o.Protocol == CaesarNoWait,
-			Build: func(_ int, sep transport.Endpoint, gapp protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder) protocol.Engine {
+			Build: func(_ int, sep transport.Endpoint, gapp protocol.Applier, seed wal.GroupSeed, gmet *metrics.Recorder, ctd *contend.Group) protocol.Engine {
 				// Batching wraps each group, not the sharded fan-out:
 				// batches form per group, so they never span shards
 				// (cross-shard pieces bypass the batcher entirely).
-				eng := mk(sep, gapp, seed, gmet)
+				eng := mk(sep, gapp, seed, gmet, ctd)
 				if o.Batching {
 					eng = batch.Wrap(eng, batch.Config{})
 				}
@@ -536,6 +561,7 @@ func Run(o Options) Result {
 				CrossShardPct: o.CrossShardPct,
 				SpanShards:    o.CrossShardSpan,
 				ReadPct:       o.ReadPct,
+				ZipfS:         o.ZipfS,
 			}, fmt.Sprintf("n%dc%d", node, c))
 			go func(node int, gen *workload.Generator) {
 				defer wg.Done()
@@ -547,6 +573,9 @@ func Run(o Options) Result {
 	time.Sleep(o.Warmup)
 	for _, m := range mets {
 		m.Reset()
+	}
+	for _, stk := range stacks {
+		stk.Contend.Reset()
 	}
 	stats.ResetReads()
 	start := time.Now()
@@ -652,6 +681,31 @@ func Run(o Options) Result {
 	if fsyncs > 0 {
 		res.FsyncBatchMean = float64(fsyncRecs) / float64(fsyncs)
 		res.FsyncLatencyMean = fsyncTotal / time.Duration(fsyncs)
+	}
+	// Contention profile, merged across the cluster's nodes: loss totals
+	// sum, and the hottest key is the one with the highest summed event
+	// weight among each node's head.
+	hot := make(map[string]int64)
+	for _, stk := range stacks {
+		tot := stk.Contend.TotalLosses()
+		res.LossNack += tot.Nack
+		res.LossBlocked += tot.Blocked
+		res.LossRetry += tot.Retry
+		res.LossRecovery += tot.Recovery
+		for _, ks := range stk.Contend.TopKeys(8) {
+			hot[ks.Key] += ks.Events
+		}
+	}
+	for k, ev := range hot {
+		if ev > res.HotKeyEvents || (ev == res.HotKeyEvents && k < res.HotKey) {
+			res.HotKey, res.HotKeyEvents = k, ev
+		}
+	}
+	if total := res.FastDecisions + res.SlowDecisions; total > 0 {
+		res.FastShare = float64(res.FastDecisions) / float64(total)
+	}
+	if completed > 0 {
+		res.ConflictRate = float64(res.LossNack+res.LossBlocked) / float64(completed)
 	}
 	// Throughput counts completed client commands (batches unfold to
 	// their members at the clients), the quantity the paper plots.

@@ -67,13 +67,17 @@ type series struct {
 	dsum      *metrics.DurationSum
 }
 
-// family is one named metric with its registered series.
+// family is one named metric with its registered series. A family may
+// instead hold a vecFn sampler: its series are then materialized at
+// scrape time from the sampler's dynamically labeled values (hot-key
+// gauges, whose label sets change between scrapes).
 type family struct {
 	name   string
 	help   string
 	kind   familyKind
 	series []*series
 	byKey  map[string]int
+	vecFn  func() []Sample
 }
 
 // Registry is the node's metric registry. The zero value is unusable;
@@ -182,6 +186,33 @@ func (r *Registry) Summary(name, help string, ls Labels, s *metrics.DurationSum)
 		return
 	}
 	r.register(name, help, kindSummary, ls, &series{dsum: s})
+}
+
+// Sample is one dynamically labeled observation returned by a GaugeVec
+// sampler.
+type Sample struct {
+	Labels Labels
+	Value  float64
+}
+
+// GaugeVec registers a gauge family whose series are sampled from fn at
+// scrape time, labels included — for families whose label sets are not
+// known at registration (the hot-key contention gauges, labeled by
+// key). fn must be safe for concurrent use; it is called outside the
+// registry lock, once per scrape. Re-registration replaces the sampler.
+func (r *Registry) GaugeVec(name, help string, fn func() []Sample) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kindGauge, byKey: make(map[string]int)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	f.vecFn = fn
 }
 
 // SetReady installs the readiness probe behind /readyz; nil (or never

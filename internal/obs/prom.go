@@ -20,12 +20,27 @@ import (
 func (r *Registry) snapshot() []famSnap {
 	r.mu.RLock()
 	out := make([]famSnap, 0, len(r.families))
+	vecs := make([]func() []Sample, 0, len(r.families))
 	for _, f := range r.families {
 		fs := famSnap{family: f, series: make([]*series, len(f.series))}
 		copy(fs.series, f.series)
 		out = append(out, fs)
+		vecs = append(vecs, f.vecFn)
 	}
 	r.mu.RUnlock()
+	// Materialize GaugeVec samplers outside the lock (they may take
+	// their subsystem's locks) into ordinary gauge series for this
+	// scrape only.
+	for i, fn := range vecs {
+		if fn == nil {
+			continue
+		}
+		for _, smp := range fn() {
+			v := smp.Value
+			out[i].series = append(out[i].series,
+				&series{labels: renderLabels(smp.Labels), gaugeFn: func() float64 { return v }})
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	for _, fs := range out {
 		ss := fs.series

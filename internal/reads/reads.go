@@ -44,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/caesar-consensus/caesar/internal/contend"
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/protocol"
@@ -118,6 +119,7 @@ type Engine struct {
 	groups map[int]GroupReader
 	router func() shard.Router
 	table  *xshard.Table
+	ctd    *contend.Profile
 
 	// pending tracks in-flight reads from registration in the attempt
 	// loop until they return, under their own mutex: the stall
@@ -180,6 +182,22 @@ func (e *Engine) SetTable(t *xshard.Table) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.table = t
+}
+
+// SetContend binds the node's contention profile: the time a snapshot
+// read spends waiting for the cross-shard commit table to settle is then
+// attributed to the read's keys (the replica-side fence parks attribute
+// themselves through the group's own sketch). nil disables attribution.
+func (e *Engine) SetContend(p *contend.Profile) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ctd = p
+}
+
+func (e *Engine) contendProfile() *contend.Profile {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ctd
 }
 
 // Available reports whether at least one group supports local reads.
@@ -338,11 +356,21 @@ func (e *Engine) attempt(ctx context.Context, keys []string) ([][]byte, []bool, 
 	// such transaction could still execute at or below the point.
 	if table := e.currentTable(); table != nil {
 		settled := make(chan struct{})
+		settleStart := e.now()
 		table.WaitSettled(keys, ts, func() { close(settled) })
 		select {
 		case <-settled:
 		case <-ctx.Done():
 			return nil, nil, ctx.Err()
+		}
+		if p := e.contendProfile(); p != nil {
+			// A settle wait is a read parked by the commit table: charge
+			// the elapsed time to the read's keys in their home groups.
+			if wait := e.now().Sub(settleStart); wait > 0 {
+				for _, k := range keys {
+					p.Group(router.Shard(k)).ParkDone(k, wait)
+				}
+			}
 		}
 	}
 

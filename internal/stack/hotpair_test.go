@@ -19,6 +19,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/contend"
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/memnet"
 	"github.com/caesar-consensus/caesar/internal/metrics"
@@ -40,7 +41,7 @@ func buildTrio(t *testing.T, shards int) (*memnet.Network, []*stack.Stack) {
 			Shards:    shards,
 			Store:     kvstore.New(),
 			Rebalance: true,
-			Build: func(_ int, sep transport.Endpoint, app protocol.Applier, _ wal.GroupSeed, _ *metrics.Recorder) protocol.Engine {
+			Build: func(_ int, sep transport.Endpoint, app protocol.Applier, _ wal.GroupSeed, _ *metrics.Recorder, _ *contend.Group) protocol.Engine {
 				return caesar.New(sep, app, caesar.Config{})
 			},
 		})

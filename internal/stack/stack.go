@@ -32,6 +32,7 @@ import (
 	"github.com/caesar-consensus/caesar/internal/audit"
 	"github.com/caesar-consensus/caesar/internal/batch"
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/contend"
 	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/kvstore"
 	"github.com/caesar-consensus/caesar/internal/metrics"
@@ -61,8 +62,11 @@ type ackProber interface {
 // others may ignore it. met is the group's child recorder
 // (metrics.Recorder.Group of Config.Metrics, already registered with the
 // observability registry under a group label); nil when the node has no
-// recorder — engines treat that as "allocate a private one".
-type BuildEngine func(group int, ep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, met *metrics.Recorder) protocol.Engine
+// recorder — engines treat that as "allocate a private one". ctd is the
+// group's contention sketch (Config.Contend's, always non-nil) — engines
+// that attribute contention (CAESAR) wire it into their config, others
+// ignore it.
+type BuildEngine func(group int, ep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, met *metrics.Recorder, ctd *contend.Group) protocol.Engine
 
 // Config describes the node to build.
 type Config struct {
@@ -87,6 +91,12 @@ type Config struct {
 	// histograms, commit-table occupancy, WAL segment/snapshot gauges and
 	// rebalance epoch state. May be nil (no observability surface).
 	Obs *obs.Registry
+	// Contend is the node's contention profile (internal/contend): each
+	// consensus group records hot-key attribution and fast-path losses
+	// into its Group sketch, and the aggregate serves /workloadz and the
+	// caesar_contention_*/caesar_hotkey_* families. nil builds a fresh
+	// profile — the sketch is bounded and lock-cheap, so it is always on.
+	Contend *contend.Profile
 	// Trace, when non-nil, is threaded through the WAL, the cross-shard
 	// commit table and the rebalance coordinator so their milestones
 	// (fsync, tx hold/exec/abort, fences) land in the same ring the
@@ -171,6 +181,9 @@ type Stack struct {
 	// Flight is the node's flight recorder (Config.Flight, echoed for
 	// callers that build through opaque wiring); nil when none was given.
 	Flight *flight.Recorder
+	// Contend is the node's contention profile (Config.Contend, or the
+	// one Build created); never nil.
+	Contend *contend.Profile
 	// Watchdog is the node's stall watchdog; nil unless
 	// Config.StallThreshold was set. Start/Stop manage its scan loop.
 	Watchdog *flight.Watchdog
@@ -230,11 +243,18 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 	rd := reads.New(store, cfg.Metrics)
 	rd.SetNow(cfg.Now)
 	s.Reads = rd
+	ctd := cfg.Contend
+	if ctd == nil {
+		ctd = contend.NewProfile(0)
+	}
+	s.Contend = ctd
+	rd.SetContend(ctd)
 	cfg.Obs.RegisterNodeRecorder(cfg.Metrics)
 	buildGroup := func(g int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed) protocol.Engine {
 		gm := cfg.Metrics.Group()
 		cfg.Obs.RegisterRecorder(obs.Labels{"group": strconv.Itoa(g)}, gm)
-		eng := cfg.Build(g, sep, app, seed, gm)
+		s.registerContention(cfg.Obs, g, ctd.Group(g))
+		eng := cfg.Build(g, sep, app, seed, gm, ctd.Group(g))
 		if gr, ok := reads.AsGroupReader(eng); ok {
 			rd.Attach(g, gr)
 		}
@@ -338,7 +358,7 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 			return nil, err
 		}
 	}
-	tcfg := xshard.TableConfig{Self: ep.Self(), Exec: app, Metrics: cfg.Metrics, Trace: cfg.Trace, Now: cfg.Now}
+	tcfg := xshard.TableConfig{Self: ep.Self(), Exec: app, Metrics: cfg.Metrics, Trace: cfg.Trace, Now: cfg.Now, Contend: ctd}
 	if log != nil {
 		tcfg.ApplyTx = log.TxApplier(app)
 		tcfg.XIDFloor = st.XIDFloor()
@@ -365,6 +385,7 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 			return buildGroup(g, sep, wrap(g, table.Applier(g, app)), seedFor(g))
 		})
 		rd.SetRouter(inner.Router)
+		ctd.SetGroupOf(func(k string) int { return inner.Router().Shard(k) })
 		s.Engine = xshard.New(inner, table)
 		s.finish(ep, cfg, nil)
 		return s, nil
@@ -410,6 +431,7 @@ func Build(ep transport.Endpoint, cfg Config) (*Stack, error) {
 		return buildGroup(g, sep, co.Applier(g, wrap(g, table.Applier(g, app))), seedFor(g))
 	})
 	rd.SetRouter(inner.Router)
+	ctd.SetGroupOf(func(k string) int { return inner.Router().Shard(k) })
 	reng := rebalance.NewEngine(xshard.New(inner, table), co)
 	s.Resizer = reng
 	s.Engine = reng
@@ -430,6 +452,8 @@ func (s *Stack) finish(ep transport.Endpoint, cfg Config, co *rebalance.Coordina
 	}
 	if cfg.Obs != nil {
 		cfg.Obs.Handle("/auditz", audit.Handler(s.AuditReport))
+		cfg.Obs.Handle("/workloadz", s.Contend.Handler())
+		s.registerHotKeys(cfg.Obs)
 	}
 	if cfg.StallThreshold <= 0 {
 		return
@@ -513,6 +537,66 @@ func (s *Stack) finish(ep transport.Endpoint, cfg Config, co *rebalance.Coordina
 			}
 			return 0
 		})
+}
+
+// registerContention installs one group's fast-path-loss decomposition
+// as the caesar_contention_losses_total{group,cause} family: four
+// scrape-time counters over the sketch's atomic loss cells. Called per
+// group from buildGroup, so resize-created groups register on arrival.
+func (s *Stack) registerContention(ob *obs.Registry, g int, cg *contend.Group) {
+	if ob == nil {
+		return
+	}
+	group := strconv.Itoa(g)
+	for _, c := range []struct {
+		cause string
+		fn    func() int64
+	}{
+		{"nack", func() int64 { return cg.Losses().Nack }},
+		{"blocked", func() int64 { return cg.Losses().Blocked }},
+		{"retry", func() int64 { return cg.Losses().Retry }},
+		{"recovery", func() int64 { return cg.Losses().Recovery }},
+	} {
+		ob.CounterFunc("caesar_contention_losses_total",
+			"Fast-path losses at this node, decomposed by consensus group and cause.",
+			obs.Labels{"group": group, "cause": c.cause}, c.fn)
+	}
+}
+
+// hotKeyExportN caps how many sketch rows the caesar_hotkey_* families
+// export per scrape: the head of the ranking is the useful signal, and a
+// bounded series count keeps the scrape size independent of K.
+const hotKeyExportN = 10
+
+// registerHotKeys installs the contention profile's top keys as
+// scrape-time vector gauges: each family re-ranks the sketch at scrape
+// time and emits one {key}-labeled sample per hot key.
+func (s *Stack) registerHotKeys(ob *obs.Registry) {
+	type pick struct {
+		name string
+		help string
+		fn   func(contend.KeyStats) float64
+	}
+	for _, p := range []pick{
+		{"caesar_hotkey_events", "Attributed contention events for the node's hottest keys (space-saving weight; ranking order).",
+			func(ks contend.KeyStats) float64 { return float64(ks.Events) }},
+		{"caesar_hotkey_nacks", "Proposal rejections attributed to the node's hottest keys.",
+			func(ks contend.KeyStats) float64 { return float64(ks.Nacks) }},
+		{"caesar_hotkey_parks", "Read-fence parks attributed to the node's hottest keys.",
+			func(ks contend.KeyStats) float64 { return float64(ks.Parks) }},
+		{"caesar_hotkey_wait_seconds", "Total wait time (§IV-A blocks, read parks, cross-shard holds) attributed to the node's hottest keys.",
+			func(ks contend.KeyStats) float64 { return ks.WaitTime.Seconds() }},
+	} {
+		fn := p.fn
+		ob.GaugeVec(p.name, p.help, func() []obs.Sample {
+			top := s.Contend.TopKeys(hotKeyExportN)
+			out := make([]obs.Sample, 0, len(top))
+			for _, ks := range top {
+				out = append(out, obs.Sample{Labels: obs.Labels{"key": ks.Key}, Value: fn(ks)})
+			}
+			return out
+		})
+	}
 }
 
 // registerGauges installs the stack's scrape-time gauges: everything here

@@ -6,6 +6,7 @@ import (
 
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/contend"
 	"github.com/caesar-consensus/caesar/internal/memnet"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/protocol"
@@ -29,7 +30,7 @@ func buildCluster(t *testing.T, net *memnet.Network, n, shards int, dirFor func(
 			DataDir:          dir,
 			SnapshotInterval: -1,
 			Rebalance:        true,
-			Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, _ *metrics.Recorder) protocol.Engine {
+			Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, _ *metrics.Recorder, _ *contend.Group) protocol.Engine {
 				return caesar.New(sep, app, caesar.Config{
 					HeartbeatInterval: -1,
 					GCInterval:        10 * time.Millisecond,
@@ -95,7 +96,7 @@ func TestDurableShardedRestartRecoversState(t *testing.T) {
 		DataDir:          dirs(2),
 		SnapshotInterval: -1,
 		Rebalance:        true,
-		Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, _ *metrics.Recorder) protocol.Engine {
+		Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, _ *metrics.Recorder, _ *contend.Group) protocol.Engine {
 			return caesar.New(sep, app, caesar.Config{
 				HeartbeatInterval: -1,
 				Predelivered:      seed.Delivered,

@@ -8,6 +8,7 @@ import (
 
 	"github.com/caesar-consensus/caesar/internal/caesar"
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/contend"
 	"github.com/caesar-consensus/caesar/internal/flight"
 	"github.com/caesar-consensus/caesar/internal/memnet"
 	"github.com/caesar-consensus/caesar/internal/metrics"
@@ -65,7 +66,7 @@ func TestWatchdogTripsOnHeldTransaction(t *testing.T) {
 			}
 		},
 		Now: now,
-		Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, _ *metrics.Recorder) protocol.Engine {
+		Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, _ *metrics.Recorder, _ *contend.Group) protocol.Engine {
 			return caesar.New(sep, app, caesar.Config{
 				HeartbeatInterval: -1,
 				Now:               now,
@@ -162,7 +163,7 @@ func TestWatchdogMetricsAndDebugz(t *testing.T) {
 		StallThreshold:   10 * time.Second,
 		WatchdogTicks:    ticks,
 		Now:              now,
-		Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, _ *metrics.Recorder) protocol.Engine {
+		Build: func(_ int, sep transport.Endpoint, app protocol.Applier, seed wal.GroupSeed, _ *metrics.Recorder, _ *contend.Group) protocol.Engine {
 			return caesar.New(sep, app, caesar.Config{HeartbeatInterval: -1, Now: now})
 		},
 	})

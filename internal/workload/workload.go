@@ -53,6 +53,13 @@ type Config struct {
 	// identical across deployments being compared (the same pairs are
 	// single-group batches on an unsharded run).
 	SpanShards int
+	// ZipfS skews the shared-pool draw: when > 1, shared keys are drawn
+	// zipfian with exponent s (shared-0 the hottest), concentrating
+	// conflicts on a few heavy hitters instead of spreading them
+	// uniformly — the distribution the contention profile
+	// (internal/contend) is built to surface. <= 1 keeps the paper's
+	// uniform draw.
+	ZipfS float64
 }
 
 // Generator produces the command stream of one client. Not safe for
@@ -60,6 +67,7 @@ type Config struct {
 type Generator struct {
 	cfg    Config
 	rng    *rand.Rand
+	zipf   *rand.Zipf
 	prefix string
 	seq    uint64
 	value  []byte
@@ -90,7 +98,19 @@ func NewGenerator(cfg Config, prefix string) *Generator {
 		router: shard.NewRouter(cfg.SpanShards),
 	}
 	g.rng.Read(g.value)
+	if cfg.ZipfS > 1 {
+		g.zipf = rand.NewZipf(g.rng, cfg.ZipfS, 1, uint64(cfg.SharedPool-1))
+	}
 	return g
+}
+
+// sharedKey draws one shared-pool key: zipfian when Config.ZipfS skews
+// the pool, uniform otherwise.
+func (g *Generator) sharedKey() string {
+	if g.zipf != nil {
+		return "shared-" + strconv.FormatUint(g.zipf.Uint64(), 10)
+	}
+	return "shared-" + strconv.Itoa(g.rng.Intn(g.cfg.SharedPool))
 }
 
 // Next returns the client's next command: an update, or — with probability
@@ -120,7 +140,7 @@ func (g *Generator) NextOp() (cmd command.Command, readKey string, read bool) {
 // back to the shared pool before the first write).
 func (g *Generator) readKey() string {
 	if g.lastKey == "" || g.rng.Float64()*100 < g.cfg.ConflictPct {
-		return "shared-" + strconv.Itoa(g.rng.Intn(g.cfg.SharedPool))
+		return g.sharedKey()
 	}
 	return g.lastKey
 }
@@ -128,7 +148,7 @@ func (g *Generator) readKey() string {
 // nextKey draws one key per the conflict rule of §VI.
 func (g *Generator) nextKey() string {
 	if g.rng.Float64()*100 < g.cfg.ConflictPct {
-		k := "shared-" + strconv.Itoa(g.rng.Intn(g.cfg.SharedPool))
+		k := g.sharedKey()
 		g.lastKey = k
 		return k
 	}

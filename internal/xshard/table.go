@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/caesar-consensus/caesar/internal/command"
+	"github.com/caesar-consensus/caesar/internal/contend"
 	"github.com/caesar-consensus/caesar/internal/metrics"
 	"github.com/caesar-consensus/caesar/internal/protocol"
 	"github.com/caesar-consensus/caesar/internal/shard"
@@ -58,6 +59,11 @@ type TableConfig struct {
 	SweepInterval time.Duration
 	// Now is the clock deadlines are computed from. Default time.Now.
 	Now func() time.Time
+	// Contend, when non-nil, receives each resolved transaction's held
+	// age attributed to its keys (internal/contend): the time the
+	// transaction kept those keys pinned in the table before executing
+	// or dying.
+	Contend *contend.Profile
 }
 
 func (c TableConfig) withDefaults() TableConfig {
@@ -765,9 +771,30 @@ func (t *Table) KillStale(group int32, xid XID) {
 	t.drainLocked()
 }
 
+// holdAttributeLocked charges a resolving entry's held age to each of
+// its keys in the contention profile, before the entry's key set is
+// released. The age is the time from first registration to resolution
+// (execute or kill) — how long the transaction pinned those keys.
+func (t *Table) holdAttributeLocked(e *entry) {
+	p := t.cfg.Contend
+	if p == nil || len(e.keys) == 0 || e.regAt.IsZero() {
+		return
+	}
+	age := t.cfg.Now().Sub(e.regAt)
+	g := 0
+	if len(e.groups) > 0 {
+		g = int(e.groups[0])
+	}
+	cg := p.Group(g)
+	for k := range e.keys {
+		cg.Hold(k, age)
+	}
+}
+
 // killLocked turns an entry into a dead tombstone and queues its client
 // failure with the given reason.
 func (t *Table) killLocked(e *entry, reason error) {
+	t.holdAttributeLocked(e)
 	t.unindexLocked(e)
 	t.noteResolvedLocked(e.xid)
 	e.state = entryDead
@@ -875,6 +902,7 @@ func (t *Table) blockedLocked(e *entry) bool {
 // lock (the applier may sleep, the callback may re-enter the table), in
 // decision order.
 func (t *Table) executeLocked(e *entry) {
+	t.holdAttributeLocked(e)
 	t.unindexLocked(e)
 	t.noteDrainedLocked(e.xid)
 	xid, merged, ops, done := e.xid, e.merged, e.ops, e.done

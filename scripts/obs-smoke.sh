@@ -7,7 +7,10 @@
 # that caesar-trace merges a cluster-wide timeline from the live
 # /tracez endpoints, and that the state auditor — /auditz, the
 # in-process -audit-peers loop and the standalone caesar-audit checker
-# — proves "no divergence" on the healthy cluster.
+# — proves "no divergence" on the healthy cluster, and that the
+# contention profile — /workloadz, the WORKLOAD admin command and the
+# caesar_contention_* families — names a deliberately hammered key as
+# the top offender.
 #
 # Run from the repository root: ./scripts/obs-smoke.sh
 set -euo pipefail
@@ -59,6 +62,20 @@ for i in $(seq 1 30); do
 done
 "$workdir/caesar-client" -server 127.0.0.1:8481 get key7 | grep -q "OK val7"
 
+# Hammer one key from all three nodes concurrently so the contention
+# profile has an unambiguous top offender (and real conflicts to
+# attribute).
+hammer_pids=()
+for id in 0 1 2; do
+    (
+        for i in $(seq 1 15); do
+            "$workdir/caesar-client" -server "127.0.0.1:848$id" put hotkey "v$id.$i" >/dev/null
+        done
+    ) &
+    hammer_pids+=("$!")
+done
+wait "${hammer_pids[@]}"
+
 health=$(curl -fsS http://127.0.0.1:9180/healthz)
 echo "$health" | grep -q ok
 metrics=$(curl -fsS http://127.0.0.1:9180/metrics)
@@ -79,7 +96,9 @@ for fam in \
     caesar_net_recv_msgs_total \
     caesar_audit_writes_total \
     caesar_audit_groups \
-    caesar_audit_divergence_total; do
+    caesar_audit_divergence_total \
+    caesar_contention_losses_total \
+    caesar_hotkey_events; do
     if ! echo "$metrics" | grep -q "^$fam"; then
         echo "scrape missing family $fam:" >&2
         echo "$metrics" >&2
@@ -245,6 +264,47 @@ for id in 0 1 2; do
     fi
 done
 
+# /workloadz: the contention profile as JSON — the hammered key must
+# be the top offender (top_keys is sorted by events, so it leads the
+# array), and the per-group loss decomposition must be present.
+workloadz=$(curl -fsS 'http://127.0.0.1:9180/workloadz?top=5')
+first_json_key=$(echo "$workloadz" | grep '"key":' | head -1)
+echo "$first_json_key" | grep -q '"hotkey"' || {
+    echo "/workloadz top offender is not the hammered key: $first_json_key" >&2
+    echo "$workloadz" >&2
+    exit 1
+}
+echo "$workloadz" | grep -q '"groups":' || {
+    echo "/workloadz missing the per-group loss decomposition:" >&2
+    echo "$workloadz" >&2
+    exit 1
+}
+
+# WORKLOAD admin command: same profile as text over the client port —
+# loss header, per-group lines, hammered key as the first key line.
+exec 3<>/dev/tcp/127.0.0.1/8480
+printf 'WORKLOAD 5\n' >&3
+workload_out=""
+while IFS= read -r line <&3; do
+    case "$line" in
+    OK\ *) workload_out="$workload_out$line"$'\n'; break ;;
+    ERR*) echo "WORKLOAD answered: $line" >&2; exit 1 ;;
+    *) workload_out="$workload_out$line"$'\n' ;;
+    esac
+done
+exec 3<&-
+echo "$workload_out" | grep -q '^# fast-path losses: nack=' || {
+    echo "WORKLOAD missing the loss header:" >&2
+    echo "$workload_out" >&2
+    exit 1
+}
+first_key=$(echo "$workload_out" | grep '^key=' | head -1)
+echo "$first_key" | grep -q '^key=hotkey ' || {
+    echo "WORKLOAD top offender is not the hammered key: $first_key" >&2
+    echo "$workload_out" >&2
+    exit 1
+}
+
 # caesar-top: one frame of the live console, audit column clean.
 topout=$("$workdir/caesar-top" -nodes "$audit_peers" -once)
 echo "$topout" | grep -q 'NODE' || {
@@ -254,6 +314,11 @@ echo "$topout" | grep -q 'NODE' || {
 }
 echo "$topout" | grep -q 'DIVERGED' && {
     echo "caesar-top shows divergence on a healthy cluster:" >&2
+    echo "$topout" >&2
+    exit 1
+}
+echo "$topout" | grep -A2 'HOT KEY' | grep -q 'hotkey' || {
+    echo "caesar-top hot-keys panel missing the hammered key:" >&2
     echo "$topout" >&2
     exit 1
 }

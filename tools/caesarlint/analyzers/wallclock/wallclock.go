@@ -37,6 +37,7 @@ var PathSuffixes = []string{
 	"internal/reads",
 	"internal/protocol",
 	"internal/flight",
+	"internal/contend",
 }
 
 // forbidden is the set of time-package functions that read or schedule
